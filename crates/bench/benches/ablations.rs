@@ -1,0 +1,226 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * semantic selector matching vs a name-roster lookup (the paper's
+//!   §3 argument that selectors subsume naming),
+//! * EZW progressive decode cost as a function of packets accepted
+//!   (what the inference engine trades off),
+//! * BER codec throughput (every SNMP sample pays this),
+//! * sketch extraction (the modality-reduction hot path),
+//! * transform-chain search in profile matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use media::ezw;
+use media::image::synthetic_scene;
+use media::packetize::{reassemble_prefix, split_packets};
+use media::wavelet::WaveletKind;
+use media::Sketch;
+use sempubsub::matching::interpret;
+use sempubsub::{AttrValue, Profile, Selector, TransformCap};
+use snmp::{Message, Pdu, PduKind, SnmpValue, VarBind};
+use std::collections::{BTreeMap, HashMap};
+use std::hint::black_box;
+
+/// Selector matching vs roster lookup: the price of profile-based
+/// addressing relative to a HashMap of explicit names.
+fn ablation_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_matching");
+    let selector =
+        Selector::parse("interested_in contains 'image' and max_size_kb >= 512 and region == 'east'")
+            .unwrap();
+    let mut attrs: BTreeMap<String, AttrValue> = BTreeMap::new();
+    attrs.insert(
+        "interested_in".to_string(),
+        AttrValue::List(vec![AttrValue::str("image"), AttrValue::str("chat")]),
+    );
+    attrs.insert("max_size_kb".to_string(), AttrValue::Int(2048));
+    attrs.insert("region".to_string(), AttrValue::str("east"));
+    g.bench_function("semantic_selector", |b| {
+        b.iter(|| black_box(selector.matches(black_box(&attrs)).unwrap()))
+    });
+
+    let mut roster: HashMap<String, bool> = HashMap::new();
+    for i in 0..256 {
+        roster.insert(format!("client-{i}"), true);
+    }
+    g.bench_function("name_roster_lookup", |b| {
+        b.iter(|| black_box(roster.get(black_box("client-77"))))
+    });
+
+    // Parsing cost, amortizable via Selector reuse.
+    g.bench_function("selector_parse", |b| {
+        b.iter(|| {
+            black_box(
+                Selector::parse(black_box(
+                    "interested_in contains 'image' and max_size_kb >= 512",
+                ))
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// EZW decode cost by packets accepted: fewer packets must mean less
+/// work, which is what makes the paper's degradation graceful for the
+/// *receiver* too.
+fn ablation_ezw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ezw");
+    let scene = synthetic_scene(128, 128, 1, 4, 5);
+    let container = ezw::encode_image(&scene.image, 5, WaveletKind::Cdf53).unwrap();
+    let packets = split_packets(&container, 16);
+    g.bench_function("encode_128px", |b| {
+        b.iter(|| black_box(ezw::encode_image(&scene.image, 5, WaveletKind::Cdf53).unwrap()))
+    });
+    for k in [1usize, 4, 16] {
+        let prefix = reassemble_prefix(&packets[..k]).unwrap();
+        g.bench_with_input(BenchmarkId::new("decode_packets", k), &prefix, |b, p| {
+            b.iter(|| black_box(ezw::decode_image(black_box(p)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// BER codec throughput on a representative GET response.
+fn ablation_ber(c: &mut Criterion) {
+    let msg = Message::new(
+        "public",
+        Pdu {
+            kind: PduKind::Response,
+            request_id: 7,
+            error_status: snmp::ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds: vec![
+                VarBind::bound(snmp::oid::arcs::host_cpu_load(), SnmpValue::Gauge32(61)),
+                VarBind::bound(snmp::oid::arcs::host_page_faults(), SnmpValue::Gauge32(44)),
+                VarBind::bound(
+                    snmp::oid::arcs::sys_descr(),
+                    SnmpValue::string("simulated NT workstation"),
+                ),
+            ],
+        },
+    );
+    let wire = msg.encode();
+    let mut g = c.benchmark_group("ablation_ber");
+    g.bench_function("encode_get_response", |b| b.iter(|| black_box(msg.encode())));
+    g.bench_function("decode_get_response", |b| {
+        b.iter(|| black_box(Message::decode(black_box(&wire)).unwrap()))
+    });
+    g.finish();
+}
+
+/// Sketch extraction: the base station runs this per modality-reduced
+/// contribution.
+fn ablation_sketch(c: &mut Criterion) {
+    let scene = synthetic_scene(256, 256, 1, 5, 9);
+    c.bench_function("ablation_sketch/extract_256px", |b| {
+        b.iter(|| black_box(Sketch::extract(black_box(&scene.image), 8).unwrap()))
+    });
+}
+
+/// Transform-chain search cost in semantic interpretation (Figure 3's
+/// client 3 path) vs a direct accept.
+fn ablation_transform_search(c: &mut Criterion) {
+    let mut direct = Profile::new("direct");
+    direct.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("video")]),
+    );
+    direct.set_interest("encoding == 'mpeg2'").unwrap();
+
+    let mut chained = Profile::new("chained");
+    chained.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("video")]),
+    );
+    chained.set_interest("encoding == 'text'").unwrap();
+    for (from, to) in [("mpeg2", "jpeg"), ("jpeg", "sketch"), ("sketch", "text")] {
+        chained.add_transform(TransformCap::new("encoding", from, to));
+    }
+
+    let selector = Selector::parse("interested_in contains 'video'").unwrap();
+    let content: BTreeMap<String, AttrValue> = [
+        ("encoding".to_string(), AttrValue::str("mpeg2")),
+        ("media".to_string(), AttrValue::str("video")),
+    ]
+    .into_iter()
+    .collect();
+
+    let mut g = c.benchmark_group("ablation_transform_search");
+    g.bench_function("direct_accept", |b| {
+        b.iter(|| black_box(interpret(&direct, &selector, &content).unwrap()))
+    });
+    g.bench_function("three_step_chain", |b| {
+        b.iter(|| black_box(interpret(&chained, &selector, &content).unwrap()))
+    });
+    g.finish();
+}
+
+/// YCoCg-R decorrelation: stream size and encode cost with and without
+/// the colour transform on correlated synthetic content.
+fn ablation_color_transform(c: &mut Criterion) {
+    let scene = synthetic_scene(128, 128, 3, 4, 11);
+    let plain = ezw::encode_image(&scene.image, 5, WaveletKind::Cdf53).unwrap();
+    let transformed =
+        ezw::encode_image_opts(&scene.image, 5, WaveletKind::Cdf53, true).unwrap();
+    println!(
+        "color-transform stream: {} B plain vs {} B YCoCg-R",
+        plain.len(),
+        transformed.len()
+    );
+    let mut g = c.benchmark_group("ablation_color_transform");
+    g.bench_function("encode_plain_rgb", |b| {
+        b.iter(|| black_box(ezw::encode_image(&scene.image, 5, WaveletKind::Cdf53).unwrap()))
+    });
+    g.bench_function("encode_ycocg", |b| {
+        b.iter(|| {
+            black_box(ezw::encode_image_opts(&scene.image, 5, WaveletKind::Cdf53, true).unwrap())
+        })
+    });
+    g.finish();
+}
+
+/// Hysteresis filter: cost of smoothing per decision (it must be
+/// negligible next to the SNMP round trip it follows).
+fn ablation_hysteresis(c: &mut Criterion) {
+    use cqos_core::hysteresis::HysteresisFilter;
+    use cqos_core::inference::AdaptationDecision;
+    let mut filter = HysteresisFilter::new(4);
+    let noisy: Vec<AdaptationDecision> = (0..64)
+        .map(|i| AdaptationDecision::unconstrained(if i % 2 == 0 { 4 } else { 8 }))
+        .collect();
+    c.bench_function("ablation_hysteresis/filter_64_decisions", |b| {
+        b.iter(|| {
+            for d in &noisy {
+                black_box(filter.filter(black_box(d.clone())));
+            }
+        })
+    });
+}
+
+/// §2 architecture comparison as a timing bench: simulated cost of the
+/// same fanout through the central router vs peer multicast.
+fn ablation_architecture(c: &mut Criterion) {
+    use cqos_core::baseline::compare_architectures;
+    let mut g = c.benchmark_group("ablation_architecture");
+    g.sample_size(10);
+    for n in [4usize, 16] {
+        g.bench_function(format!("both_architectures_{n}_clients"), |b| {
+            b.iter(|| black_box(compare_architectures(black_box(n), 10)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_matching,
+    ablation_ezw,
+    ablation_ber,
+    ablation_sketch,
+    ablation_transform_search,
+    ablation_hysteresis,
+    ablation_architecture,
+    ablation_color_transform
+);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for the Figure 10 experiment (3 clients, combined
+//! distance/power variation with join-degradation measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqos_core::experiments::run_fig10;
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10/three_client_series", |b| {
+        b.iter(|| black_box(run_fig10()))
+    });
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

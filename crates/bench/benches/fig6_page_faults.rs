@@ -1,0 +1,19 @@
+//! Criterion bench for the Figure 6 experiment: the full closed loop
+//! (SNMP sampling -> inference -> multicast image share -> adaptive
+//! decode) across the 8-point page-fault sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqos_core::experiments::run_fig6;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("page_fault_sweep_8pts", |b| {
+        b.iter(|| black_box(run_fig6(black_box(42))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for the Figure 7 experiment (colour source, CPU
+//! load sweep to suspension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqos_core::experiments::run_fig7;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("cpu_load_sweep_8pts", |b| {
+        b.iter(|| black_box(run_fig7(black_box(42))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

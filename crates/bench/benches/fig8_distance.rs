@@ -1,0 +1,25 @@
+//! Criterion bench for the Figure 8 experiment (2 wireless clients,
+//! distance trajectory) plus the underlying SIR kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqos_core::experiments::run_fig8;
+use std::hint::black_box;
+use wireless::sir::all_sirs_db;
+use wireless::{ClientRadio, PathLossModel};
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8/distance_trajectory", |b| b.iter(|| black_box(run_fig8())));
+
+    let model = PathLossModel::default();
+    for n in [2usize, 8, 32] {
+        let clients: Vec<ClientRadio> = (0..n)
+            .map(|i| ClientRadio::new(&format!("c{i}"), 40.0 + i as f64, 100.0))
+            .collect();
+        c.bench_function(&format!("fig8/sir_kernel_{n}_clients"), |b| {
+            b.iter(|| black_box(all_sirs_db(black_box(&clients), &model)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

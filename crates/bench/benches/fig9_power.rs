@@ -1,0 +1,34 @@
+//! Criterion bench for the Figure 9 experiment (power stepping) and
+//! the Foschini-Miljanic power-control iteration it builds on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqos_core::experiments::run_fig9;
+use std::hint::black_box;
+use wireless::channel::from_db;
+use wireless::power::foschini_miljanic;
+use wireless::{ClientRadio, PathLossModel};
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9/power_stepping", |b| b.iter(|| black_box(run_fig9())));
+
+    let model = PathLossModel::default();
+    let clients = vec![
+        ClientRadio::new("a", 80.0, 100.0),
+        ClientRadio::new("b", 60.0, 100.0),
+        ClientRadio::new("c", 70.0, 100.0),
+    ];
+    c.bench_function("fig9/foschini_miljanic_-6dB", |b| {
+        b.iter(|| {
+            black_box(foschini_miljanic(
+                black_box(&clients),
+                &model,
+                from_db(-6.0),
+                1e6,
+                1000,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

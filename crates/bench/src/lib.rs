@@ -1,0 +1,47 @@
+//! Benchmark and reproduction harness.
+//!
+//! One repro binary per paper figure (`src/bin/fig*.rs`) prints the
+//! series the paper plots, alongside the paper's reported values; one
+//! criterion bench per figure (`benches/fig*.rs`) measures the cost of
+//! regenerating it; `benches/ablations.rs` measures the design choices
+//! called out in DESIGN.md.
+
+/// Print a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("| {} |", line.join(" | "));
+}
+
+/// Print a table header plus separator.
+pub fn header(cells: &[&str], widths: &[usize]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+}
+
+/// Format a float compactly, mapping infinity to `-`.
+pub fn fmt(v: f64) -> String {
+    if v.is_infinite() {
+        "-".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_handles_ranges() {
+        assert_eq!(fmt(f64::INFINITY), "-");
+        assert_eq!(fmt(131.4), "131");
+        assert_eq!(fmt(2.123), "2.12");
+    }
+}

@@ -1,0 +1,575 @@
+//! Closed-loop drivers regenerating the paper's evaluation (§6):
+//! Figures 6–10 plus the §5.4 sketch-reduction headline. Used by the
+//! repro binaries, the criterion benches, and the integration tests so
+//! that all three report identical series.
+
+use crate::contract::QosContract;
+use crate::inference::InferenceEngine;
+use crate::policy::PolicyDb;
+use crate::session::{CollaborationSession, SessionConfig};
+use media::image::{synthetic_scene, Scene};
+use media::Sketch;
+use sempubsub::{AttrValue, Profile};
+use simnet::Ticks;
+use sysmon::{sweep, HostState, SimHost};
+use wireless::channel::from_db;
+use wireless::power::{equal_factor_scaling, foschini_miljanic, utility};
+use wireless::sir::all_sirs_db;
+use wireless::{
+    BaseStation, ClientRadio, DistanceSchedule, Modality, ModalityThresholds, PathLossModel,
+};
+
+// ------------------------------------------------------- figures 6, 7
+
+/// One row of the Figure 6 / Figure 7 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewerRow {
+    /// The swept parameter (page faults for Fig 6, CPU load % for Fig 7).
+    pub x: f64,
+    /// Packets the inference engine accepted (graph 1).
+    pub packets: u32,
+    /// Compression ratio achieved (graph 2).
+    pub compression_ratio: f64,
+    /// Bits per pixel received (graph 3).
+    pub bpp: f64,
+}
+
+fn viewer_profile(name: &str) -> Profile {
+    let mut p = Profile::new(name);
+    p.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("image")]),
+    );
+    p
+}
+
+/// Shared driver for the two image-viewer experiments: force the
+/// viewer's host to each swept state, adapt over SNMP, share the scene,
+/// and record what the viewer displayed.
+fn run_viewer_sweep(
+    policies: PolicyDb,
+    scene: &Scene,
+    full_stream_bpp: f64,
+    states: impl Iterator<Item = (f64, HostState)>,
+    seed: u64,
+) -> Vec<ViewerRow> {
+    let cfg = SessionConfig {
+        seed,
+        full_stream_bpp: Some(full_stream_bpp),
+        ..SessionConfig::default()
+    };
+    let mut session = CollaborationSession::new(cfg);
+    let publisher = session
+        .add_wired_client(
+            viewer_profile("publisher"),
+            InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+            SimHost::idle("publisher"),
+        )
+        .expect("publisher joins");
+    let viewer = session
+        .add_wired_client(
+            viewer_profile("viewer"),
+            InferenceEngine::new(policies, QosContract::default()),
+            SimHost::idle("viewer"),
+        )
+        .expect("viewer joins");
+
+    let mut rows = Vec::new();
+    for (x, host_state) in states {
+        session.client_mut(viewer).host.force(host_state);
+        let decision = session.adapt(viewer);
+        session
+            .share_image(publisher, scene, "interested_in contains 'image'")
+            .expect("share succeeds");
+        let completed = session.pump(Ticks::from_secs(2));
+        let done = completed.iter().find(|(cid, _)| *cid == viewer);
+        match done {
+            Some((_, viewed)) => rows.push(ViewerRow {
+                x,
+                packets: viewed.packets_accepted,
+                compression_ratio: viewed.compression_ratio,
+                bpp: viewed.bpp,
+            }),
+            None => rows.push(ViewerRow {
+                // Zero packets accepted: text fallback, nothing decoded.
+                x,
+                packets: decision.max_packets,
+                compression_ratio: f64::INFINITY,
+                bpp: 0.0,
+            }),
+        }
+    }
+    rows
+}
+
+/// Figure 6: image-viewer parameters versus host page faults
+/// (grayscale source, stream peak ≈ 2.1 bpp as in the paper).
+pub fn run_fig6(seed: u64) -> Vec<ViewerRow> {
+    let scene = synthetic_scene(256, 256, 1, 4, seed);
+    let states = sweep(30.0, 100.0, 8).into_iter().map(|f| {
+        (
+            f,
+            HostState {
+                cpu_load: 20.0,
+                page_faults: f,
+                mem_avail_kb: 65_536.0,
+            },
+        )
+    });
+    run_viewer_sweep(
+        PolicyDb::paper_page_fault_policy(),
+        &scene,
+        2.1,
+        states,
+        seed,
+    )
+}
+
+/// Figure 7: image-viewer parameters versus CPU load (colour source,
+/// stream peak ≈ 14.3 bpp as in the paper; packets reach 0 at 100%).
+pub fn run_fig7(seed: u64) -> Vec<ViewerRow> {
+    let scene = synthetic_scene(256, 256, 3, 4, seed);
+    let states = sweep(30.0, 100.0, 8).into_iter().map(|c| {
+        (
+            c,
+            HostState {
+                cpu_load: c,
+                page_faults: 10.0,
+                mem_avail_kb: 65_536.0,
+            },
+        )
+    });
+    run_viewer_sweep(PolicyDb::paper_cpu_load_policy(), &scene, 14.3, states, seed)
+}
+
+// ---------------------------------------------------- figures 8, 9, 10
+
+/// One step of a wireless SIR experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SirRow {
+    /// X-axis point.
+    pub step: f64,
+    /// Per-client SIR in dB, in client order.
+    pub sirs_db: Vec<f64>,
+    /// Modality the base station forwards for client 0 at this step.
+    pub modality: Modality,
+}
+
+/// Figure 8: two wireless clients, client A's distance follows the
+/// 100 m→50 m→100 m trajectory while B holds at 80 m; fixed powers.
+pub fn run_fig8() -> Vec<SirRow> {
+    let mut bs = BaseStation::new(PathLossModel::default(), ModalityThresholds::default());
+    bs.join_unchecked(ClientRadio::new("a", 100.0, 100.0))
+        .expect("a joins");
+    bs.join_unchecked(ClientRadio::new("b", 80.0, 100.0))
+        .expect("b joins");
+    let schedule = DistanceSchedule::figure8_client_a();
+    let mut rows = Vec::new();
+    for step in 0..=5usize {
+        bs.update_distance("a", schedule.at(step as f64)).unwrap();
+        let assessments = bs.assess_all();
+        rows.push(SirRow {
+            step: step as f64,
+            sirs_db: assessments.iter().map(|a| a.sir_db).collect(),
+            modality: assessments[0].modality,
+        });
+    }
+    rows
+}
+
+/// Figure 9: same two clients at fixed distances (A 70 m, B 80 m);
+/// A's transmit power is stepped 50 → 250 mW.
+pub fn run_fig9() -> Vec<SirRow> {
+    let mut bs = BaseStation::new(PathLossModel::default(), ModalityThresholds::default());
+    bs.join_unchecked(ClientRadio::new("a", 70.0, 50.0))
+        .expect("a joins");
+    bs.join_unchecked(ClientRadio::new("b", 80.0, 100.0))
+        .expect("b joins");
+    let mut rows = Vec::new();
+    for (step, power) in [50.0, 100.0, 150.0, 200.0, 250.0].into_iter().enumerate() {
+        bs.update_power("a", power).unwrap();
+        let assessments = bs.assess_all();
+        rows.push(SirRow {
+            step: step as f64,
+            sirs_db: assessments.iter().map(|a| a.sir_db).collect(),
+            modality: assessments[0].modality,
+        });
+    }
+    rows
+}
+
+/// The Figure 10 series plus the §6.3.3 join-degradation headline:
+/// client A's SIR as clients 2 and 3 join, then a combined
+/// distance-and-power variation across three clients.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// A's SIR (dB) with 1, 2, 3 clients attached.
+    pub a_sir_by_count: Vec<f64>,
+    /// Fractional drop of A's *linear* SIR when client 2 joined.
+    pub drop_on_second_join: f64,
+    /// Further fractional drop when client 3 joined.
+    pub drop_on_third_join: f64,
+    /// The stepwise three-client series (distance and power varying).
+    pub series: Vec<SirRow>,
+}
+
+/// Figure 10: three wireless clients with varying distance and power.
+pub fn run_fig10() -> Fig10Result {
+    let model = PathLossModel::default();
+    let thresholds = ModalityThresholds::default();
+    let mut bs = BaseStation::new(model, thresholds);
+    let mut a_sir_by_count = Vec::new();
+
+    bs.join_unchecked(ClientRadio::new("a", 60.0, 100.0)).unwrap();
+    a_sir_by_count.push(bs.assess("a").unwrap().sir_db);
+    bs.join_unchecked(ClientRadio::new("b", 55.0, 100.0)).unwrap();
+    a_sir_by_count.push(bs.assess("a").unwrap().sir_db);
+    bs.join_unchecked(ClientRadio::new("c", 65.0, 100.0)).unwrap();
+    a_sir_by_count.push(bs.assess("a").unwrap().sir_db);
+
+    let lin = |db: f64| from_db(db);
+    let drop_on_second_join = 1.0 - lin(a_sir_by_count[1]) / lin(a_sir_by_count[0]);
+    let drop_on_third_join = 1.0 - lin(a_sir_by_count[2]) / lin(a_sir_by_count[1]);
+
+    // Combined variation: A approaches, B raises power, C recedes.
+    let a_dist = DistanceSchedule::new(&[(0.0, 60.0), (5.0, 30.0)]);
+    let c_dist = DistanceSchedule::new(&[(0.0, 65.0), (5.0, 95.0)]);
+    let mut series = Vec::new();
+    for step in 0..=5usize {
+        let s = step as f64;
+        bs.update_distance("a", a_dist.at(s)).unwrap();
+        bs.update_power("b", 100.0 + 30.0 * s).unwrap();
+        bs.update_distance("c", c_dist.at(s)).unwrap();
+        let assessments = bs.assess_all();
+        series.push(SirRow {
+            step: s,
+            sirs_db: assessments.iter().map(|a| a.sir_db).collect(),
+            modality: assessments[0].modality,
+        });
+    }
+    Fig10Result {
+        a_sir_by_count,
+        drop_on_second_join,
+        drop_on_third_join,
+        series,
+    }
+}
+
+/// Figure 8 with 4 dB log-normal shadowing enabled: the robustness
+/// variant. Fades perturb every SIR but the trajectory's gross shape
+/// (A better when close; B recovering as A recedes) must survive.
+pub fn run_fig8_shadowed(sigma_db: f64) -> Vec<SirRow> {
+    let model = PathLossModel::default().with_shadowing(sigma_db);
+    let mut bs = BaseStation::new(model, ModalityThresholds::default());
+    bs.join_unchecked(ClientRadio::new("a", 100.0, 100.0))
+        .expect("a joins");
+    bs.join_unchecked(ClientRadio::new("b", 80.0, 100.0))
+        .expect("b joins");
+    let schedule = DistanceSchedule::figure8_client_a();
+    let mut rows = Vec::new();
+    for step in 0..=5usize {
+        bs.update_distance("a", schedule.at(step as f64)).unwrap();
+        bs.advance_shadowing_epoch();
+        let assessments = bs.assess_all();
+        rows.push(SirRow {
+            step: step as f64,
+            sirs_db: assessments.iter().map(|a| a.sir_db).collect(),
+            modality: assessments[0].modality,
+        });
+    }
+    rows
+}
+
+// -------------------------------------------------- capacity limit
+
+/// One point of the session-capacity curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityRow {
+    /// Clients attached.
+    pub clients: usize,
+    /// Worst per-client SIR in dB.
+    pub min_sir_db: f64,
+    /// Modality available to the worst client.
+    pub worst_modality: Modality,
+}
+
+/// The §6.3.3 upper limit, swept: attach identical clients one by one
+/// (bypassing admission control) and record the worst SIR and modality
+/// after each join; separately report how many clients *admission
+/// control* would have accepted before the text threshold broke.
+pub fn run_capacity_curve(max_clients: usize) -> (Vec<CapacityRow>, usize) {
+    let model = PathLossModel::default();
+    let thresholds = ModalityThresholds::default();
+    let mk = |i: usize| ClientRadio::new(&format!("c{i}"), 60.0, 100.0);
+
+    let mut unchecked = BaseStation::new(model, thresholds);
+    let mut curve = Vec::with_capacity(max_clients);
+    for i in 0..max_clients {
+        unchecked.join_unchecked(mk(i)).expect("unique ids");
+        let worst = unchecked
+            .assess_all()
+            .into_iter()
+            .min_by(|a, b| a.sir_db.total_cmp(&b.sir_db))
+            .expect("non-empty");
+        curve.push(CapacityRow {
+            clients: i + 1,
+            min_sir_db: worst.sir_db,
+            worst_modality: worst.modality,
+        });
+    }
+
+    let mut checked = BaseStation::new(model, thresholds);
+    let mut admitted = 0;
+    for i in 0..max_clients {
+        if checked.join(mk(i)).is_err() {
+            break;
+        }
+        admitted += 1;
+    }
+    (curve, admitted)
+}
+
+// -------------------------------------------------- §6.3.2 observation
+
+/// Quantifies the paper's §6.3.2 observation that "varying the distance
+/// is more effective than a variation in power": the dB gain of client
+/// A from halving its distance versus quadrupling its power, in an
+/// otherwise identical two-client configuration.
+pub fn distance_vs_power_leverage() -> (f64, f64) {
+    let model = PathLossModel::default();
+    let base = vec![
+        ClientRadio::new("a", 80.0, 100.0),
+        ClientRadio::new("b", 70.0, 100.0),
+    ];
+    let base_sir = all_sirs_db(&base, &model)[0];
+    let closer = vec![
+        ClientRadio::new("a", 40.0, 100.0),
+        ClientRadio::new("b", 70.0, 100.0),
+    ];
+    let stronger = vec![
+        ClientRadio::new("a", 80.0, 400.0),
+        ClientRadio::new("b", 70.0, 100.0),
+    ];
+    (
+        all_sirs_db(&closer, &model)[0] - base_sir,
+        all_sirs_db(&stronger, &model)[0] - base_sir,
+    )
+}
+
+// --------------------------------------------- power-control headline
+
+/// The §6.3 power-control interplay: equal-factor reduction raises
+/// every client's bits-per-joule utility, and Foschini–Miljanic finds
+/// the minimal powers for a target SIR. Returns
+/// `(utility_gain_ratio, fm_iterations)`.
+pub fn run_power_control_study() -> (f64, usize) {
+    let model = PathLossModel::default();
+    let clients = vec![
+        ClientRadio::new("a", 80.0, 100.0),
+        ClientRadio::new("b", 60.0, 100.0),
+        ClientRadio::new("c", 70.0, 100.0),
+    ];
+    let u_before = utility(0, &clients, &model, 80);
+    let scaled = equal_factor_scaling(&clients, 0.5);
+    let u_after = utility(0, &scaled, &model, 80);
+    let fm = foschini_miljanic(&clients, &model, from_db(-6.0), 1e6, 1000);
+    (u_after / u_before, fm.iterations)
+}
+
+// ------------------------------------------------ quality-rate curve
+
+/// One point of the supplementary quality-rate curve: what image
+/// quality each packet budget buys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityRow {
+    /// Packets accepted.
+    pub packets: u32,
+    /// Bits per pixel received.
+    pub bpp: f64,
+    /// PSNR of the reconstruction vs the original, dB.
+    pub psnr_db: f64,
+}
+
+/// Supplementary experiment: the PSNR-vs-packets curve behind Figures
+/// 6/7's "wide range of compression ratios and quality of images".
+pub fn run_quality_curve(seed: u64) -> Vec<QualityRow> {
+    use media::ezw;
+    use media::packetize::{reassemble_prefix, split_packets};
+    use media::wavelet::WaveletKind;
+
+    let scene = synthetic_scene(256, 256, 1, 4, seed);
+    let container = ezw::encode_image(&scene.image, 5, WaveletKind::Cdf53)
+        .expect("encodes");
+    let packets = split_packets(&container, 16);
+    let mut rows = Vec::new();
+    for k in 1..=16usize {
+        let prefix = reassemble_prefix(&packets[..k]).expect("prefix");
+        let img = ezw::decode_image(&prefix).expect("decodes");
+        let received: usize = packets[..k].iter().map(|p| p.payload.len()).sum();
+        rows.push(QualityRow {
+            packets: k as u32,
+            bpp: media::bits_per_pixel(received, scene.image.pixels()),
+            psnr_db: media::psnr(&scene.image, &img),
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------- §5.4 headline
+
+/// The sketch-reduction headline: returns `(original_bytes,
+/// sketch_bytes, ratio)` for a 512×512 RGB scene.
+pub fn run_headline_sketch(seed: u64) -> (usize, usize, f64) {
+    let scene = synthetic_scene(512, 512, 3, 5, seed);
+    let sketch = Sketch::extract(&scene.image, 8).expect("512 divisible by 8");
+    (
+        scene.image.byte_len(),
+        sketch.byte_len(),
+        sketch.ratio(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_matches_paper() {
+        let rows = run_fig6(7);
+        assert_eq!(rows.len(), 8);
+        // Packets fall monotonically 16 -> 1 in powers of two.
+        assert_eq!(rows.first().unwrap().packets, 16);
+        assert_eq!(rows.last().unwrap().packets, 1);
+        for w in rows.windows(2) {
+            assert!(w[1].packets <= w[0].packets, "packets monotone");
+            assert!(
+                w[1].compression_ratio >= w[0].compression_ratio - 1e-9,
+                "CR rises as packets fall"
+            );
+            assert!(w[1].bpp <= w[0].bpp + 1e-9, "BPP falls");
+        }
+        // Dynamic ranges in the ballpark of the paper (2.1 -> 0.1 bpp).
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(first.bpp > 1.5 && first.bpp <= 2.2, "top bpp {:.2}", first.bpp);
+        assert!(last.bpp < 0.35, "bottom bpp {:.2}", last.bpp);
+        assert!(first.compression_ratio < 6.0);
+        assert!(last.compression_ratio > 25.0);
+    }
+
+    #[test]
+    fn fig7_reaches_zero_packets() {
+        let rows = run_fig7(7);
+        assert_eq!(rows.first().unwrap().packets, 16);
+        assert_eq!(rows.last().unwrap().packets, 0, "suspended at 100% CPU");
+        assert_eq!(rows.last().unwrap().bpp, 0.0);
+        let first = rows.first().unwrap();
+        assert!(first.bpp > 8.0 && first.bpp <= 14.5, "colour top bpp {:.2}", first.bpp);
+        // CR at full quality close to the paper's 1.6-ish.
+        assert!(first.compression_ratio < 4.0);
+    }
+
+    #[test]
+    fn fig8_b_improves_when_a_recedes() {
+        let rows = run_fig8();
+        assert_eq!(rows.len(), 6);
+        // While A approaches (steps 0->3), A's SIR improves and B's falls.
+        assert!(rows[3].sirs_db[0] > rows[0].sirs_db[0]);
+        assert!(rows[3].sirs_db[1] < rows[0].sirs_db[1]);
+        // A recedes again: B recovers.
+        assert!(rows[5].sirs_db[1] > rows[3].sirs_db[1]);
+    }
+
+    #[test]
+    fn fig9_power_helps_self_hurts_other() {
+        let rows = run_fig9();
+        assert!(rows.last().unwrap().sirs_db[0] > rows[0].sirs_db[0]);
+        assert!(rows.last().unwrap().sirs_db[1] < rows[0].sirs_db[1]);
+    }
+
+    #[test]
+    fn fig10_join_drops_match_paper_shape() {
+        let r = run_fig10();
+        assert!(
+            r.drop_on_second_join > 0.8,
+            "paper: ~90% drop, got {:.0}%",
+            r.drop_on_second_join * 100.0
+        );
+        assert!(
+            r.drop_on_third_join > 0.1 && r.drop_on_third_join < 0.8,
+            "paper: further ~23%, got {:.0}%",
+            r.drop_on_third_join * 100.0
+        );
+        assert_eq!(r.series.len(), 6);
+    }
+
+    #[test]
+    fn fig8_shape_survives_moderate_shadowing() {
+        let rows = run_fig8_shadowed(4.0);
+        assert_eq!(rows.len(), 6);
+        // The 25+ dB swing of the trajectory dominates 4 dB fades.
+        assert!(rows[3].sirs_db[0] > rows[0].sirs_db[0]);
+        assert!(rows[3].sirs_db[1] < rows[0].sirs_db[1]);
+        // And shadowing really changed the numbers vs the clear channel.
+        let clear = run_fig8();
+        assert_ne!(rows[0].sirs_db, clear[0].sirs_db);
+    }
+
+    #[test]
+    fn capacity_curve_saturates() {
+        let (curve, admitted) = run_capacity_curve(40);
+        assert_eq!(curve.len(), 40);
+        // Worst SIR monotonically deteriorates with joins.
+        for w in curve.windows(2) {
+            assert!(w[1].min_sir_db <= w[0].min_sir_db + 1e-9);
+        }
+        // Modality ladder descends: full image solo, text-only at scale.
+        assert_eq!(curve[0].worst_modality, Modality::FullImage);
+        assert!(curve.last().unwrap().worst_modality <= Modality::TextOnly);
+        // Admission control binds strictly before the sweep limit.
+        assert!((2..40).contains(&admitted), "limit at {admitted}");
+        // And the limit is where the unchecked curve crosses the text
+        // threshold (-15 dB by default).
+        assert!(curve[admitted - 1].min_sir_db >= -15.0);
+        assert!(curve[admitted].min_sir_db < -15.0);
+    }
+
+    #[test]
+    fn distance_beats_power() {
+        let (d_gain, p_gain) = distance_vs_power_leverage();
+        assert!(d_gain > p_gain, "distance {d_gain:.1} dB vs power {p_gain:.1} dB");
+        assert!(d_gain > 0.0 && p_gain > 0.0);
+    }
+
+    #[test]
+    fn power_control_study_shows_gain() {
+        let (gain, iters) = run_power_control_study();
+        assert!(gain > 1.5, "utility roughly doubles, got {gain:.2}");
+        assert!(iters < 1000, "FM converged");
+    }
+
+    #[test]
+    fn quality_curve_monotone() {
+        let rows = run_quality_curve(3);
+        assert_eq!(rows.len(), 16);
+        for w in rows.windows(2) {
+            assert!(w[1].bpp > w[0].bpp, "rate grows with packets");
+            assert!(
+                w[1].psnr_db >= w[0].psnr_db - 0.9,
+                "quality weakly monotone: {} then {}",
+                w[0].psnr_db,
+                w[1].psnr_db
+            );
+        }
+        assert!(rows[15].psnr_db.is_infinite(), "16/16 lossless");
+        assert!(rows[0].psnr_db > 10.0, "1 packet is already viewable");
+    }
+
+    #[test]
+    fn headline_sketch_ratio() {
+        let (orig, sk, ratio) = run_headline_sketch(42);
+        assert_eq!(orig, 786_432);
+        assert!(sk < orig / 500);
+        assert!(ratio > 500.0, "three orders of magnitude, got {ratio:.0}");
+    }
+}

@@ -1,0 +1,219 @@
+//! The inference engine.
+//!
+//! "The inference engine interacts with the policy database to
+//! determine the guarantee. Subsequently, the inference engine
+//! interacts with the network element or a device with an embedded
+//! agent to determine the current capability. It then links this
+//! information to determine the amount of information that can be
+//! processed on the multicast data channel" (§5.2).
+//!
+//! [`InferenceEngine::decide`] fuses the observed system state with
+//! the policy database and the client's QoS contract into an
+//! [`AdaptationDecision`]: how many image packets to accept, which
+//! modality ceiling applies, and what resolution scale to use.
+
+use crate::contract::{QosContract, Violation};
+use crate::policy::{state_to_attrs, AdaptationAction, PolicyDb};
+use std::collections::BTreeMap;
+
+/// Modality ladder, lowest fidelity first. Mirrors
+/// `wireless::Modality` but lives here because wired clients use it
+/// too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ModalityChoice {
+    /// Nothing (suspended).
+    None,
+    /// Text description only.
+    Text,
+    /// Text plus sketch.
+    Sketch,
+    /// Full progressive image.
+    FullImage,
+}
+
+/// The outcome of one inference pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationDecision {
+    /// Maximum image packets to accept (the Figure 6/7 quantity).
+    pub max_packets: u32,
+    /// Modality ceiling.
+    pub modality: ModalityChoice,
+    /// Resolution scale in `(0, 1]`.
+    pub resolution: f64,
+    /// Names of the rules that fired, in priority order.
+    pub fired_rules: Vec<String>,
+    /// Contract violations observed in this state.
+    pub violations: Vec<Violation>,
+}
+
+impl AdaptationDecision {
+    /// The unconstrained decision (all packets, full modality).
+    pub fn unconstrained(max_packets: u32) -> AdaptationDecision {
+        AdaptationDecision {
+            max_packets,
+            modality: ModalityChoice::FullImage,
+            resolution: 1.0,
+            fired_rules: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+}
+
+/// The inference engine: policy database + QoS contract.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceEngine {
+    /// The policy database.
+    pub policies: PolicyDb,
+    /// The client's QoS contract.
+    pub contract: QosContract,
+    /// Packet budget when no rule constrains it.
+    pub default_packets: u32,
+}
+
+impl InferenceEngine {
+    /// An engine over the given policies and contract.
+    pub fn new(policies: PolicyDb, contract: QosContract) -> InferenceEngine {
+        InferenceEngine {
+            policies,
+            contract,
+            default_packets: 16,
+        }
+    }
+
+    /// Decide adaptations for the observed numeric state.
+    ///
+    /// All matching rules contribute; conflicting demands combine
+    /// conservatively (minimum packets, lowest modality ceiling,
+    /// smallest resolution). `Suspend` forces zero packets and
+    /// [`ModalityChoice::None`].
+    pub fn decide(&self, state: &BTreeMap<String, f64>) -> AdaptationDecision {
+        let attrs = state_to_attrs(state);
+        let mut decision = AdaptationDecision::unconstrained(self.default_packets);
+        decision.violations = self.contract.check(state);
+        for rule in self.policies.matching(&attrs) {
+            decision.fired_rules.push(rule.name.clone());
+            match &rule.action {
+                AdaptationAction::LimitPackets(n) => {
+                    decision.max_packets = decision.max_packets.min(*n);
+                }
+                AdaptationAction::CapModality(m) => {
+                    decision.modality = decision.modality.min(*m);
+                }
+                AdaptationAction::ScaleResolution(f) => {
+                    decision.resolution = decision.resolution.min(f.clamp(0.0, 1.0));
+                }
+                AdaptationAction::Suspend => {
+                    decision.max_packets = 0;
+                    decision.modality = ModalityChoice::None;
+                }
+            }
+        }
+        if decision.max_packets == 0 && decision.modality > ModalityChoice::Text {
+            // Zero image packets still permits the text description: the
+            // §2 scenario where user B reads the image's text metadata.
+            decision.modality = ModalityChoice::Text;
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Constraint;
+    use crate::policy::PolicyDb;
+
+    fn state(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn engine() -> InferenceEngine {
+        let mut db = PolicyDb::paper_page_fault_policy();
+        db.merge(PolicyDb::bandwidth_modality_policy());
+        InferenceEngine::new(
+            db,
+            QosContract::new("c").with(Constraint::at_most("page_faults", 90.0)),
+        )
+    }
+
+    #[test]
+    fn page_fault_sweep_monotone_packets() {
+        let e = engine();
+        let mut last = u32::MAX;
+        for faults in [30.0, 45.0, 60.0, 75.0, 90.0, 100.0] {
+            let d = e.decide(&state(&[("page_faults", faults)]));
+            assert!(d.max_packets <= last, "monotone at {faults}");
+            last = d.max_packets;
+        }
+        assert_eq!(last, 1);
+    }
+
+    #[test]
+    fn conflicting_rules_take_minimum() {
+        let mut db = PolicyDb::new();
+        db.add_rule("a", 0, "true", AdaptationAction::LimitPackets(8))
+            .unwrap();
+        db.add_rule("b", 1, "true", AdaptationAction::LimitPackets(4))
+            .unwrap();
+        let e = InferenceEngine::new(db, QosContract::default());
+        let d = e.decide(&state(&[]));
+        assert_eq!(d.max_packets, 4);
+        assert_eq!(d.fired_rules, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn suspend_forces_text_only() {
+        let e = InferenceEngine::new(PolicyDb::paper_cpu_load_policy(), QosContract::default());
+        let d = e.decide(&state(&[("cpu_load", 100.0)]));
+        assert_eq!(d.max_packets, 0);
+        assert_eq!(d.modality, ModalityChoice::None);
+    }
+
+    #[test]
+    fn zero_packets_without_suspend_keeps_text() {
+        let mut db = PolicyDb::new();
+        db.add_rule("z", 0, "true", AdaptationAction::LimitPackets(0))
+            .unwrap();
+        let e = InferenceEngine::new(db, QosContract::default());
+        let d = e.decide(&state(&[]));
+        assert_eq!(d.modality, ModalityChoice::Text);
+    }
+
+    #[test]
+    fn contract_violations_reported() {
+        let e = engine();
+        let d = e.decide(&state(&[("page_faults", 95.0)]));
+        assert_eq!(d.violations.len(), 1);
+        assert_eq!(d.violations[0].observed, Some(95.0));
+    }
+
+    #[test]
+    fn bandwidth_caps_modality_alongside_packets() {
+        let e = engine();
+        let d = e.decide(&state(&[("page_faults", 30.0), ("bandwidth_bps", 32_000.0)]));
+        assert_eq!(d.max_packets, 16, "packets unconstrained");
+        assert_eq!(d.modality, ModalityChoice::Text, "but modality capped");
+    }
+
+    #[test]
+    fn resolution_scaling_combines() {
+        let mut db = PolicyDb::new();
+        db.add_rule("r1", 0, "true", AdaptationAction::ScaleResolution(0.5))
+            .unwrap();
+        db.add_rule("r2", 1, "true", AdaptationAction::ScaleResolution(0.8))
+            .unwrap();
+        let e = InferenceEngine::new(db, QosContract::default());
+        assert_eq!(e.decide(&state(&[])).resolution, 0.5);
+    }
+
+    #[test]
+    fn empty_engine_is_unconstrained() {
+        let e = InferenceEngine::default();
+        let d = e.decide(&state(&[("anything", 1.0)]));
+        assert_eq!(d.max_packets, 0, "default default_packets is 0 for Default");
+        let e = InferenceEngine::new(PolicyDb::new(), QosContract::default());
+        let d = e.decide(&state(&[]));
+        assert_eq!(d.max_packets, 16);
+        assert_eq!(d.modality, ModalityChoice::FullImage);
+    }
+}

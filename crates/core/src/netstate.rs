@@ -1,0 +1,197 @@
+//! The network state interface (§5.5).
+//!
+//! "The network state interface is a generic component that
+//! encapsulates the state of the system ... The current implementation
+//! uses SNMP, which enables it to determine the state of network
+//! elements and hosts." A [`NetworkStateInterface`] is configured with
+//! named metrics — `(name, target node, OID)` triples — and samples
+//! them over the simulated wire with real SNMP GETs, yielding the
+//! numeric state map the inference engine consumes.
+
+use simnet::{Network, NodeId, Port};
+use snmp::manager::SnmpManager;
+use snmp::oid::{arcs, Oid};
+use snmp::transport::AgentRuntime;
+use snmp::SnmpError;
+use std::collections::BTreeMap;
+
+/// One metric to poll.
+#[derive(Debug, Clone)]
+pub struct MetricSpec {
+    /// State-map key (e.g. `cpu_load`).
+    pub name: String,
+    /// Agent's node.
+    pub target: NodeId,
+    /// Variable OID.
+    pub oid: Oid,
+}
+
+/// SNMP-backed sampler of system/network state.
+pub struct NetworkStateInterface {
+    manager: SnmpManager,
+    metrics: Vec<MetricSpec>,
+    /// Metrics that failed on the last sample (timeouts, exceptions).
+    pub last_errors: Vec<(String, SnmpError)>,
+}
+
+impl NetworkStateInterface {
+    /// Bind the underlying manager socket on `node:port`.
+    pub fn bind(
+        net: &mut Network,
+        node: NodeId,
+        port: Port,
+        community: &str,
+    ) -> Result<Self, SnmpError> {
+        Ok(NetworkStateInterface {
+            manager: SnmpManager::bind(net, node, port, community)?,
+            metrics: Vec::new(),
+            last_errors: Vec::new(),
+        })
+    }
+
+    /// Register a metric.
+    pub fn add_metric(&mut self, name: &str, target: NodeId, oid: Oid) -> &mut Self {
+        self.metrics.push(MetricSpec {
+            name: name.to_string(),
+            target,
+            oid,
+        });
+        self
+    }
+
+    /// Register the standard host metrics (CPU load, page faults,
+    /// available memory) of the extension agent on `target`.
+    pub fn add_host_metrics(&mut self, target: NodeId) -> &mut Self {
+        self.add_metric("cpu_load", target, arcs::host_cpu_load())
+            .add_metric("page_faults", target, arcs::host_page_faults())
+            .add_metric("mem_avail_kb", target, arcs::host_mem_avail())
+    }
+
+    /// Register an interface-bandwidth metric (`ifSpeed`).
+    pub fn add_bandwidth_metric(&mut self, target: NodeId, if_index: u32) -> &mut Self {
+        self.add_metric("bandwidth_bps", target, arcs::if_speed(if_index))
+    }
+
+    /// Registered metric count.
+    pub fn metric_count(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Poll every registered metric; failed metrics are omitted from
+    /// the result and recorded in [`Self::last_errors`].
+    ///
+    /// Metrics are batched per target agent into one multi-varbind GET,
+    /// so sampling a host's CPU + page faults + memory costs a single
+    /// round trip.
+    pub fn sample(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+    ) -> BTreeMap<String, f64> {
+        self.last_errors.clear();
+        let mut out = BTreeMap::new();
+        // Group metric indices by target, preserving registration order.
+        let metrics = self.metrics.clone();
+        let mut targets: Vec<simnet::NodeId> = Vec::new();
+        for m in &metrics {
+            if !targets.contains(&m.target) {
+                targets.push(m.target);
+            }
+        }
+        for target in targets {
+            let batch: Vec<&MetricSpec> =
+                metrics.iter().filter(|m| m.target == target).collect();
+            let oids: Vec<Oid> = batch.iter().map(|m| m.oid.clone()).collect();
+            match self.manager.get(net, agents, target, &oids) {
+                Ok(binds) => {
+                    for (m, vb) in batch.iter().zip(&binds) {
+                        match vb.value.as_f64() {
+                            Some(v) => {
+                                out.insert(m.name.clone(), v);
+                            }
+                            None => self.last_errors.push((
+                                m.name.clone(),
+                                SnmpError::Malformed("non-numeric or missing value"),
+                            )),
+                        }
+                    }
+                }
+                Err(e) => {
+                    for m in &batch {
+                        self.last_errors.push((m.name.clone(), e.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::LinkSpec;
+    use snmp::{SnmpAgent, SnmpValue};
+    use sysmon::{install_host_agent, LoadProfile, SimHost};
+
+    #[test]
+    fn samples_host_and_router_metrics() {
+        let mut net = Network::new(9);
+        let (_sw, nodes) = net.lan(&["client", "router"], LinkSpec::lan());
+        let (client, router) = (nodes[0], nodes[1]);
+
+        // Host agent on the client's own node.
+        let mut host = SimHost::new(
+            "client",
+            LoadProfile::Constant(62.0),
+            LoadProfile::Constant(48.0),
+            LoadProfile::Constant(4096.0),
+        );
+        let mut host_agent = SnmpAgent::new("client", "public", None);
+        install_host_agent(&host.shared(), &mut host_agent);
+        let mut host_rt = AgentRuntime::bind(&mut net, client, host_agent).unwrap();
+
+        // Router agent exposing ifSpeed.
+        let mut router_agent = SnmpAgent::new("router", "public", None);
+        router_agent
+            .mib_mut()
+            .register_scalar(arcs::if_speed(1), SnmpValue::Gauge32(10_000_000));
+        let mut router_rt = AgentRuntime::bind(&mut net, router, router_agent).unwrap();
+
+        let mut iface =
+            NetworkStateInterface::bind(&mut net, client, Port(40000), "public").unwrap();
+        iface.add_host_metrics(client);
+        iface.add_bandwidth_metric(router, 1);
+        assert_eq!(iface.metric_count(), 4);
+
+        let state = iface.sample(&mut net, &mut [&mut host_rt, &mut router_rt]);
+        assert_eq!(state["cpu_load"], 62.0);
+        assert_eq!(state["page_faults"], 48.0);
+        assert_eq!(state["mem_avail_kb"], 4096.0);
+        assert_eq!(state["bandwidth_bps"], 10_000_000.0);
+        assert!(iface.last_errors.is_empty());
+
+        // Host evolves; next sample reflects it.
+        host.force(sysmon::HostState {
+            cpu_load: 99.0,
+            page_faults: 80.0,
+            mem_avail_kb: 100.0,
+        });
+        let state = iface.sample(&mut net, &mut [&mut host_rt, &mut router_rt]);
+        assert_eq!(state["cpu_load"], 99.0);
+    }
+
+    #[test]
+    fn failed_metric_is_omitted_not_fatal() {
+        let mut net = Network::new(9);
+        let (_sw, nodes) = net.lan(&["client", "ghost"], LinkSpec::lan());
+        let mut iface =
+            NetworkStateInterface::bind(&mut net, nodes[0], Port(40000), "public").unwrap();
+        // No agent on 'ghost': times out.
+        iface.add_metric("cpu_load", nodes[1], arcs::host_cpu_load());
+        let state = iface.sample(&mut net, &mut []);
+        assert!(state.is_empty());
+        assert_eq!(iface.last_errors.len(), 1);
+        assert_eq!(iface.last_errors[0].1, SnmpError::Timeout);
+    }
+}

@@ -1,0 +1,290 @@
+//! The policy database.
+//!
+//! "The inference engine serves as a policy database and encodes
+//! policies for information transformations" (§5.2). A
+//! [`PolicyRule`] pairs a condition — a `sempubsub` selector over the
+//! observed state — with an [`AdaptationAction`]. The database is
+//! consulted in priority order; all matching rules contribute, and the
+//! inference engine combines them conservatively (minimum packet
+//! budget, lowest modality).
+
+use sempubsub::{AttrValue, Selector, SemError};
+use std::collections::BTreeMap;
+
+/// An adaptation a rule can demand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptationAction {
+    /// Accept at most this many image packets.
+    LimitPackets(u32),
+    /// Force a modality ceiling (see [`crate::inference::ModalityChoice`]).
+    CapModality(crate::inference::ModalityChoice),
+    /// Scale incoming image resolution to this fraction of full.
+    ScaleResolution(f64),
+    /// Drop media entirely, keep only control traffic.
+    Suspend,
+}
+
+/// A named, prioritized policy rule.
+#[derive(Debug, Clone)]
+pub struct PolicyRule {
+    /// Rule name (for tracing decisions).
+    pub name: String,
+    /// Lower runs first; ties keep insertion order.
+    pub priority: i32,
+    /// Condition over state attributes.
+    pub condition: Selector,
+    /// Action when the condition holds.
+    pub action: AdaptationAction,
+}
+
+/// The policy database.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyDb {
+    rules: Vec<PolicyRule>,
+}
+
+impl PolicyDb {
+    /// Empty database.
+    pub fn new() -> PolicyDb {
+        PolicyDb::default()
+    }
+
+    /// Add a rule from selector source text.
+    pub fn add_rule(
+        &mut self,
+        name: &str,
+        priority: i32,
+        condition: &str,
+        action: AdaptationAction,
+    ) -> Result<(), SemError> {
+        self.rules.push(PolicyRule {
+            name: name.to_string(),
+            priority,
+            condition: Selector::parse(condition)?,
+            action,
+        });
+        self.rules.sort_by_key(|r| r.priority);
+        Ok(())
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// All rules whose condition holds for `state`, in priority order.
+    /// Rules whose condition errors (malformed against this state
+    /// shape) are skipped rather than failing the decision path.
+    pub fn matching(&self, state: &BTreeMap<String, AttrValue>) -> Vec<&PolicyRule> {
+        self.rules
+            .iter()
+            .filter(|r| r.condition.matches(state).unwrap_or(false))
+            .collect()
+    }
+
+    /// The paper's page-fault policy (§6.1): the number of image
+    /// packets falls in powers of two from 16 to 1 as the host's page
+    /// faults rise from 30 to 100.
+    pub fn paper_page_fault_policy() -> PolicyDb {
+        let mut db = PolicyDb::new();
+        let rules: &[(&str, &str, u32)] = &[
+            ("pf-low", "page_faults < 44", 16),
+            ("pf-mid", "page_faults >= 44 and page_faults < 58", 8),
+            ("pf-high", "page_faults >= 58 and page_faults < 72", 4),
+            ("pf-higher", "page_faults >= 72 and page_faults < 86", 2),
+            ("pf-extreme", "page_faults >= 86", 1),
+        ];
+        for (i, (name, cond, packets)) in rules.iter().enumerate() {
+            db.add_rule(name, i as i32, cond, AdaptationAction::LimitPackets(*packets))
+                .expect("static rule parses");
+        }
+        db
+    }
+
+    /// The paper's CPU-load policy (§6.2): packets fall from 16 to 0 as
+    /// CPU load rises from 30 to 100%.
+    pub fn paper_cpu_load_policy() -> PolicyDb {
+        let mut db = PolicyDb::new();
+        let rules: &[(&str, &str, u32)] = &[
+            ("cpu-low", "cpu_load < 44", 16),
+            ("cpu-mid", "cpu_load >= 44 and cpu_load < 58", 8),
+            ("cpu-high", "cpu_load >= 58 and cpu_load < 72", 4),
+            ("cpu-higher", "cpu_load >= 72 and cpu_load < 86", 2),
+            ("cpu-extreme", "cpu_load >= 86 and cpu_load < 97", 1),
+            ("cpu-saturated", "cpu_load >= 97", 0),
+        ];
+        for (i, (name, cond, packets)) in rules.iter().enumerate() {
+            db.add_rule(name, i as i32, cond, AdaptationAction::LimitPackets(*packets))
+                .expect("static rule parses");
+        }
+        // At saturation the viewer also suspends media.
+        db.add_rule(
+            "cpu-suspend",
+            100,
+            "cpu_load >= 97",
+            AdaptationAction::Suspend,
+        )
+        .expect("static rule parses");
+        db
+    }
+
+    /// Low-bandwidth modality policy: below 64 kb/s fall back to text,
+    /// below 512 kb/s to sketch.
+    pub fn bandwidth_modality_policy() -> PolicyDb {
+        let mut db = PolicyDb::new();
+        db.add_rule(
+            "bw-text",
+            0,
+            "bandwidth_bps < 64000",
+            AdaptationAction::CapModality(crate::inference::ModalityChoice::Text),
+        )
+        .expect("static rule parses");
+        db.add_rule(
+            "bw-sketch",
+            1,
+            "bandwidth_bps >= 64000 and bandwidth_bps < 512000",
+            AdaptationAction::CapModality(crate::inference::ModalityChoice::Sketch),
+        )
+        .expect("static rule parses");
+        db
+    }
+
+    /// Latency/jitter policy: high one-way latency halves the packet
+    /// budget; pathological latency drops to text.
+    pub fn latency_policy() -> PolicyDb {
+        let mut db = PolicyDb::new();
+        db.add_rule(
+            "lat-high",
+            0,
+            "latency_us >= 5000 and latency_us < 50000",
+            AdaptationAction::LimitPackets(8),
+        )
+        .expect("static rule parses");
+        db.add_rule(
+            "lat-extreme",
+            1,
+            "latency_us >= 50000",
+            AdaptationAction::CapModality(crate::inference::ModalityChoice::Text),
+        )
+        .expect("static rule parses");
+        db
+    }
+
+    /// Merge another database into this one (rule lists concatenate,
+    /// priorities interleave).
+    pub fn merge(&mut self, other: PolicyDb) {
+        self.rules.extend(other.rules);
+        self.rules.sort_by_key(|r| r.priority);
+    }
+}
+
+/// Render a numeric state map as selector-evaluable attributes.
+pub fn state_to_attrs(state: &BTreeMap<String, f64>) -> BTreeMap<String, AttrValue> {
+    state
+        .iter()
+        .map(|(k, v)| (k.clone(), AttrValue::Float(*v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::ModalityChoice;
+
+    fn attrs(pairs: &[(&str, f64)]) -> BTreeMap<String, AttrValue> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), AttrValue::Float(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn page_fault_policy_bands() {
+        let db = PolicyDb::paper_page_fault_policy();
+        let expect = [
+            (30.0, 16u32),
+            (43.9, 16),
+            (44.0, 8),
+            (57.0, 8),
+            (60.0, 4),
+            (80.0, 2),
+            (86.0, 1),
+            (100.0, 1),
+        ];
+        for (faults, packets) in expect {
+            let m = db.matching(&attrs(&[("page_faults", faults)]));
+            assert_eq!(m.len(), 1, "exactly one band at {faults}");
+            assert_eq!(
+                m[0].action,
+                AdaptationAction::LimitPackets(packets),
+                "at {faults}"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_policy_reaches_zero_and_suspends() {
+        let db = PolicyDb::paper_cpu_load_policy();
+        let m = db.matching(&attrs(&[("cpu_load", 100.0)]));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].action, AdaptationAction::LimitPackets(0));
+        assert_eq!(m[1].action, AdaptationAction::Suspend);
+    }
+
+    #[test]
+    fn priority_orders_matches() {
+        let mut db = PolicyDb::new();
+        db.add_rule("late", 10, "true", AdaptationAction::LimitPackets(1))
+            .unwrap();
+        db.add_rule("early", -5, "true", AdaptationAction::LimitPackets(2))
+            .unwrap();
+        let m = db.matching(&attrs(&[]));
+        assert_eq!(m[0].name, "early");
+        assert_eq!(m[1].name, "late");
+    }
+
+    #[test]
+    fn missing_attribute_rule_does_not_match() {
+        let db = PolicyDb::paper_page_fault_policy();
+        // No page_faults attribute at all: no band matches.
+        assert!(db.matching(&attrs(&[("cpu_load", 50.0)])).is_empty());
+    }
+
+    #[test]
+    fn bad_selector_rejected_at_add() {
+        let mut db = PolicyDb::new();
+        assert!(db
+            .add_rule("bad", 0, "cpu_load >=", AdaptationAction::Suspend)
+            .is_err());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn bandwidth_policy_caps_modality() {
+        let db = PolicyDb::bandwidth_modality_policy();
+        let m = db.matching(&attrs(&[("bandwidth_bps", 32_000.0)]));
+        assert_eq!(
+            m[0].action,
+            AdaptationAction::CapModality(ModalityChoice::Text)
+        );
+        let m = db.matching(&attrs(&[("bandwidth_bps", 100_000.0)]));
+        assert_eq!(
+            m[0].action,
+            AdaptationAction::CapModality(ModalityChoice::Sketch)
+        );
+        assert!(db.matching(&attrs(&[("bandwidth_bps", 1e7)])).is_empty());
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let mut a = PolicyDb::paper_page_fault_policy();
+        let before = a.len();
+        a.merge(PolicyDb::bandwidth_modality_policy());
+        assert_eq!(a.len(), before + 2);
+    }
+}

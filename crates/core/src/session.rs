@@ -1,0 +1,1273 @@
+//! The collaboration session: wired clients as multicast peers, the
+//! base station as the wireless gateway (§4, §5).
+//!
+//! A [`CollaborationSession`] owns the simulated network and wires
+//! together, per wired client: the semantic bus endpoint, the simulated
+//! host with its SNMP extension agent, the SNMP-backed network state
+//! interface, the inference engine, and the three application entities.
+//! Wireless clients attach through the [`BsPeer`], which holds their
+//! radio profiles, computes SIRs, and forwards their contributions in
+//! the SIR-appropriate modality.
+
+use crate::apps::{ChatArea, ImageViewer, ViewedImage, Whiteboard};
+use crate::concurrency::{LamportClock, LockManager};
+use crate::events::AppEvent;
+use crate::inference::{AdaptationDecision, InferenceEngine};
+use crate::netstate::NetworkStateInterface;
+use crate::probe::{EchoResponder, LatencyProbe};
+use crate::state_repo::{ObjectState, StateRepository};
+use crate::transformer::{MediaKind, MediaObject, TransformerRegistry};
+use media::ezw;
+use media::image::Scene;
+use media::packetize::split_packets;
+use media::wavelet::{self, WaveletKind};
+use media::Sketch;
+use sempubsub::{AttrValue, BusEndpoint, Profile};
+use simnet::packet::well_known;
+use simnet::{GroupId, LinkSpec, Network, NodeId, Port, Ticks};
+use snmp::transport::AgentRuntime;
+use snmp::SnmpAgent;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use sysmon::{install_host_agent, SimHost};
+use wireless::{BaseStation, ClientRadio, Modality, ModalityThresholds, PathLossModel};
+
+/// Session-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Packets each shared image is split into (the paper uses 16).
+    pub packets_per_image: usize,
+    /// Wavelet filter for image coding.
+    pub wavelet: WaveletKind,
+    /// Cap the embedded stream at this many bits per pixel before
+    /// splitting (None = ship the full lossless stream). The paper's
+    /// image viewer peaks at ~2.1 bpp (grayscale) / ~14.3 bpp (colour).
+    pub full_stream_bpp: Option<f64>,
+    /// Apply reversible YCoCg-R decorrelation to colour images before
+    /// coding (lossless; usually shrinks the stream).
+    pub color_transform: bool,
+    /// LAN link characteristics.
+    pub link: LinkSpec,
+    /// SNMP community.
+    pub community: String,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            seed: 42,
+            packets_per_image: 16,
+            wavelet: WaveletKind::Cdf53,
+            full_stream_bpp: None,
+            color_transform: false,
+            link: LinkSpec::lan(),
+            community: "public".to_string(),
+        }
+    }
+}
+
+/// Index of a wired client within the session.
+pub type ClientId = usize;
+
+/// One wired client's full runtime (§4.1).
+pub struct ClientRuntime {
+    /// Client name (profile identity; never used for addressing).
+    pub name: String,
+    /// The client's node.
+    pub node: NodeId,
+    /// Semantic bus endpoint (communication module).
+    pub bus: BusEndpoint,
+    /// The simulated host this client runs on.
+    pub host: SimHost,
+    /// SNMP-backed system/network state sampler.
+    pub netstate: NetworkStateInterface,
+    /// The inference engine.
+    pub engine: InferenceEngine,
+    /// Image viewer application entity.
+    pub viewer: ImageViewer,
+    /// Chat area application entity.
+    pub chat: ChatArea,
+    /// Whiteboard application entity.
+    pub whiteboard: Whiteboard,
+    /// Client state repository.
+    pub repo: StateRepository,
+    /// Lamport clock for event ordering.
+    pub clock: LamportClock,
+    /// Lock manager for concurrency control.
+    pub locks: LockManager,
+    /// Sketches received (object id, sketch, caption).
+    pub sketches: Vec<(u64, Sketch, String)>,
+    /// Latency prober, when enabled.
+    probe: Option<LatencyProbe>,
+    /// The latest adaptation decision.
+    pub last_decision: Option<AdaptationDecision>,
+}
+
+/// A downlink delivery record: what the base station relayed to one
+/// wireless client for one session event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DownlinkDelivery {
+    /// Wireless client id.
+    pub client: String,
+    /// Event kind relayed.
+    pub kind: String,
+    /// Modality the radio conditions allowed for this client.
+    pub modality: Modality,
+}
+
+/// The base station peer: gateway of the wireless extension (§4.2).
+pub struct BsPeer {
+    /// Radio-level QoS manager.
+    pub station: BaseStation,
+    /// The BS's own bus endpoint (it is a peer in the session).
+    pub bus: BusEndpoint,
+    /// Transformer suite used for modality reduction.
+    pub registry: TransformerRegistry,
+    /// Node the BS occupies.
+    pub node: NodeId,
+    /// Forwarding log: (client, modality chosen).
+    pub forward_log: Vec<(String, Modality)>,
+    /// Semantic profiles of the attached wireless clients — "it
+    /// maintains the profiles of all the wireless clients connected to
+    /// it and manages QoS on their behalf" (§1, §4.2).
+    pub wireless_profiles: std::collections::HashMap<String, Profile>,
+    /// Downlink relay log: session events delivered to wireless
+    /// clients, with the modality their SIR allowed.
+    pub downlink_log: Vec<DownlinkDelivery>,
+}
+
+/// The collaboration session.
+pub struct CollaborationSession {
+    /// The simulated network (public for test instrumentation).
+    pub net: Network,
+    group: GroupId,
+    switch: NodeId,
+    cfg: SessionConfig,
+    clients: Vec<ClientRuntime>,
+    agents: Vec<AgentRuntime>,
+    next_object_id: u64,
+    /// Router speed knobs, keyed by router node.
+    routers: Vec<(NodeId, Arc<AtomicU64>)>,
+    /// Echo reflectors for latency probing, keyed by node.
+    echoes: Vec<(NodeId, EchoResponder)>,
+    /// The wireless gateway, if attached.
+    pub base_station: Option<BsPeer>,
+}
+
+impl CollaborationSession {
+    /// A fresh session with a switch-based LAN.
+    pub fn new(cfg: SessionConfig) -> CollaborationSession {
+        let mut net = Network::new(cfg.seed);
+        let switch = net.add_node("switch");
+        let group = net.new_group();
+        CollaborationSession {
+            net,
+            group,
+            switch,
+            cfg,
+            clients: Vec::new(),
+            agents: Vec::new(),
+            next_object_id: 1,
+            routers: Vec::new(),
+            echoes: Vec::new(),
+            base_station: None,
+        }
+    }
+
+    /// Session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Number of wired clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Access a client runtime.
+    pub fn client(&self, id: ClientId) -> &ClientRuntime {
+        &self.clients[id]
+    }
+
+    /// Mutable access to a client runtime.
+    pub fn client_mut(&mut self, id: ClientId) -> &mut ClientRuntime {
+        &mut self.clients[id]
+    }
+
+    /// Add a wired client: joins the multicast session as a peer with
+    /// its own host, extension agent, state interface, and engine.
+    pub fn add_wired_client(
+        &mut self,
+        profile: Profile,
+        engine: InferenceEngine,
+        host: SimHost,
+    ) -> Result<ClientId, String> {
+        let id = self.clients.len();
+        let name = profile.name.clone();
+        let node = self.net.add_node(&name);
+        self.net.connect(self.switch, node, self.cfg.link);
+
+        let mut agent = SnmpAgent::new(&name, &self.cfg.community, None);
+        install_host_agent(&host.shared(), &mut agent);
+        let agent_rt =
+            AgentRuntime::bind(&mut self.net, node, agent).map_err(|e| e.to_string())?;
+
+        let mut netstate = NetworkStateInterface::bind(
+            &mut self.net,
+            node,
+            Port(10_000 + id as u16),
+            &self.cfg.community,
+        )
+        .map_err(|e| e.to_string())?;
+        netstate.add_host_metrics(node);
+
+        let bus = BusEndpoint::join(
+            &mut self.net,
+            node,
+            well_known::SESSION_DATA,
+            self.group,
+            profile,
+        )
+        .map_err(|e| e.to_string())?;
+
+        self.agents.push(agent_rt);
+        self.clients.push(ClientRuntime {
+            name,
+            node,
+            bus,
+            host,
+            netstate,
+            engine,
+            viewer: ImageViewer::new(16),
+            chat: ChatArea::default(),
+            whiteboard: Whiteboard::default(),
+            repo: StateRepository::new(),
+            clock: LamportClock::new(),
+            locks: LockManager::new(),
+            sketches: Vec::new(),
+            probe: None,
+            last_decision: None,
+        });
+        Ok(id)
+    }
+
+    /// Add a network element (router/switch with a standard agent) to
+    /// the LAN, exposing `ifSpeed.1` over SNMP. Returns the node id;
+    /// the advertised speed can be changed later with
+    /// [`CollaborationSession::set_router_speed`] to model congestion
+    /// or path changes.
+    pub fn add_router(&mut self, name: &str, if_speed_bps: u64) -> Result<NodeId, String> {
+        let node = self.net.add_node(name);
+        self.net.connect(self.switch, node, self.cfg.link);
+        let speed = Arc::new(AtomicU64::new(if_speed_bps));
+        let mut agent = SnmpAgent::new(name, &self.cfg.community, None);
+        let s = speed.clone();
+        agent
+            .mib_mut()
+            .register_computed(snmp::oid::arcs::if_speed(1), move || {
+                snmp::SnmpValue::Gauge32(s.load(Ordering::Relaxed).min(u32::MAX as u64) as u32)
+            });
+        let rt = AgentRuntime::bind(&mut self.net, node, agent).map_err(|e| e.to_string())?;
+        self.agents.push(rt);
+        self.routers.push((node, speed));
+        Ok(node)
+    }
+
+    /// Change a router's advertised interface speed.
+    pub fn set_router_speed(&mut self, router: NodeId, if_speed_bps: u64) -> Result<(), String> {
+        let (_, knob) = self
+            .routers
+            .iter()
+            .find(|(n, _)| *n == router)
+            .ok_or_else(|| format!("unknown router {router}"))?;
+        knob.store(if_speed_bps, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Have `id` include the router's `ifSpeed` in its sampled state as
+    /// `bandwidth_bps` (consumed by the bandwidth modality policy).
+    pub fn monitor_bandwidth(&mut self, id: ClientId, router: NodeId) {
+        self.clients[id].netstate.add_bandwidth_metric(router, 1);
+    }
+
+    /// Bring a newcomer up to date with a veteran's session history
+    /// (§2: "sessions can be archived to provide late clients with
+    /// session history"). Copies the veteran's state-repository
+    /// snapshot; newer local entries on the newcomer are preserved.
+    pub fn catch_up(&mut self, veteran: ClientId, newcomer: ClientId) {
+        assert_ne!(veteran, newcomer, "cannot catch up from oneself");
+        let snapshot = self.clients[veteran].repo.snapshot();
+        self.clients[newcomer].repo.install_snapshot(snapshot);
+    }
+
+    /// Run one adaptation pass for a client: sample its system state
+    /// over SNMP, run the inference engine, and apply the decision to
+    /// the image viewer. Returns the decision.
+    pub fn adapt(&mut self, id: ClientId) -> AdaptationDecision {
+        let (client, agents, net) = (&mut self.clients[id], &mut self.agents, &mut self.net);
+        let mut refs: Vec<&mut AgentRuntime> = agents.iter_mut().collect();
+        let state = client.netstate.sample(net, &mut refs);
+        let decision = client.engine.decide(&state);
+        client.viewer.set_packet_budget(decision.max_packets);
+        client.viewer.set_resolution(decision.resolution);
+        client.last_decision = Some(decision.clone());
+        decision
+    }
+
+    /// Attach an RFC 862-style echo reflector on a new LAN node; probes
+    /// target it to measure path latency and jitter.
+    pub fn add_echo_node(&mut self, name: &str) -> Result<NodeId, String> {
+        let node = self.net.add_node(name);
+        self.net.connect(self.switch, node, self.cfg.link);
+        let echo = EchoResponder::bind(&mut self.net, node).map_err(|e| e.to_string())?;
+        self.echoes.push((node, echo));
+        Ok(node)
+    }
+
+    /// Enable latency probing on a client (binds its prober socket).
+    pub fn enable_probing(&mut self, id: ClientId) -> Result<(), String> {
+        if self.clients[id].probe.is_some() {
+            return Ok(());
+        }
+        let node = self.clients[id].node;
+        let probe = LatencyProbe::bind(&mut self.net, node, Port(20_000 + id as u16))
+            .map_err(|e| e.to_string())?;
+        self.clients[id].probe = Some(probe);
+        Ok(())
+    }
+
+    /// Adapt like [`CollaborationSession::adapt`], but additionally
+    /// measure latency and jitter towards `echo_target` with a
+    /// `probe_count`-packet burst and include `latency_us` / `jitter_us`
+    /// in the state the inference engine sees (§5.5's full metric set).
+    pub fn adapt_with_probe(
+        &mut self,
+        id: ClientId,
+        echo_target: NodeId,
+        probe_count: usize,
+    ) -> Result<AdaptationDecision, String> {
+        self.enable_probing(id)?;
+        // SNMP sample first.
+        let mut state = {
+            let (client, agents, net) = (&mut self.clients[id], &mut self.agents, &mut self.net);
+            let mut refs: Vec<&mut AgentRuntime> = agents.iter_mut().collect();
+            client.netstate.sample(net, &mut refs)
+        };
+        // Then the active probe.
+        let echo_idx = self
+            .echoes
+            .iter()
+            .position(|(n, _)| *n == echo_target)
+            .ok_or_else(|| format!("no echo responder on {echo_target}"))?;
+        let (client, echoes, net) = (&mut self.clients[id], &mut self.echoes, &mut self.net);
+        let probe = client.probe.as_mut().expect("enabled above");
+        let report = probe.burst(
+            net,
+            &mut echoes[echo_idx].1,
+            echo_target,
+            probe_count,
+            Ticks::from_secs(1),
+        );
+        if report.received > 0 {
+            state.insert("latency_us".to_string(), report.latency_us);
+            state.insert("jitter_us".to_string(), report.jitter_us);
+        }
+        let decision = client.engine.decide(&state);
+        client.viewer.set_packet_budget(decision.max_packets);
+        client.viewer.set_resolution(decision.resolution);
+        client.last_decision = Some(decision.clone());
+        Ok(decision)
+    }
+
+    /// Allocate a fresh shared-object id.
+    pub fn new_object_id(&mut self) -> u64 {
+        let id = self.next_object_id;
+        self.next_object_id += 1;
+        id
+    }
+
+    fn image_content_attrs(scene: &Scene) -> BTreeMap<String, AttrValue> {
+        [
+            ("media".to_string(), AttrValue::str("image")),
+            (
+                "color".to_string(),
+                AttrValue::Bool(scene.image.channels == 3),
+            ),
+            ("encoding".to_string(), AttrValue::str("ezw")),
+            (
+                "size_kb".to_string(),
+                AttrValue::Int((scene.image.byte_len() / 1024) as i64),
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Share an image from a wired client: encodes the scene with the
+    /// session's progressive coder, announces the metadata (including
+    /// the verbal description), and multicasts the packets. Returns the
+    /// object id.
+    pub fn share_image(
+        &mut self,
+        id: ClientId,
+        scene: &Scene,
+        selector: &str,
+    ) -> Result<u64, String> {
+        let object_id = self.new_object_id();
+        let levels = wavelet::max_levels(scene.image.width, scene.image.height).min(5);
+        let use_color = self.cfg.color_transform && scene.image.channels == 3;
+        let mut container =
+            ezw::encode_image_opts(&scene.image, levels, self.cfg.wavelet, use_color)
+                .map_err(|e| e.to_string())?;
+        if let Some(bpp) = self.cfg.full_stream_bpp {
+            let budget = (scene.image.pixels() as f64 * bpp / 8.0) as usize;
+            if budget < container.len() {
+                container = ezw::truncate_container(&container, budget)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        let packets = split_packets(&container, self.cfg.packets_per_image);
+        let content = Self::image_content_attrs(scene);
+        let meta = AppEvent::ImageMeta {
+            object_id,
+            caption: scene.caption.clone(),
+            original_bytes: scene.image.byte_len() as u64,
+            pixels: scene.image.pixels() as u64,
+            total_packets: packets.len() as u16,
+        };
+        let client = &mut self.clients[id];
+        client
+            .bus
+            .publish(
+                &mut self.net,
+                meta.kind(),
+                selector,
+                content.clone(),
+                meta.encode(),
+            )
+            .map_err(|e| e.to_string())?;
+        for packet in packets {
+            let ev = AppEvent::ImagePacket { object_id, packet };
+            client
+                .bus
+                .publish(
+                    &mut self.net,
+                    ev.kind(),
+                    selector,
+                    content.clone(),
+                    ev.encode(),
+                )
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(object_id)
+    }
+
+    /// Send a chat line.
+    pub fn share_chat(&mut self, id: ClientId, text: &str, selector: &str) -> Result<(), String> {
+        let client = &mut self.clients[id];
+        let ev = AppEvent::Chat {
+            author: client.name.clone(),
+            text: text.to_string(),
+        };
+        client
+            .bus
+            .publish(
+                &mut self.net,
+                ev.kind(),
+                selector,
+                BTreeMap::new(),
+                ev.encode(),
+            )
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Draw a whiteboard stroke on a shared object.
+    pub fn share_stroke(
+        &mut self,
+        id: ClientId,
+        object_id: u64,
+        points: Vec<(i16, i16)>,
+        color: u8,
+        selector: &str,
+    ) -> Result<u64, String> {
+        let client = &mut self.clients[id];
+        let lamport = client.clock.tick();
+        let ev = AppEvent::WhiteboardStroke {
+            object_id,
+            lamport,
+            points,
+            color,
+        };
+        // Local echo: the author's own whiteboard applies immediately.
+        let name = client.name.clone();
+        client.whiteboard.apply(&name, &ev);
+        client
+            .bus
+            .publish(
+                &mut self.net,
+                ev.kind(),
+                selector,
+                BTreeMap::new(),
+                ev.encode(),
+            )
+            .map_err(|e| e.to_string())?;
+        Ok(lamport)
+    }
+
+    /// Request the distributed lock on a shared object: applies the
+    /// request to the local lock manager and multicasts it so every
+    /// replica arbitrates identically (same Lamport total order).
+    /// Returns the local outcome.
+    pub fn request_lock(
+        &mut self,
+        id: ClientId,
+        object_id: u64,
+        selector: &str,
+    ) -> Result<crate::concurrency::LockOutcome, String> {
+        let client = &mut self.clients[id];
+        let lamport = client.clock.tick();
+        let name = client.name.clone();
+        let outcome = client.locks.request(object_id, &name, lamport);
+        let ev = AppEvent::Lock {
+            object_id,
+            client: name,
+            lamport,
+            op: 0,
+        };
+        client
+            .bus
+            .publish(
+                &mut self.net,
+                ev.kind(),
+                selector,
+                BTreeMap::new(),
+                ev.encode(),
+            )
+            .map_err(|e| e.to_string())?;
+        Ok(outcome)
+    }
+
+    /// Release the distributed lock on a shared object.
+    pub fn release_lock(
+        &mut self,
+        id: ClientId,
+        object_id: u64,
+        selector: &str,
+    ) -> Result<(), String> {
+        let client = &mut self.clients[id];
+        let lamport = client.clock.tick();
+        let name = client.name.clone();
+        let _ = client.locks.release(object_id, &name);
+        let ev = AppEvent::Lock {
+            object_id,
+            client: name,
+            lamport,
+            op: 1,
+        };
+        client
+            .bus
+            .publish(
+                &mut self.net,
+                ev.kind(),
+                selector,
+                BTreeMap::new(),
+                ev.encode(),
+            )
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Advance simulated time and dispatch everything that arrived.
+    /// Returns images completed during this step, tagged by client.
+    pub fn pump(&mut self, d: Ticks) -> Vec<(ClientId, ViewedImage)> {
+        self.net.run_for(d);
+        let mut completed = Vec::new();
+        for (id, client) in self.clients.iter_mut().enumerate() {
+            for delivery in client.bus.poll(&mut self.net) {
+                let Some(ev) = AppEvent::decode(&delivery.message.body) else {
+                    continue;
+                };
+                let sender = delivery.message.sender.clone();
+                match &ev {
+                    AppEvent::Chat { .. } => client.chat.apply(&ev),
+                    AppEvent::WhiteboardStroke {
+                        object_id, lamport, ..
+                    } => {
+                        client.whiteboard.apply(&sender, &ev);
+                        client.clock.observe(*lamport);
+                        client.repo.update(
+                            *object_id,
+                            *lamport,
+                            &sender,
+                            ObjectState {
+                                kind: "whiteboard".to_string(),
+                                data: ev.encode(),
+                            },
+                        );
+                    }
+                    AppEvent::ImageMeta { .. } | AppEvent::ImagePacket { .. } => {
+                        if let Some(viewed) = client.viewer.apply(&ev) {
+                            completed.push((id, viewed));
+                        }
+                    }
+                    AppEvent::SketchShare {
+                        object_id,
+                        data,
+                        caption,
+                    } => {
+                        if let Ok(sketch) = Sketch::decode(data) {
+                            client.sketches.push((*object_id, sketch, caption.clone()));
+                        }
+                    }
+                    AppEvent::Lock {
+                        object_id,
+                        client: requester,
+                        lamport,
+                        op,
+                    } => {
+                        client.clock.observe(*lamport);
+                        if *op == 0 {
+                            client.locks.request(*object_id, requester, *lamport);
+                        } else {
+                            let _ = client.locks.release(*object_id, requester);
+                        }
+                    }
+                }
+            }
+        }
+        // The base station is a peer too: it interprets every arriving
+        // session event *against each wireless client's profile* and
+        // relays it over the radio downlink in the modality the
+        // client's SIR allows (§4.2: the BS "manages QoS on their
+        // behalf"; full radio-frame simulation is abstracted to the
+        // delivery record).
+        if let Some(bs) = &mut self.base_station {
+            for message in bs.bus.poll_raw(&mut self.net) {
+                let Ok(selector) = sempubsub::Selector::parse(&message.selector) else {
+                    continue;
+                };
+                for (id, profile) in &bs.wireless_profiles {
+                    let matched =
+                        sempubsub::matching::interpret(profile, &selector, &message.content)
+                            .map(|o| o.is_accepted())
+                            .unwrap_or(false);
+                    if !matched {
+                        continue;
+                    }
+                    let modality = bs
+                        .station
+                        .assess(id)
+                        .map(|a| a.modality)
+                        .unwrap_or(Modality::None);
+                    if modality > Modality::None {
+                        bs.downlink_log.push(DownlinkDelivery {
+                            client: id.clone(),
+                            kind: message.kind.clone(),
+                            modality,
+                        });
+                    }
+                }
+            }
+        }
+        completed
+    }
+
+    // ------------------------------------------------------- wireless
+
+    /// Attach the base station peer to the session.
+    pub fn attach_base_station(
+        &mut self,
+        model: PathLossModel,
+        thresholds: ModalityThresholds,
+    ) -> Result<(), String> {
+        if self.base_station.is_some() {
+            return Err("base station already attached".to_string());
+        }
+        let node = self.net.add_node("base-station");
+        self.net.connect(self.switch, node, self.cfg.link);
+        let mut profile = Profile::new("base-station");
+        profile.set("role", AttrValue::str("gateway"));
+        let bus = BusEndpoint::join(
+            &mut self.net,
+            node,
+            well_known::SESSION_DATA,
+            self.group,
+            profile,
+        )
+        .map_err(|e| e.to_string())?;
+        self.base_station = Some(BsPeer {
+            station: BaseStation::new(model, thresholds),
+            bus,
+            registry: TransformerRegistry::with_defaults(),
+            node,
+            forward_log: Vec::new(),
+            wireless_profiles: std::collections::HashMap::new(),
+            downlink_log: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// A wireless client joins through the base station; returns its
+    /// initial service assessment. A default profile interested in
+    /// images and chat is registered; use
+    /// [`CollaborationSession::wireless_join_with_profile`] for custom
+    /// interests.
+    pub fn wireless_join(
+        &mut self,
+        id: &str,
+        distance_m: f64,
+        tx_power_mw: f64,
+    ) -> Result<wireless::ServiceAssessment, String> {
+        let mut profile = Profile::new(id);
+        profile.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image"), AttrValue::str("chat")]),
+        );
+        self.wireless_join_with_profile(profile, distance_m, tx_power_mw)
+    }
+
+    /// Join a wireless client with an explicit semantic profile, held
+    /// at the base station on the client's behalf.
+    pub fn wireless_join_with_profile(
+        &mut self,
+        profile: Profile,
+        distance_m: f64,
+        tx_power_mw: f64,
+    ) -> Result<wireless::ServiceAssessment, String> {
+        let bs = self
+            .base_station
+            .as_mut()
+            .ok_or("no base station attached")?;
+        let id = profile.name.clone();
+        let assessment = bs
+            .station
+            .join(ClientRadio::new(&id, distance_m, tx_power_mw))
+            .map_err(|e| e.to_string())?;
+        bs.wireless_profiles.insert(id, profile);
+        Ok(assessment)
+    }
+
+    /// A wireless client leaves: radio registry and profile both drop.
+    pub fn wireless_leave(&mut self, id: &str) -> Result<(), String> {
+        let bs = self
+            .base_station
+            .as_mut()
+            .ok_or("no base station attached")?;
+        bs.station.leave(id).map_err(|e| e.to_string())?;
+        bs.wireless_profiles.remove(id);
+        Ok(())
+    }
+
+    /// A wireless client contributes an image. The base station
+    /// receives it over the (simulated) radio uplink, assesses the
+    /// client's SIR, reduces the modality accordingly, and forwards the
+    /// result into the multicast session on the client's behalf.
+    /// Returns the modality actually forwarded.
+    pub fn wireless_contribute(
+        &mut self,
+        client_id: &str,
+        scene: &Scene,
+        selector: &str,
+    ) -> Result<Modality, String> {
+        let object_id = self.new_object_id();
+        let levels = wavelet::max_levels(scene.image.width, scene.image.height).min(5);
+        let wavelet_kind = self.cfg.wavelet;
+        let packets_per_image = self.cfg.packets_per_image;
+        let bs = self
+            .base_station
+            .as_mut()
+            .ok_or("no base station attached")?;
+        let assessment = bs
+            .station
+            .assess(client_id)
+            .ok_or_else(|| format!("unknown wireless client '{client_id}'"))?;
+        let modality = assessment.modality;
+        bs.forward_log.push((client_id.to_string(), modality));
+
+        let content = Self::image_content_attrs(scene);
+        let encoded =
+            ezw::encode_image(&scene.image, levels, wavelet_kind).map_err(|e| e.to_string())?;
+        let source = MediaObject::Image {
+            encoded,
+            caption: scene.caption.clone(),
+        };
+        match modality {
+            Modality::None => { /* nothing usable gets through */ }
+            Modality::TextOnly => {
+                let ev = AppEvent::ImageMeta {
+                    object_id,
+                    caption: scene.caption.clone(),
+                    original_bytes: scene.image.byte_len() as u64,
+                    pixels: scene.image.pixels() as u64,
+                    total_packets: 0,
+                };
+                bs.bus
+                    .publish(&mut self.net, ev.kind(), selector, content, ev.encode())
+                    .map_err(|e| e.to_string())?;
+            }
+            Modality::TextAndSketch => {
+                let sketch_obj = bs
+                    .registry
+                    .transform(&source, MediaKind::Sketch)
+                    .map_err(|e| e.to_string())?;
+                let MediaObject::Sketch { sketch, caption } = sketch_obj else {
+                    return Err("transform did not yield a sketch".to_string());
+                };
+                let ev = AppEvent::SketchShare {
+                    object_id,
+                    data: sketch.encode(),
+                    caption,
+                };
+                bs.bus
+                    .publish(&mut self.net, ev.kind(), selector, content, ev.encode())
+                    .map_err(|e| e.to_string())?;
+            }
+            Modality::FullImage => {
+                let MediaObject::Image { encoded, .. } = &source else {
+                    unreachable!()
+                };
+                let packets = split_packets(encoded, packets_per_image);
+                let meta = AppEvent::ImageMeta {
+                    object_id,
+                    caption: scene.caption.clone(),
+                    original_bytes: scene.image.byte_len() as u64,
+                    pixels: scene.image.pixels() as u64,
+                    total_packets: packets.len() as u16,
+                };
+                bs.bus
+                    .publish(
+                        &mut self.net,
+                        meta.kind(),
+                        selector,
+                        content.clone(),
+                        meta.encode(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                for packet in packets {
+                    let ev = AppEvent::ImagePacket { object_id, packet };
+                    bs.bus
+                        .publish(
+                            &mut self.net,
+                            ev.kind(),
+                            selector,
+                            content.clone(),
+                            ev.encode(),
+                        )
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        Ok(modality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::QosContract;
+    use crate::policy::PolicyDb;
+    use media::image::synthetic_scene;
+    use sysmon::HostState;
+
+    fn viewer_profile(name: &str) -> Profile {
+        let mut p = Profile::new(name);
+        p.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image"), AttrValue::str("chat")]),
+        );
+        p
+    }
+
+    fn engine_pf() -> InferenceEngine {
+        InferenceEngine::new(PolicyDb::paper_page_fault_policy(), QosContract::default())
+    }
+
+    fn two_client_session() -> (CollaborationSession, ClientId, ClientId) {
+        let mut s = CollaborationSession::new(SessionConfig::default());
+        let publisher = s
+            .add_wired_client(
+                viewer_profile("publisher"),
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle("publisher"),
+            )
+            .unwrap();
+        let viewer = s
+            .add_wired_client(viewer_profile("viewer"), engine_pf(), SimHost::idle("viewer"))
+            .unwrap();
+        (s, publisher, viewer)
+    }
+
+    #[test]
+    fn end_to_end_image_share_full_quality() {
+        let (mut s, publisher, viewer) = two_client_session();
+        s.adapt(viewer);
+        let scene = synthetic_scene(64, 64, 1, 3, 5);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        let completed = s.pump(Ticks::from_millis(200));
+        assert_eq!(completed.len(), 1);
+        let (cid, viewed) = &completed[0];
+        assert_eq!(*cid, viewer);
+        assert_eq!(viewed.packets_accepted, 16);
+        assert_eq!(viewed.image.data, scene.image.data, "lossless at 16/16");
+    }
+
+    #[test]
+    fn adaptation_reduces_accepted_packets_under_load() {
+        let (mut s, publisher, viewer) = two_client_session();
+        s.client_mut(viewer).host.force(HostState {
+            cpu_load: 20.0,
+            page_faults: 75.0, // -> 2 packets under the paper policy
+            mem_avail_kb: 1024.0,
+        });
+        let d = s.adapt(viewer);
+        assert_eq!(d.max_packets, 2);
+        let scene = synthetic_scene(64, 64, 1, 3, 5);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        let completed = s.pump(Ticks::from_millis(200));
+        assert_eq!(completed.len(), 1);
+        let viewed = &completed[0].1;
+        assert_eq!(viewed.packets_accepted, 2);
+        assert_ne!(viewed.image.data, scene.image.data, "coarse image");
+        assert!(viewed.bpp < 8.0);
+        assert!(viewed.compression_ratio > 1.0);
+    }
+
+    #[test]
+    fn chat_and_strokes_replicate() {
+        let (mut s, a, b) = two_client_session();
+        s.share_chat(a, "hello from a", "true").unwrap();
+        let oid = s.new_object_id();
+        s.share_stroke(a, oid, vec![(1, 2), (3, 4)], 1, "true").unwrap();
+        s.pump(Ticks::from_millis(50));
+        assert_eq!(s.client(b).chat.log.len(), 1);
+        assert_eq!(s.client(b).whiteboard.strokes(oid).len(), 1);
+        // Repo recorded the stroke.
+        assert!(s.client(b).repo.get(oid).is_some());
+        // The author's local echo matches the remote replica.
+        assert_eq!(
+            s.client(a).whiteboard.strokes(oid),
+            s.client(b).whiteboard.strokes(oid)
+        );
+    }
+
+    #[test]
+    fn selector_excludes_uninterested_client() {
+        let mut s = CollaborationSession::new(SessionConfig::default());
+        let publisher = s
+            .add_wired_client(
+                viewer_profile("pub"),
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle("pub"),
+            )
+            .unwrap();
+        let mut text_profile = Profile::new("texter");
+        text_profile.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("text")]),
+        );
+        let texter = s
+            .add_wired_client(text_profile, engine_pf(), SimHost::idle("texter"))
+            .unwrap();
+        let scene = synthetic_scene(32, 32, 1, 2, 1);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        let completed = s.pump(Ticks::from_millis(100));
+        assert!(completed.is_empty());
+        assert_eq!(s.client(texter).viewer.viewed.len(), 0);
+        assert!(s.client(texter).bus.stats().rejected > 0);
+    }
+
+    #[test]
+    fn wireless_modality_depends_on_sir() {
+        let (mut s, _publisher, viewer) = two_client_session();
+        s.adapt(viewer);
+        s.attach_base_station(PathLossModel::default(), ModalityThresholds::default())
+            .unwrap();
+        // A lone nearby client: full image goes through.
+        let a = s.wireless_join("mobile-a", 30.0, 100.0).unwrap();
+        assert_eq!(a.modality, Modality::FullImage);
+        let scene = synthetic_scene(64, 64, 1, 3, 9);
+        let m = s
+            .wireless_contribute("mobile-a", &scene, "interested_in contains 'image'")
+            .unwrap();
+        assert_eq!(m, Modality::FullImage);
+        let completed = s.pump(Ticks::from_millis(300));
+        // Both wired clients are interested in images; the viewer is one.
+        assert!(
+            completed.iter().any(|(c, _)| *c == viewer),
+            "wired viewer got the full image"
+        );
+
+        // A second, competing client drags SIR down: sketch or text only.
+        s.wireless_join("mobile-b", 32.0, 100.0).unwrap();
+        let m = s
+            .wireless_contribute("mobile-a", &scene, "interested_in contains 'image'")
+            .unwrap();
+        assert!(m < Modality::FullImage, "modality degraded, got {m:?}");
+        s.pump(Ticks::from_millis(300));
+        match m {
+            Modality::TextAndSketch => {
+                assert_eq!(s.client(viewer).sketches.len(), 1);
+            }
+            Modality::TextOnly => {
+                assert!(!s.client(viewer).viewer.text_fallbacks.is_empty());
+            }
+            other => panic!("unexpected modality {other:?}"),
+        }
+    }
+
+    #[test]
+    fn color_transformed_session_share_is_lossless() {
+        let cfg = SessionConfig {
+            color_transform: true,
+            ..SessionConfig::default()
+        };
+        let mut s = CollaborationSession::new(cfg);
+        let publisher = s
+            .add_wired_client(
+                viewer_profile("pub"),
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle("pub"),
+            )
+            .unwrap();
+        let viewer = s
+            .add_wired_client(
+                viewer_profile("view"),
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle("view"),
+            )
+            .unwrap();
+        s.adapt(viewer);
+        let scene = synthetic_scene(64, 64, 3, 3, 27);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        let completed = s.pump(Ticks::from_secs(1));
+        let viewed = completed
+            .iter()
+            .find(|(c, _)| *c == viewer)
+            .map(|(_, v)| v)
+            .expect("completed");
+        assert_eq!(viewed.image.data, scene.image.data);
+    }
+
+    #[test]
+    fn bandwidth_policy_via_router_agent() {
+        // A router's ifSpeed collapses; the client's modality follows.
+        let mut s = CollaborationSession::new(SessionConfig::default());
+        let mut db = PolicyDb::paper_page_fault_policy();
+        db.merge(PolicyDb::bandwidth_modality_policy());
+        let viewer = s
+            .add_wired_client(
+                viewer_profile("viewer"),
+                InferenceEngine::new(db, QosContract::default()),
+                SimHost::idle("viewer"),
+            )
+            .unwrap();
+        let router = s.add_router("edge-router", 10_000_000).unwrap();
+        s.monitor_bandwidth(viewer, router);
+
+        let d = s.adapt(viewer);
+        assert_eq!(d.modality, crate::inference::ModalityChoice::FullImage);
+
+        s.set_router_speed(router, 48_000).unwrap(); // below text cutoff
+        let d = s.adapt(viewer);
+        assert_eq!(d.modality, crate::inference::ModalityChoice::Text);
+
+        s.set_router_speed(router, 256_000).unwrap(); // sketch band
+        let d = s.adapt(viewer);
+        assert_eq!(d.modality, crate::inference::ModalityChoice::Sketch);
+    }
+
+    #[test]
+    fn distributed_lock_replicas_agree_on_holder() {
+        let (mut s, a, b) = two_client_session();
+        let oid = s.new_object_id();
+        let got = s.request_lock(a, oid, "true").unwrap();
+        assert_eq!(got, crate::concurrency::LockOutcome::Granted);
+        s.pump(Ticks::from_millis(50));
+        // B's replica sees A's request and grants it the same way.
+        assert_eq!(s.client(b).locks.holder(oid), Some("publisher"));
+        // B requests while held: queued on both replicas.
+        let q = s.request_lock(b, oid, "true").unwrap();
+        assert!(matches!(q, crate::concurrency::LockOutcome::Queued(_)));
+        s.pump(Ticks::from_millis(50));
+        assert_eq!(s.client(a).locks.holder(oid), Some("publisher"));
+        assert_eq!(s.client(a).locks.queue_len(oid), 1);
+        // A releases: both replicas hand the lock to B ("viewer").
+        s.release_lock(a, oid, "true").unwrap();
+        s.pump(Ticks::from_millis(50));
+        assert_eq!(s.client(a).locks.holder(oid), Some("viewer"));
+        assert_eq!(s.client(b).locks.holder(oid), Some("viewer"));
+    }
+
+    #[test]
+    fn latency_probe_feeds_the_engine() {
+        let mut s = CollaborationSession::new(SessionConfig::default());
+        let mut db = PolicyDb::paper_page_fault_policy();
+        db.merge(PolicyDb::latency_policy());
+        let viewer = s
+            .add_wired_client(
+                viewer_profile("viewer"),
+                InferenceEngine::new(db, QosContract::default()),
+                SimHost::idle("viewer"),
+            )
+            .unwrap();
+        let echo = s.add_echo_node("reflector").unwrap();
+
+        // Healthy LAN: latency in the hundreds of microseconds.
+        let d = s.adapt_with_probe(viewer, echo, 4).unwrap();
+        assert!(!d.fired_rules.iter().any(|r| r.starts_with("lat-")));
+
+        // Degrade every link to a high-latency hop (tiny test topology).
+        let n_links = s.net.topology().link_count() as u32;
+        for i in 0..n_links {
+            let l = simnet::LinkId(i);
+            let spec = s.net.topology().link_spec(l);
+            s.net
+                .topology_mut()
+                .set_link_spec(l, spec.with_latency(Ticks::from_millis(8)));
+        }
+        let d = s.adapt_with_probe(viewer, echo, 4).unwrap();
+        assert!(
+            d.fired_rules.iter().any(|r| r == "lat-high"),
+            "8ms one-way hops must trip the latency rule: {:?}",
+            d.fired_rules
+        );
+        assert_eq!(d.max_packets, 8);
+    }
+
+    #[test]
+    fn late_joiner_catches_up_via_archive() {
+        let (mut s, a, b) = two_client_session();
+        let oid = s.new_object_id();
+        s.share_stroke(a, oid, vec![(5, 5)], 2, "true").unwrap();
+        s.pump(Ticks::from_millis(50));
+        assert!(s.client(b).repo.get(oid).is_some());
+
+        // A newcomer joins after the fact and misses the stroke.
+        let newcomer = s
+            .add_wired_client(
+                viewer_profile("late"),
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle("late"),
+            )
+            .unwrap();
+        assert!(s.client(newcomer).repo.get(oid).is_none());
+        s.catch_up(b, newcomer);
+        assert!(s.client(newcomer).repo.get(oid).is_some(), "history installed");
+    }
+
+    #[test]
+    fn downlink_relays_in_sir_appropriate_modality() {
+        let (mut s, publisher, viewer) = two_client_session();
+        s.adapt(viewer);
+        s.attach_base_station(PathLossModel::default(), ModalityThresholds::default())
+            .unwrap();
+        // Near client: strong SIR. Far client behind interference: weak.
+        s.wireless_join("near", 35.0, 100.0).unwrap();
+        s.wireless_join("far", 60.0, 100.0).unwrap();
+        let scene = synthetic_scene(64, 64, 1, 2, 9);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        s.pump(Ticks::from_secs(1));
+        let bs = s.base_station.as_ref().unwrap();
+        let near: Vec<_> = bs
+            .downlink_log
+            .iter()
+            .filter(|d| d.client == "near")
+            .collect();
+        let far: Vec<_> = bs
+            .downlink_log
+            .iter()
+            .filter(|d| d.client == "far")
+            .collect();
+        assert!(!near.is_empty(), "near client got the share");
+        assert!(!far.is_empty(), "far client got something too");
+        let near_best = near.iter().map(|d| d.modality).max().unwrap();
+        let far_best = far.iter().map(|d| d.modality).max().unwrap();
+        assert!(
+            near_best > far_best,
+            "radio conditions differentiate modality: {near_best:?} vs {far_best:?}"
+        );
+    }
+
+    #[test]
+    fn downlink_respects_wireless_profiles() {
+        let (mut s, publisher, _viewer) = two_client_session();
+        s.attach_base_station(PathLossModel::default(), ModalityThresholds::default())
+            .unwrap();
+        // A text-only profile never matches image shares.
+        let mut text_profile = Profile::new("texter");
+        text_profile.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("text")]),
+        );
+        s.wireless_join_with_profile(text_profile, 30.0, 100.0)
+            .unwrap();
+        let scene = synthetic_scene(32, 32, 1, 1, 3);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        s.pump(Ticks::from_secs(1));
+        assert!(
+            s.base_station.as_ref().unwrap().downlink_log.is_empty(),
+            "selector must exclude the text-only wireless profile"
+        );
+        // Leaving removes radio and profile.
+        s.wireless_leave("texter").unwrap();
+        assert_eq!(s.base_station.as_ref().unwrap().station.client_count(), 0);
+        assert!(s
+            .base_station
+            .as_ref()
+            .unwrap()
+            .wireless_profiles
+            .is_empty());
+    }
+
+    #[test]
+    fn wireless_contribute_unknown_client_errors() {
+        let (mut s, _p, _v) = two_client_session();
+        s.attach_base_station(PathLossModel::default(), ModalityThresholds::default())
+            .unwrap();
+        let scene = synthetic_scene(32, 32, 1, 1, 0);
+        assert!(s.wireless_contribute("ghost", &scene, "true").is_err());
+        // And without a base station at all:
+        let (mut s2, _p, _v) = two_client_session();
+        assert!(s2.wireless_contribute("x", &scene, "true").is_err());
+    }
+
+    #[test]
+    fn full_stream_bpp_caps_received_rate() {
+        let cfg = SessionConfig {
+            full_stream_bpp: Some(2.1),
+            ..SessionConfig::default()
+        };
+        let mut s = CollaborationSession::new(cfg);
+        let publisher = s
+            .add_wired_client(
+                viewer_profile("pub"),
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle("pub"),
+            )
+            .unwrap();
+        let viewer = s
+            .add_wired_client(viewer_profile("view"), engine_pf(), SimHost::idle("view"))
+            .unwrap();
+        s.adapt(viewer);
+        let scene = synthetic_scene(128, 128, 1, 4, 3);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        let completed = s.pump(Ticks::from_millis(300));
+        let viewed = &completed[0].1;
+        assert!(
+            viewed.bpp <= 2.2,
+            "stream capped at ~2.1 bpp, got {:.2}",
+            viewed.bpp
+        );
+    }
+}

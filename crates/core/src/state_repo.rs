@@ -1,0 +1,180 @@
+//! The client state repository (§4.1).
+//!
+//! "The application interface ... monitors all local objects that may
+//! be of interest to the client and encodes their state as entries in
+//! the client's state repository. Similarly, when a remote instance of
+//! the object changes state, the change is received by the
+//! communication module and forwarded to the application interface,
+//! which in turn updates the client's session."
+//!
+//! Entries are last-writer-wins registers in Lamport order (see
+//! [`crate::concurrency`]); superseded states are archived, which also
+//! provides the session history used to bring late joiners up to date
+//! ("sessions can be archived to provide late clients with session
+//! history", §2).
+
+use crate::concurrency::LwwRegister;
+use std::collections::BTreeMap;
+
+/// One shared object's state entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectState {
+    /// Application kind (e.g. `whiteboard`, `image`, `chat`).
+    pub kind: String,
+    /// Opaque state bytes (application-defined).
+    pub data: Vec<u8>,
+}
+
+/// The repository.
+#[derive(Debug, Default)]
+pub struct StateRepository {
+    entries: BTreeMap<u64, LwwRegister<ObjectState>>,
+    applied: u64,
+    stale: u64,
+}
+
+impl StateRepository {
+    /// An empty repository.
+    pub fn new() -> StateRepository {
+        StateRepository::default()
+    }
+
+    /// Apply a (local or remote) state update; returns whether it
+    /// became the current state.
+    pub fn update(
+        &mut self,
+        object_id: u64,
+        lamport: u64,
+        client: &str,
+        state: ObjectState,
+    ) -> bool {
+        let fresh = self
+            .entries
+            .entry(object_id)
+            .or_default()
+            .write(lamport, client, state);
+        if fresh {
+            self.applied += 1;
+        } else {
+            self.stale += 1;
+        }
+        fresh
+    }
+
+    /// Current state of an object.
+    pub fn get(&self, object_id: u64) -> Option<&ObjectState> {
+        self.entries
+            .get(&object_id)?
+            .current
+            .as_ref()
+            .map(|(_, _, s)| s)
+    }
+
+    /// Current `(lamport, client)` stamp of an object.
+    pub fn stamp(&self, object_id: u64) -> Option<(u64, &str)> {
+        self.entries
+            .get(&object_id)?
+            .current
+            .as_ref()
+            .map(|(l, c, _)| (*l, c.as_str()))
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no objects are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(applied, stale)` update counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.applied, self.stale)
+    }
+
+    /// Snapshot of every current entry — the session history handed to
+    /// a late joiner: `(object_id, lamport, client, state)`.
+    pub fn snapshot(&self) -> Vec<(u64, u64, String, ObjectState)> {
+        self.entries
+            .iter()
+            .filter_map(|(id, reg)| {
+                reg.current
+                    .as_ref()
+                    .map(|(l, c, s)| (*id, *l, c.clone(), s.clone()))
+            })
+            .collect()
+    }
+
+    /// Install a snapshot (late-join catch-up). Existing newer entries
+    /// win; the snapshot never regresses state.
+    pub fn install_snapshot(&mut self, snapshot: Vec<(u64, u64, String, ObjectState)>) {
+        for (id, lamport, client, state) in snapshot {
+            self.update(id, lamport, &client, state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(kind: &str, data: &[u8]) -> ObjectState {
+        ObjectState {
+            kind: kind.to_string(),
+            data: data.to_vec(),
+        }
+    }
+
+    #[test]
+    fn update_and_get() {
+        let mut repo = StateRepository::new();
+        assert!(repo.update(1, 1, "alice", st("whiteboard", b"v1")));
+        assert_eq!(repo.get(1).unwrap().data, b"v1");
+        assert_eq!(repo.stamp(1), Some((1, "alice")));
+        assert!(repo.get(2).is_none());
+    }
+
+    #[test]
+    fn stale_remote_update_rejected_but_counted() {
+        let mut repo = StateRepository::new();
+        repo.update(1, 5, "alice", st("x", b"new"));
+        assert!(!repo.update(1, 3, "bob", st("x", b"old")));
+        assert_eq!(repo.get(1).unwrap().data, b"new");
+        assert_eq!(repo.counters(), (1, 1));
+    }
+
+    #[test]
+    fn replicas_converge_via_snapshots() {
+        // Two repositories receive the same updates in different order.
+        let updates = [
+            (1u64, 2u64, "alice", st("wb", b"a")),
+            (1, 4, "bob", st("wb", b"b")),
+            (2, 1, "alice", st("img", b"c")),
+        ];
+        let mut r1 = StateRepository::new();
+        let mut r2 = StateRepository::new();
+        for (id, l, c, s) in updates.iter() {
+            r1.update(*id, *l, c, s.clone());
+        }
+        for (id, l, c, s) in updates.iter().rev() {
+            r2.update(*id, *l, c, s.clone());
+        }
+        assert_eq!(r1.snapshot(), r2.snapshot());
+    }
+
+    #[test]
+    fn late_joiner_catches_up() {
+        let mut veteran = StateRepository::new();
+        veteran.update(1, 7, "alice", st("wb", b"latest"));
+        veteran.update(2, 3, "bob", st("img", b"scan"));
+        let mut newbie = StateRepository::new();
+        // The newbie saw one newer update the snapshot does not have.
+        newbie.update(1, 9, "carol", st("wb", b"newest"));
+        newbie.install_snapshot(veteran.snapshot());
+        assert_eq!(newbie.get(1).unwrap().data, b"newest", "no regression");
+        assert_eq!(newbie.get(2).unwrap().data, b"scan", "caught up");
+        assert_eq!(newbie.len(), 2);
+    }
+}

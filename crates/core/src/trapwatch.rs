@@ -1,0 +1,290 @@
+//! Trap-driven (event-driven) state dissemination.
+//!
+//! Polling the MIB (the [`crate::netstate`] path) costs a round trip
+//! per sample. SNMP's other half is the asynchronous **trap**: the
+//! paper's embedded extension agent can notify the management station
+//! the moment a parameter crosses a threshold. [`HostWatcher`] turns a
+//! simulated host's metrics into edge-triggered SNMPv2 traps carrying
+//! the offending variable, and [`decision_from_trap`] lets an
+//! inference engine react to the trap payload directly — adaptation
+//! latency becomes one one-way message instead of a poll interval.
+
+use crate::inference::{AdaptationDecision, InferenceEngine};
+use simnet::Network;
+use snmp::oid::{arcs, Oid};
+use snmp::pdu::{Message, VarBind};
+use snmp::transport::AgentRuntime;
+use snmp::SnmpValue;
+use std::collections::BTreeMap;
+use sysmon::SharedHost;
+
+/// Trap OID for a QoS alert from the host extension agent
+/// (tasslQosAlert = 1.3.6.1.4.1.99999.10).
+pub fn qos_alert_trap_oid() -> Oid {
+    arcs::tassl().child(10)
+}
+
+/// Crossing direction that arms a watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Fire when the metric rises to or above the threshold.
+    Rising,
+    /// Fire when the metric falls to or below the threshold.
+    Falling,
+}
+
+/// One armed threshold.
+#[derive(Debug, Clone)]
+pub struct Watch {
+    /// Metric name as the inference engine knows it.
+    pub metric: String,
+    /// Variable OID included in the trap.
+    pub oid: Oid,
+    /// Threshold value.
+    pub threshold: f64,
+    /// Crossing direction.
+    pub direction: Direction,
+    armed: bool,
+}
+
+impl Watch {
+    /// A rising watch on `metric`.
+    pub fn rising(metric: &str, oid: Oid, threshold: f64) -> Watch {
+        Watch {
+            metric: metric.to_string(),
+            oid,
+            threshold,
+            direction: Direction::Rising,
+            armed: true,
+        }
+    }
+
+    /// A falling watch on `metric`.
+    pub fn falling(metric: &str, oid: Oid, threshold: f64) -> Watch {
+        Watch {
+            metric: metric.to_string(),
+            oid,
+            threshold,
+            direction: Direction::Falling,
+            armed: true,
+        }
+    }
+
+    /// Edge-triggered evaluation: fires at most once per crossing, and
+    /// re-arms when the metric returns to the other side.
+    fn evaluate(&mut self, value: f64) -> bool {
+        let beyond = match self.direction {
+            Direction::Rising => value >= self.threshold,
+            Direction::Falling => value <= self.threshold,
+        };
+        if beyond && self.armed {
+            self.armed = false;
+            true
+        } else {
+            if !beyond {
+                self.armed = true;
+            }
+            false
+        }
+    }
+}
+
+/// Watches a host's live metrics and emits traps on crossings.
+pub struct HostWatcher {
+    host: SharedHost,
+    watches: Vec<Watch>,
+    /// Traps emitted so far.
+    pub traps_sent: u64,
+}
+
+impl HostWatcher {
+    /// Watch `host` with the given thresholds.
+    pub fn new(host: SharedHost, watches: Vec<Watch>) -> HostWatcher {
+        HostWatcher {
+            host,
+            watches,
+            traps_sent: 0,
+        }
+    }
+
+    /// The standard pair: page faults rising past 80, CPU rising past 90.
+    pub fn standard(host: SharedHost) -> HostWatcher {
+        HostWatcher::new(
+            host,
+            vec![
+                Watch::rising("page_faults", arcs::host_page_faults(), 80.0),
+                Watch::rising("cpu_load", arcs::host_cpu_load(), 90.0),
+            ],
+        )
+    }
+
+    /// Check every watch against the current host state; emit one trap
+    /// per fresh crossing through `agent_rt` towards `sink_node`.
+    /// Returns the number of traps sent.
+    pub fn service(
+        &mut self,
+        net: &mut Network,
+        agent_rt: &mut AgentRuntime,
+        sink_node: simnet::NodeId,
+    ) -> usize {
+        let state = *self.host.lock().unwrap();
+        let mut sent = 0;
+        for w in &mut self.watches {
+            let value = match w.metric.as_str() {
+                "page_faults" => state.page_faults,
+                "cpu_load" => state.cpu_load,
+                "mem_avail_kb" => state.mem_avail_kb,
+                _ => continue,
+            };
+            if w.evaluate(value) {
+                agent_rt.send_trap(
+                    net,
+                    sink_node,
+                    qos_alert_trap_oid(),
+                    vec![VarBind::bound(
+                        w.oid.clone(),
+                        SnmpValue::Gauge32(value.round().max(0.0) as u32),
+                    )],
+                );
+                self.traps_sent += 1;
+                sent += 1;
+            }
+        }
+        sent
+    }
+}
+
+/// Interpret a received QoS-alert trap: extract the known host metrics
+/// from its varbinds and run the engine on them. Returns `None` for
+/// traps that are not QoS alerts or carry no known metric.
+pub fn decision_from_trap(
+    engine: &InferenceEngine,
+    trap: &Message,
+) -> Option<AdaptationDecision> {
+    // varbind[1] is snmpTrapOID.0 per the SNMPv2 trap layout.
+    let trap_oid = trap.pdu.varbinds.get(1)?;
+    if trap_oid.value != SnmpValue::Oid(qos_alert_trap_oid()) {
+        return None;
+    }
+    let mut state = BTreeMap::new();
+    for vb in &trap.pdu.varbinds[2..] {
+        let name = if vb.name == arcs::host_page_faults() {
+            "page_faults"
+        } else if vb.name == arcs::host_cpu_load() {
+            "cpu_load"
+        } else if vb.name == arcs::host_mem_avail() {
+            "mem_avail_kb"
+        } else {
+            continue;
+        };
+        if let Some(v) = vb.value.as_f64() {
+            state.insert(name.to_string(), v);
+        }
+    }
+    if state.is_empty() {
+        return None;
+    }
+    Some(engine.decide(&state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::QosContract;
+    use crate::policy::PolicyDb;
+    use simnet::{LinkSpec, Ticks};
+    use snmp::transport::TrapSink;
+    use snmp::SnmpAgent;
+    use sysmon::{HostState, SimHost};
+
+    fn world() -> (Network, AgentRuntime, TrapSink, SimHost, simnet::NodeId) {
+        let mut net = Network::new(3);
+        let (_sw, nodes) = net.lan(&["station", "host"], LinkSpec::lan());
+        let host = SimHost::idle("host");
+        let mut agent = SnmpAgent::new("host", "public", None);
+        sysmon::install_host_agent(&host.shared(), &mut agent);
+        let rt = AgentRuntime::bind(&mut net, nodes[1], agent).unwrap();
+        let sink = TrapSink::bind(&mut net, nodes[0]).unwrap();
+        (net, rt, sink, host, nodes[0])
+    }
+
+    #[test]
+    fn crossing_fires_exactly_once() {
+        let (mut net, mut rt, mut sink, mut host, station) = world();
+        let mut watcher = HostWatcher::standard(host.shared());
+        // Below threshold: nothing.
+        assert_eq!(watcher.service(&mut net, &mut rt, station), 0);
+        // Cross: one trap, and only one even if checked repeatedly.
+        host.force(HostState {
+            cpu_load: 20.0,
+            page_faults: 85.0,
+            mem_avail_kb: 1024.0,
+        });
+        assert_eq!(watcher.service(&mut net, &mut rt, station), 1);
+        assert_eq!(watcher.service(&mut net, &mut rt, station), 0, "edge-triggered");
+        net.run_for(Ticks::from_millis(5));
+        assert_eq!(sink.service(&mut net), 1);
+    }
+
+    #[test]
+    fn rearms_after_recovery() {
+        let (mut net, mut rt, mut sink, mut host, station) = world();
+        let mut watcher = HostWatcher::standard(host.shared());
+        let spike = HostState {
+            cpu_load: 20.0,
+            page_faults: 95.0,
+            mem_avail_kb: 1024.0,
+        };
+        let calm = HostState {
+            cpu_load: 20.0,
+            page_faults: 10.0,
+            mem_avail_kb: 1024.0,
+        };
+        host.force(spike);
+        watcher.service(&mut net, &mut rt, station);
+        host.force(calm);
+        watcher.service(&mut net, &mut rt, station);
+        host.force(spike);
+        assert_eq!(watcher.service(&mut net, &mut rt, station), 1, "re-armed");
+        net.run_for(Ticks::from_millis(5));
+        assert_eq!(sink.service(&mut net), 2);
+        assert_eq!(watcher.traps_sent, 2);
+    }
+
+    #[test]
+    fn trap_payload_drives_the_engine() {
+        let (mut net, mut rt, mut sink, mut host, station) = world();
+        let mut watcher = HostWatcher::standard(host.shared());
+        host.force(HostState {
+            cpu_load: 20.0,
+            page_faults: 90.0,
+            mem_avail_kb: 1024.0,
+        });
+        watcher.service(&mut net, &mut rt, station);
+        net.run_for(Ticks::from_millis(5));
+        sink.service(&mut net);
+        let engine =
+            InferenceEngine::new(PolicyDb::paper_page_fault_policy(), QosContract::default());
+        let decision = decision_from_trap(&engine, &sink.traps[0]).expect("qos alert");
+        assert_eq!(decision.max_packets, 1, "90 faults -> pf-extreme band");
+    }
+
+    #[test]
+    fn foreign_traps_ignored() {
+        let engine = InferenceEngine::new(PolicyDb::new(), QosContract::default());
+        let mut agent = SnmpAgent::new("x", "public", None);
+        let raw = agent.build_trap(0, arcs::tassl().child(77), vec![]);
+        let msg = Message::decode(&raw).unwrap();
+        assert!(decision_from_trap(&engine, &msg).is_none());
+    }
+
+    #[test]
+    fn falling_watch_direction() {
+        let mut w = Watch::falling("mem_avail_kb", arcs::host_mem_avail(), 512.0);
+        assert!(!w.evaluate(1024.0));
+        assert!(w.evaluate(256.0));
+        assert!(!w.evaluate(128.0), "still below: no re-fire");
+        assert!(!w.evaluate(2048.0), "recovery alone does not fire");
+        assert!(w.evaluate(100.0), "re-armed after recovery");
+    }
+}

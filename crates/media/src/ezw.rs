@@ -1,0 +1,863 @@
+//! Embedded zerotree wavelet (EZW) coding, after Shapiro (the paper's
+//! reference \[23\]).
+//!
+//! The encoder emits bit-planes most-significant first. Each plane has
+//! a **dominant pass** — coefficients not yet significant are coded
+//! with a context-dependent prefix-free alphabet (zerotree root /
+//! isolated zero / significant-positive / significant-negative) — and a
+//! **subordinate pass** refining the magnitudes of previously
+//! significant coefficients by one bit. The result is a fully
+//! *embedded* stream: decoding any prefix yields a coarser but complete
+//! reconstruction, which is exactly the property the paper's image
+//! viewer exploits when the inference engine limits it to 1–16 packets.
+//!
+//! The zerotree structure uses Shapiro's parent–child relation on the
+//! Mallat quadrant layout: each coarsest-LL coefficient parents the
+//! co-located HL/LH/HH coefficients, and every detail coefficient
+//! parents the 2×2 block at the next finer level.
+
+use crate::image::Image;
+use crate::wavelet::{self, WaveletKind};
+use crate::MediaError;
+
+/// Per-plane stream magic.
+const PLANE_MAGIC: &[u8; 4] = b"EZP1";
+/// Image container magic.
+const CONTAINER_MAGIC: &[u8; 4] = b"EZC1";
+/// Sentinel for an all-zero plane (no bit data follows).
+const EMPTY_PLANE: u8 = 0xFF;
+/// Plane header size: magic + w + h + levels + top_plane.
+pub const PLANE_HEADER_LEN: usize = 4 + 2 + 2 + 1 + 1;
+
+// ---------------------------------------------------------------- bits
+
+/// MSB-first bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    nbits: usize,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: bool) {
+        let pos = self.nbits % 8;
+        if pos == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            *self.bytes.last_mut().unwrap() |= 0x80 >> pos;
+        }
+        self.nbits += 1;
+    }
+
+    /// Total bits written.
+    pub fn len_bits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Finish, returning the packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader; `None` when exhausted.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Next bit, or `None` at end of data.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: no fused/size semantics
+    pub fn next(&mut self) -> Option<bool> {
+        let byte = *self.bytes.get(self.pos / 8)?;
+        let bit = byte & (0x80 >> (self.pos % 8)) != 0;
+        self.pos += 1;
+        Some(bit)
+    }
+}
+
+// ------------------------------------------------------------ geometry
+
+/// Scan/tree geometry shared by encoder and decoder.
+struct Geometry {
+    w: usize,
+    h: usize,
+    levels: usize,
+    /// Subband-ordered scan (coarse to fine), as linear indices.
+    scan: Vec<u32>,
+}
+
+impl Geometry {
+    fn new(w: usize, h: usize, levels: usize) -> Geometry {
+        assert!(levels >= 1 && levels <= wavelet::max_levels(w, h));
+        let mut scan = Vec::with_capacity(w * h);
+        let (wl, hl) = (w >> levels, h >> levels);
+        for y in 0..hl {
+            for x in 0..wl {
+                scan.push((y * w + x) as u32);
+            }
+        }
+        for l in (1..=levels).rev() {
+            let (wb, hb) = (w >> l, h >> l);
+            // HL (top-right), LH (bottom-left), HH (bottom-right).
+            for y in 0..hb {
+                for x in wb..2 * wb {
+                    scan.push((y * w + x) as u32);
+                }
+            }
+            for y in hb..2 * hb {
+                for x in 0..wb {
+                    scan.push((y * w + x) as u32);
+                }
+            }
+            for y in hb..2 * hb {
+                for x in wb..2 * wb {
+                    scan.push((y * w + x) as u32);
+                }
+            }
+        }
+        debug_assert_eq!(scan.len(), w * h);
+        Geometry { w, h, levels, scan }
+    }
+
+    /// Children of the coefficient at linear index `idx` (0 to 4).
+    fn children(&self, idx: usize, out: &mut [usize; 4]) -> usize {
+        let (x, y) = (idx % self.w, idx / self.w);
+        let (wl, hl) = (self.w >> self.levels, self.h >> self.levels);
+        if x < wl && y < hl {
+            // Coarsest LL: parents the co-located HL/LH/HH coefficients.
+            out[0] = y * self.w + (x + wl);
+            out[1] = (y + hl) * self.w + x;
+            out[2] = (y + hl) * self.w + (x + wl);
+            3
+        } else if 2 * x < self.w && 2 * y < self.h {
+            out[0] = 2 * y * self.w + 2 * x;
+            out[1] = 2 * y * self.w + 2 * x + 1;
+            out[2] = (2 * y + 1) * self.w + 2 * x;
+            out[3] = (2 * y + 1) * self.w + 2 * x + 1;
+            4
+        } else {
+            0
+        }
+    }
+
+    fn has_children(&self, idx: usize) -> bool {
+        let mut buf = [0usize; 4];
+        self.children(idx, &mut buf) > 0
+    }
+
+    /// Mark every descendant of `idx` with `stamp`.
+    fn stamp_descendants(&self, idx: usize, stamp: u32, stamps: &mut [u32]) {
+        let mut stack = [0usize; 4];
+        let n = self.children(idx, &mut stack);
+        let mut work: Vec<usize> = stack[..n].to_vec();
+        while let Some(i) = work.pop() {
+            if stamps[i] == stamp {
+                continue;
+            }
+            stamps[i] = stamp;
+            let mut buf = [0usize; 4];
+            let n = self.children(i, &mut buf);
+            work.extend_from_slice(&buf[..n]);
+        }
+    }
+}
+
+// -------------------------------------------------------------- encode
+
+/// Encode a wavelet-transformed plane into a fully embedded stream.
+pub struct EzwEncoder;
+
+impl EzwEncoder {
+    /// Encode `coeffs` (a `w x h` plane already wavelet-transformed
+    /// with `levels` levels). The returned bytes are
+    /// [`PLANE_HEADER_LEN`] of header followed by the embedded
+    /// bitstream down to bit-plane 0.
+    pub fn encode_plane(coeffs: &[i32], w: usize, h: usize, levels: usize) -> Vec<u8> {
+        assert_eq!(coeffs.len(), w * h);
+        let geo = Geometry::new(w, h, levels);
+        let max_mag = coeffs.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
+
+        let mut out = Vec::new();
+        out.extend_from_slice(PLANE_MAGIC);
+        out.extend_from_slice(&(w as u16).to_be_bytes());
+        out.extend_from_slice(&(h as u16).to_be_bytes());
+        out.push(levels as u8);
+        if max_mag == 0 {
+            out.push(EMPTY_PLANE);
+            return out;
+        }
+        let top_plane = 31 - max_mag.leading_zeros();
+        out.push(top_plane as u8);
+
+        // Static max |coeff| over self + descendants: reverse scan
+        // order visits children before parents.
+        let mut subtree_max = vec![0u32; coeffs.len()];
+        let mut kids = [0usize; 4];
+        for &idx in geo.scan.iter().rev() {
+            let idx = idx as usize;
+            let mut m = coeffs[idx].unsigned_abs();
+            let n = geo.children(idx, &mut kids);
+            for &k in &kids[..n] {
+                m = m.max(subtree_max[k]);
+            }
+            subtree_max[idx] = m;
+        }
+
+        let mut bits = BitWriter::new();
+        let mut significant = vec![false; coeffs.len()];
+        let mut skip = vec![u32::MAX; coeffs.len()];
+        let mut sub_list: Vec<usize> = Vec::new();
+
+        for (pass, b) in (0..=top_plane).rev().enumerate() {
+            let t = 1u32 << b;
+            let refine_count = sub_list.len();
+            // Dominant pass.
+            for &idx in &geo.scan {
+                let idx = idx as usize;
+                if significant[idx] || skip[idx] == pass as u32 {
+                    continue;
+                }
+                let mag = coeffs[idx].unsigned_abs();
+                let has_kids = geo.has_children(idx);
+                if mag >= t {
+                    // P / N.
+                    if has_kids {
+                        bits.push(true);
+                        bits.push(true);
+                        bits.push(coeffs[idx] < 0);
+                    } else {
+                        bits.push(true);
+                        bits.push(coeffs[idx] < 0);
+                    }
+                    significant[idx] = true;
+                    sub_list.push(idx);
+                } else if has_kids && subtree_max[idx] < t {
+                    // Zerotree root.
+                    bits.push(false);
+                    geo.stamp_descendants(idx, pass as u32, &mut skip);
+                } else if has_kids {
+                    // Isolated zero.
+                    bits.push(true);
+                    bits.push(false);
+                } else {
+                    bits.push(false);
+                }
+            }
+            // Subordinate pass: one refinement bit for coefficients
+            // significant before this plane.
+            for &idx in &sub_list[..refine_count] {
+                bits.push(coeffs[idx].unsigned_abs() & t != 0);
+            }
+        }
+        out.extend_from_slice(&bits.into_bytes());
+        out
+    }
+}
+
+/// Decode an embedded plane stream (possibly truncated anywhere past
+/// the header).
+pub struct EzwDecoder;
+
+/// A decoded plane plus its geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedPlane {
+    /// Width in samples.
+    pub w: usize,
+    /// Height in samples.
+    pub h: usize,
+    /// Wavelet levels the plane was coded with.
+    pub levels: usize,
+    /// Reconstructed coefficients (still in the wavelet domain).
+    pub coeffs: Vec<i32>,
+}
+
+impl EzwDecoder {
+    /// Decode as much of `bytes` as is present.
+    pub fn decode_plane(bytes: &[u8]) -> Result<DecodedPlane, MediaError> {
+        if bytes.len() < PLANE_HEADER_LEN || &bytes[..4] != PLANE_MAGIC {
+            return Err(MediaError::Malformed("bad plane header"));
+        }
+        let w = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
+        let h = u16::from_be_bytes([bytes[6], bytes[7]]) as usize;
+        let levels = bytes[8] as usize;
+        let top = bytes[9];
+        if w == 0 || h == 0 || levels == 0 || levels > wavelet::max_levels(w, h) {
+            return Err(MediaError::Malformed("bad plane geometry"));
+        }
+        let mut coeffs = vec![0i32; w * h];
+        if top == EMPTY_PLANE {
+            return Ok(DecodedPlane { w, h, levels, coeffs });
+        }
+        let top_plane = top as u32;
+        if top_plane > 31 {
+            return Err(MediaError::Malformed("bad top plane"));
+        }
+        let geo = Geometry::new(w, h, levels);
+        let mut bits = BitReader::new(&bytes[PLANE_HEADER_LEN..]);
+
+        let mut mags = vec![0u32; w * h];
+        let mut negs = vec![false; w * h];
+        let mut skip = vec![u32::MAX; w * h];
+        let mut sub_list: Vec<usize> = Vec::new();
+        // Offset plane used to centre the uncertainty interval if the
+        // stream is truncated at plane `b`: [mag, mag + 2^b).
+        let mut current_plane = top_plane;
+        let mut finished = true;
+
+        'outer: for (pass, b) in (0..=top_plane).rev().enumerate() {
+            current_plane = b;
+            let t = 1u32 << b;
+            let refine_count = sub_list.len();
+            for &idx in &geo.scan {
+                let idx = idx as usize;
+                if mags[idx] != 0 || skip[idx] == pass as u32 {
+                    continue;
+                }
+                let has_kids = geo.has_children(idx);
+                let Some(first) = bits.next() else {
+                    finished = false;
+                    break 'outer;
+                };
+                if has_kids {
+                    if !first {
+                        geo.stamp_descendants(idx, pass as u32, &mut skip);
+                        continue;
+                    }
+                    let Some(second) = bits.next() else {
+                        finished = false;
+                        break 'outer;
+                    };
+                    if !second {
+                        continue; // isolated zero
+                    }
+                    let Some(sign) = bits.next() else {
+                        finished = false;
+                        break 'outer;
+                    };
+                    mags[idx] = t;
+                    negs[idx] = sign;
+                    sub_list.push(idx);
+                } else {
+                    if !first {
+                        continue;
+                    }
+                    let Some(sign) = bits.next() else {
+                        finished = false;
+                        break 'outer;
+                    };
+                    mags[idx] = t;
+                    negs[idx] = sign;
+                    sub_list.push(idx);
+                }
+            }
+            for &idx in &sub_list[..refine_count] {
+                let Some(bit) = bits.next() else {
+                    finished = false;
+                    break 'outer;
+                };
+                if bit {
+                    mags[idx] |= t;
+                }
+            }
+        }
+
+        let offset = if finished { 0 } else { (1u32 << current_plane) >> 1 };
+        for idx in 0..coeffs.len() {
+            if mags[idx] != 0 {
+                let v = (mags[idx] + offset) as i32;
+                coeffs[idx] = if negs[idx] { -v } else { v };
+            }
+        }
+        Ok(DecodedPlane { w, h, levels, coeffs })
+    }
+}
+
+// ----------------------------------------------------------- container
+
+/// Kind byte for the container header; bit 7 flags YCoCg-R color
+/// decorrelation.
+const COLOR_TRANSFORM_FLAG: u8 = 0x80;
+
+fn kind_to_byte(k: WaveletKind) -> u8 {
+    match k {
+        WaveletKind::Haar => 0,
+        WaveletKind::Cdf53 => 1,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<(WaveletKind, bool), MediaError> {
+    let color = b & COLOR_TRANSFORM_FLAG != 0;
+    match b & !COLOR_TRANSFORM_FLAG {
+        0 => Ok((WaveletKind::Haar, color)),
+        1 => Ok((WaveletKind::Cdf53, color)),
+        _ => Err(MediaError::Malformed("bad wavelet kind")),
+    }
+}
+
+/// Encode a whole image: wavelet transform + EZW per channel, packed as
+/// `EZC1 | channels u8 | kind u8 | (len u32 | plane-stream)*`.
+pub fn encode_image(img: &Image, levels: usize, kind: WaveletKind) -> Result<Vec<u8>, MediaError> {
+    encode_image_opts(img, levels, kind, false)
+}
+
+/// [`encode_image`] with options: `color_transform` applies reversible
+/// YCoCg-R decorrelation before coding (3-channel images only), which
+/// typically shrinks the stream on natural colour content and
+/// front-loads quality into the luma plane.
+pub fn encode_image_opts(
+    img: &Image,
+    levels: usize,
+    kind: WaveletKind,
+    color_transform: bool,
+) -> Result<Vec<u8>, MediaError> {
+    if levels == 0 || levels > wavelet::max_levels(img.width, img.height) {
+        return Err(MediaError::BadDimensions(format!(
+            "{}x{} does not support {} wavelet levels",
+            img.width, img.height, levels
+        )));
+    }
+    if color_transform && img.channels != 3 {
+        return Err(MediaError::BadDimensions(
+            "color transform requires 3 channels".to_string(),
+        ));
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(CONTAINER_MAGIC);
+    out.push(img.channels as u8);
+    out.push(kind_to_byte(kind) | if color_transform { COLOR_TRANSFORM_FLAG } else { 0 });
+    let mut planes: Vec<Vec<i32>> = (0..img.channels).map(|c| img.plane(c)).collect();
+    if color_transform {
+        let (r, rest) = planes.split_at_mut(1);
+        let (g, b) = rest.split_at_mut(1);
+        crate::color::forward_planes(&mut r[0], &mut g[0], &mut b[0]);
+        // Level-shift luma only; chroma is already near-zero-centred.
+        for v in planes[0].iter_mut() {
+            *v -= 128;
+        }
+    } else {
+        for plane in planes.iter_mut() {
+            // Level-shift to signed, as standard for wavelet coding.
+            for v in plane.iter_mut() {
+                *v -= 128;
+            }
+        }
+    }
+    for plane in planes.iter_mut() {
+        wavelet::forward_2d(plane, img.width, img.height, levels, kind);
+        let stream = EzwEncoder::encode_plane(plane, img.width, img.height, levels);
+        out.extend_from_slice(&(stream.len() as u32).to_be_bytes());
+        out.extend_from_slice(&stream);
+    }
+    Ok(out)
+}
+
+/// Decode a container (channel streams may be internally truncated by
+/// [`truncate_container`]; the container structure itself must be
+/// intact).
+pub fn decode_image(bytes: &[u8]) -> Result<Image, MediaError> {
+    if bytes.len() < 6 || &bytes[..4] != CONTAINER_MAGIC {
+        return Err(MediaError::Malformed("bad container header"));
+    }
+    let channels = bytes[4] as usize;
+    if channels != 1 && channels != 3 {
+        return Err(MediaError::Malformed("bad channel count"));
+    }
+    let (kind, color) = kind_from_byte(bytes[5])?;
+    if color && channels != 3 {
+        return Err(MediaError::Malformed("color transform on non-RGB"));
+    }
+    let mut pos = 6;
+    let mut planes = Vec::with_capacity(channels);
+    for i in 0..channels {
+        if bytes.len() < pos + 4 {
+            return Err(MediaError::Malformed("truncated container"));
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if bytes.len() < pos + len {
+            return Err(MediaError::Malformed("truncated channel stream"));
+        }
+        let mut decoded = EzwDecoder::decode_plane(&bytes[pos..pos + len])?;
+        pos += len;
+        wavelet::inverse_2d(
+            &mut decoded.coeffs,
+            decoded.w,
+            decoded.h,
+            decoded.levels,
+            kind,
+        );
+        let shift = if color { i == 0 } else { true };
+        if shift {
+            for v in decoded.coeffs.iter_mut() {
+                *v += 128;
+            }
+        }
+        planes.push(decoded);
+    }
+    let (w, h) = (planes[0].w, planes[0].h);
+    if planes.iter().any(|p| p.w != w || p.h != h) {
+        return Err(MediaError::Malformed("channel geometry mismatch"));
+    }
+    if color {
+        let (y, rest) = planes.split_at_mut(1);
+        let (co, cg) = rest.split_at_mut(1);
+        crate::color::inverse_planes(&mut y[0].coeffs, &mut co[0].coeffs, &mut cg[0].coeffs);
+    }
+    let mut img = Image::new(w, h, channels);
+    for (c, plane) in planes.iter().enumerate() {
+        img.set_plane(c, &plane.coeffs);
+    }
+    Ok(img)
+}
+
+/// Decode a container at reduced resolution: `drop_levels` finest
+/// wavelet levels are discarded, yielding a `(w >> drop, h >> drop)`
+/// image — the hierarchical representation of §5.4 where "each of the
+/// users may access the same visual information but at different
+/// resolutions". The skipped detail subbands also never need to be
+/// reconstructed, so thin clients save decode work too.
+pub fn decode_image_reduced(bytes: &[u8], drop_levels: usize) -> Result<Image, MediaError> {
+    if bytes.len() < 6 || &bytes[..4] != CONTAINER_MAGIC {
+        return Err(MediaError::Malformed("bad container header"));
+    }
+    let channels = bytes[4] as usize;
+    if channels != 1 && channels != 3 {
+        return Err(MediaError::Malformed("bad channel count"));
+    }
+    let (kind, color) = kind_from_byte(bytes[5])?;
+    let mut pos = 6;
+    let mut planes = Vec::with_capacity(channels);
+    for i in 0..channels {
+        if bytes.len() < pos + 4 {
+            return Err(MediaError::Malformed("truncated container"));
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if bytes.len() < pos + len {
+            return Err(MediaError::Malformed("truncated channel stream"));
+        }
+        let mut decoded = EzwDecoder::decode_plane(&bytes[pos..pos + len])?;
+        pos += len;
+        if drop_levels > decoded.levels {
+            return Err(MediaError::BadDimensions(format!(
+                "cannot drop {drop_levels} of {} levels",
+                decoded.levels
+            )));
+        }
+        wavelet::inverse_2d_partial(
+            &mut decoded.coeffs,
+            decoded.w,
+            decoded.h,
+            decoded.levels,
+            drop_levels,
+            kind,
+        );
+        let shift = if color { i == 0 } else { true };
+        if shift {
+            for v in decoded.coeffs.iter_mut() {
+                *v += 128;
+            }
+        }
+        planes.push(decoded);
+    }
+    let (w, h) = (planes[0].w, planes[0].h);
+    if planes.iter().any(|p| p.w != w || p.h != h) {
+        return Err(MediaError::Malformed("channel geometry mismatch"));
+    }
+    if color {
+        let (y, rest) = planes.split_at_mut(1);
+        let (co, cg) = rest.split_at_mut(1);
+        crate::color::inverse_planes(&mut y[0].coeffs, &mut co[0].coeffs, &mut cg[0].coeffs);
+    }
+    let (rw, rh) = (w >> drop_levels, h >> drop_levels);
+    let mut img = Image::new(rw, rh, channels);
+    for (c, plane) in planes.iter().enumerate() {
+        for y in 0..rh {
+            for x in 0..rw {
+                let v = plane.coeffs[y * w + x].clamp(0, 255) as u8;
+                img.set(x, y, c, v);
+            }
+        }
+    }
+    Ok(img)
+}
+
+/// Build a valid container whose total size is at most `budget` bytes
+/// by cutting each channel stream proportionally (never below its
+/// header). This is how "receiving only k of n packets" is realised:
+/// quality degrades gracefully across all channels instead of dropping
+/// whole channels.
+pub fn truncate_container(bytes: &[u8], budget: usize) -> Result<Vec<u8>, MediaError> {
+    if bytes.len() < 6 || &bytes[..4] != CONTAINER_MAGIC {
+        return Err(MediaError::Malformed("bad container header"));
+    }
+    let channels = bytes[4] as usize;
+    // Parse channel extents.
+    let mut pos = 6;
+    let mut streams: Vec<&[u8]> = Vec::with_capacity(channels);
+    for _ in 0..channels {
+        if bytes.len() < pos + 4 {
+            return Err(MediaError::Malformed("truncated container"));
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if bytes.len() < pos + len {
+            return Err(MediaError::Malformed("truncated channel stream"));
+        }
+        streams.push(&bytes[pos..pos + len]);
+        pos += len;
+    }
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let overhead = 6 + 4 * channels;
+    let payload_budget = budget.saturating_sub(overhead);
+    let mut out = Vec::with_capacity(budget.min(bytes.len()));
+    out.extend_from_slice(&bytes[..6]);
+    for s in &streams {
+        let share = (payload_budget * s.len()).checked_div(total).unwrap_or(0);
+        let keep = share.clamp(PLANE_HEADER_LEN.min(s.len()), s.len());
+        out.extend_from_slice(&(keep as u32).to_be_bytes());
+        out.extend_from_slice(&s[..keep]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::synthetic_scene;
+    use crate::metrics::psnr;
+
+    #[test]
+    fn bit_writer_reader_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, false, true, true, true, false, true, true];
+        for &b in &pattern {
+            w.push(b);
+        }
+        assert_eq!(w.len_bits(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.next(), Some(b));
+        }
+        // Padding bits then exhaustion.
+        for _ in 9..16 {
+            assert!(r.next().is_some());
+        }
+        assert_eq!(r.next(), None);
+    }
+
+    #[test]
+    fn geometry_scan_covers_everything_once() {
+        let geo = Geometry::new(16, 16, 3);
+        let mut seen = vec![false; 256];
+        for &i in &geo.scan {
+            assert!(!seen[i as usize], "duplicate {i}");
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn geometry_parents_scanned_before_children() {
+        let geo = Geometry::new(32, 32, 3);
+        let mut order = vec![0usize; 32 * 32];
+        for (rank, &i) in geo.scan.iter().enumerate() {
+            order[i as usize] = rank;
+        }
+        let mut kids = [0usize; 4];
+        for idx in 0..32 * 32 {
+            let n = geo.children(idx, &mut kids);
+            for &k in &kids[..n] {
+                assert!(order[idx] < order[k], "parent {idx} after child {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_stream_decodes_losslessly() {
+        let scene = synthetic_scene(32, 32, 1, 3, 11);
+        let mut plane = scene.image.plane(0);
+        for v in plane.iter_mut() {
+            *v -= 128;
+        }
+        wavelet::forward_2d(&mut plane, 32, 32, 3, WaveletKind::Cdf53);
+        let stream = EzwEncoder::encode_plane(&plane, 32, 32, 3);
+        let decoded = EzwDecoder::decode_plane(&stream).unwrap();
+        assert_eq!(decoded.coeffs, plane, "full embedded stream is lossless");
+    }
+
+    #[test]
+    fn all_zero_plane_is_tiny() {
+        let plane = vec![0i32; 64 * 64];
+        let stream = EzwEncoder::encode_plane(&plane, 64, 64, 4);
+        assert_eq!(stream.len(), PLANE_HEADER_LEN);
+        let decoded = EzwDecoder::decode_plane(&stream).unwrap();
+        assert!(decoded.coeffs.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn any_prefix_decodes_and_quality_is_monotone() {
+        let scene = synthetic_scene(64, 64, 1, 4, 3);
+        let container = encode_image(&scene.image, 4, WaveletKind::Cdf53).unwrap();
+        let full = decode_image(&container).unwrap();
+        assert_eq!(full.data, scene.image.data, "full container lossless");
+
+        let mut last_psnr = 0.0;
+        for frac in [0.05, 0.1, 0.25, 0.5, 1.0] {
+            let budget = (container.len() as f64 * frac) as usize;
+            let cut = truncate_container(&container, budget).unwrap();
+            assert!(cut.len() <= container.len());
+            let img = decode_image(&cut).unwrap();
+            let q = psnr(&scene.image, &img);
+            assert!(
+                q >= last_psnr - 0.9,
+                "PSNR should be (weakly) monotone: {q:.2} after {last_psnr:.2} at {frac}"
+            );
+            last_psnr = q;
+        }
+        assert!(last_psnr.is_infinite(), "100% prefix is lossless");
+    }
+
+    #[test]
+    fn tiny_prefix_still_reconstructs_something() {
+        let scene = synthetic_scene(64, 64, 1, 4, 5);
+        let container = encode_image(&scene.image, 4, WaveletKind::Cdf53).unwrap();
+        let cut = truncate_container(&container, 40).unwrap();
+        let img = decode_image(&cut).unwrap();
+        let q = psnr(&scene.image, &img);
+        assert!(q > 5.0, "even ~40 bytes give a coarse image, got {q:.2} dB");
+    }
+
+    #[test]
+    fn color_image_round_trip_and_truncation() {
+        let scene = synthetic_scene(32, 32, 3, 3, 8);
+        let container = encode_image(&scene.image, 3, WaveletKind::Cdf53).unwrap();
+        let full = decode_image(&container).unwrap();
+        assert_eq!(full.data, scene.image.data);
+        let cut = truncate_container(&container, container.len() / 3).unwrap();
+        let img = decode_image(&cut).unwrap();
+        assert_eq!(img.channels, 3);
+        assert!(psnr(&scene.image, &img) > 15.0);
+    }
+
+    #[test]
+    fn color_transform_is_lossless_and_usually_smaller() {
+        let scene = synthetic_scene(64, 64, 3, 4, 19);
+        let plain = encode_image(&scene.image, 4, WaveletKind::Cdf53).unwrap();
+        let transformed =
+            encode_image_opts(&scene.image, 4, WaveletKind::Cdf53, true).unwrap();
+        assert_eq!(
+            decode_image(&transformed).unwrap().data,
+            scene.image.data,
+            "YCoCg-R path is lossless"
+        );
+        // Synthetic scenes have strongly correlated channels: the
+        // decorrelated stream should not be larger (and usually wins).
+        assert!(
+            transformed.len() <= plain.len() + plain.len() / 20,
+            "transformed {} vs plain {}",
+            transformed.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn color_transform_truncation_still_decodes() {
+        let scene = synthetic_scene(64, 64, 3, 4, 20);
+        let c = encode_image_opts(&scene.image, 4, WaveletKind::Cdf53, true).unwrap();
+        let cut = truncate_container(&c, c.len() / 3).unwrap();
+        let img = decode_image(&cut).unwrap();
+        assert_eq!(img.channels, 3);
+        assert!(psnr(&scene.image, &img) > 15.0);
+    }
+
+    #[test]
+    fn color_transform_rejected_on_grayscale() {
+        let scene = synthetic_scene(32, 32, 1, 1, 0);
+        assert!(encode_image_opts(&scene.image, 2, WaveletKind::Haar, true).is_err());
+    }
+
+    #[test]
+    fn haar_also_round_trips() {
+        let scene = synthetic_scene(32, 32, 1, 2, 21);
+        let container = encode_image(&scene.image, 3, WaveletKind::Haar).unwrap();
+        assert_eq!(decode_image(&container).unwrap().data, scene.image.data);
+    }
+
+    #[test]
+    fn compression_beats_raw_on_structured_content() {
+        let scene = synthetic_scene(128, 128, 1, 4, 13);
+        let container = encode_image(&scene.image, 5, WaveletKind::Cdf53).unwrap();
+        assert!(
+            container.len() < scene.image.byte_len(),
+            "embedded stream {} should undercut raw {}",
+            container.len(),
+            scene.image.byte_len()
+        );
+    }
+
+    #[test]
+    fn reduced_resolution_decode_matches_downsample() {
+        let scene = synthetic_scene(64, 64, 1, 3, 14);
+        let container = encode_image(&scene.image, 4, WaveletKind::Haar).unwrap();
+        let half = decode_image_reduced(&container, 1).unwrap();
+        assert_eq!((half.width, half.height), (32, 32));
+        // The Haar LL band is (approximately) the box-downsampled image.
+        let reference = scene.image.downsample(2);
+        let q = psnr(&reference, &half);
+        assert!(q > 40.0, "half-res decode ~= 2x downsample, got {q:.1} dB");
+        // Quarter resolution too.
+        let quarter = decode_image_reduced(&container, 2).unwrap();
+        assert_eq!((quarter.width, quarter.height), (16, 16));
+        assert!(psnr(&scene.image.downsample(4), &quarter) > 30.0);
+    }
+
+    #[test]
+    fn reduced_decode_of_zero_drop_is_normal_decode() {
+        let scene = synthetic_scene(32, 32, 3, 2, 6);
+        let container = encode_image(&scene.image, 3, WaveletKind::Cdf53).unwrap();
+        let full = decode_image_reduced(&container, 0).unwrap();
+        assert_eq!(full.data, scene.image.data);
+    }
+
+    #[test]
+    fn reduced_decode_rejects_excess_drop() {
+        let scene = synthetic_scene(32, 32, 1, 1, 0);
+        let container = encode_image(&scene.image, 2, WaveletKind::Haar).unwrap();
+        assert!(decode_image_reduced(&container, 3).is_err());
+    }
+
+    #[test]
+    fn malformed_streams_rejected() {
+        assert!(EzwDecoder::decode_plane(b"nope").is_err());
+        assert!(decode_image(b"EZC1").is_err());
+        let scene = synthetic_scene(16, 16, 1, 1, 0);
+        let mut container = encode_image(&scene.image, 2, WaveletKind::Cdf53).unwrap();
+        container[4] = 7; // bad channel count
+        assert!(decode_image(&container).is_err());
+    }
+
+    #[test]
+    fn encoder_rejects_bad_levels() {
+        let scene = synthetic_scene(16, 16, 1, 1, 0);
+        assert!(encode_image(&scene.image, 0, WaveletKind::Haar).is_err());
+        assert!(encode_image(&scene.image, 9, WaveletKind::Haar).is_err());
+    }
+}

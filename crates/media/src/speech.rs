@@ -1,0 +1,119 @@
+//! Simulated text↔speech modality transforms.
+//!
+//! The paper's transformer suite lists text-to-speech and
+//! speech-to-text conversions (§5.4, ref \[16\]). Real engines are out
+//! of scope (and irrelevant to QoS decisions); what matters to the
+//! framework is (a) the modality switch itself and (b) realistic
+//! payload-size ratios. We synthesize a deterministic "phoneme stream":
+//! each word maps to phoneme codes plus duration bytes, yielding the
+//! order-of-magnitude expansion speech has over text, and the inverse
+//! recovers the word stream exactly (our phoneme code is lossless by
+//! construction, standing in for a perfect recognizer).
+
+/// Samples of synthetic audio generated per phoneme (drives size).
+const BYTES_PER_PHONEME: usize = 160; // 20 ms at 8 kHz / 8-bit
+
+/// A simulated speech rendering of text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpeechStream {
+    /// Phoneme codes with embedded word boundaries.
+    pub phonemes: Vec<u8>,
+    /// Synthetic waveform byte count (what a real codec would ship).
+    pub audio_bytes: usize,
+}
+
+/// Text → speech: deterministic phoneme coding.
+///
+/// Encoding: each character maps to one phoneme byte (letters fold to
+/// a compact code space); word boundaries are `0x00`.
+pub fn text_to_speech(text: &str) -> SpeechStream {
+    let mut phonemes = Vec::with_capacity(text.len() + 8);
+    for word in text.split_whitespace() {
+        if !phonemes.is_empty() {
+            phonemes.push(0x00);
+        }
+        for ch in word.chars() {
+            phonemes.push(char_to_phoneme(ch));
+        }
+    }
+    let audio_bytes = phonemes.len() * BYTES_PER_PHONEME;
+    SpeechStream {
+        phonemes,
+        audio_bytes,
+    }
+}
+
+/// Speech → text: invert the phoneme coding.
+pub fn speech_to_text(speech: &SpeechStream) -> String {
+    let mut out = String::with_capacity(speech.phonemes.len());
+    for &p in &speech.phonemes {
+        if p == 0x00 {
+            out.push(' ');
+        } else {
+            out.push(phoneme_to_char(p));
+        }
+    }
+    out
+}
+
+fn char_to_phoneme(ch: char) -> u8 {
+    let c = ch.to_ascii_lowercase();
+    match c {
+        'a'..='z' => c as u8 - b'a' + 1, // 1..=26
+        '0'..='9' => c as u8 - b'0' + 27, // 27..=36
+        _ => 37 + (c as u32 % 90) as u8, // other printable, folded
+    }
+}
+
+fn phoneme_to_char(p: u8) -> char {
+    match p {
+        1..=26 => (p - 1 + b'a') as char,
+        27..=36 => (p - 27 + b'0') as char,
+        _ => '?',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alnum_round_trips_exactly() {
+        let text = "share image 42 now";
+        let speech = text_to_speech(text);
+        assert_eq!(speech_to_text(&speech), text);
+    }
+
+    #[test]
+    fn whitespace_normalised() {
+        let speech = text_to_speech("  two   words ");
+        assert_eq!(speech_to_text(&speech), "two words");
+    }
+
+    #[test]
+    fn speech_is_much_larger_than_text() {
+        let text = "a verbal description of the shared scene";
+        let speech = text_to_speech(text);
+        assert!(
+            speech.audio_bytes > text.len() * 50,
+            "speech {} vs text {}",
+            speech.audio_bytes,
+            text.len()
+        );
+    }
+
+    #[test]
+    fn empty_text() {
+        let speech = text_to_speech("");
+        assert!(speech.phonemes.is_empty());
+        assert_eq!(speech.audio_bytes, 0);
+        assert_eq!(speech_to_text(&speech), "");
+    }
+
+    #[test]
+    fn punctuation_degrades_gracefully() {
+        let speech = text_to_speech("hi!");
+        let back = speech_to_text(&speech);
+        assert!(back.starts_with("hi"));
+    }
+}

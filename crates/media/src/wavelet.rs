@@ -1,0 +1,336 @@
+//! Reversible integer 2-D wavelet transforms.
+//!
+//! Two lifting-based filters, both exactly invertible over `i32`:
+//!
+//! * **Haar** (S-transform) — the simplest reversible filter,
+//! * **CDF 5/3** (LeGall, the JPEG 2000 reversible filter) — better
+//!   energy compaction on smooth content.
+//!
+//! Multi-level Mallat decomposition: each level transforms rows then
+//! columns of the current LL band, leaving the standard quadrant layout
+//! (LL top-left, HL top-right, LH bottom-left, HH bottom-right).
+
+/// Filter choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveletKind {
+    /// Reversible Haar / S-transform.
+    Haar,
+    /// Reversible CDF 5/3 (LeGall) lifting filter.
+    Cdf53,
+}
+
+/// Largest level count such that every level sees even dimensions.
+pub fn max_levels(width: usize, height: usize) -> usize {
+    let mut levels = 0;
+    let (mut w, mut h) = (width, height);
+    while w >= 2 && h >= 2 && w % 2 == 0 && h % 2 == 0 {
+        levels += 1;
+        w /= 2;
+        h /= 2;
+    }
+    levels
+}
+
+/// Forward 1-D lift on `buf` (length must be even): low-pass results in
+/// the first half, high-pass in the second.
+fn forward_1d(buf: &mut [i32], kind: WaveletKind, scratch: &mut Vec<i32>) {
+    let n = buf.len();
+    debug_assert!(n.is_multiple_of(2) && n >= 2);
+    let half = n / 2;
+    scratch.clear();
+    scratch.resize(n, 0);
+    let (s, d) = scratch.split_at_mut(half);
+    match kind {
+        WaveletKind::Haar => {
+            for i in 0..half {
+                let a = buf[2 * i];
+                let b = buf[2 * i + 1];
+                let diff = b - a;
+                d[i] = diff;
+                s[i] = a + (diff >> 1);
+            }
+        }
+        WaveletKind::Cdf53 => {
+            // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+            for i in 0..half {
+                let left = buf[2 * i];
+                let right = if 2 * i + 2 < n { buf[2 * i + 2] } else { buf[n - 2] };
+                d[i] = buf[2 * i + 1] - ((left + right) >> 1);
+            }
+            // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
+            for i in 0..half {
+                let dm1 = if i > 0 { d[i - 1] } else { d[0] };
+                s[i] = buf[2 * i] + ((dm1 + d[i] + 2) >> 2);
+            }
+        }
+    }
+    buf.copy_from_slice(scratch);
+}
+
+/// Inverse of [`forward_1d`].
+fn inverse_1d(buf: &mut [i32], kind: WaveletKind, scratch: &mut Vec<i32>) {
+    let n = buf.len();
+    debug_assert!(n.is_multiple_of(2) && n >= 2);
+    let half = n / 2;
+    scratch.clear();
+    scratch.resize(n, 0);
+    let (s, d) = buf.split_at(half);
+    match kind {
+        WaveletKind::Haar => {
+            for i in 0..half {
+                let a = s[i] - (d[i] >> 1);
+                let b = d[i] + a;
+                scratch[2 * i] = a;
+                scratch[2 * i + 1] = b;
+            }
+        }
+        WaveletKind::Cdf53 => {
+            // Undo update: x[2i] = s[i] - floor((d[i-1] + d[i] + 2)/4)
+            for i in 0..half {
+                let dm1 = if i > 0 { d[i - 1] } else { d[0] };
+                scratch[2 * i] = s[i] - ((dm1 + d[i] + 2) >> 2);
+            }
+            // Undo predict: x[2i+1] = d[i] + floor((x[2i] + x[2i+2])/2)
+            for i in 0..half {
+                let left = scratch[2 * i];
+                let right = if 2 * i + 2 < n {
+                    scratch[2 * i + 2]
+                } else {
+                    scratch[n - 2]
+                };
+                scratch[2 * i + 1] = d[i] + ((left + right) >> 1);
+            }
+        }
+    }
+    buf.copy_from_slice(scratch);
+}
+
+/// In-place multi-level forward 2-D transform of a `width x height`
+/// row-major plane.
+///
+/// # Panics
+/// Panics if `levels > max_levels(width, height)`.
+pub fn forward_2d(data: &mut [i32], width: usize, height: usize, levels: usize, kind: WaveletKind) {
+    assert_eq!(data.len(), width * height);
+    assert!(
+        levels <= max_levels(width, height),
+        "too many levels for {width}x{height}"
+    );
+    let mut scratch = Vec::new();
+    let mut row_buf = Vec::new();
+    let (mut w, mut h) = (width, height);
+    for _ in 0..levels {
+        // Rows.
+        for y in 0..h {
+            row_buf.clear();
+            row_buf.extend_from_slice(&data[y * width..y * width + w]);
+            forward_1d(&mut row_buf, kind, &mut scratch);
+            data[y * width..y * width + w].copy_from_slice(&row_buf);
+        }
+        // Columns.
+        for x in 0..w {
+            row_buf.clear();
+            row_buf.extend((0..h).map(|y| data[y * width + x]));
+            forward_1d(&mut row_buf, kind, &mut scratch);
+            for (y, &v) in row_buf.iter().enumerate() {
+                data[y * width + x] = v;
+            }
+        }
+        w /= 2;
+        h /= 2;
+    }
+}
+
+/// In-place multi-level inverse 2-D transform.
+pub fn inverse_2d(data: &mut [i32], width: usize, height: usize, levels: usize, kind: WaveletKind) {
+    inverse_2d_partial(data, width, height, levels, 0, kind);
+}
+
+/// Partial inverse: undo only the coarsest `levels - drop_levels`
+/// levels, leaving the finest `drop_levels` untouched. Afterwards the
+/// top-left `(width >> drop_levels) x (height >> drop_levels)` region
+/// holds a *reduced-resolution reconstruction* of the image — the
+/// wavelet pyramid's free spatial scalability (§5.4: "each of the
+/// users may access the same visual information but at different
+/// resolutions").
+pub fn inverse_2d_partial(
+    data: &mut [i32],
+    width: usize,
+    height: usize,
+    levels: usize,
+    drop_levels: usize,
+    kind: WaveletKind,
+) {
+    assert_eq!(data.len(), width * height);
+    assert!(levels <= max_levels(width, height));
+    assert!(drop_levels <= levels, "cannot drop more levels than exist");
+    let mut scratch = Vec::new();
+    let mut row_buf = Vec::new();
+    // Undo levels in reverse order: start from the coarsest.
+    for level in (drop_levels..levels).rev() {
+        let w = width >> level;
+        let h = height >> level;
+        // Columns first (reverse of forward order).
+        for x in 0..w {
+            row_buf.clear();
+            row_buf.extend((0..h).map(|y| data[y * width + x]));
+            inverse_1d(&mut row_buf, kind, &mut scratch);
+            for (y, &v) in row_buf.iter().enumerate() {
+                data[y * width + x] = v;
+            }
+        }
+        for y in 0..h {
+            row_buf.clear();
+            row_buf.extend_from_slice(&data[y * width..y * width + w]);
+            inverse_1d(&mut row_buf, kind, &mut scratch);
+            data[y * width..y * width + w].copy_from_slice(&row_buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_plane(w: usize, h: usize, seed: u64) -> Vec<i32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..w * h).map(|_| rng.random_range(0..256)).collect()
+    }
+
+    #[test]
+    fn max_levels_examples() {
+        assert_eq!(max_levels(512, 512), 9);
+        assert_eq!(max_levels(64, 32), 5);
+        assert_eq!(max_levels(6, 6), 1);
+        assert_eq!(max_levels(5, 8), 0);
+        assert_eq!(max_levels(1, 1), 0);
+    }
+
+    #[test]
+    fn perfect_reconstruction_all_kinds_and_levels() {
+        for kind in [WaveletKind::Haar, WaveletKind::Cdf53] {
+            for (w, h) in [(8, 8), (16, 8), (32, 32), (64, 16)] {
+                let original = random_plane(w, h, 42);
+                for levels in 1..=max_levels(w, h) {
+                    let mut data = original.clone();
+                    forward_2d(&mut data, w, h, levels, kind);
+                    assert_ne!(data, original, "{kind:?} should change data");
+                    inverse_2d(&mut data, w, h, levels, kind);
+                    assert_eq!(data, original, "{kind:?} {w}x{h} levels={levels}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_zero_detail() {
+        for kind in [WaveletKind::Haar, WaveletKind::Cdf53] {
+            let mut data = vec![100i32; 16 * 16];
+            forward_2d(&mut data, 16, 16, 2, kind);
+            // All coefficients outside the 4x4 LL band must be zero.
+            for y in 0..16 {
+                for x in 0..16 {
+                    if x >= 4 || y >= 4 {
+                        assert_eq!(data[y * 16 + x], 0, "{kind:?} detail at ({x},{y})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_gradient_compacts_energy_into_ll() {
+        // CDF 5/3 should leave a linear ramp almost entirely in LL.
+        let w = 32;
+        let mut data: Vec<i32> = (0..w * w).map(|i| (i % w) as i32 * 4).collect();
+        forward_2d(&mut data, w, w, 3, WaveletKind::Cdf53);
+        // In the transformed domain, the 4x4 LL band should dominate:
+        // detail coefficients of a linear ramp are (near) zero under
+        // the 5/3 filter, whose predictor is exact for linear signals.
+        let mut ll_energy = 0i64;
+        let mut detail_energy = 0i64;
+        for y in 0..w {
+            for x in 0..w {
+                let e = (data[y * w + x] as i64).pow(2);
+                if x < 4 && y < 4 {
+                    ll_energy += e;
+                } else {
+                    detail_energy += e;
+                }
+            }
+        }
+        assert!(
+            (ll_energy as f64) > 20.0 * detail_energy as f64,
+            "LL {} should dwarf detail {}",
+            ll_energy,
+            detail_energy
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too many levels")]
+    fn rejects_excess_levels() {
+        let mut data = vec![0i32; 8 * 8];
+        forward_2d(&mut data, 8, 8, 4, WaveletKind::Haar);
+    }
+
+    #[test]
+    fn partial_inverse_yields_reduced_resolution_image() {
+        // Reconstructing with one level dropped approximates the 2x
+        // box-downsampled original (exactly, for Haar, up to the
+        // integer-lifting floor).
+        let w = 32;
+        let original: Vec<i32> = (0..w * w)
+            .map(|i| (((i % w) * 8 + (i / w) * 3) % 256) as i32)
+            .collect();
+        let mut data = original.clone();
+        forward_2d(&mut data, w, w, 3, WaveletKind::Haar);
+        inverse_2d_partial(&mut data, w, w, 3, 1, WaveletKind::Haar);
+        // Top-left 16x16 holds the half-resolution image.
+        let half = w / 2;
+        let mut max_err = 0i32;
+        for y in 0..half {
+            for x in 0..half {
+                let avg = (original[(2 * y) * w + 2 * x]
+                    + original[(2 * y) * w + 2 * x + 1]
+                    + original[(2 * y + 1) * w + 2 * x]
+                    + original[(2 * y + 1) * w + 2 * x + 1])
+                    / 4;
+                let got = data[y * w + x];
+                max_err = max_err.max((got - avg).abs());
+            }
+        }
+        assert!(max_err <= 2, "half-res ~= box average, max err {max_err}");
+    }
+
+    #[test]
+    fn partial_inverse_with_zero_drop_is_full_inverse() {
+        let original: Vec<i32> = (0..16 * 16).map(|i| i * 7 % 251).collect();
+        let mut a = original.clone();
+        forward_2d(&mut a, 16, 16, 2, WaveletKind::Cdf53);
+        inverse_2d_partial(&mut a, 16, 16, 2, 0, WaveletKind::Cdf53);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drop more levels")]
+    fn partial_inverse_rejects_excess_drop() {
+        let mut data = vec![0i32; 8 * 8];
+        inverse_2d_partial(&mut data, 8, 8, 2, 3, WaveletKind::Haar);
+    }
+
+    #[test]
+    fn one_dimensional_round_trip_odd_boundaries() {
+        // Exercise the CDF 5/3 boundary mirror with small even lengths.
+        let mut scratch = Vec::new();
+        for n in [2usize, 4, 6, 10] {
+            let original: Vec<i32> = (0..n as i32).map(|i| i * 7 - 3).collect();
+            let mut buf = original.clone();
+            forward_1d(&mut buf, WaveletKind::Cdf53, &mut scratch);
+            inverse_1d(&mut buf, WaveletKind::Cdf53, &mut scratch);
+            assert_eq!(buf, original, "n={n}");
+        }
+    }
+}

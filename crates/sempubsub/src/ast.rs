@@ -1,0 +1,131 @@
+//! The selector expression AST.
+
+use crate::value::AttrValue;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in` — element-of-list.
+    In,
+    /// `contains` — list/string containment.
+    Contains,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::In => "in",
+            CmpOp::Contains => "contains",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A selector expression — the paper's "prepositional expression over
+/// all possible attributes".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(AttrValue),
+    /// Attribute reference, resolved against the profile at eval time.
+    Attr(String),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Short-circuit conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Attribute presence test.
+    Exists(String),
+}
+
+impl Expr {
+    /// All attribute names referenced by the expression, in first-use order.
+    pub fn referenced_attrs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Attr(name) | Expr::Exists(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Not(e) => e.collect_attrs(out),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Cmp(_, a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Attr(name) => write!(f, "{name}"),
+            Expr::Not(e) => write!(f, "not ({e})"),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Exists(name) => write!(f, "exists({name})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_attrs_dedup_in_order() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp(
+                CmpOp::Eq,
+                Box::new(Expr::Attr("media".into())),
+                Box::new(Expr::Literal(AttrValue::str("video"))),
+            )),
+            Box::new(Expr::Or(
+                Box::new(Expr::Exists("color".into())),
+                Box::new(Expr::Attr("media".into())),
+            )),
+        );
+        assert_eq!(e.referenced_attrs(), vec!["media", "color"]);
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        let e = Expr::Cmp(
+            CmpOp::Ge,
+            Box::new(Expr::Attr("x".into())),
+            Box::new(Expr::Literal(AttrValue::Int(3))),
+        );
+        assert_eq!(e.to_string(), "(x >= 3)");
+    }
+}

@@ -1,0 +1,396 @@
+//! The semantic event bus: profiles + selectors over a `simnet`
+//! multicast group.
+//!
+//! Each collaborating client holds a [`BusEndpoint`]: a socket joined
+//! to the session's multicast group plus the client's local
+//! [`Profile`]. Publishing multicasts a [`SemanticMessage`] to the
+//! whole group; *reception is decided locally* by interpreting the
+//! selector against the profile (and the content description against
+//! the interest), so "the group of interacting clients is determined
+//! only at run-time" with no roster synchronization (§3).
+
+use crate::matching::{interpret, MatchOutcome};
+use crate::message::SemanticMessage;
+use crate::profile::Profile;
+use crate::value::AttrValue;
+use crate::{Selector, SemError};
+use simnet::{Addr, GroupId, Network, NodeId, Port, SocketHandle};
+use std::collections::BTreeMap;
+
+/// A message that passed local semantic interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The decoded message.
+    pub message: SemanticMessage,
+    /// How it was accepted (directly or via transforms).
+    pub outcome: MatchOutcome,
+}
+
+/// Statistics of one endpoint's interpretation history.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BusStats {
+    /// Messages published by this endpoint.
+    pub published: u64,
+    /// Messages accepted as-is.
+    pub accepted: u64,
+    /// Messages accepted after transformation.
+    pub transformed: u64,
+    /// Messages rejected by semantic interpretation.
+    pub rejected: u64,
+    /// Datagrams that failed to decode.
+    pub malformed: u64,
+}
+
+/// One client's attachment to the semantic bus.
+pub struct BusEndpoint {
+    socket: SocketHandle,
+    group: GroupId,
+    port: Port,
+    /// The client's local, self-managed profile.
+    pub profile: Profile,
+    seq: u64,
+    stats: BusStats,
+}
+
+impl BusEndpoint {
+    /// Join the session: bind `node:port` and join `group`.
+    pub fn join(
+        net: &mut Network,
+        node: NodeId,
+        port: Port,
+        group: GroupId,
+        profile: Profile,
+    ) -> Result<Self, SemError> {
+        let socket = net
+            .bind(node, port)
+            .map_err(|e| SemError::Transport(e.to_string()))?;
+        net.join(socket, group)
+            .map_err(|e| SemError::Transport(e.to_string()))?;
+        Ok(BusEndpoint {
+            socket,
+            group,
+            port,
+            profile,
+            seq: 0,
+            stats: BusStats::default(),
+        })
+    }
+
+    /// Leave the session and release the socket.
+    pub fn leave(&mut self, net: &mut Network) {
+        let _ = net.leave(self.socket, self.group);
+        net.close(self.socket);
+    }
+
+    /// The underlying socket (for wiring diagnostics).
+    pub fn socket(&self) -> SocketHandle {
+        self.socket
+    }
+
+    /// Interpretation statistics.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Publish an event to the session.
+    ///
+    /// `selector` names the receiving profiles; `content` describes the
+    /// payload; `body` is the payload itself.
+    pub fn publish(
+        &mut self,
+        net: &mut Network,
+        kind: &str,
+        selector: &str,
+        content: BTreeMap<String, AttrValue>,
+        body: Vec<u8>,
+    ) -> Result<u64, SemError> {
+        // Validate the selector locally before it hits the wire.
+        Selector::parse(selector)?;
+        let seq = self.seq;
+        self.seq += 1;
+        let msg = SemanticMessage {
+            sender: self.profile.name.clone(),
+            kind: kind.to_string(),
+            selector: selector.to_string(),
+            seq,
+            content,
+            body,
+        };
+        net.send(
+            self.socket,
+            Addr::multicast(self.group, self.port),
+            msg.encode(),
+        )
+        .map_err(|e| SemError::Transport(e.to_string()))?;
+        self.stats.published += 1;
+        Ok(seq)
+    }
+
+    /// Drain arrived datagrams *without* semantic interpretation,
+    /// returning every decodable message. This is the gateway path: a
+    /// base station relaying on behalf of thin clients must see all
+    /// session traffic and interpret it against *their* profiles, not
+    /// its own (§4.2).
+    pub fn poll_raw(&mut self, net: &mut Network) -> Vec<SemanticMessage> {
+        let mut out = Vec::new();
+        while let Some(dgram) = net.recv(self.socket) {
+            match SemanticMessage::decode(&dgram.payload) {
+                Ok(msg) => out.push(msg),
+                Err(_) => self.stats.malformed += 1,
+            }
+        }
+        out
+    }
+
+    /// Drain arrived datagrams, interpreting each against the local
+    /// profile; returns only accepted messages.
+    pub fn poll(&mut self, net: &mut Network) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(dgram) = net.recv(self.socket) {
+            let Ok(msg) = SemanticMessage::decode(&dgram.payload) else {
+                self.stats.malformed += 1;
+                continue;
+            };
+            let Ok(selector) = Selector::parse(&msg.selector) else {
+                self.stats.malformed += 1;
+                continue;
+            };
+            match interpret(&self.profile, &selector, &msg.content) {
+                Ok(MatchOutcome::Reject) | Err(_) => self.stats.rejected += 1,
+                Ok(outcome) => {
+                    match outcome {
+                        MatchOutcome::Accept => self.stats.accepted += 1,
+                        MatchOutcome::AcceptWithTransform(_) => self.stats.transformed += 1,
+                        MatchOutcome::Reject => unreachable!(),
+                    }
+                    out.push(Delivery {
+                        message: msg,
+                        outcome,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TransformCap;
+    use simnet::{LinkSpec, Ticks};
+
+    const SESSION_PORT: Port = Port(5004);
+
+    fn content_image() -> BTreeMap<String, AttrValue> {
+        [
+            ("media", AttrValue::str("image")),
+            ("encoding", AttrValue::str("mpeg2")),
+            ("color", AttrValue::Bool(true)),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+
+    fn world(n: usize) -> (Network, GroupId, Vec<NodeId>) {
+        let mut net = Network::new(7);
+        let names: Vec<String> = (0..n).map(|i| format!("h{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let (_sw, hosts) = net.lan(&name_refs, LinkSpec::lan());
+        let group = net.new_group();
+        (net, group, hosts)
+    }
+
+    #[test]
+    fn selector_routes_by_profile_not_name() {
+        let (mut net, group, hosts) = world(3);
+        let mut pub_p = Profile::new("publisher");
+        pub_p.set("interested_in", AttrValue::List(vec![]));
+        let mut wants_images = Profile::new("viewer");
+        wants_images.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image")]),
+        );
+        let mut text_only = Profile::new("texter");
+        text_only.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("text")]),
+        );
+
+        let mut publisher =
+            BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, pub_p).unwrap();
+        let mut viewer =
+            BusEndpoint::join(&mut net, hosts[1], SESSION_PORT, group, wants_images).unwrap();
+        let mut texter =
+            BusEndpoint::join(&mut net, hosts[2], SESSION_PORT, group, text_only).unwrap();
+
+        publisher
+            .publish(
+                &mut net,
+                "image-share",
+                "interested_in contains 'image'",
+                content_image(),
+                vec![1, 2, 3],
+            )
+            .unwrap();
+        net.run_for(Ticks::from_millis(10));
+
+        let v = viewer.poll(&mut net);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].message.kind, "image-share");
+        assert_eq!(v[0].outcome, MatchOutcome::Accept);
+        assert!(texter.poll(&mut net).is_empty());
+        assert_eq!(texter.stats().rejected, 1);
+    }
+
+    #[test]
+    fn transform_capable_client_accepts_with_transform() {
+        let (mut net, group, hosts) = world(2);
+        let mut pub_p = Profile::new("pub");
+        pub_p.set("interested_in", AttrValue::List(vec![]));
+        let mut jpeg_client = Profile::new("jpeg-client");
+        jpeg_client.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image")]),
+        );
+        jpeg_client.set_interest("encoding == 'jpeg'").unwrap();
+        jpeg_client.add_transform(TransformCap::new("encoding", "mpeg2", "jpeg"));
+
+        let mut publisher =
+            BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, pub_p).unwrap();
+        let mut client =
+            BusEndpoint::join(&mut net, hosts[1], SESSION_PORT, group, jpeg_client).unwrap();
+
+        publisher
+            .publish(
+                &mut net,
+                "image-share",
+                "interested_in contains 'image'",
+                content_image(),
+                vec![],
+            )
+            .unwrap();
+        net.run_for(Ticks::from_millis(10));
+        let got = client.poll(&mut net);
+        assert_eq!(got.len(), 1);
+        assert!(matches!(
+            got[0].outcome,
+            MatchOutcome::AcceptWithTransform(_)
+        ));
+        assert_eq!(client.stats().transformed, 1);
+    }
+
+    #[test]
+    fn profile_update_redirects_traffic() {
+        // User B goes into text-mode (the §2 scenario): after the
+        // profile change the same selector no longer reaches them.
+        let (mut net, group, hosts) = world(2);
+        let mut pub_p = Profile::new("pub");
+        pub_p.set("interested_in", AttrValue::List(vec![]));
+        let mut b = Profile::new("user-b");
+        b.set("mode", AttrValue::str("image"));
+        let mut publisher =
+            BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, pub_p).unwrap();
+        let mut user_b = BusEndpoint::join(&mut net, hosts[1], SESSION_PORT, group, b).unwrap();
+
+        publisher
+            .publish(&mut net, "image-share", "mode == 'image'", content_image(), vec![])
+            .unwrap();
+        net.run_for(Ticks::from_millis(10));
+        assert_eq!(user_b.poll(&mut net).len(), 1);
+
+        // B switches to text mode locally — no roster update anywhere.
+        user_b.profile.set("mode", AttrValue::str("text"));
+        publisher
+            .publish(&mut net, "image-share", "mode == 'image'", content_image(), vec![])
+            .unwrap();
+        publisher
+            .publish(
+                &mut net,
+                "text-share",
+                "mode == 'text'",
+                BTreeMap::new(),
+                b"description".to_vec(),
+            )
+            .unwrap();
+        net.run_for(Ticks::from_millis(10));
+        let got = user_b.poll(&mut net);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].message.kind, "text-share");
+    }
+
+    #[test]
+    fn poll_raw_bypasses_interpretation() {
+        let (mut net, group, hosts) = world(2);
+        let mut publisher = BusEndpoint::join(
+            &mut net,
+            hosts[0],
+            SESSION_PORT,
+            group,
+            Profile::new("pub"),
+        )
+        .unwrap();
+        // Gateway whose own profile matches nothing.
+        let mut gateway = BusEndpoint::join(
+            &mut net,
+            hosts[1],
+            SESSION_PORT,
+            group,
+            Profile::new("gw"),
+        )
+        .unwrap();
+        publisher
+            .publish(
+                &mut net,
+                "image-share",
+                "interested_in contains 'image'",
+                content_image(),
+                vec![7],
+            )
+            .unwrap();
+        net.run_for(Ticks::from_millis(10));
+        let raw = gateway.poll_raw(&mut net);
+        assert_eq!(raw.len(), 1, "gateway sees everything");
+        assert_eq!(raw[0].body, vec![7]);
+    }
+
+    #[test]
+    fn bad_selector_rejected_at_publish() {
+        let (mut net, group, hosts) = world(1);
+        let mut publisher = BusEndpoint::join(
+            &mut net,
+            hosts[0],
+            SESSION_PORT,
+            group,
+            Profile::new("p"),
+        )
+        .unwrap();
+        let err = publisher.publish(&mut net, "x", "mode ==", BTreeMap::new(), vec![]);
+        assert!(err.is_err());
+        assert_eq!(publisher.stats().published, 0);
+    }
+
+    #[test]
+    fn leave_stops_delivery() {
+        let (mut net, group, hosts) = world(2);
+        let mut p = Profile::new("pub");
+        p.set("x", AttrValue::Int(1));
+        let mut publisher =
+            BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, p).unwrap();
+        let mut sub = BusEndpoint::join(
+            &mut net,
+            hosts[1],
+            SESSION_PORT,
+            group,
+            Profile::new("sub"),
+        )
+        .unwrap();
+        sub.leave(&mut net);
+        publisher
+            .publish(&mut net, "x", "true", BTreeMap::new(), vec![])
+            .unwrap();
+        net.run_for(Ticks::from_millis(10));
+        assert!(sub.poll(&mut net).is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Group-formation analysis (§2).
+//!
+//! "Clients with the similar objectives form a collaborating group. A
+//! more precise definition of collaboration objective results in higher
+//! satisfaction levels. ... a person interested in purchasing modems
+//! would find computer peripherals group to be of coarse granularity.
+//! ... If an application can support multiple groups with different
+//! objectives, filter mechanisms can be implemented to form smaller
+//! groups among members with closer interests."
+//!
+//! With semantic selectors, "groups" are virtual: a selector *is* the
+//! group definition, evaluated against profiles at publish time. This
+//! module provides the analysis tools around that: which profiles a
+//! selector captures, how precise the resulting group is relative to
+//! the clients who actually want the content, and a refinement check —
+//! a stricter selector never admits new members.
+
+use crate::profile::Profile;
+use crate::{Selector, SemError};
+
+/// The virtual group a selector forms over a set of profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupReport {
+    /// Names of the profiles the selector matched, in input order.
+    pub members: Vec<String>,
+    /// Profiles evaluated.
+    pub population: usize,
+    /// Fraction of the population captured, in `[0, 1]`.
+    pub coverage: f64,
+}
+
+/// Evaluate the group a selector forms over `profiles`. Profiles whose
+/// evaluation errors (type misuse against this selector) are treated as
+/// non-members.
+pub fn form_group(selector: &Selector, profiles: &[Profile]) -> GroupReport {
+    let members: Vec<String> = profiles
+        .iter()
+        .filter(|p| selector.matches(p.attrs()).unwrap_or(false))
+        .map(|p| p.name.clone())
+        .collect();
+    let coverage = if profiles.is_empty() {
+        0.0
+    } else {
+        members.len() as f64 / profiles.len() as f64
+    };
+    GroupReport {
+        members,
+        population: profiles.len(),
+        coverage,
+    }
+}
+
+/// Granularity comparison: §2's precision argument, quantified.
+///
+/// Given a *coarse* and a *fine* selector and the ground-truth set of
+/// interested client names, returns `(coarse_precision,
+/// fine_precision)` where precision = interested members / group size
+/// (1.0 when the group is empty).
+pub fn granularity_precision(
+    coarse: &Selector,
+    fine: &Selector,
+    profiles: &[Profile],
+    interested: &[&str],
+) -> (f64, f64) {
+    let precision = |sel: &Selector| {
+        let g = form_group(sel, profiles);
+        if g.members.is_empty() {
+            1.0
+        } else {
+            let hits = g
+                .members
+                .iter()
+                .filter(|m| interested.contains(&m.as_str()))
+                .count();
+            hits as f64 / g.members.len() as f64
+        }
+    };
+    (precision(coarse), precision(fine))
+}
+
+/// Refinement check: `refined` must form a subset of `base`'s group on
+/// the given profiles. The natural way to build a refined selector is
+/// `base and extra`, which this verifies semantically.
+pub fn is_refinement(
+    base: &Selector,
+    refined: &Selector,
+    profiles: &[Profile],
+) -> Result<bool, SemError> {
+    for p in profiles {
+        let in_refined = refined.matches(p.attrs())?;
+        let in_base = base.matches(p.attrs())?;
+        if in_refined && !in_base {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrValue;
+
+    /// The §2 example population: bidders in a peripherals auction.
+    fn bidders() -> Vec<Profile> {
+        let mk = |name: &str, wants: &[&str]| {
+            let mut p = Profile::new(name);
+            p.set(
+                "categories",
+                AttrValue::List(wants.iter().map(|w| AttrValue::str(w)).collect()),
+            );
+            p
+        };
+        vec![
+            mk("modem-buyer", &["peripherals", "modems"]),
+            mk("printer-buyer", &["peripherals", "printers"]),
+            mk("scanner-buyer", &["peripherals", "scanners"]),
+            mk("furniture-buyer", &["furniture"]),
+        ]
+    }
+
+    #[test]
+    fn group_membership_and_coverage() {
+        let all_peripherals = Selector::parse("categories contains 'peripherals'").unwrap();
+        let g = form_group(&all_peripherals, &bidders());
+        assert_eq!(g.members.len(), 3);
+        assert_eq!(g.population, 4);
+        assert!((g.coverage - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finer_selector_has_higher_precision_for_modem_buyers() {
+        // Ground truth: only the modem buyer cares about a modem lot.
+        let coarse = Selector::parse("categories contains 'peripherals'").unwrap();
+        let fine = Selector::parse("categories contains 'modems'").unwrap();
+        let (coarse_p, fine_p) =
+            granularity_precision(&coarse, &fine, &bidders(), &["modem-buyer"]);
+        assert!((coarse_p - 1.0 / 3.0).abs() < 1e-12, "coarse hits 1 of 3");
+        assert_eq!(fine_p, 1.0, "fine group is exactly the interested set");
+        assert!(fine_p > coarse_p, "the paper's granularity argument");
+    }
+
+    #[test]
+    fn conjunction_is_a_refinement() {
+        let base = Selector::parse("categories contains 'peripherals'").unwrap();
+        let refined =
+            Selector::parse("categories contains 'peripherals' and categories contains 'modems'")
+                .unwrap();
+        assert!(is_refinement(&base, &refined, &bidders()).unwrap());
+        // The reverse is not a refinement.
+        assert!(!is_refinement(&refined, &base, &bidders()).unwrap());
+    }
+
+    #[test]
+    fn empty_population() {
+        let sel = Selector::parse("true").unwrap();
+        let g = form_group(&sel, &[]);
+        assert_eq!(g.coverage, 0.0);
+        assert!(g.members.is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! Tokenizer for the selector expression language.
+
+use crate::SemError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Attribute identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `and` / `&&`.
+    And,
+    /// `or` / `||`.
+    Or,
+    /// `not` / `!`.
+    Not,
+    /// `in`.
+    In,
+    /// `contains`.
+    Contains,
+    /// `exists`.
+    Exists,
+    /// `==` / `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+}
+
+/// Tokenize selector text.
+pub fn lex(text: &str) -> Result<Vec<Token>, SemError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Not);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::And);
+                    i += 2;
+                } else {
+                    return Err(SemError::Lex(i, "lone '&'".into()));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token::Or);
+                    i += 2;
+                } else {
+                    return Err(SemError::Lex(i, "lone '|'".into()));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SemError::Lex(i, "unterminated string".into()));
+                }
+                tokens.push(Token::Str(text[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' | '-' | '+' => {
+                let start = i;
+                let mut j = i;
+                if c == '-' || c == '+' {
+                    j += 1;
+                    if !bytes.get(j).is_some_and(|b| b.is_ascii_digit()) {
+                        return Err(SemError::Lex(i, "sign without digits".into()));
+                    }
+                }
+                let mut is_float = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !is_float {
+                        is_float = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let lit = &text[start..j];
+                if is_float {
+                    let v = lit
+                        .parse::<f64>()
+                        .map_err(|_| SemError::Lex(start, format!("bad float '{lit}'")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = lit
+                        .parse::<i64>()
+                        .map_err(|_| SemError::Lex(start, format!("bad integer '{lit}'")))?;
+                    tokens.push(Token::Int(v));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &text[start..j];
+                tokens.push(match word {
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    "in" => Token::In,
+                    "contains" => Token::Contains,
+                    "exists" => Token::Exists,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    _ => Token::Ident(word.to_string()),
+                });
+                i = j;
+            }
+            _ => return Err(SemError::Lex(i, format!("unexpected character '{c}'"))),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_operators_literals() {
+        let toks = lex("media == 'video' and size_kb >= 10.5 or not flag != false").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("media".into()),
+                Token::Eq,
+                Token::Str("video".into()),
+                Token::And,
+                Token::Ident("size_kb".into()),
+                Token::Ge,
+                Token::Float(10.5),
+                Token::Or,
+                Token::Not,
+                Token::Ident("flag".into()),
+                Token::Ne,
+                Token::False,
+            ]
+        );
+    }
+
+    #[test]
+    fn symbols_and_alternates() {
+        let toks = lex("a=1 && b<2 || !c").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Int(1),
+                Token::And,
+                Token::Ident("b".into()),
+                Token::Lt,
+                Token::Int(2),
+                Token::Or,
+                Token::Not,
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lists_and_negatives() {
+        let toks = lex("enc in ['jpeg', 'mpeg2'] and delta == -3").unwrap();
+        assert!(toks.contains(&Token::LBracket));
+        assert!(toks.contains(&Token::Comma));
+        assert!(toks.contains(&Token::Int(-3)));
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        let toks = lex("net.bandwidth > 0").unwrap();
+        assert_eq!(toks[0], Token::Ident("net.bandwidth".into()));
+    }
+
+    #[test]
+    fn double_quotes() {
+        assert_eq!(lex("\"hi\"").unwrap(), vec![Token::Str("hi".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(lex("'unterminated"), Err(SemError::Lex(_, _))));
+        assert!(matches!(lex("a & b"), Err(SemError::Lex(_, _))));
+        assert!(matches!(lex("#"), Err(SemError::Lex(_, _))));
+        assert!(matches!(lex("- x"), Err(SemError::Lex(_, _))));
+    }
+}

@@ -1,0 +1,250 @@
+//! Wire form of a semantic message, with a self-contained binary codec
+//! (no external serialization formats: the substrate owns its wire
+//! protocol, as the paper's Java prototype did).
+
+use crate::value::AttrValue;
+use crate::SemError;
+use std::collections::BTreeMap;
+
+/// Wire magic for version 1 of the semantic message codec.
+const MAGIC: &[u8; 4] = b"SEM1";
+
+/// A state-based multicast message: selector + content description +
+/// opaque body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticMessage {
+    /// Informational sender identity (never used for addressing).
+    pub sender: String,
+    /// Event kind (application vocabulary: `image-share`,
+    /// `whiteboard-stroke`, `chat`, `profile-update`, ...).
+    pub kind: String,
+    /// The semantic selector source text.
+    pub selector: String,
+    /// Per-sender sequence number.
+    pub seq: u64,
+    /// Content description — attributes of the payload.
+    pub content: BTreeMap<String, AttrValue>,
+    /// Opaque payload bytes.
+    pub body: Vec<u8>,
+}
+
+impl SemanticMessage {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        out.extend_from_slice(MAGIC);
+        put_str16(&mut out, &self.sender);
+        put_str16(&mut out, &self.kind);
+        put_str16(&mut out, &self.selector);
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&(self.content.len() as u16).to_be_bytes());
+        for (k, v) in &self.content {
+            put_str16(&mut out, k);
+            put_value(&mut out, v);
+        }
+        out.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Decode wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<SemanticMessage, SemError> {
+        let mut c = Cursor { buf, pos: 0 };
+        if c.take(4)? != MAGIC {
+            return Err(SemError::Codec("bad magic"));
+        }
+        let sender = c.str16()?;
+        let kind = c.str16()?;
+        let selector = c.str16()?;
+        let seq = u64::from_be_bytes(c.take(8)?.try_into().unwrap());
+        let n = u16::from_be_bytes(c.take(2)?.try_into().unwrap()) as usize;
+        let mut content = BTreeMap::new();
+        for _ in 0..n {
+            let key = c.str16()?;
+            let value = c.value()?;
+            content.insert(key, value);
+        }
+        let blen = u32::from_be_bytes(c.take(4)?.try_into().unwrap()) as usize;
+        let body = c.take(blen)?.to_vec();
+        if c.pos != buf.len() {
+            return Err(SemError::Codec("trailing bytes"));
+        }
+        Ok(SemanticMessage {
+            sender,
+            kind,
+            selector,
+            seq,
+            content,
+            body,
+        })
+    }
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string field too long");
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_value(out: &mut Vec<u8>, v: &AttrValue) {
+    match v {
+        AttrValue::Int(i) => {
+            out.push(0);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        AttrValue::Float(f) => {
+            out.push(1);
+            out.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+        AttrValue::Str(s) => {
+            out.push(2);
+            let bytes = s.as_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            out.extend_from_slice(bytes);
+        }
+        AttrValue::Bool(b) => {
+            out.push(3);
+            out.push(*b as u8);
+        }
+        AttrValue::List(items) => {
+            out.push(4);
+            out.extend_from_slice(&(items.len() as u16).to_be_bytes());
+            for item in items {
+                put_value(out, item);
+            }
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SemError> {
+        if self.buf.len() - self.pos < n {
+            return Err(SemError::Codec("truncated message"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn str16(&mut self) -> Result<String, SemError> {
+        let n = u16::from_be_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| SemError::Codec("bad UTF-8"))
+    }
+
+    fn value(&mut self) -> Result<AttrValue, SemError> {
+        let tag = self.take(1)?[0];
+        Ok(match tag {
+            0 => AttrValue::Int(i64::from_be_bytes(self.take(8)?.try_into().unwrap())),
+            1 => AttrValue::Float(f64::from_bits(u64::from_be_bytes(
+                self.take(8)?.try_into().unwrap(),
+            ))),
+            2 => {
+                let n = u32::from_be_bytes(self.take(4)?.try_into().unwrap()) as usize;
+                AttrValue::Str(
+                    String::from_utf8(self.take(n)?.to_vec())
+                        .map_err(|_| SemError::Codec("bad UTF-8"))?,
+                )
+            }
+            3 => AttrValue::Bool(self.take(1)?[0] != 0),
+            4 => {
+                let n = u16::from_be_bytes(self.take(2)?.try_into().unwrap()) as usize;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                AttrValue::List(items)
+            }
+            _ => return Err(SemError::Codec("unknown value tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SemanticMessage {
+        let mut content = BTreeMap::new();
+        content.insert("media".to_string(), AttrValue::str("image"));
+        content.insert("size_kb".to_string(), AttrValue::Int(734));
+        content.insert("quality".to_string(), AttrValue::Float(0.82));
+        content.insert("color".to_string(), AttrValue::Bool(true));
+        content.insert(
+            "modalities".to_string(),
+            AttrValue::List(vec![
+                AttrValue::str("image"),
+                AttrValue::str("text"),
+                AttrValue::List(vec![AttrValue::Int(1)]),
+            ]),
+        );
+        SemanticMessage {
+            sender: "client-a".to_string(),
+            kind: "image-share".to_string(),
+            selector: "interested_in contains 'image'".to_string(),
+            seq: 42,
+            content,
+            body: vec![0, 1, 2, 255, 254],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        assert_eq!(SemanticMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        let m = SemanticMessage {
+            sender: String::new(),
+            kind: String::new(),
+            selector: String::new(),
+            seq: 0,
+            content: BTreeMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(SemanticMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                SemanticMessage::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(SemanticMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(SemanticMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn float_bit_exactness() {
+        let mut m = sample();
+        m.content
+            .insert("x".to_string(), AttrValue::Float(f64::MIN_POSITIVE));
+        m.content.insert("y".to_string(), AttrValue::Float(-0.0));
+        let back = SemanticMessage::decode(&m.encode()).unwrap();
+        assert_eq!(back.content["x"], AttrValue::Float(f64::MIN_POSITIVE));
+        assert!(matches!(back.content["y"], AttrValue::Float(v) if v.to_bits() == (-0.0f64).to_bits()));
+    }
+}

@@ -1,0 +1,261 @@
+//! Recursive-descent parser for the selector language.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( 'or' and )*
+//! and     := unary ( 'and' unary )*
+//! unary   := 'not' unary | cmp
+//! cmp     := operand ( cmpop operand )?
+//! operand := literal | list | ident | 'exists' '(' ident ')' | '(' expr ')'
+//! list    := '[' ( literal ( ',' literal )* )? ']'
+//! ```
+//!
+//! A bare identifier used where a boolean is expected refers to a
+//! boolean attribute (`color` ≡ `color == true` when evaluated).
+
+use crate::ast::{CmpOp, Expr};
+use crate::lexer::Token;
+use crate::value::AttrValue;
+use crate::SemError;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+/// Parse a token stream into an expression.
+pub fn parse(tokens: &[Token]) -> Result<Expr, SemError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if p.pos != tokens.len() {
+        return Err(SemError::Parse(format!(
+            "trailing tokens starting at {:?}",
+            tokens[p.pos]
+        )));
+    }
+    Ok(expr)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), SemError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(SemError::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, SemError> {
+        self.or()
+    }
+
+    fn or(&mut self) -> Result<Expr, SemError> {
+        let mut left = self.and()?;
+        while self.eat(&Token::Or) {
+            let right = self.and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and(&mut self) -> Result<Expr, SemError> {
+        let mut left = self.unary()?;
+        while self.eat(&Token::And) {
+            let right = self.unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SemError> {
+        if self.eat(&Token::Not) {
+            let inner = self.unary()?;
+            Ok(Expr::Not(Box::new(inner)))
+        } else {
+            self.cmp()
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Expr, SemError> {
+        let left = self.operand()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            Some(Token::In) => CmpOp::In,
+            Some(Token::Contains) => CmpOp::Contains,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.operand()?;
+        Ok(Expr::Cmp(op, Box::new(left), Box::new(right)))
+    }
+
+    fn operand(&mut self) -> Result<Expr, SemError> {
+        match self.next().cloned() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(AttrValue::Int(v))),
+            Some(Token::Float(v)) => Ok(Expr::Literal(AttrValue::Float(v))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(AttrValue::Str(s))),
+            Some(Token::True) => Ok(Expr::Literal(AttrValue::Bool(true))),
+            Some(Token::False) => Ok(Expr::Literal(AttrValue::Bool(false))),
+            Some(Token::Ident(name)) => Ok(Expr::Attr(name)),
+            Some(Token::Exists) => {
+                self.expect(Token::LParen)?;
+                let name = match self.next().cloned() {
+                    Some(Token::Ident(name)) => name,
+                    other => {
+                        return Err(SemError::Parse(format!(
+                            "exists() needs an attribute name, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect(Token::RParen)?;
+                Ok(Expr::Exists(name))
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::LBracket) => {
+                let mut items = Vec::new();
+                if !self.eat(&Token::RBracket) {
+                    loop {
+                        match self.next().cloned() {
+                            Some(Token::Int(v)) => items.push(AttrValue::Int(v)),
+                            Some(Token::Float(v)) => items.push(AttrValue::Float(v)),
+                            Some(Token::Str(s)) => items.push(AttrValue::Str(s)),
+                            Some(Token::True) => items.push(AttrValue::Bool(true)),
+                            Some(Token::False) => items.push(AttrValue::Bool(false)),
+                            other => {
+                                return Err(SemError::Parse(format!(
+                                    "lists hold literals only, found {other:?}"
+                                )))
+                            }
+                        }
+                        if self.eat(&Token::RBracket) {
+                            break;
+                        }
+                        self.expect(Token::Comma)?;
+                    }
+                }
+                Ok(Expr::Literal(AttrValue::List(items)))
+            }
+            other => Err(SemError::Parse(format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn p(s: &str) -> Expr {
+        parse(&lex(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        // a or b and c  ==  a or (b and c)
+        let e = p("a or b and c");
+        match e {
+            Expr::Or(left, right) => {
+                assert_eq!(*left, Expr::Attr("a".into()));
+                assert!(matches!(*right, Expr::And(_, _)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_binds_tightest() {
+        let e = p("not a and b");
+        match e {
+            Expr::And(left, _) => assert!(matches!(*left, Expr::Not(_))),
+            other => panic!("expected And at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = p("(a or b) and c");
+        assert!(matches!(e, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn comparisons_and_lists() {
+        let e = p("enc in ['jpeg', 'mpeg2']");
+        match e {
+            Expr::Cmp(CmpOp::In, left, right) => {
+                assert_eq!(*left, Expr::Attr("enc".into()));
+                assert!(matches!(*right, Expr::Literal(AttrValue::List(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_parses() {
+        assert_eq!(p("exists(color)"), Expr::Exists("color".into()));
+    }
+
+    #[test]
+    fn empty_list() {
+        assert_eq!(
+            p("x in []"),
+            Expr::Cmp(
+                CmpOp::In,
+                Box::new(Expr::Attr("x".into())),
+                Box::new(Expr::Literal(AttrValue::List(vec![])))
+            )
+        );
+    }
+
+    #[test]
+    fn paper_figure3_profiles_parse() {
+        // The three profiles of Figure 3, expressed as interest selectors.
+        p("media == 'video' and color == true and encoding == 'mpeg2' and size_mb <= 1");
+        p("media == 'video' and color == false and not exists(encoding)");
+        p("media == 'video' and color == true and encoding == 'jpeg'");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&lex("a ==").unwrap()).is_err());
+        assert!(parse(&lex("a b").unwrap()).is_err());
+        assert!(parse(&lex("(a").unwrap()).is_err());
+        assert!(parse(&lex("[a]").unwrap()).is_err(), "idents not allowed in lists");
+        assert!(parse(&lex("exists(3)").unwrap()).is_err());
+        assert!(parse(&lex("").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! The simulation event queue.
+//!
+//! A binary heap keyed on `(time, sequence)`; the sequence number makes
+//! ordering of simultaneous events deterministic (FIFO by insertion),
+//! which in turn makes every simulation run reproducible for a given
+//! seed.
+
+use crate::time::Ticks;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at an instant, carrying a payload `E`.
+#[derive(Debug)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: Ticks,
+    /// Tie-break sequence (insertion order).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of future events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at `at`.
+    pub fn schedule(&mut self, at: Ticks, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Time of the earliest pending event.
+    pub fn next_time(&self) -> Option<Ticks> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the earliest event if it fires at or before `deadline`.
+    pub fn pop_before(&mut self, deadline: Ticks) -> Option<Scheduled<E>> {
+        if self.next_time()? <= deadline {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Ticks::from_micros(30), "c");
+        q.schedule(Ticks::from_micros(10), "a");
+        q.schedule(Ticks::from_micros(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Ticks::from_micros(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(Ticks::from_micros(10), "early");
+        q.schedule(Ticks::from_micros(100), "late");
+        assert_eq!(q.pop_before(Ticks::from_micros(50)).unwrap().event, "early");
+        assert!(q.pop_before(Ticks::from_micros(50)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(Ticks::from_micros(100)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.next_time().is_none());
+        assert!(q.pop().is_none());
+    }
+}

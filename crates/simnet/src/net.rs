@@ -1,0 +1,612 @@
+//! The network simulator core: sockets, datagram transmission,
+//! multicast groups, timers, and the event loop.
+
+use crate::event::EventQueue;
+use crate::packet::{Port, WirePacket, MAX_DATAGRAM};
+use crate::time::{SimClock, Ticks};
+use crate::topology::{LinkSpec, NodeId, Topology};
+use crate::trace::NetStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Handle to a bound datagram socket.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SocketHandle(pub(crate) u32);
+
+/// A multicast group (analogue of a class-D IP address).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+/// Destination of a datagram.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Addr {
+    /// Deliver to the socket bound to `(node, port)`.
+    Unicast(NodeId, Port),
+    /// Deliver to every member socket of the group bound on `port`.
+    Multicast(GroupId, Port),
+}
+
+impl Addr {
+    /// Convenience constructor.
+    pub fn unicast(node: NodeId, port: Port) -> Addr {
+        Addr::Unicast(node, port)
+    }
+
+    /// Convenience constructor.
+    pub fn multicast(group: GroupId, port: Port) -> Addr {
+        Addr::Multicast(group, port)
+    }
+}
+
+/// A received datagram, as handed to the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender node.
+    pub src_node: NodeId,
+    /// Sender port.
+    pub src_port: Port,
+    /// Address the sender targeted (unicast or the multicast group).
+    pub dst: Addr,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Simulated arrival instant.
+    pub arrived_at: Ticks,
+}
+
+/// Errors surfaced by [`Network`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A socket is already bound to that `(node, port)` pair.
+    PortInUse(NodeId, Port),
+    /// The destination node is not reachable from the source.
+    Unreachable(NodeId, NodeId),
+    /// Payload exceeds [`MAX_DATAGRAM`].
+    PayloadTooLarge(usize),
+    /// Unknown socket handle.
+    BadSocket,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::PortInUse(n, p) => write!(f, "port in use: {n}{p}"),
+            NetError::Unreachable(a, b) => write!(f, "no route {a} -> {b}"),
+            NetError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds max datagram"),
+            NetError::BadSocket => write!(f, "unknown socket handle"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[derive(Debug)]
+struct Socket {
+    node: NodeId,
+    port: Port,
+    inbox: VecDeque<Datagram>,
+    groups: HashSet<GroupId>,
+    open: bool,
+}
+
+#[derive(Debug)]
+enum NetEvent {
+    Deliver {
+        socket: SocketHandle,
+        dgram: Datagram,
+    },
+    Timer {
+        key: u64,
+    },
+}
+
+/// The simulated network: topology + sockets + clock + event queue.
+///
+/// All operations are synchronous from the caller's point of view:
+/// `send` schedules future deliveries, `run_until`/`run_for` advance
+/// the clock processing deliveries and timers, and `recv` drains a
+/// socket's inbox.
+pub struct Network {
+    topo: Topology,
+    clock: SimClock,
+    queue: EventQueue<NetEvent>,
+    sockets: Vec<Socket>,
+    by_addr: HashMap<(NodeId, Port), SocketHandle>,
+    next_group: u32,
+    rng: StdRng,
+    stats: NetStats,
+    fired_timers: VecDeque<(Ticks, u64)>,
+}
+
+impl Network {
+    /// A fresh network; `seed` drives the loss model (and nothing else),
+    /// so identical seeds yield identical runs.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            topo: Topology::new(),
+            clock: SimClock::new(),
+            queue: EventQueue::new(),
+            sockets: Vec::new(),
+            by_addr: HashMap::new(),
+            next_group: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetStats::default(),
+            fired_timers: VecDeque::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Ticks {
+        self.clock.now()
+    }
+
+    /// Read-only topology access.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access (e.g. to degrade a link mid-run).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Add a node. See [`Topology::add_node`].
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        self.topo.add_node(name)
+    }
+
+    /// Connect two nodes. See [`Topology::connect`].
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> crate::topology::LinkId {
+        self.topo.connect(a, b, spec)
+    }
+
+    /// Build a star LAN: one switch node plus `names.len()` hosts, each
+    /// connected to the switch with `spec`. Returns `(switch, hosts)`.
+    pub fn lan(&mut self, names: &[&str], spec: LinkSpec) -> (NodeId, Vec<NodeId>) {
+        let switch = self.add_node("switch");
+        let hosts = names
+            .iter()
+            .map(|n| {
+                let h = self.add_node(n);
+                self.connect(switch, h, spec);
+                h
+            })
+            .collect();
+        (switch, hosts)
+    }
+
+    /// Bind a datagram socket on `(node, port)`.
+    pub fn bind(&mut self, node: NodeId, port: Port) -> Result<SocketHandle, NetError> {
+        if self.by_addr.contains_key(&(node, port)) {
+            return Err(NetError::PortInUse(node, port));
+        }
+        let h = SocketHandle(self.sockets.len() as u32);
+        self.sockets.push(Socket {
+            node,
+            port,
+            inbox: VecDeque::new(),
+            groups: HashSet::new(),
+            open: true,
+        });
+        self.by_addr.insert((node, port), h);
+        Ok(h)
+    }
+
+    /// Close a socket, releasing its `(node, port)` binding.
+    pub fn close(&mut self, s: SocketHandle) {
+        if let Some(sock) = self.sockets.get_mut(s.0 as usize) {
+            if sock.open {
+                sock.open = false;
+                self.by_addr.remove(&(sock.node, sock.port));
+                sock.inbox.clear();
+                sock.groups.clear();
+            }
+        }
+    }
+
+    /// Allocate a fresh multicast group id.
+    pub fn new_group(&mut self) -> GroupId {
+        let g = GroupId(self.next_group);
+        self.next_group += 1;
+        g
+    }
+
+    /// Join a multicast group on a socket.
+    pub fn join(&mut self, s: SocketHandle, g: GroupId) -> Result<(), NetError> {
+        let sock = self.sockets.get_mut(s.0 as usize).ok_or(NetError::BadSocket)?;
+        sock.groups.insert(g);
+        Ok(())
+    }
+
+    /// Leave a multicast group.
+    pub fn leave(&mut self, s: SocketHandle, g: GroupId) -> Result<(), NetError> {
+        let sock = self.sockets.get_mut(s.0 as usize).ok_or(NetError::BadSocket)?;
+        sock.groups.remove(&g);
+        Ok(())
+    }
+
+    /// Node a socket is bound on.
+    pub fn socket_node(&self, s: SocketHandle) -> NodeId {
+        self.sockets[s.0 as usize].node
+    }
+
+    /// Port a socket is bound on.
+    pub fn socket_port(&self, s: SocketHandle) -> Port {
+        self.sockets[s.0 as usize].port
+    }
+
+    /// Send a datagram from socket `s` to `dst`.
+    ///
+    /// Unicast: the payload travels the hop-count-shortest path; each
+    /// hop adds serialization (with FIFO queueing on the link) plus
+    /// propagation delay and may drop the packet per the link's loss
+    /// probability. Multicast: the datagram is fanned out to every
+    /// current member of the group bound on the destination port,
+    /// except the sending socket itself (loopback disabled, as the
+    /// paper's clients do not consume their own events).
+    pub fn send(&mut self, s: SocketHandle, dst: Addr, payload: Vec<u8>) -> Result<(), NetError> {
+        if payload.len() > MAX_DATAGRAM {
+            return Err(NetError::PayloadTooLarge(payload.len()));
+        }
+        let (src_node, src_port) = {
+            let sock = self.sockets.get(s.0 as usize).ok_or(NetError::BadSocket)?;
+            if !sock.open {
+                return Err(NetError::BadSocket);
+            }
+            (sock.node, sock.port)
+        };
+        let packet = WirePacket {
+            src_node,
+            src_port,
+            payload,
+        };
+        self.stats.sent += 1;
+        self.stats.bytes_sent += packet.wire_size() as u64;
+        match dst {
+            Addr::Unicast(dst_node, dst_port) => {
+                // A datagram to an unbound port is silently discarded,
+                // like real UDP (no ICMP in this simulator).
+                let target = self.by_addr.get(&(dst_node, dst_port)).copied();
+                self.transmit(&packet, dst_node, dst, target)?;
+            }
+            Addr::Multicast(group, dst_port) => {
+                let members: Vec<(SocketHandle, NodeId)> = self
+                    .sockets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, sock)| {
+                        sock.open
+                            && sock.port == dst_port
+                            && sock.groups.contains(&group)
+                            && SocketHandle(*i as u32) != s
+                    })
+                    .map(|(i, sock)| (SocketHandle(i as u32), sock.node))
+                    .collect();
+                for (member, node) in members {
+                    self.transmit(&packet, node, dst, Some(member))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Route and schedule one copy of `packet` towards `dst_node`.
+    fn transmit(
+        &mut self,
+        packet: &WirePacket,
+        dst_node: NodeId,
+        dst: Addr,
+        target: Option<SocketHandle>,
+    ) -> Result<(), NetError> {
+        let path = self
+            .topo
+            .route(packet.src_node, dst_node)
+            .ok_or(NetError::Unreachable(packet.src_node, dst_node))?;
+        let mut t = self.clock.now();
+        let mut dropped = false;
+        for link_id in path {
+            let link = &mut self.topo.links[link_id.0 as usize];
+            let start = t.max(link.busy_until);
+            let ser = link.spec.serialization_time(packet.wire_size());
+            link.busy_until = start + ser;
+            link.busy_accum += ser;
+            t = start + ser + link.spec.latency;
+            if link.spec.loss > 0.0 && self.rng.random::<f64>() < link.spec.loss {
+                dropped = true;
+                break;
+            }
+        }
+        if dropped {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        if let Some(target) = target {
+            self.queue.schedule(
+                t,
+                NetEvent::Deliver {
+                    socket: target,
+                    dgram: Datagram {
+                        src_node: packet.src_node,
+                        src_port: packet.src_port,
+                        dst,
+                        payload: packet.payload.clone(),
+                        arrived_at: t,
+                    },
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Schedule an opaque timer key to fire at absolute time `at`.
+    /// Fired timers are collected via [`Network::poll_timers`].
+    pub fn set_timer(&mut self, at: Ticks, key: u64) {
+        let at = at.max(self.clock.now());
+        self.queue.schedule(at, NetEvent::Timer { key });
+    }
+
+    /// Drain timers that have fired since the last poll.
+    pub fn poll_timers(&mut self) -> Vec<(Ticks, u64)> {
+        self.fired_timers.drain(..).collect()
+    }
+
+    /// Advance simulated time to `deadline`, processing every event due
+    /// at or before it.
+    pub fn run_until(&mut self, deadline: Ticks) {
+        while let Some(ev) = self.queue.pop_before(deadline) {
+            self.clock.advance_to(ev.at);
+            match ev.event {
+                NetEvent::Deliver { socket, dgram } => {
+                    let sock = &mut self.sockets[socket.0 as usize];
+                    if sock.open {
+                        self.stats.delivered += 1;
+                        self.stats.bytes_delivered +=
+                            (dgram.payload.len() + crate::packet::HEADER_OVERHEAD) as u64;
+                        sock.inbox.push_back(dgram);
+                    }
+                }
+                NetEvent::Timer { key } => {
+                    self.fired_timers.push_back((ev.at, key));
+                }
+            }
+        }
+        self.clock.advance_to(deadline);
+    }
+
+    /// Advance simulated time by `d`.
+    pub fn run_for(&mut self, d: Ticks) {
+        let deadline = self.clock.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Run until the event queue is empty (all in-flight traffic and
+    /// timers resolved). Returns the final time.
+    pub fn run_to_quiescence(&mut self) -> Ticks {
+        while let Some(t) = self.queue.next_time() {
+            self.run_until(t);
+        }
+        self.clock.now()
+    }
+
+    /// Pop the oldest pending datagram on socket `s`, if any.
+    pub fn recv(&mut self, s: SocketHandle) -> Option<Datagram> {
+        self.sockets.get_mut(s.0 as usize)?.inbox.pop_front()
+    }
+
+    /// Number of queued datagrams on socket `s`.
+    pub fn pending(&self, s: SocketHandle) -> usize {
+        self.sockets
+            .get(s.0 as usize)
+            .map_or(0, |sock| sock.inbox.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Network, SocketHandle, SocketHandle, NodeId, NodeId) {
+        let mut net = Network::new(42);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, LinkSpec::lan());
+        let sa = net.bind(a, Port(1000)).unwrap();
+        let sb = net.bind(b, Port(1000)).unwrap();
+        (net, sa, sb, a, b)
+    }
+
+    #[test]
+    fn unicast_delivery_and_latency() {
+        let (mut net, sa, sb, _a, b) = pair();
+        net.send(sa, Addr::unicast(b, Port(1000)), vec![1, 2, 3]).unwrap();
+        assert!(net.recv(sb).is_none(), "not delivered before time passes");
+        net.run_for(Ticks::from_millis(1));
+        let d = net.recv(sb).unwrap();
+        assert_eq!(d.payload, vec![1, 2, 3]);
+        // LAN: 100us latency + serialization of 31 bytes at 100 Mb/s (~3us)
+        assert!(d.arrived_at >= Ticks::from_micros(100));
+        assert!(d.arrived_at <= Ticks::from_micros(110));
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let (mut net, _sa, _sb, a, _b) = pair();
+        assert!(matches!(
+            net.bind(a, Port(1000)),
+            Err(NetError::PortInUse(_, _))
+        ));
+    }
+
+    #[test]
+    fn send_to_unbound_port_is_silently_dropped() {
+        let (mut net, sa, sb, _a, b) = pair();
+        net.send(sa, Addr::unicast(b, Port(9)), vec![0]).unwrap();
+        net.run_to_quiescence();
+        assert!(net.recv(sb).is_none());
+        assert_eq!(net.stats().sent, 1);
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn unreachable_destination_errors() {
+        let mut net = Network::new(0);
+        let a = net.add_node("a");
+        let b = net.add_node("b"); // not connected
+        let sa = net.bind(a, Port(1)).unwrap();
+        let _sb = net.bind(b, Port(1)).unwrap();
+        assert!(matches!(
+            net.send(sa, Addr::unicast(b, Port(1)), vec![]),
+            Err(NetError::Unreachable(_, _))
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let (mut net, sa, _sb, _a, b) = pair();
+        let big = vec![0u8; MAX_DATAGRAM + 1];
+        assert!(matches!(
+            net.send(sa, Addr::unicast(b, Port(1000)), big),
+            Err(NetError::PayloadTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn multicast_fanout_excludes_sender() {
+        let mut net = Network::new(3);
+        let (_sw, hosts) = net.lan(&["h0", "h1", "h2", "h3"], LinkSpec::lan());
+        let socks: Vec<_> = hosts
+            .iter()
+            .map(|&h| net.bind(h, Port(7000)).unwrap())
+            .collect();
+        let g = net.new_group();
+        for &s in &socks {
+            net.join(s, g).unwrap();
+        }
+        net.send(socks[0], Addr::multicast(g, Port(7000)), b"ev".to_vec())
+            .unwrap();
+        net.run_to_quiescence();
+        assert_eq!(net.pending(socks[0]), 0, "no loopback");
+        for &s in &socks[1..] {
+            assert_eq!(net.pending(s), 1);
+        }
+    }
+
+    #[test]
+    fn multicast_respects_membership() {
+        let mut net = Network::new(3);
+        let (_sw, hosts) = net.lan(&["h0", "h1", "h2"], LinkSpec::lan());
+        let socks: Vec<_> = hosts
+            .iter()
+            .map(|&h| net.bind(h, Port(7000)).unwrap())
+            .collect();
+        let g = net.new_group();
+        net.join(socks[0], g).unwrap();
+        net.join(socks[1], g).unwrap();
+        // socks[2] never joins; socks[1] joins then leaves.
+        net.join(socks[2], g).unwrap();
+        net.leave(socks[2], g).unwrap();
+        net.send(socks[0], Addr::multicast(g, Port(7000)), vec![9]).unwrap();
+        net.run_to_quiescence();
+        assert_eq!(net.pending(socks[1]), 1);
+        assert_eq!(net.pending(socks[2]), 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_a_fraction() {
+        let mut net = Network::new(1234);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, LinkSpec::lan().with_loss(0.5));
+        let sa = net.bind(a, Port(1)).unwrap();
+        let sb = net.bind(b, Port(1)).unwrap();
+        for _ in 0..1000 {
+            net.send(sa, Addr::unicast(b, Port(1)), vec![0]).unwrap();
+        }
+        net.run_to_quiescence();
+        let got = net.pending(sb) as f64;
+        assert!((350.0..650.0).contains(&got), "got {got}, expected ~500");
+        assert_eq!(net.stats().dropped + net.stats().delivered, 1000);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut net = Network::new(seed);
+            let a = net.add_node("a");
+            let b = net.add_node("b");
+            net.connect(a, b, LinkSpec::wireless().with_loss(0.3));
+            let sa = net.bind(a, Port(1)).unwrap();
+            let _sb = net.bind(b, Port(1)).unwrap();
+            for _ in 0..200 {
+                net.send(sa, Addr::unicast(b, Port(1)), vec![0; 64]).unwrap();
+            }
+            net.run_to_quiescence();
+            (net.stats().delivered, net.stats().dropped)
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, 200); // some loss actually happened
+    }
+
+    #[test]
+    fn serialization_queueing_orders_arrivals() {
+        // Two back-to-back packets on a slow link: second arrives later
+        // by at least one serialization time.
+        let mut net = Network::new(0);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, LinkSpec::wireless().with_loss(0.0));
+        let sa = net.bind(a, Port(1)).unwrap();
+        let sb = net.bind(b, Port(1)).unwrap();
+        net.send(sa, Addr::unicast(b, Port(1)), vec![0; 972]).unwrap(); // 1000 wire bytes
+        net.send(sa, Addr::unicast(b, Port(1)), vec![1; 972]).unwrap();
+        net.run_to_quiescence();
+        let d1 = net.recv(sb).unwrap();
+        let d2 = net.recv(sb).unwrap();
+        let ser = Ticks::from_micros(8_000); // 1000B at 1 Mb/s
+        assert_eq!(d2.arrived_at - d1.arrived_at, ser);
+    }
+
+    #[test]
+    fn link_utilization_accounts_serialization() {
+        let mut net = Network::new(0);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let l = net.connect(a, b, LinkSpec::wireless().with_loss(0.0));
+        let sa = net.bind(a, Port(1)).unwrap();
+        let _sb = net.bind(b, Port(1)).unwrap();
+        assert_eq!(net.topology().link_busy_time(l), Ticks::ZERO);
+        // 972 + 28 = 1000 wire bytes at 1 Mb/s = 8 ms serialization.
+        net.send(sa, Addr::unicast(b, Port(1)), vec![0; 972]).unwrap();
+        assert_eq!(net.topology().link_busy_time(l), Ticks::from_millis(8));
+        net.run_until(Ticks::from_millis(16));
+        let u = net.topology().link_utilization(l, net.now());
+        assert!((u - 0.5).abs() < 1e-9, "8ms busy of 16ms = 50%, got {u}");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut net = Network::new(0);
+        net.set_timer(Ticks::from_millis(5), 55);
+        net.set_timer(Ticks::from_millis(1), 11);
+        net.run_for(Ticks::from_millis(2));
+        assert_eq!(net.poll_timers(), vec![(Ticks::from_millis(1), 11)]);
+        net.run_for(Ticks::from_millis(10));
+        assert_eq!(net.poll_timers(), vec![(Ticks::from_millis(5), 55)]);
+    }
+
+    #[test]
+    fn closed_socket_stops_receiving() {
+        let (mut net, sa, sb, _a, b) = pair();
+        net.send(sa, Addr::unicast(b, Port(1000)), vec![1]).unwrap();
+        net.close(sb);
+        net.run_to_quiescence();
+        assert_eq!(net.pending(sb), 0);
+        // Port can be rebound after close.
+        assert!(net.bind(b, Port(1000)).is_ok());
+    }
+}

@@ -1,0 +1,74 @@
+//! Datagram and addressing primitives.
+
+use crate::topology::NodeId;
+use std::fmt;
+
+/// A UDP-style port number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Port(pub u16);
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+/// Conventional ports used across the workspace, mirroring real
+/// protocol assignments where one exists.
+pub mod well_known {
+    use super::Port;
+    /// SNMP agent port (UDP/161 in real deployments).
+    pub const SNMP_AGENT: Port = Port(161);
+    /// SNMP trap sink (UDP/162).
+    pub const SNMP_TRAP: Port = Port(162);
+    /// Collaboration session data channel.
+    pub const SESSION_DATA: Port = Port(5004);
+    /// Collaboration session control channel (RTCP-like).
+    pub const SESSION_CTRL: Port = Port(5005);
+}
+
+/// The maximum datagram payload the simulator will carry, mirroring a
+/// conservative UDP-over-Ethernet MTU budget.
+pub const MAX_DATAGRAM: usize = 65_507;
+
+/// Per-datagram fixed header overhead charged for serialization-time
+/// computation (IP 20 + UDP 8 bytes).
+pub const HEADER_OVERHEAD: usize = 28;
+
+/// An in-flight or delivered datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WirePacket {
+    /// Originating node.
+    pub src_node: NodeId,
+    /// Originating port.
+    pub src_port: Port,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl WirePacket {
+    /// Total bytes charged on the wire (payload + header overhead).
+    pub fn wire_size(&self) -> usize {
+        self.payload.len() + HEADER_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let p = WirePacket {
+            src_node: NodeId(0),
+            src_port: Port(9),
+            payload: vec![0u8; 100],
+        };
+        assert_eq!(p.wire_size(), 128);
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(well_known::SNMP_AGENT.to_string(), ":161");
+    }
+}

@@ -1,0 +1,457 @@
+//! Thin RTP/RTCP-style layer over the datagram substrate.
+//!
+//! The paper (§5.1) notes that UDP multicast alone limits reliability,
+//! so "a thin layer based on the RTP-RTCP scheme is built on top of the
+//! communication substrate to provide limited in-order delivery
+//! assurance". This module provides exactly that:
+//!
+//! * [`RtpHeader`] — a 12-byte header wire-compatible in spirit with
+//!   RFC 3550 (version, marker, payload type, sequence, timestamp,
+//!   SSRC),
+//! * [`RtpSender`] — stamps outgoing payloads,
+//! * [`RtpReceiver`] — a per-source reorder buffer that releases
+//!   packets in sequence order within a bounded window, skipping
+//!   over gaps once the window is exceeded (limited, not full,
+//!   reliability), and
+//! * [`ReceiverReport`] — RTCP-RR-style statistics (fraction lost,
+//!   cumulative lost, highest sequence seen).
+
+use std::collections::BTreeMap;
+
+/// Fixed RTP header size in bytes.
+pub const RTP_HEADER_LEN: usize = 12;
+
+/// RTP protocol version we stamp (always 2, as in RFC 3550).
+pub const RTP_VERSION: u8 = 2;
+
+/// Decoded RTP header fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RtpHeader {
+    /// End-of-frame style marker bit.
+    pub marker: bool,
+    /// Payload type (caller-defined media code).
+    pub payload_type: u8,
+    /// 16-bit sequence number (wraps).
+    pub seq: u16,
+    /// Media timestamp.
+    pub timestamp: u32,
+    /// Synchronization source — identifies the sender stream.
+    pub ssrc: u32,
+}
+
+impl RtpHeader {
+    /// Serialize to the 12-byte wire form.
+    pub fn encode(&self) -> [u8; RTP_HEADER_LEN] {
+        let mut b = [0u8; RTP_HEADER_LEN];
+        b[0] = RTP_VERSION << 6;
+        b[1] = (self.payload_type & 0x7f) | if self.marker { 0x80 } else { 0 };
+        b[2..4].copy_from_slice(&self.seq.to_be_bytes());
+        b[4..8].copy_from_slice(&self.timestamp.to_be_bytes());
+        b[8..12].copy_from_slice(&self.ssrc.to_be_bytes());
+        b
+    }
+
+    /// Parse the wire form; `None` if too short or wrong version.
+    pub fn decode(buf: &[u8]) -> Option<(RtpHeader, &[u8])> {
+        if buf.len() < RTP_HEADER_LEN || buf[0] >> 6 != RTP_VERSION {
+            return None;
+        }
+        let header = RtpHeader {
+            marker: buf[1] & 0x80 != 0,
+            payload_type: buf[1] & 0x7f,
+            seq: u16::from_be_bytes([buf[2], buf[3]]),
+            timestamp: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ssrc: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+        };
+        Some((header, &buf[RTP_HEADER_LEN..]))
+    }
+}
+
+/// Stamps outgoing payloads with consecutive sequence numbers.
+#[derive(Debug)]
+pub struct RtpSender {
+    ssrc: u32,
+    payload_type: u8,
+    next_seq: u16,
+}
+
+impl RtpSender {
+    /// A sender for stream `ssrc` carrying `payload_type`.
+    pub fn new(ssrc: u32, payload_type: u8) -> Self {
+        RtpSender {
+            ssrc,
+            payload_type,
+            next_seq: 0,
+        }
+    }
+
+    /// Next sequence number that will be assigned.
+    pub fn next_seq(&self) -> u16 {
+        self.next_seq
+    }
+
+    /// Wrap `payload` into an RTP datagram.
+    pub fn wrap(&mut self, timestamp: u32, marker: bool, payload: &[u8]) -> Vec<u8> {
+        let header = RtpHeader {
+            marker,
+            payload_type: self.payload_type,
+            seq: self.next_seq,
+            timestamp,
+            ssrc: self.ssrc,
+        };
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let mut out = Vec::with_capacity(RTP_HEADER_LEN + payload.len());
+        out.extend_from_slice(&header.encode());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+/// A packet released by the reorder buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RtpPacket {
+    /// Decoded header.
+    pub header: RtpHeader,
+    /// Media payload.
+    pub payload: Vec<u8>,
+}
+
+/// RTCP receiver-report-style statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReceiverReport {
+    /// Packets released to the application.
+    pub received: u64,
+    /// Packets skipped over as lost.
+    pub lost: u64,
+    /// Highest extended sequence number observed.
+    pub highest_seq: u32,
+    /// Fraction lost in `[0,1]` over the stream lifetime.
+    pub fraction_lost: f64,
+}
+
+/// Per-source reorder buffer with bounded window.
+///
+/// In-order packets are released immediately; out-of-order packets are
+/// held until the gap fills or the window (`max_window` buffered
+/// packets) overflows, at which point the receiver declares the missing
+/// packets lost and skips ahead. Duplicates and stale packets (before
+/// the release point) are discarded.
+#[derive(Debug)]
+pub struct RtpReceiver {
+    max_window: usize,
+    /// Packets that must be buffered before the first release (playout
+    /// priming). 1 = release immediately.
+    playout_depth: usize,
+    /// Extended (cycle-corrected) sequence number expected next.
+    next_ext: Option<u32>,
+    highest_ext: u32,
+    buffer: BTreeMap<u32, RtpPacket>,
+    received: u64,
+    lost: u64,
+    /// Whether any packet has been released yet; until then the stream
+    /// start may move backwards (a late-arriving earlier packet defines
+    /// a new, earlier playout point instead of being dropped).
+    started: bool,
+}
+
+impl RtpReceiver {
+    /// A receiver holding at most `max_window` out-of-order packets.
+    pub fn new(max_window: usize) -> Self {
+        assert!(max_window >= 1, "window must hold at least one packet");
+        RtpReceiver {
+            max_window,
+            playout_depth: 1,
+            next_ext: None,
+            highest_ext: 0,
+            buffer: BTreeMap::new(),
+            received: 0,
+            lost: 0,
+            started: false,
+        }
+    }
+
+    /// A receiver that primes: it buffers `playout_depth` packets
+    /// before the first release, so early reordering (including packets
+    /// that arrive before the true stream start) is absorbed rather
+    /// than dropped.
+    pub fn with_playout_depth(max_window: usize, playout_depth: usize) -> Self {
+        assert!(playout_depth >= 1 && playout_depth <= max_window);
+        let mut r = RtpReceiver::new(max_window);
+        r.playout_depth = playout_depth;
+        r
+    }
+
+    /// Convert a wire sequence number to an extended one near `ref_ext`.
+    fn extend(&self, seq: u16) -> u32 {
+        match self.next_ext {
+            None => seq as u32,
+            Some(ref_ext) => {
+                // Choose the cycle that puts seq closest to ref_ext.
+                let base = ref_ext & !0xffff;
+                let mut best = base | seq as u32;
+                let candidates = [
+                    base.wrapping_sub(0x1_0000) | seq as u32,
+                    base | seq as u32,
+                    base.wrapping_add(0x1_0000) | seq as u32,
+                ];
+                let mut best_dist = u32::MAX;
+                for c in candidates {
+                    let dist = c.abs_diff(ref_ext);
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = c;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Offer a raw datagram payload; returns packets now releasable in
+    /// order (possibly empty, possibly several).
+    pub fn push(&mut self, raw: &[u8]) -> Vec<RtpPacket> {
+        let Some((header, body)) = RtpHeader::decode(raw) else {
+            return Vec::new();
+        };
+        let ext = self.extend(header.seq);
+        if self.next_ext.is_none() {
+            self.next_ext = Some(ext);
+            self.highest_ext = ext;
+        }
+        self.highest_ext = self.highest_ext.max(ext);
+        let next = self.next_ext.unwrap();
+        if ext < next {
+            if self.started {
+                return Vec::new(); // stale or duplicate of released packet
+            }
+            // Playout has not begun: accept the earlier start point.
+            self.next_ext = Some(ext);
+        }
+        self.buffer.insert(
+            ext,
+            RtpPacket {
+                header,
+                payload: body.to_vec(),
+            },
+        );
+        self.drain()
+    }
+
+    /// Release whatever is releasable: the contiguous run from
+    /// `next_ext`, plus forced skips while over the window.
+    fn drain(&mut self) -> Vec<RtpPacket> {
+        let mut out = Vec::new();
+        // Playout priming: hold everything until enough is buffered.
+        if !self.started && self.buffer.len() < self.playout_depth {
+            return out;
+        }
+        loop {
+            let next = self.next_ext.unwrap();
+            if let Some(pkt) = self.buffer.remove(&next) {
+                self.received += 1;
+                self.started = true;
+                self.next_ext = Some(next + 1);
+                out.push(pkt);
+            } else if self.buffer.len() >= self.max_window {
+                // Window overflow: give up on the gap, jump to the
+                // earliest buffered packet, counting the skipped
+                // sequence numbers as lost.
+                let earliest = *self.buffer.keys().next().unwrap();
+                self.lost += (earliest - next) as u64;
+                self.next_ext = Some(earliest);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Force-flush all buffered packets (end of stream), counting any
+    /// remaining gaps as lost.
+    pub fn flush(&mut self) -> Vec<RtpPacket> {
+        self.started = true; // end priming unconditionally
+        let mut out = Vec::new();
+        while let Some((&earliest, _)) = self.buffer.iter().next() {
+            let next = self.next_ext.unwrap();
+            if earliest > next {
+                self.lost += (earliest - next) as u64;
+            }
+            self.next_ext = Some(earliest);
+            out.extend(self.drain());
+        }
+        out
+    }
+
+    /// Current receiver-report statistics.
+    pub fn report(&self) -> ReceiverReport {
+        let total = self.received + self.lost;
+        ReceiverReport {
+            received: self.received,
+            lost: self.lost,
+            highest_seq: self.highest_ext,
+            fraction_lost: if total == 0 {
+                0.0
+            } else {
+                self.lost as f64 / total as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(seq: u16) -> Vec<u8> {
+        let h = RtpHeader {
+            marker: false,
+            payload_type: 7,
+            seq,
+            timestamp: seq as u32 * 10,
+            ssrc: 0xabcd,
+        };
+        let mut v = h.encode().to_vec();
+        v.push(seq as u8);
+        v
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = RtpHeader {
+            marker: true,
+            payload_type: 96,
+            seq: 65535,
+            timestamp: 123456,
+            ssrc: 0xdeadbeef,
+        };
+        let mut wire = h.encode().to_vec();
+        wire.extend_from_slice(b"payload");
+        let (back, body) = RtpHeader::decode(&wire).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(body, b"payload");
+    }
+
+    #[test]
+    fn decode_rejects_short_and_bad_version() {
+        assert!(RtpHeader::decode(&[0u8; 5]).is_none());
+        let mut wire = mk(0);
+        wire[0] = 0; // version 0
+        assert!(RtpHeader::decode(&wire).is_none());
+    }
+
+    #[test]
+    fn sender_increments_and_wraps() {
+        let mut s = RtpSender::new(1, 2);
+        s.next_seq = 65534;
+        let w1 = s.wrap(0, false, b"a");
+        let w2 = s.wrap(0, false, b"b");
+        let w3 = s.wrap(0, false, b"c");
+        let seqs: Vec<u16> = [w1, w2, w3]
+            .iter()
+            .map(|w| RtpHeader::decode(w).unwrap().0.seq)
+            .collect();
+        assert_eq!(seqs, vec![65534, 65535, 0]);
+    }
+
+    #[test]
+    fn in_order_release() {
+        let mut r = RtpReceiver::new(8);
+        for seq in 0..5u16 {
+            let out = r.push(&mk(seq));
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].header.seq, seq);
+        }
+        assert_eq!(r.report().received, 5);
+        assert_eq!(r.report().lost, 0);
+    }
+
+    #[test]
+    fn reorder_within_window() {
+        let mut r = RtpReceiver::new(8);
+        assert_eq!(r.push(&mk(0)).len(), 1);
+        assert!(r.push(&mk(2)).is_empty());
+        assert!(r.push(&mk(3)).is_empty());
+        let out = r.push(&mk(1));
+        let seqs: Vec<u16> = out.iter().map(|p| p.header.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn window_overflow_skips_gap() {
+        let mut r = RtpReceiver::new(3);
+        r.push(&mk(0));
+        // seq 1 lost; 2,3 buffered; pushing 4 hits the window and skips.
+        assert!(r.push(&mk(2)).is_empty());
+        assert!(r.push(&mk(3)).is_empty());
+        let out = r.push(&mk(4));
+        let seqs: Vec<u16> = out.iter().map(|p| p.header.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        let rep = r.report();
+        assert_eq!(rep.lost, 1);
+        assert!((rep.fraction_lost - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_and_stale_discarded() {
+        let mut r = RtpReceiver::new(8);
+        assert_eq!(r.push(&mk(0)).len(), 1);
+        assert_eq!(r.push(&mk(1)).len(), 1);
+        assert!(r.push(&mk(0)).is_empty(), "stale");
+        assert!(r.push(&mk(1)).is_empty(), "duplicate");
+        assert_eq!(r.report().received, 2);
+    }
+
+    #[test]
+    fn flush_releases_tail_after_gap() {
+        let mut r = RtpReceiver::new(16);
+        r.push(&mk(0));
+        r.push(&mk(5));
+        r.push(&mk(6));
+        let out = r.flush();
+        let seqs: Vec<u16> = out.iter().map(|p| p.header.seq).collect();
+        assert_eq!(seqs, vec![5, 6]);
+        assert_eq!(r.report().lost, 4);
+    }
+
+    #[test]
+    fn playout_priming_absorbs_early_reordering() {
+        // Stream starts at seq 0 but seq 2 arrives first; an unprimed
+        // receiver would anchor at 2 and drop 0 and 1.
+        let mut r = RtpReceiver::with_playout_depth(8, 3);
+        assert!(r.push(&mk(2)).is_empty(), "primed: held");
+        assert!(r.push(&mk(0)).is_empty());
+        let out = r.push(&mk(1));
+        let seqs: Vec<u16> = out.iter().map(|p| p.header.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(r.report().lost, 0);
+    }
+
+    #[test]
+    fn flush_ends_priming() {
+        let mut r = RtpReceiver::with_playout_depth(8, 4);
+        r.push(&mk(5));
+        r.push(&mk(6));
+        let out = r.flush();
+        let seqs: Vec<u16> = out.iter().map(|p| p.header.seq).collect();
+        assert_eq!(seqs, vec![5, 6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn playout_depth_cannot_exceed_window() {
+        RtpReceiver::with_playout_depth(4, 5);
+    }
+
+    #[test]
+    fn sequence_wraparound_handled() {
+        let mut r = RtpReceiver::new(8);
+        // Start near the top of the u16 range.
+        for seq in [65533u16, 65534, 65535, 0, 1, 2] {
+            let out = r.push(&mk(seq));
+            assert_eq!(out.len(), 1, "seq {seq} should release immediately");
+        }
+        assert_eq!(r.report().received, 6);
+        assert_eq!(r.report().lost, 0);
+        assert!(r.report().highest_seq > 65535, "extended past one cycle");
+    }
+}

@@ -1,0 +1,319 @@
+//! Nodes, links, and shortest-path routing.
+//!
+//! The simulator models a small internetwork as an undirected graph of
+//! nodes joined by links. Each link has a bandwidth, a propagation
+//! latency, and an independent Bernoulli loss probability. Unicast
+//! traffic follows the hop-count-shortest path (BFS, deterministic
+//! tie-break by link id); multicast delivers along each member's
+//! unicast path, which matches LAN-scope IP multicast behaviour closely
+//! enough for the paper's experiments.
+
+use crate::time::Ticks;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a simulated node (host, switch, base station...).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Static link characteristics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Capacity in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub latency: Ticks,
+    /// Probability in `[0, 1]` that a packet traversing the link is lost.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// 100 Mb/s switched-Ethernet-like LAN segment: 100 us latency, lossless.
+    pub fn lan() -> Self {
+        LinkSpec {
+            bandwidth_bps: 100_000_000,
+            latency: Ticks::from_micros(100),
+            loss: 0.0,
+        }
+    }
+
+    /// A constrained wireless hop: 1 Mb/s, 2 ms latency, default 1% loss.
+    pub fn wireless() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1_000_000,
+            latency: Ticks::from_millis(2),
+            loss: 0.01,
+        }
+    }
+
+    /// A wide-area hop: 10 Mb/s, 20 ms latency, 0.1% loss.
+    pub fn wan() -> Self {
+        LinkSpec {
+            bandwidth_bps: 10_000_000,
+            latency: Ticks::from_millis(20),
+            loss: 0.001,
+        }
+    }
+
+    /// Override the loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0,1]");
+        self.loss = loss;
+        self
+    }
+
+    /// Override the bandwidth.
+    pub fn with_bandwidth_bps(mut self, bps: u64) -> Self {
+        assert!(bps > 0, "bandwidth must be positive");
+        self.bandwidth_bps = bps;
+        self
+    }
+
+    /// Override the propagation latency.
+    pub fn with_latency(mut self, latency: Ticks) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Time to serialize `bytes` onto this link.
+    pub fn serialization_time(&self, bytes: usize) -> Ticks {
+        let bits = bytes as u64 * 8;
+        // ceil(bits * 1e6 / bandwidth) microseconds
+        Ticks::from_micros((bits * 1_000_000).div_ceil(self.bandwidth_bps))
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Link {
+    pub spec: LinkSpec,
+    pub a: NodeId,
+    pub b: NodeId,
+    /// Earliest instant the link is free to start serializing the next
+    /// packet (simple FIFO queueing model shared by both directions).
+    pub busy_until: Ticks,
+    /// Total serialization time accumulated (utilization accounting).
+    pub busy_accum: Ticks,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub name: String,
+    pub links: Vec<LinkId>,
+}
+
+/// The static graph: nodes and links.
+#[derive(Debug, Default)]
+pub struct Topology {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) links: Vec<Link>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a node with a debug name; returns its id.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_string(),
+            links: Vec::new(),
+        });
+        id
+    }
+
+    /// Connect two distinct existing nodes; returns the new link id.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> LinkId {
+        assert!(a != b, "cannot link a node to itself");
+        assert!(
+            (a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len(),
+            "unknown node"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            spec,
+            a,
+            b,
+            busy_until: Ticks::ZERO,
+            busy_accum: Ticks::ZERO,
+        });
+        self.nodes[a.0 as usize].links.push(id);
+        self.nodes[b.0 as usize].links.push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Human-readable node name.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.nodes[n.0 as usize].name
+    }
+
+    /// Link spec accessor.
+    pub fn link_spec(&self, l: LinkId) -> LinkSpec {
+        self.links[l.0 as usize].spec
+    }
+
+    /// Replace a link's spec (e.g. to degrade bandwidth mid-run).
+    pub fn set_link_spec(&mut self, l: LinkId, spec: LinkSpec) {
+        self.links[l.0 as usize].spec = spec;
+    }
+
+    /// Total time link `l` has spent serializing packets.
+    pub fn link_busy_time(&self, l: LinkId) -> Ticks {
+        self.links[l.0 as usize].busy_accum
+    }
+
+    /// Fraction of `[0, now]` that link `l` spent serializing.
+    pub fn link_utilization(&self, l: LinkId, now: Ticks) -> f64 {
+        if now == Ticks::ZERO {
+            0.0
+        } else {
+            self.links[l.0 as usize].busy_accum.as_micros() as f64 / now.as_micros() as f64
+        }
+    }
+
+    /// The far end of `l` as seen from `from`.
+    pub fn peer(&self, l: LinkId, from: NodeId) -> NodeId {
+        let link = &self.links[l.0 as usize];
+        if link.a == from {
+            link.b
+        } else {
+            debug_assert_eq!(link.b, from);
+            link.a
+        }
+    }
+
+    /// Hop-count shortest path from `src` to `dst` as a sequence of
+    /// link ids, or `None` if unreachable. Deterministic: BFS visits
+    /// links in id order.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let n = self.nodes.len();
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[src.0 as usize] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &l in &self.nodes[u.0 as usize].links {
+                let v = self.peer(l, u);
+                if !visited[v.0 as usize] {
+                    visited[v.0 as usize] = true;
+                    prev[v.0 as usize] = Some((u, l));
+                    if v == dst {
+                        // unwind
+                        let mut path = Vec::new();
+                        let mut cur = dst;
+                        while cur != src {
+                            let (p, pl) = prev[cur.0 as usize].unwrap();
+                            path.push(pl);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n: usize) -> (Topology, NodeId, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let hub = t.add_node("hub");
+        let leaves: Vec<_> = (0..n)
+            .map(|i| {
+                let leaf = t.add_node(&format!("leaf{i}"));
+                t.connect(hub, leaf, LinkSpec::lan());
+                leaf
+            })
+            .collect();
+        (t, hub, leaves)
+    }
+
+    #[test]
+    fn route_direct_and_via_hub() {
+        let (t, hub, leaves) = star(3);
+        assert_eq!(t.route(hub, leaves[1]).unwrap().len(), 1);
+        assert_eq!(t.route(leaves[0], leaves[2]).unwrap().len(), 2);
+        assert_eq!(t.route(leaves[0], leaves[0]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn route_unreachable() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        assert!(t.route(a, b).is_none());
+    }
+
+    #[test]
+    fn route_prefers_fewest_hops() {
+        // a - b - c plus a direct a - c link: direct wins.
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.connect(a, b, LinkSpec::lan());
+        t.connect(b, c, LinkSpec::lan());
+        let direct = t.connect(a, c, LinkSpec::wan());
+        assert_eq!(t.route(a, c).unwrap(), vec![direct]);
+    }
+
+    #[test]
+    fn serialization_time_scales() {
+        let s = LinkSpec::lan(); // 100 Mb/s
+        assert_eq!(s.serialization_time(1250).as_micros(), 100); // 10 Kb at 100 Mb/s
+        let w = LinkSpec::wireless(); // 1 Mb/s
+        assert_eq!(w.serialization_time(125).as_micros(), 1000);
+        // Rounds up.
+        assert_eq!(w.serialization_time(1).as_micros(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot link a node to itself")]
+    fn reject_self_link() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        t.connect(a, a, LinkSpec::lan());
+    }
+
+    #[test]
+    fn peer_resolves_both_ends() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l = t.connect(a, b, LinkSpec::lan());
+        assert_eq!(t.peer(l, a), b);
+        assert_eq!(t.peer(l, b), a);
+    }
+}

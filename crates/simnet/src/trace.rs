@@ -1,0 +1,49 @@
+//! Cumulative network statistics, used by tests and benches to assert
+//! on traffic behaviour without instrumenting application code.
+
+/// Counters accumulated by a [`crate::Network`] over its lifetime.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams handed to `send` (multicast counts once per call).
+    pub sent: u64,
+    /// Copies delivered into a socket inbox.
+    pub delivered: u64,
+    /// Copies dropped by the loss model.
+    pub dropped: u64,
+    /// Wire bytes offered (payload + header overhead).
+    pub bytes_sent: u64,
+    /// Wire bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl NetStats {
+    /// Fraction of copies lost, in `[0, 1]`; zero when nothing was routed.
+    pub fn loss_rate(&self) -> f64 {
+        let total = self.delivered + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_rate_handles_zero() {
+        assert_eq!(NetStats::default().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn loss_rate_computes_fraction() {
+        let s = NetStats {
+            delivered: 75,
+            dropped: 25,
+            ..Default::default()
+        };
+        assert!((s.loss_rate() - 0.25).abs() < 1e-12);
+    }
+}

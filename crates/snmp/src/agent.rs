@@ -1,0 +1,372 @@
+//! The SNMP agent: community authentication + PDU dispatch over a MIB.
+//!
+//! Both flavours the paper mentions are covered: the "standard agents"
+//! on routers/switches and the "specialized embedded extension agent
+//! that runs on each host" are the same [`SnmpAgent`] type with
+//! different MIB contents (see `sysmon` for the host extension agent).
+
+use crate::mib::{MibTree, SetOutcome};
+use crate::oid::{arcs, Oid};
+use crate::pdu::{ErrorStatus, Message, Pdu, PduKind, VarBind};
+use crate::value::SnmpValue;
+
+/// An SNMP agent servicing one MIB.
+pub struct SnmpAgent {
+    read_community: String,
+    write_community: Option<String>,
+    mib: MibTree,
+    /// Requests dropped for bad community (silent per RFC; counted for tests).
+    pub auth_failures: u64,
+}
+
+impl SnmpAgent {
+    /// An agent with a read community and optional distinct write
+    /// community; starts with the standard `system` group populated.
+    pub fn new(descr: &str, read_community: &str, write_community: Option<&str>) -> Self {
+        let mut mib = MibTree::new();
+        mib.register_scalar(arcs::sys_descr(), SnmpValue::string(descr));
+        mib.register_scalar(arcs::sys_name(), SnmpValue::string(descr));
+        SnmpAgent {
+            read_community: read_community.to_string(),
+            write_community: write_community.map(str::to_string),
+            mib,
+            auth_failures: 0,
+        }
+    }
+
+    /// Mutable access to the MIB for registering instrumentation.
+    pub fn mib_mut(&mut self) -> &mut MibTree {
+        &mut self.mib
+    }
+
+    /// Read-only MIB size (for tests).
+    pub fn mib_len(&self) -> usize {
+        self.mib.len()
+    }
+
+    fn authorized(&self, msg: &Message) -> bool {
+        match msg.pdu.kind {
+            PduKind::SetRequest => match &self.write_community {
+                Some(wc) => &msg.community == wc,
+                None => msg.community == self.read_community,
+            },
+            _ => {
+                msg.community == self.read_community
+                    || self.write_community.as_deref() == Some(&msg.community)
+            }
+        }
+    }
+
+    /// Service one raw request datagram; returns the encoded response,
+    /// or `None` when the message is undecodable or fails community
+    /// authentication (silently dropped, like real agents).
+    pub fn handle(&mut self, raw: &[u8]) -> Option<Vec<u8>> {
+        let msg = Message::decode(raw).ok()?;
+        if !self.authorized(&msg) {
+            self.auth_failures += 1;
+            return None;
+        }
+        let response = self.dispatch(&msg.pdu)?;
+        Some(Message::new(&msg.community, response).encode())
+    }
+
+    fn dispatch(&mut self, pdu: &Pdu) -> Option<Pdu> {
+        match pdu.kind {
+            PduKind::GetRequest => {
+                let binds = pdu
+                    .varbinds
+                    .iter()
+                    .map(|vb| {
+                        let value = self
+                            .mib
+                            .get(&vb.name)
+                            .unwrap_or(SnmpValue::NoSuchObject);
+                        VarBind::bound(vb.name.clone(), value)
+                    })
+                    .collect();
+                Some(pdu.response(binds))
+            }
+            PduKind::GetNextRequest => {
+                let binds = pdu
+                    .varbinds
+                    .iter()
+                    .map(|vb| match self.mib.get_next(&vb.name) {
+                        Some((oid, value)) => VarBind::bound(oid, value),
+                        None => VarBind::bound(vb.name.clone(), SnmpValue::EndOfMibView),
+                    })
+                    .collect();
+                Some(pdu.response(binds))
+            }
+            PduKind::SetRequest => {
+                for (i, vb) in pdu.varbinds.iter().enumerate() {
+                    match self.mib.set(&vb.name, vb.value.clone()) {
+                        SetOutcome::Ok => {}
+                        SetOutcome::NoSuchName => {
+                            return Some(
+                                pdu.error_response(ErrorStatus::NoSuchName, i as u32 + 1),
+                            )
+                        }
+                        SetOutcome::NotWritable => {
+                            return Some(
+                                pdu.error_response(ErrorStatus::NotWritable, i as u32 + 1),
+                            )
+                        }
+                    }
+                }
+                Some(pdu.response(pdu.varbinds.clone()))
+            }
+            PduKind::GetBulkRequest => {
+                let (non_repeaters, max_repetitions) = pdu.bulk.unwrap_or((0, 10));
+                // Cap repetitions so a hostile request cannot explode
+                // the response.
+                let max_repetitions = max_repetitions.min(128);
+                let nr = (non_repeaters as usize).min(pdu.varbinds.len());
+                let mut binds = Vec::new();
+                for vb in &pdu.varbinds[..nr] {
+                    binds.push(match self.mib.get_next(&vb.name) {
+                        Some((oid, value)) => VarBind::bound(oid, value),
+                        None => VarBind::bound(vb.name.clone(), SnmpValue::EndOfMibView),
+                    });
+                }
+                for vb in &pdu.varbinds[nr..] {
+                    let mut cursor = vb.name.clone();
+                    for _ in 0..max_repetitions {
+                        match self.mib.get_next(&cursor) {
+                            Some((oid, value)) => {
+                                cursor = oid.clone();
+                                binds.push(VarBind::bound(oid, value));
+                            }
+                            None => {
+                                binds.push(VarBind::bound(
+                                    cursor.clone(),
+                                    SnmpValue::EndOfMibView,
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                }
+                Some(pdu.response(binds))
+            }
+            // Agents do not answer responses or traps.
+            PduKind::Response | PduKind::TrapV2 => None,
+        }
+    }
+
+    /// Build an SNMPv2-Trap message (uptime + trap OID + payload binds),
+    /// ready to send to a trap sink on port 162.
+    pub fn build_trap(
+        &mut self,
+        uptime_ticks: u32,
+        trap_oid: Oid,
+        binds: Vec<VarBind>,
+    ) -> Vec<u8> {
+        let mut varbinds = vec![
+            VarBind::bound(arcs::sys_uptime(), SnmpValue::TimeTicks(uptime_ticks)),
+            VarBind::bound(
+                // snmpTrapOID.0
+                Oid::new(&[1, 3, 6, 1, 6, 3, 1, 1, 4, 1, 0]),
+                SnmpValue::Oid(trap_oid),
+            ),
+        ];
+        varbinds.extend(binds);
+        let pdu = Pdu {
+            kind: PduKind::TrapV2,
+            request_id: 0,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds,
+        };
+        Message::new(&self.read_community, pdu).encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent() -> SnmpAgent {
+        let mut a = SnmpAgent::new("router-1", "public", Some("private"));
+        a.mib_mut()
+            .register_computed(arcs::host_cpu_load(), || SnmpValue::Gauge32(42));
+        a.mib_mut()
+            .register_writable(arcs::host_mem_avail(), SnmpValue::Gauge32(1024));
+        a
+    }
+
+    fn ask(a: &mut SnmpAgent, msg: &Message) -> Message {
+        let resp = a.handle(&msg.encode()).expect("response expected");
+        Message::decode(&resp).unwrap()
+    }
+
+    #[test]
+    fn get_round_trip_over_wire() {
+        let mut a = agent();
+        let req = Message::new(
+            "public",
+            Pdu::request(PduKind::GetRequest, 7, vec![arcs::host_cpu_load()]),
+        );
+        let resp = ask(&mut a, &req);
+        assert_eq!(resp.pdu.request_id, 7);
+        assert_eq!(resp.pdu.varbinds[0].value, SnmpValue::Gauge32(42));
+    }
+
+    #[test]
+    fn get_missing_yields_no_such_object() {
+        let mut a = agent();
+        let req = Message::new(
+            "public",
+            Pdu::request(PduKind::GetRequest, 1, vec![Oid::new(&[1, 3, 9, 9])]),
+        );
+        let resp = ask(&mut a, &req);
+        assert_eq!(resp.pdu.varbinds[0].value, SnmpValue::NoSuchObject);
+    }
+
+    #[test]
+    fn getnext_walks_and_terminates() {
+        let mut a = agent();
+        let req = Message::new(
+            "public",
+            Pdu::request(PduKind::GetNextRequest, 2, vec![Oid::new(&[1, 3])]),
+        );
+        let resp = ask(&mut a, &req);
+        assert_eq!(resp.pdu.varbinds[0].name, arcs::sys_descr());
+        // From past the last variable: endOfMibView.
+        let req = Message::new(
+            "public",
+            Pdu::request(PduKind::GetNextRequest, 3, vec![Oid::new(&[2, 0])]),
+        );
+        let resp = ask(&mut a, &req);
+        assert_eq!(resp.pdu.varbinds[0].value, SnmpValue::EndOfMibView);
+    }
+
+    #[test]
+    fn bad_community_silently_dropped() {
+        let mut a = agent();
+        let req = Message::new(
+            "wrong",
+            Pdu::request(PduKind::GetRequest, 1, vec![arcs::sys_descr()]),
+        );
+        assert!(a.handle(&req.encode()).is_none());
+        assert_eq!(a.auth_failures, 1);
+    }
+
+    #[test]
+    fn set_requires_write_community() {
+        let mut a = agent();
+        let set = |community: &str| {
+            Message::new(
+                community,
+                Pdu {
+                    kind: PduKind::SetRequest,
+                    request_id: 5,
+                    error_status: ErrorStatus::NoError,
+                    error_index: 0,
+                    bulk: None,
+                    varbinds: vec![VarBind::bound(
+                        arcs::host_mem_avail(),
+                        SnmpValue::Gauge32(2048),
+                    )],
+                },
+            )
+        };
+        // Read community cannot write.
+        assert!(a.handle(&set("public").encode()).is_none());
+        // Write community can.
+        let resp = ask(&mut a, &set("private"));
+        assert_eq!(resp.pdu.error_status, ErrorStatus::NoError);
+        let req = Message::new(
+            "public",
+            Pdu::request(PduKind::GetRequest, 6, vec![arcs::host_mem_avail()]),
+        );
+        assert_eq!(ask(&mut a, &req).pdu.varbinds[0].value, SnmpValue::Gauge32(2048));
+    }
+
+    #[test]
+    fn set_read_only_var_errors() {
+        let mut a = agent();
+        let msg = Message::new(
+            "private",
+            Pdu {
+                kind: PduKind::SetRequest,
+                request_id: 9,
+                error_status: ErrorStatus::NoError,
+                error_index: 0,
+                bulk: None,
+                varbinds: vec![VarBind::bound(
+                    arcs::host_cpu_load(),
+                    SnmpValue::Gauge32(0),
+                )],
+            },
+        );
+        let resp = ask(&mut a, &msg);
+        assert_eq!(resp.pdu.error_status, ErrorStatus::NotWritable);
+        assert_eq!(resp.pdu.error_index, 1);
+    }
+
+    #[test]
+    fn getbulk_walks_in_one_round_trip() {
+        let mut a = agent();
+        // MIB: sysDescr, sysName, cpu, mem (4 vars).
+        let req = Message::new(
+            "public",
+            Pdu::bulk_request(3, 0, 10, vec![Oid::new(&[1, 3])]),
+        );
+        let resp = ask(&mut a, &req);
+        // All 4 variables plus the endOfMibView marker.
+        assert_eq!(resp.pdu.varbinds.len(), 5);
+        assert_eq!(resp.pdu.varbinds[0].name, arcs::sys_descr());
+        assert_eq!(
+            resp.pdu.varbinds.last().unwrap().value,
+            SnmpValue::EndOfMibView
+        );
+    }
+
+    #[test]
+    fn getbulk_respects_max_repetitions() {
+        let mut a = agent();
+        let req = Message::new(
+            "public",
+            Pdu::bulk_request(4, 0, 2, vec![Oid::new(&[1, 3])]),
+        );
+        let resp = ask(&mut a, &req);
+        assert_eq!(resp.pdu.varbinds.len(), 2);
+    }
+
+    #[test]
+    fn getbulk_non_repeaters_mix() {
+        let mut a = agent();
+        // First name: single GETNEXT; second name: repeated.
+        let req = Message::new(
+            "public",
+            Pdu::bulk_request(5, 1, 3, vec![Oid::new(&[1, 3]), arcs::sys_descr()]),
+        );
+        let resp = ask(&mut a, &req);
+        // 1 (non-repeater) + 3 (repetitions) = 4 varbinds.
+        assert_eq!(resp.pdu.varbinds.len(), 4);
+        assert_eq!(resp.pdu.varbinds[0].name, arcs::sys_descr());
+        assert_eq!(resp.pdu.varbinds[1].name, arcs::sys_name());
+    }
+
+    #[test]
+    fn garbage_ignored() {
+        let mut a = agent();
+        assert!(a.handle(b"not ber at all").is_none());
+        assert!(a.handle(&[]).is_none());
+    }
+
+    #[test]
+    fn trap_encodes_standard_prefix() {
+        let mut a = agent();
+        let raw = a.build_trap(
+            100,
+            arcs::tassl().child(99),
+            vec![VarBind::bound(arcs::host_cpu_load(), SnmpValue::Gauge32(88))],
+        );
+        let msg = Message::decode(&raw).unwrap();
+        assert_eq!(msg.pdu.kind, PduKind::TrapV2);
+        assert_eq!(msg.pdu.varbinds.len(), 3);
+        assert_eq!(msg.pdu.varbinds[0].name, arcs::sys_uptime());
+    }
+}

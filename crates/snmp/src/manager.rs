@@ -1,0 +1,440 @@
+//! The SNMP manager: the component "that runs on the management
+//! station" (§5.5), issuing GET / GETNEXT / SET and subtree walks to
+//! agents over the simulated network.
+
+use crate::oid::Oid;
+use crate::pdu::{ErrorStatus, Message, Pdu, PduKind, VarBind};
+use crate::transport::{pump_until, AgentRuntime};
+use crate::value::SnmpValue;
+use crate::SnmpError;
+use simnet::packet::well_known;
+use simnet::{Addr, Network, NodeId, Port, SocketHandle, Ticks};
+
+/// A synchronous SNMP manager bound to one socket.
+///
+/// All query methods drive the simulation forward (servicing the
+/// provided agents) until the matching response arrives or the timeout
+/// elapses, mirroring a blocking management-station API.
+pub struct SnmpManager {
+    socket: SocketHandle,
+    community: String,
+    next_request_id: i32,
+    /// Per-request timeout in simulated time.
+    pub timeout: Ticks,
+    /// Simulation step used while waiting.
+    pub poll_step: Ticks,
+    /// Requests sent over the manager's lifetime (round-trip count).
+    pub requests_sent: u64,
+}
+
+impl SnmpManager {
+    /// Bind a manager on `node:port` using `community`.
+    pub fn bind(
+        net: &mut Network,
+        node: NodeId,
+        port: Port,
+        community: &str,
+    ) -> Result<Self, SnmpError> {
+        let socket = net
+            .bind(node, port)
+            .map_err(|e| SnmpError::Transport(e.to_string()))?;
+        Ok(SnmpManager {
+            socket,
+            community: community.to_string(),
+            next_request_id: 1,
+            timeout: Ticks::from_secs(2),
+            poll_step: Ticks::from_millis(1),
+            requests_sent: 0,
+        })
+    }
+
+    fn transact(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+        target: NodeId,
+        kind: PduKind,
+        varbinds: Vec<VarBind>,
+    ) -> Result<Pdu, SnmpError> {
+        self.transact_full(net, agents, target, kind, None, varbinds)
+    }
+
+    fn transact_full(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+        target: NodeId,
+        kind: PduKind,
+        bulk: Option<(u32, u32)>,
+        varbinds: Vec<VarBind>,
+    ) -> Result<Pdu, SnmpError> {
+        let request_id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1);
+        self.requests_sent += 1;
+        let pdu = Pdu {
+            kind,
+            request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk,
+            varbinds,
+        };
+        let msg = Message::new(&self.community, pdu);
+        net.send(
+            self.socket,
+            Addr::unicast(target, well_known::SNMP_AGENT),
+            msg.encode(),
+        )
+        .map_err(|e| SnmpError::Transport(e.to_string()))?;
+
+        let socket = self.socket;
+        let mut response: Option<Pdu> = None;
+        pump_until(net, agents, self.poll_step, self.timeout, |net| {
+            while let Some(dgram) = net.recv(socket) {
+                if let Ok(m) = Message::decode(&dgram.payload) {
+                    if m.pdu.kind == PduKind::Response && m.pdu.request_id == request_id {
+                        response = Some(m.pdu);
+                        return true;
+                    }
+                }
+            }
+            false
+        });
+        let pdu = response.ok_or(SnmpError::Timeout)?;
+        if pdu.error_status != ErrorStatus::NoError {
+            return Err(SnmpError::ErrorStatus(pdu.error_status, pdu.error_index));
+        }
+        Ok(pdu)
+    }
+
+    /// GET one or more exact OIDs.
+    pub fn get(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+        target: NodeId,
+        oids: &[Oid],
+    ) -> Result<Vec<VarBind>, SnmpError> {
+        let binds = oids.iter().cloned().map(VarBind::request).collect();
+        Ok(self
+            .transact(net, agents, target, PduKind::GetRequest, binds)?
+            .varbinds)
+    }
+
+    /// GET a single OID and coerce it to `f64` (the form the inference
+    /// engine consumes).
+    pub fn get_f64(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+        target: NodeId,
+        oid: &Oid,
+    ) -> Result<f64, SnmpError> {
+        let binds = self.get(net, agents, target, std::slice::from_ref(oid))?;
+        binds
+            .first()
+            .and_then(|vb| vb.value.as_f64())
+            .ok_or(SnmpError::Malformed("non-numeric or missing value"))
+    }
+
+    /// GETNEXT for each OID.
+    pub fn get_next(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+        target: NodeId,
+        oids: &[Oid],
+    ) -> Result<Vec<VarBind>, SnmpError> {
+        let binds = oids.iter().cloned().map(VarBind::request).collect();
+        Ok(self
+            .transact(net, agents, target, PduKind::GetNextRequest, binds)?
+            .varbinds)
+    }
+
+    /// SET one variable.
+    pub fn set(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+        target: NodeId,
+        oid: Oid,
+        value: SnmpValue,
+    ) -> Result<(), SnmpError> {
+        self.transact(
+            net,
+            agents,
+            target,
+            PduKind::SetRequest,
+            vec![VarBind::bound(oid, value)],
+        )?;
+        Ok(())
+    }
+
+    /// GETBULK (RFC 3416): one round trip returning up to
+    /// `max_repetitions` successive variables after `oid`.
+    pub fn get_bulk(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+        target: NodeId,
+        oid: &Oid,
+        max_repetitions: u32,
+    ) -> Result<Vec<VarBind>, SnmpError> {
+        let pdu = self.transact_full(
+            net,
+            agents,
+            target,
+            PduKind::GetBulkRequest,
+            Some((0, max_repetitions)),
+            vec![VarBind::request(oid.clone())],
+        )?;
+        Ok(pdu.varbinds)
+    }
+
+    /// Walk an entire subtree with GETBULK batches — the round-trip
+    /// count drops by `max_repetitions` relative to [`Self::walk`].
+    pub fn walk_bulk(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+        target: NodeId,
+        root: &Oid,
+        max_repetitions: u32,
+    ) -> Result<Vec<VarBind>, SnmpError> {
+        assert!(max_repetitions >= 1);
+        let mut out: Vec<VarBind> = Vec::new();
+        let mut cursor = root.clone();
+        'outer: loop {
+            let batch = self.get_bulk(net, agents, target, &cursor, max_repetitions)?;
+            if batch.is_empty() {
+                break;
+            }
+            for vb in batch {
+                if vb.value == SnmpValue::EndOfMibView || !vb.name.starts_with(root) {
+                    break 'outer;
+                }
+                cursor = vb.name.clone();
+                out.push(vb);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Walk an entire subtree with repeated GETNEXT, stopping at the
+    /// first OID outside `root` or at endOfMibView.
+    pub fn walk(
+        &mut self,
+        net: &mut Network,
+        agents: &mut [&mut AgentRuntime],
+        target: NodeId,
+        root: &Oid,
+    ) -> Result<Vec<VarBind>, SnmpError> {
+        let mut out = Vec::new();
+        let mut cursor = root.clone();
+        loop {
+            let binds = self.get_next(net, agents, target, std::slice::from_ref(&cursor))?;
+            let Some(vb) = binds.into_iter().next() else {
+                break;
+            };
+            if vb.value == SnmpValue::EndOfMibView || !vb.name.starts_with(root) {
+                break;
+            }
+            cursor = vb.name.clone();
+            out.push(vb);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::SnmpAgent;
+    use crate::oid::arcs;
+    use simnet::LinkSpec;
+
+    fn world() -> (Network, SnmpManager, AgentRuntime, NodeId) {
+        let mut net = Network::new(17);
+        let (_sw, hosts) = net.lan(&["station", "host"], LinkSpec::lan());
+        let mut agent = SnmpAgent::new("simhost", "public", Some("private"));
+        agent
+            .mib_mut()
+            .register_computed(arcs::host_cpu_load(), || SnmpValue::Gauge32(37));
+        agent
+            .mib_mut()
+            .register_computed(arcs::host_page_faults(), || SnmpValue::Gauge32(64));
+        agent
+            .mib_mut()
+            .register_writable(arcs::host_mem_avail(), SnmpValue::Gauge32(4096));
+        let rt = AgentRuntime::bind(&mut net, hosts[1], agent).unwrap();
+        let mgr = SnmpManager::bind(&mut net, hosts[0], Port(30000), "public").unwrap();
+        (net, mgr, rt, hosts[1])
+    }
+
+    #[test]
+    fn get_single_and_multi() {
+        let (mut net, mut mgr, mut rt, host) = world();
+        let v = mgr
+            .get_f64(&mut net, &mut [&mut rt], host, &arcs::host_cpu_load())
+            .unwrap();
+        assert_eq!(v, 37.0);
+        let binds = mgr
+            .get(
+                &mut net,
+                &mut [&mut rt],
+                host,
+                &[arcs::host_cpu_load(), arcs::host_page_faults()],
+            )
+            .unwrap();
+        assert_eq!(binds.len(), 2);
+        assert_eq!(binds[1].value, SnmpValue::Gauge32(64));
+    }
+
+    #[test]
+    fn walk_private_subtree() {
+        let (mut net, mut mgr, mut rt, host) = world();
+        let binds = mgr
+            .walk(&mut net, &mut [&mut rt], host, &arcs::tassl())
+            .unwrap();
+        let names: Vec<_> = binds.iter().map(|vb| vb.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                arcs::host_cpu_load(),
+                arcs::host_page_faults(),
+                arcs::host_mem_avail()
+            ]
+        );
+    }
+
+    #[test]
+    fn bulk_walk_matches_getnext_walk() {
+        let (mut net, mut mgr, mut rt, host) = world();
+        let walked = mgr
+            .walk(&mut net, &mut [&mut rt], host, &arcs::tassl())
+            .unwrap();
+        let bulked = mgr
+            .walk_bulk(&mut net, &mut [&mut rt], host, &arcs::tassl(), 2)
+            .unwrap();
+        assert_eq!(walked, bulked, "same subtree either way");
+        let big_batch = mgr
+            .walk_bulk(&mut net, &mut [&mut rt], host, &arcs::tassl(), 50)
+            .unwrap();
+        assert_eq!(walked, big_batch);
+    }
+
+    #[test]
+    fn bulk_walk_uses_far_fewer_round_trips_on_a_table() {
+        // An ifTable-style MIB with 64 rows.
+        let mut net = Network::new(17);
+        let (_sw, hosts) = net.lan(&["station", "bigrouter"], LinkSpec::lan());
+        let mut agent = SnmpAgent::new("bigrouter", "public", None);
+        for i in 1..=64u32 {
+            agent
+                .mib_mut()
+                .register_scalar(arcs::if_speed(i), SnmpValue::Gauge32(i * 1000));
+        }
+        let mut rt = AgentRuntime::bind(&mut net, hosts[1], agent).unwrap();
+        let root = Oid::new(&[1, 3, 6, 1, 2, 1, 2, 2, 1, 5]);
+
+        let mut mgr = SnmpManager::bind(&mut net, hosts[0], Port(31000), "public").unwrap();
+        let walked = mgr.walk(&mut net, &mut [&mut rt], hosts[1], &root).unwrap();
+        let getnext_rtts = mgr.requests_sent;
+        assert_eq!(walked.len(), 64);
+
+        let mut mgr2 = SnmpManager::bind(&mut net, hosts[0], Port(31001), "public").unwrap();
+        let bulked = mgr2
+            .walk_bulk(&mut net, &mut [&mut rt], hosts[1], &root, 32)
+            .unwrap();
+        let bulk_rtts = mgr2.requests_sent;
+        assert_eq!(bulked, walked);
+        assert!(
+            bulk_rtts * 10 <= getnext_rtts,
+            "bulk {bulk_rtts} vs getnext {getnext_rtts} round trips"
+        );
+    }
+
+    #[test]
+    fn get_bulk_single_round_trip() {
+        let (mut net, mut mgr, mut rt, host) = world();
+        let binds = mgr
+            .get_bulk(&mut net, &mut [&mut rt], host, &Oid::new(&[1, 3]), 3)
+            .unwrap();
+        assert_eq!(binds.len(), 3);
+        assert_eq!(binds[0].name, arcs::sys_descr());
+    }
+
+    #[test]
+    fn set_with_wrong_community_times_out() {
+        let (mut net, _mgr, mut rt, host) = world();
+        // Manager with read community tries to SET: agent silently drops.
+        let mut ro_mgr = SnmpManager::bind(&mut net, rt.node(), Port(30001), "public");
+        // bind manager on the agent's own node is fine for the test
+        let ro_mgr = ro_mgr.as_mut().unwrap();
+        ro_mgr.timeout = Ticks::from_millis(50);
+        let err = ro_mgr
+            .set(
+                &mut net,
+                &mut [&mut rt],
+                host,
+                arcs::host_mem_avail(),
+                SnmpValue::Gauge32(1),
+            )
+            .unwrap_err();
+        assert_eq!(err, SnmpError::Timeout);
+    }
+
+    #[test]
+    fn set_with_write_community_succeeds() {
+        let (mut net, _mgr, mut rt, host) = world();
+        let station = rt.node();
+        let mut rw = SnmpManager::bind(&mut net, station, Port(30002), "private").unwrap();
+        rw.set(
+            &mut net,
+            &mut [&mut rt],
+            host,
+            arcs::host_mem_avail(),
+            SnmpValue::Gauge32(8192),
+        )
+        .unwrap();
+        let v = rw
+            .get_f64(&mut net, &mut [&mut rt], host, &arcs::host_mem_avail())
+            .unwrap();
+        assert_eq!(v, 8192.0);
+    }
+
+    #[test]
+    fn unreachable_agent_times_out() {
+        let mut net = Network::new(1);
+        let a = net.add_node("station");
+        let b = net.add_node("island");
+        net.connect(a, b, LinkSpec::lan());
+        // No agent bound on b: request arrives at an unbound port.
+        let mut mgr = SnmpManager::bind(&mut net, a, Port(30000), "public").unwrap();
+        mgr.timeout = Ticks::from_millis(20);
+        let err = mgr
+            .get(&mut net, &mut [], b, &[arcs::sys_descr()])
+            .unwrap_err();
+        assert_eq!(err, SnmpError::Timeout);
+    }
+
+    #[test]
+    fn error_status_surfaces() {
+        let (mut net, _mgr, mut rt, host) = world();
+        let station = rt.node();
+        let mut rw = SnmpManager::bind(&mut net, station, Port(30003), "private").unwrap();
+        let err = rw
+            .set(
+                &mut net,
+                &mut [&mut rt],
+                host,
+                arcs::host_cpu_load(), // computed: not writable
+                SnmpValue::Gauge32(0),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SnmpError::ErrorStatus(ErrorStatus::NotWritable, 1)
+        ));
+    }
+}

@@ -1,0 +1,245 @@
+//! Object identifiers and the arcs used across the framework.
+
+use crate::SnmpError;
+use std::fmt;
+use std::str::FromStr;
+
+/// An ASN.1 object identifier: a sequence of non-negative arcs.
+///
+/// Ordering is lexicographic on the arc sequence, which is exactly the
+/// MIB tree order GETNEXT walks.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Oid(Vec<u32>);
+
+impl Oid {
+    /// Construct from arcs. At least two arcs are required for a valid
+    /// BER encoding (the first two are packed together).
+    pub fn new(arcs: &[u32]) -> Self {
+        Oid(arcs.to_vec())
+    }
+
+    /// The arc sequence.
+    pub fn arcs(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of arcs.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the OID has no arcs.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// This OID extended with an extra arc (e.g. an instance index).
+    pub fn child(&self, arc: u32) -> Oid {
+        let mut arcs = self.0.clone();
+        arcs.push(arc);
+        Oid(arcs)
+    }
+
+    /// This OID extended with several arcs.
+    pub fn extend(&self, arcs: &[u32]) -> Oid {
+        let mut v = self.0.clone();
+        v.extend_from_slice(arcs);
+        Oid(v)
+    }
+
+    /// Whether `self` lies in the subtree rooted at `prefix`.
+    pub fn starts_with(&self, prefix: &Oid) -> bool {
+        self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..]
+    }
+
+    /// Validity for BER encoding: at least 2 arcs, first arc in 0..=2,
+    /// second arc < 40 when the first is 0 or 1.
+    pub fn is_encodable(&self) -> bool {
+        match self.0.as_slice() {
+            [first, second, ..] => *first <= 2 && (*first == 2 || *second < 40),
+            _ => false,
+        }
+    }
+}
+
+impl FromStr for Oid {
+    type Err = SnmpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.strip_prefix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Err(SnmpError::BadOid(s.to_string()));
+        }
+        trimmed
+            .split('.')
+            .map(|part| part.parse::<u32>().map_err(|_| SnmpError::BadOid(s.to_string())))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Oid)
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for arc in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{arc}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({self})")
+    }
+}
+
+impl From<&[u32]> for Oid {
+    fn from(arcs: &[u32]) -> Self {
+        Oid::new(arcs)
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for Oid {
+    fn from(arcs: [u32; N]) -> Self {
+        Oid(arcs.to_vec())
+    }
+}
+
+/// Well-known arcs used by the framework.
+///
+/// The standard MIB-2 objects model what the paper reads from routers
+/// and switches; the private-enterprise subtree is the paper's
+/// "specialized embedded extension agent that runs on each host"
+/// exposing CPU load, page faults, and memory.
+pub mod arcs {
+    use super::Oid;
+
+    /// `iso.org.dod.internet` = 1.3.6.1
+    pub fn internet() -> Oid {
+        Oid::new(&[1, 3, 6, 1])
+    }
+
+    /// MIB-2: 1.3.6.1.2.1
+    pub fn mib2() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 2, 1])
+    }
+
+    /// sysDescr.0
+    pub fn sys_descr() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 2, 1, 1, 1, 0])
+    }
+
+    /// sysUpTime.0
+    pub fn sys_uptime() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 2, 1, 1, 3, 0])
+    }
+
+    /// sysName.0
+    pub fn sys_name() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 2, 1, 1, 5, 0])
+    }
+
+    /// ifSpeed.{index}: interface bandwidth in bits/sec (Gauge32).
+    pub fn if_speed(index: u32) -> Oid {
+        Oid::new(&[1, 3, 6, 1, 2, 1, 2, 2, 1, 5, index])
+    }
+
+    /// ifInOctets.{index} (Counter32).
+    pub fn if_in_octets(index: u32) -> Oid {
+        Oid::new(&[1, 3, 6, 1, 2, 1, 2, 2, 1, 10, index])
+    }
+
+    /// ifOutOctets.{index} (Counter32).
+    pub fn if_out_octets(index: u32) -> Oid {
+        Oid::new(&[1, 3, 6, 1, 2, 1, 2, 2, 1, 16, index])
+    }
+
+    /// The TASSL experimental private enterprise subtree used by the
+    /// host extension agent: 1.3.6.1.4.1.99999.
+    pub fn tassl() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 4, 1, 99999])
+    }
+
+    /// hostCpuLoad.0 — percent busy (Gauge32 0..=100).
+    pub fn host_cpu_load() -> Oid {
+        tassl().extend(&[1, 0])
+    }
+
+    /// hostPageFaults.0 — page faults per second (Gauge32).
+    pub fn host_page_faults() -> Oid {
+        tassl().extend(&[2, 0])
+    }
+
+    /// hostMemAvailKb.0 — available memory in KiB (Gauge32).
+    pub fn host_mem_avail() -> Oid {
+        tassl().extend(&[3, 0])
+    }
+
+    /// hostNetLatencyUs.0 — measured path latency (Gauge32).
+    pub fn host_net_latency() -> Oid {
+        tassl().extend(&[4, 0])
+    }
+
+    /// hostNetJitterUs.0 — measured jitter (Gauge32).
+    pub fn host_net_jitter() -> Oid {
+        tassl().extend(&[5, 0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let o: Oid = "1.3.6.1.2.1.1.1.0".parse().unwrap();
+        assert_eq!(o.to_string(), "1.3.6.1.2.1.1.1.0");
+        let dotted: Oid = ".1.3.6".parse().unwrap();
+        assert_eq!(dotted, Oid::new(&[1, 3, 6]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Oid>().is_err());
+        assert!("1.3.x".parse::<Oid>().is_err());
+        assert!("1..3".parse::<Oid>().is_err());
+        assert!("-1.3".parse::<Oid>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_tree_order() {
+        let a = Oid::new(&[1, 3, 6, 1]);
+        let b = Oid::new(&[1, 3, 6, 1, 0]);
+        let c = Oid::new(&[1, 3, 6, 2]);
+        assert!(a < b, "parent before child");
+        assert!(b < c, "subtree before next sibling");
+    }
+
+    #[test]
+    fn starts_with_subtrees() {
+        let root = arcs::tassl();
+        assert!(arcs::host_cpu_load().starts_with(&root));
+        assert!(!arcs::sys_descr().starts_with(&root));
+        assert!(root.starts_with(&root));
+    }
+
+    #[test]
+    fn child_and_extend() {
+        let o = Oid::new(&[1, 3]).child(6).extend(&[1, 4]);
+        assert_eq!(o, Oid::new(&[1, 3, 6, 1, 4]));
+    }
+
+    #[test]
+    fn encodability() {
+        assert!(Oid::new(&[1, 3, 6]).is_encodable());
+        assert!(Oid::new(&[2, 999]).is_encodable());
+        assert!(!Oid::new(&[1]).is_encodable());
+        assert!(!Oid::new(&[1, 40]).is_encodable());
+        assert!(!Oid::new(&[3, 1]).is_encodable());
+    }
+}

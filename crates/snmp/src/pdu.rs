@@ -1,0 +1,423 @@
+//! SNMPv2c message and PDU encoding.
+//!
+//! Wire layout (all BER):
+//!
+//! ```text
+//! Message ::= SEQUENCE { version INTEGER(1), community OCTET STRING,
+//!                        pdu [context] }
+//! PDU     ::= { request-id INTEGER, error-status INTEGER,
+//!               error-index INTEGER,
+//!               varbinds SEQUENCE OF SEQUENCE { name OID, value ANY } }
+//! ```
+
+use crate::ber::{tag, Reader, Writer};
+use crate::oid::Oid;
+use crate::value::SnmpValue;
+use crate::SnmpError;
+
+/// Protocol version constant for SNMPv2c on the wire.
+pub const VERSION_2C: i64 = 1;
+
+/// PDU operation kinds the framework uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PduKind {
+    /// GET — exact OID lookup.
+    GetRequest,
+    /// GETNEXT — first bound variable strictly after the given OID.
+    GetNextRequest,
+    /// Agent → manager reply.
+    Response,
+    /// SET — write a bound variable.
+    SetRequest,
+    /// GETBULK — batched GETNEXT (RFC 3416 §4.2.3).
+    GetBulkRequest,
+    /// Unsolicited notification (SNMPv2-Trap).
+    TrapV2,
+}
+
+impl PduKind {
+    fn to_tag(self) -> u8 {
+        match self {
+            PduKind::GetRequest => tag::GET_REQUEST,
+            PduKind::GetNextRequest => tag::GET_NEXT_REQUEST,
+            PduKind::Response => tag::RESPONSE,
+            PduKind::SetRequest => tag::SET_REQUEST,
+            PduKind::GetBulkRequest => tag::GET_BULK_REQUEST,
+            PduKind::TrapV2 => tag::TRAP_V2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<PduKind> {
+        Some(match t {
+            tag::GET_REQUEST => PduKind::GetRequest,
+            tag::GET_NEXT_REQUEST => PduKind::GetNextRequest,
+            tag::RESPONSE => PduKind::Response,
+            tag::SET_REQUEST => PduKind::SetRequest,
+            tag::GET_BULK_REQUEST => PduKind::GetBulkRequest,
+            tag::TRAP_V2 => PduKind::TrapV2,
+            _ => return None,
+        })
+    }
+}
+
+/// RFC 3416 error-status codes (the subset we generate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ErrorStatus {
+    /// Success.
+    #[default]
+    NoError,
+    /// Response would not fit.
+    TooBig,
+    /// v1-style missing name (kept for completeness).
+    NoSuchName,
+    /// SET value has the wrong type/length.
+    BadValue,
+    /// Variable cannot be written.
+    ReadOnly,
+    /// Any other failure.
+    GenErr,
+    /// SET to a non-existent variable.
+    NotWritable,
+}
+
+impl ErrorStatus {
+    fn to_i64(self) -> i64 {
+        match self {
+            ErrorStatus::NoError => 0,
+            ErrorStatus::TooBig => 1,
+            ErrorStatus::NoSuchName => 2,
+            ErrorStatus::BadValue => 3,
+            ErrorStatus::ReadOnly => 4,
+            ErrorStatus::GenErr => 5,
+            ErrorStatus::NotWritable => 17,
+        }
+    }
+
+    fn from_i64(v: i64) -> Result<Self, SnmpError> {
+        Ok(match v {
+            0 => ErrorStatus::NoError,
+            1 => ErrorStatus::TooBig,
+            2 => ErrorStatus::NoSuchName,
+            3 => ErrorStatus::BadValue,
+            4 => ErrorStatus::ReadOnly,
+            5 => ErrorStatus::GenErr,
+            17 => ErrorStatus::NotWritable,
+            _ => return Err(SnmpError::Malformed("unknown error-status")),
+        })
+    }
+}
+
+/// A `(name, value)` pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarBind {
+    /// The variable's OID.
+    pub name: Oid,
+    /// Its value (Null in requests).
+    pub value: SnmpValue,
+}
+
+impl VarBind {
+    /// A varbind with a NULL placeholder value (request form).
+    pub fn request(name: Oid) -> VarBind {
+        VarBind {
+            name,
+            value: SnmpValue::Null,
+        }
+    }
+
+    /// A fully bound varbind.
+    pub fn bound(name: Oid, value: SnmpValue) -> VarBind {
+        VarBind { name, value }
+    }
+}
+
+/// The operation portion of a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pdu {
+    /// Operation kind.
+    pub kind: PduKind,
+    /// Correlates responses with requests.
+    pub request_id: i32,
+    /// Error status (responses).
+    pub error_status: ErrorStatus,
+    /// 1-based index of the failing varbind, 0 if none.
+    ///
+    /// For `GetBulkRequest`, RFC 3416 reuses the two error fields as
+    /// `non-repeaters` (this crate keeps them in [`Pdu::bulk`]).
+    pub error_index: u32,
+    /// GETBULK parameters `(non_repeaters, max_repetitions)`; only
+    /// meaningful (and only encoded) when `kind` is `GetBulkRequest`.
+    pub bulk: Option<(u32, u32)>,
+    /// The variable bindings.
+    pub varbinds: Vec<VarBind>,
+}
+
+impl Pdu {
+    /// A request PDU of `kind` over `names` with NULL values.
+    pub fn request(kind: PduKind, request_id: i32, names: Vec<Oid>) -> Pdu {
+        Pdu {
+            kind,
+            request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds: names.into_iter().map(VarBind::request).collect(),
+        }
+    }
+
+    /// A GETBULK request (RFC 3416): the first `non_repeaters` names
+    /// get one GETNEXT each; every further name is stepped
+    /// `max_repetitions` times.
+    pub fn bulk_request(
+        request_id: i32,
+        non_repeaters: u32,
+        max_repetitions: u32,
+        names: Vec<Oid>,
+    ) -> Pdu {
+        Pdu {
+            kind: PduKind::GetBulkRequest,
+            request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: Some((non_repeaters, max_repetitions)),
+            varbinds: names.into_iter().map(VarBind::request).collect(),
+        }
+    }
+
+    /// The response to this PDU with the given bindings.
+    pub fn response(&self, varbinds: Vec<VarBind>) -> Pdu {
+        Pdu {
+            kind: PduKind::Response,
+            request_id: self.request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds,
+        }
+    }
+
+    /// An error response echoing this PDU's varbinds.
+    pub fn error_response(&self, status: ErrorStatus, index: u32) -> Pdu {
+        Pdu {
+            kind: PduKind::Response,
+            request_id: self.request_id,
+            error_status: status,
+            error_index: index,
+            bulk: None,
+            varbinds: self.varbinds.clone(),
+        }
+    }
+}
+
+/// A complete community-authenticated message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Community string ("password" + view selector).
+    pub community: String,
+    /// The PDU.
+    pub pdu: Pdu,
+}
+
+impl Message {
+    /// Construct a message.
+    pub fn new(community: &str, pdu: Pdu) -> Message {
+        Message {
+            community: community.to_string(),
+            pdu,
+        }
+    }
+
+    /// BER-encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.sequence(|w| {
+            w.integer(VERSION_2C);
+            w.octet_string(self.community.as_bytes());
+            w.constructed(self.pdu.kind.to_tag(), |w| {
+                w.integer(self.pdu.request_id as i64);
+                let (f1, f2) = match (self.pdu.kind, self.pdu.bulk) {
+                    (PduKind::GetBulkRequest, Some((nr, mr))) => (nr as i64, mr as i64),
+                    (PduKind::GetBulkRequest, None) => (0, 10),
+                    _ => (
+                        self.pdu.error_status.to_i64(),
+                        self.pdu.error_index as i64,
+                    ),
+                };
+                w.integer(f1);
+                w.integer(f2);
+                w.sequence(|w| {
+                    for vb in &self.pdu.varbinds {
+                        w.sequence(|w| {
+                            w.oid(&vb.name);
+                            vb.value.encode(w);
+                        });
+                    }
+                });
+            });
+        });
+        w.into_bytes()
+    }
+
+    /// Decode wire bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Message, SnmpError> {
+        let mut r = Reader::new(bytes);
+        let mut msg = r.sequence()?;
+        let version = msg.integer()?;
+        if version != VERSION_2C {
+            return Err(SnmpError::Malformed("unsupported SNMP version"));
+        }
+        let community = String::from_utf8(msg.octet_string()?.to_vec())
+            .map_err(|_| SnmpError::Malformed("community not UTF-8"))?;
+        let pdu_tag = msg.peek_tag()?;
+        let kind = PduKind::from_tag(pdu_tag).ok_or(SnmpError::Malformed("unknown PDU tag"))?;
+        let mut pdu = msg.constructed(pdu_tag)?;
+        let request_id = pdu.integer()? as i32;
+        let field1 = pdu.integer()?;
+        let field2 = pdu.integer()?;
+        let (error_status, error_index, bulk) = if kind == PduKind::GetBulkRequest {
+            (
+                ErrorStatus::NoError,
+                0,
+                Some((field1.max(0) as u32, field2.max(0) as u32)),
+            )
+        } else {
+            (ErrorStatus::from_i64(field1)?, field2 as u32, None)
+        };
+        let mut binds = pdu.sequence()?;
+        let mut varbinds = Vec::new();
+        while !binds.is_empty() {
+            let mut vb = binds.sequence()?;
+            let name = vb.oid()?;
+            let value = SnmpValue::decode(&mut vb)?;
+            varbinds.push(VarBind { name, value });
+        }
+        Ok(Message {
+            community,
+            pdu: Pdu {
+                kind,
+                request_id,
+                error_status,
+                error_index,
+                bulk,
+                varbinds,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::arcs;
+
+    fn sample() -> Message {
+        Message::new(
+            "public",
+            Pdu {
+                kind: PduKind::GetRequest,
+                request_id: 0x0102_0304,
+                error_status: ErrorStatus::NoError,
+                error_index: 0,
+                bulk: None,
+                varbinds: vec![
+                    VarBind::request(arcs::host_cpu_load()),
+                    VarBind::request(arcs::host_page_faults()),
+                ],
+            },
+        )
+    }
+
+    #[test]
+    fn message_round_trip() {
+        let m = sample();
+        let bytes = m.encode();
+        assert_eq!(Message::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn response_round_trip_with_values() {
+        let resp = Message::new(
+            "private",
+            Pdu {
+                kind: PduKind::Response,
+                request_id: -7,
+                error_status: ErrorStatus::NotWritable,
+                error_index: 2,
+                bulk: None,
+                varbinds: vec![
+                    VarBind::bound(arcs::sys_descr(), SnmpValue::string("simhost")),
+                    VarBind::bound(arcs::host_cpu_load(), SnmpValue::Gauge32(73)),
+                    VarBind::bound(arcs::sys_uptime(), SnmpValue::TimeTicks(8642)),
+                ],
+            },
+        );
+        let bytes = resp.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn bulk_request_round_trips_with_parameters() {
+        let m = Message::new(
+            "public",
+            Pdu::bulk_request(5, 1, 20, vec![arcs::sys_uptime(), arcs::mib2()]),
+        );
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(back.pdu.kind, PduKind::GetBulkRequest);
+        assert_eq!(back.pdu.bulk, Some((1, 20)));
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn all_pdu_kinds_round_trip() {
+        for kind in [
+            PduKind::GetRequest,
+            PduKind::GetNextRequest,
+            PduKind::Response,
+            PduKind::SetRequest,
+            PduKind::TrapV2,
+        ] {
+            let m = Message::new("c", Pdu::request(kind, 1, vec![arcs::sys_uptime()]));
+            assert_eq!(Message::decode(&m.encode()).unwrap().pdu.kind, kind);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let mut w = Writer::new();
+        w.sequence(|w| {
+            w.integer(0); // SNMPv1
+            w.octet_string(b"public");
+            w.constructed(tag::GET_REQUEST, |w| {
+                w.integer(1);
+                w.integer(0);
+                w.integer(0);
+                w.sequence(|_| {});
+            });
+        });
+        assert!(Message::decode(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let bytes = sample().encode();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn helpers_build_expected_shapes() {
+        let req = Pdu::request(PduKind::GetNextRequest, 9, vec![arcs::mib2()]);
+        assert_eq!(req.varbinds[0].value, SnmpValue::Null);
+        let resp = req.response(vec![VarBind::bound(
+            arcs::sys_descr(),
+            SnmpValue::string("x"),
+        )]);
+        assert_eq!(resp.request_id, 9);
+        assert_eq!(resp.kind, PduKind::Response);
+        let err = req.error_response(ErrorStatus::GenErr, 1);
+        assert_eq!(err.error_status, ErrorStatus::GenErr);
+        assert_eq!(err.varbinds.len(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! The embedded extension agent: instrumentation routines binding a
+//! host's live metrics into its SNMP MIB.
+
+use crate::host::SharedHost;
+use snmp::oid::arcs;
+use snmp::{SnmpAgent, SnmpValue};
+
+/// Register the host extension variables (CPU load, page faults,
+/// available memory) on `agent`, backed by the live `host` state.
+///
+/// The variables appear under the private enterprise arc
+/// `1.3.6.1.4.1.99999` and are sampled at query time — each GET sees
+/// the host's state at that instant, exactly like the paper's
+/// "instrumentation routines".
+pub fn install_host_agent(host: &SharedHost, agent: &mut SnmpAgent) {
+    let h = host.clone();
+    agent.mib_mut().register_computed(arcs::host_cpu_load(), move || {
+        SnmpValue::Gauge32(h.lock().unwrap().cpu_load.round().clamp(0.0, 100.0) as u32)
+    });
+    let h = host.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::host_page_faults(), move || {
+            SnmpValue::Gauge32(h.lock().unwrap().page_faults.round().max(0.0) as u32)
+        });
+    let h = host.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::host_mem_avail(), move || {
+            SnmpValue::Gauge32(h.lock().unwrap().mem_avail_kb.round().max(0.0) as u32)
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostState, LoadProfile, SimHost};
+    use snmp::manager::SnmpManager;
+    use snmp::transport::AgentRuntime;
+    use simnet::{LinkSpec, Network, Port};
+
+    #[test]
+    fn agent_serves_live_metrics() {
+        let mut host = SimHost::new(
+            "ws1",
+            LoadProfile::Sweep {
+                from: 30.0,
+                to: 100.0,
+                steps: 7,
+            },
+            LoadProfile::Constant(64.0),
+            LoadProfile::Constant(2048.0),
+        );
+        let mut agent = SnmpAgent::new("ws1", "public", None);
+        install_host_agent(&host.shared(), &mut agent);
+
+        let mut net = Network::new(2);
+        let (_sw, nodes) = net.lan(&["station", "ws1"], LinkSpec::lan());
+        let mut rt = AgentRuntime::bind(&mut net, nodes[1], agent).unwrap();
+        let mut mgr = SnmpManager::bind(&mut net, nodes[0], Port(30000), "public").unwrap();
+
+        let v = mgr
+            .get_f64(&mut net, &mut [&mut rt], nodes[1], &arcs::host_cpu_load())
+            .unwrap();
+        assert_eq!(v, 30.0);
+
+        // The host evolves; the next query sees the new value.
+        host.tick();
+        host.tick();
+        let v = mgr
+            .get_f64(&mut net, &mut [&mut rt], nodes[1], &arcs::host_cpu_load())
+            .unwrap();
+        assert_eq!(v, 50.0);
+
+        let faults = mgr
+            .get_f64(&mut net, &mut [&mut rt], nodes[1], &arcs::host_page_faults())
+            .unwrap();
+        assert_eq!(faults, 64.0);
+        let mem = mgr
+            .get_f64(&mut net, &mut [&mut rt], nodes[1], &arcs::host_mem_avail())
+            .unwrap();
+        assert_eq!(mem, 2048.0);
+    }
+
+    #[test]
+    fn values_clamped_to_gauge_ranges() {
+        let mut host = SimHost::idle("h");
+        host.force(HostState {
+            cpu_load: 100.0,
+            page_faults: 1e9,
+            mem_avail_kb: 0.0,
+        });
+        let mut agent = SnmpAgent::new("h", "public", None);
+        install_host_agent(&host.shared(), &mut agent);
+        let cpu = agent.mib_mut().get(&arcs::host_cpu_load()).unwrap();
+        assert_eq!(cpu, SnmpValue::Gauge32(100));
+        let mem = agent.mib_mut().get(&arcs::host_mem_avail()).unwrap();
+        assert_eq!(mem, SnmpValue::Gauge32(0));
+    }
+}

@@ -1,0 +1,37 @@
+//! Parameter sweep helpers for the Figure 6 / Figure 7 experiments.
+
+/// Inclusive linear sweep from `from` to `to` in `n` samples.
+///
+/// `sweep(30.0, 100.0, 8)` reproduces the paper's page-fault /
+/// CPU-load x-axes ("page faults varying from 30 to 100", "CPU load
+/// variation from 30 to 100%").
+pub fn sweep(from: f64, to: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 1, "need at least one sample");
+    if n == 1 {
+        return vec![from];
+    }
+    (0..n)
+        .map(|i| from + (to - from) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_exact() {
+        let s = sweep(30.0, 100.0, 8);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0], 30.0);
+        assert_eq!(s[7], 100.0);
+        assert!(s.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn single_sample_and_descending() {
+        assert_eq!(sweep(5.0, 9.0, 1), vec![5.0]);
+        let d = sweep(100.0, 0.0, 3);
+        assert_eq!(d, vec![100.0, 50.0, 0.0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Signal-to-interference ratio — the paper's equation (1).
+
+use crate::channel::{to_db, PathLossModel};
+
+/// The radio state of one wireless client, as tracked by the base
+/// station profile (§4.2: "distance, signal strength at base station,
+/// transmitting rate, and capability").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientRadio {
+    /// Client identity.
+    pub id: String,
+    /// Distance from the base station, metres.
+    pub distance_m: f64,
+    /// Transmit power, milliwatts.
+    pub tx_power_mw: f64,
+}
+
+impl ClientRadio {
+    /// Construct a radio.
+    pub fn new(id: &str, distance_m: f64, tx_power_mw: f64) -> Self {
+        assert!(distance_m > 0.0 && tx_power_mw > 0.0);
+        ClientRadio {
+            id: id.to_string(),
+            distance_m,
+            tx_power_mw,
+        }
+    }
+
+    /// Received power at the base station under `model`, including any
+    /// configured shadowing fade (keyed by client id).
+    pub fn received_mw(&self, model: &PathLossModel) -> f64 {
+        self.tx_power_mw
+            * model.gain(self.distance_m)
+            * crate::channel::shadowing_gain(model, &self.id)
+    }
+}
+
+/// Eq. (1): SIR of client `i` (linear) given all clients transmitting.
+/// The noise factor σ² is the model's fixed floor (see
+/// [`PathLossModel::noise_floor_mw`] for the substitution note).
+pub fn sir_linear(i: usize, clients: &[ClientRadio], model: &PathLossModel) -> f64 {
+    assert!(i < clients.len(), "client index out of range");
+    let signal = clients[i].received_mw(model);
+    let interference: f64 = clients
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(_, c)| c.received_mw(model))
+        .sum();
+    signal / (interference + model.noise_floor_mw)
+}
+
+/// Eq. (1) in decibels.
+pub fn sir_db(i: usize, clients: &[ClientRadio], model: &PathLossModel) -> f64 {
+    to_db(sir_linear(i, clients, model))
+}
+
+/// SIRs of every client, in dB.
+pub fn all_sirs_db(clients: &[ClientRadio], model: &PathLossModel) -> Vec<f64> {
+    (0..clients.len())
+        .map(|i| sir_db(i, clients, model))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PathLossModel {
+        PathLossModel::default()
+    }
+
+    #[test]
+    fn single_client_sees_only_noise() {
+        let clients = vec![ClientRadio::new("a", 50.0, 100.0)];
+        let sir = sir_linear(0, &clients, &model());
+        let expected = (100.0 / 50.0f64.powi(4)) / model().noise_floor_mw;
+        assert!((sir - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn second_client_slashes_sir() {
+        // The paper (§6.3.3): when client 2 joined, client A's SIR
+        // dropped by ~90%.
+        let mut clients = vec![ClientRadio::new("a", 60.0, 100.0)];
+        let before = sir_linear(0, &clients, &model());
+        clients.push(ClientRadio::new("b", 55.0, 100.0));
+        let after = sir_linear(0, &clients, &model());
+        let drop = 1.0 - after / before;
+        assert!(drop > 0.85, "expected ~90% drop, got {:.0}%", drop * 100.0);
+    }
+
+    #[test]
+    fn closer_interferer_hurts_more() {
+        let far = vec![
+            ClientRadio::new("a", 60.0, 100.0),
+            ClientRadio::new("b", 100.0, 100.0),
+        ];
+        let near = vec![
+            ClientRadio::new("a", 60.0, 100.0),
+            ClientRadio::new("b", 30.0, 100.0),
+        ];
+        assert!(sir_db(0, &far, &model()) > sir_db(0, &near, &model()));
+    }
+
+    #[test]
+    fn moving_closer_improves_own_sir() {
+        let base = vec![
+            ClientRadio::new("a", 100.0, 100.0),
+            ClientRadio::new("b", 80.0, 100.0),
+        ];
+        let closer = vec![
+            ClientRadio::new("a", 50.0, 100.0),
+            ClientRadio::new("b", 80.0, 100.0),
+        ];
+        assert!(sir_db(0, &closer, &model()) > sir_db(0, &base, &model()));
+        // ...and hurts the other client (paper Figure 8 interplay).
+        assert!(sir_db(1, &closer, &model()) < sir_db(1, &base, &model()));
+    }
+
+    #[test]
+    fn raising_power_improves_own_hurts_others() {
+        let base = vec![
+            ClientRadio::new("a", 80.0, 50.0),
+            ClientRadio::new("b", 80.0, 50.0),
+        ];
+        let boosted = vec![
+            ClientRadio::new("a", 80.0, 200.0),
+            ClientRadio::new("b", 80.0, 50.0),
+        ];
+        assert!(sir_db(0, &boosted, &model()) > sir_db(0, &base, &model()));
+        assert!(sir_db(1, &boosted, &model()) < sir_db(1, &base, &model()));
+    }
+
+    #[test]
+    fn all_sirs_matches_individual() {
+        let clients = vec![
+            ClientRadio::new("a", 60.0, 100.0),
+            ClientRadio::new("b", 90.0, 150.0),
+            ClientRadio::new("c", 40.0, 80.0),
+        ];
+        let all = all_sirs_db(&clients, &model());
+        for (i, &v) in all.iter().enumerate() {
+            assert_eq!(v, sir_db(i, &clients, &model()));
+        }
+    }
+
+    #[test]
+    fn shadowing_perturbs_sir_but_preserves_gross_ordering() {
+        let clients = vec![
+            ClientRadio::new("near", 20.0, 100.0),
+            ClientRadio::new("far", 200.0, 100.0),
+        ];
+        let clear = PathLossModel::default();
+        let shadowed = PathLossModel::default().with_shadowing(4.0);
+        let sir_clear = all_sirs_db(&clients, &clear);
+        let sir_shadowed = all_sirs_db(&clients, &shadowed);
+        // 4 dB shadowing cannot overturn a 40 dB distance advantage.
+        assert!(sir_shadowed[0] > sir_shadowed[1]);
+        // But it does move the numbers.
+        assert_ne!(sir_clear[0], sir_shadowed[0]);
+    }
+
+    #[test]
+    fn symmetric_clients_equal_sir() {
+        let clients = vec![
+            ClientRadio::new("a", 70.0, 100.0),
+            ClientRadio::new("b", 70.0, 100.0),
+        ];
+        let all = all_sirs_db(&clients, &model());
+        assert!((all[0] - all[1]).abs() < 1e-9);
+    }
+}

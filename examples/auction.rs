@@ -1,0 +1,96 @@
+//! Electronic trading / real-time bidding (§1, §2's group-formation
+//! discussion): "a person interested in purchasing modems would find
+//! computer peripherals group to be of coarse granularity" — semantic
+//! selectors form fine-grained groups at publish time, with no group
+//! membership lists anywhere.
+//!
+//! ```sh
+//! cargo run --example auction
+//! ```
+
+use collabqos::prelude::*;
+
+fn bidder(name: &str, wants: &[&str], max_price: i64) -> Profile {
+    let mut p = Profile::new(name);
+    p.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("chat")]),
+    );
+    p.set(
+        "categories",
+        AttrValue::List(wants.iter().map(|w| AttrValue::str(w)).collect()),
+    );
+    p.set("max_price", AttrValue::Int(max_price));
+    p
+}
+
+fn main() {
+    let mut session = CollaborationSession::new(SessionConfig::default());
+    let engine = || InferenceEngine::new(PolicyDb::new(), QosContract::default());
+
+    let mut auctioneer_profile = Profile::new("auctioneer");
+    auctioneer_profile.set("role", AttrValue::str("auctioneer"));
+    let auctioneer = session
+        .add_wired_client(auctioneer_profile, engine(), SimHost::idle("auctioneer"))
+        .unwrap();
+
+    // Four bidders with different interests and budgets.
+    let bidders = [
+        ("alice", vec!["modems", "routers"], 150),
+        ("bob", vec!["modems"], 60),
+        ("carol", vec!["printers"], 400),
+        ("dave", vec!["routers", "printers"], 220),
+    ];
+    let ids: Vec<_> = bidders
+        .iter()
+        .map(|(name, wants, max)| {
+            session
+                .add_wired_client(
+                    bidder(name, wants, *max),
+                    engine(),
+                    SimHost::idle(name),
+                )
+                .unwrap()
+        })
+        .collect();
+
+    // Lot announcements target profiles, not names: the "group" for
+    // each lot is whoever matches, decided locally at each client.
+    let lots = [
+        ("56k modem lot", "modems", 80),
+        ("rack of routers", "routers", 200),
+        ("laser printer pallet", "printers", 350),
+    ];
+    for (desc, category, reserve) in &lots {
+        let selector =
+            format!("categories contains '{category}' and max_price >= {reserve}");
+        println!("announcing \"{desc}\" to: {selector}");
+        session
+            .share_chat(auctioneer, &format!("LOT: {desc} (reserve {reserve})"), &selector)
+            .unwrap();
+    }
+    session.pump(Ticks::from_millis(100));
+
+    println!("\nwho heard what:");
+    for (&id, (name, wants, max)) in ids.iter().zip(&bidders) {
+        let log = &session.client(id).chat.log;
+        println!(
+            "  {name:<7} (wants {wants:?}, budget {max}): {} announcement(s)",
+            log.len()
+        );
+        for (_, line) in log {
+            println!("          - {line}");
+        }
+    }
+
+    // Expected group formation:
+    //   modem lot (reserve 80)     -> alice (not bob: budget 60 < 80)
+    //   router lot (reserve 200)   -> dave  (not alice: 150 < 200)
+    //   printer lot (reserve 350)  -> carol (not dave: 220 < 350)
+    let heard: Vec<usize> = ids
+        .iter()
+        .map(|&id| session.client(id).chat.log.len())
+        .collect();
+    assert_eq!(heard, vec![1, 0, 1, 1], "semantic groups formed as expected");
+    println!("\ngroup formation matches the selector semantics — no rosters were consulted.");
+}

@@ -1,0 +1,89 @@
+//! Distance-learning under a degrading network (§1's motivating
+//! dynamics + §5.5's network-element monitoring): a lecturer streams
+//! slides to students; an edge router's advertised bandwidth collapses
+//! mid-session, the bandwidth policy caps the students' modality, and
+//! a hysteresis filter keeps the level from flapping as the link
+//! recovers noisily.
+//!
+//! ```sh
+//! cargo run --example degrading_network
+//! ```
+
+use collabqos::core::hysteresis::HysteresisFilter;
+use collabqos::prelude::*;
+
+fn main() {
+    let mut session = CollaborationSession::new(SessionConfig {
+        full_stream_bpp: Some(2.1),
+        ..SessionConfig::default()
+    });
+
+    let mut lecturer_profile = Profile::new("lecturer");
+    lecturer_profile.set("role", AttrValue::str("lecturer"));
+    let lecturer = session
+        .add_wired_client(
+            lecturer_profile,
+            InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+            SimHost::idle("lecturer"),
+        )
+        .unwrap();
+
+    let mut student_profile = Profile::new("student");
+    student_profile.set("role", AttrValue::str("student"));
+    student_profile.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("image")]),
+    );
+    let mut db = PolicyDb::paper_page_fault_policy();
+    db.merge(PolicyDb::bandwidth_modality_policy());
+    let student = session
+        .add_wired_client(
+            student_profile,
+            InferenceEngine::new(db, QosContract::default()),
+            SimHost::idle("student"),
+        )
+        .unwrap();
+
+    // The student monitors its edge router's ifSpeed over SNMP.
+    let router = session.add_router("edge-router", 10_000_000).unwrap();
+    session.monitor_bandwidth(student, router);
+
+    // A noisy link trace: healthy, collapsing, then flapping around the
+    // sketch threshold during recovery.
+    let trace_bps: [u64; 10] = [
+        10_000_000, 10_000_000, 40_000, 40_000, 480_000, 520_000, 480_000, 520_000, 2_000_000,
+        10_000_000,
+    ];
+
+    let mut filter = HysteresisFilter::new(3);
+    let scene = synthetic_scene(128, 128, 1, 4, 77);
+    println!("slide: {}\n", scene.caption);
+    println!("{:<6} {:>12} {:>12} {:>14}", "step", "link (bps)", "raw", "with hysteresis");
+    for (step, &bps) in trace_bps.iter().enumerate() {
+        session.set_router_speed(router, bps).unwrap();
+        let raw = session.adapt(student);
+        let smoothed = filter.filter(raw.clone());
+        // Apply the smoothed decision to the viewer.
+        session
+            .client_mut(student)
+            .viewer
+            .set_packet_budget(smoothed.max_packets);
+        println!(
+            "{step:<6} {bps:>12} {:>12} {:>14}",
+            format!("{:?}", raw.modality),
+            format!("{:?}", smoothed.modality),
+        );
+        session
+            .share_image(lecturer, &scene, "role == 'student'")
+            .unwrap();
+        session.pump(Ticks::from_millis(500));
+    }
+
+    let viewer = &session.client(student).viewer;
+    println!(
+        "\nstudent decoded {} image(s), {} text fallback(s), suppressed upgrades: {}",
+        viewer.viewed.len(),
+        viewer.text_fallbacks.len(),
+        filter.suppressed_upgrades,
+    );
+}

@@ -1,0 +1,131 @@
+//! Medical telediagnosis with wireless field clients (§1's first
+//! motivating domain + the §4.2/§6.3 wireless extension).
+//!
+//! A hospital workstation collaborates with paramedics on handhelds.
+//! The paramedics join through the base station, which tracks their
+//! SIR and forwards each contribution in the best modality the radio
+//! conditions allow — full scan, sketch + description, or text only —
+//! and asks clients with SIR headroom to lower transmit power.
+//!
+//! ```sh
+//! cargo run --example telediagnosis_wireless
+//! ```
+
+use collabqos::prelude::*;
+
+fn main() {
+    let mut session = CollaborationSession::new(SessionConfig::default());
+
+    // The hospital radiologist: a wired peer interested in everything.
+    let mut radiologist = Profile::new("radiologist");
+    radiologist.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("image"), AttrValue::str("chat")]),
+    );
+    let hospital = session
+        .add_wired_client(
+            radiologist,
+            InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+            SimHost::idle("radiologist"),
+        )
+        .unwrap();
+    session.adapt(hospital);
+
+    // Attach the base station (path-loss exponent 4, default SIR
+    // thresholds: full image at >= 4 dB, sketch at >= -5 dB).
+    session
+        .attach_base_station(PathLossModel::default(), ModalityThresholds::default())
+        .unwrap();
+
+    // Paramedic A joins close to the base station.
+    let a = session.wireless_join("paramedic-a", 35.0, 100.0).unwrap();
+    println!(
+        "paramedic-a joins at 35 m: SIR {:.1} dB -> {:?}, power suggestion: {:?} mW",
+        a.sir_db,
+        a.modality,
+        a.suggested_power_mw.map(|p| (p * 100.0).round() / 100.0),
+    );
+
+    let scan = synthetic_scene(128, 128, 1, 4, 99);
+    let m = session
+        .wireless_contribute("paramedic-a", &scan, "interested_in contains 'image'")
+        .unwrap();
+    session.pump(Ticks::from_secs(1));
+    println!(
+        "contribution forwarded as {:?}; hospital saw {} image(s)\n",
+        m,
+        session.client(hospital).viewer.viewed.len()
+    );
+
+    // Paramedic B joins nearby — interference drags both SIRs down.
+    let b = session.wireless_join("paramedic-b", 40.0, 100.0).unwrap();
+    println!(
+        "paramedic-b joins at 40 m: SIR {:.1} dB -> {:?}",
+        b.sir_db, b.modality
+    );
+    let a2 = session
+        .base_station
+        .as_ref()
+        .unwrap()
+        .station
+        .assess("paramedic-a")
+        .unwrap();
+    println!(
+        "paramedic-a reassessed: SIR {:.1} dB -> {:?}",
+        a2.sir_db, a2.modality
+    );
+
+    let m = session
+        .wireless_contribute("paramedic-a", &scan, "interested_in contains 'image'")
+        .unwrap();
+    session.pump(Ticks::from_secs(1));
+    println!("same scan now forwarded as {:?}", m);
+    let client = session.client(hospital);
+    if let Some((_, sketch, caption)) = client.sketches.first() {
+        println!(
+            "hospital received the sketch: {}x{} grid, {} B (vs {} B original), caption \"{caption}\"",
+            sketch.width,
+            sketch.height,
+            sketch.byte_len(),
+            scan.image.byte_len(),
+        );
+    }
+    if let Some((_, caption)) = client.viewer.text_fallbacks.first() {
+        println!("hospital received text only: \"{caption}\"");
+    }
+
+    // Paramedic B walks away; radio conditions for A recover.
+    session
+        .base_station
+        .as_mut()
+        .unwrap()
+        .station
+        .update_distance("paramedic-b", 120.0)
+        .unwrap();
+    let a3 = session
+        .base_station
+        .as_ref()
+        .unwrap()
+        .station
+        .assess("paramedic-a")
+        .unwrap();
+    println!(
+        "\nparamedic-b walks to 120 m; paramedic-a recovers to {:.1} dB -> {:?}",
+        a3.sir_db, a3.modality
+    );
+    let m = session
+        .wireless_contribute("paramedic-a", &scan, "interested_in contains 'image'")
+        .unwrap();
+    let completed = session.pump(Ticks::from_secs(1));
+    println!(
+        "final contribution forwarded as {:?}; {} full image(s) completed this round",
+        m,
+        completed.len()
+    );
+
+    // Forwarding log summary.
+    println!("\nbase-station forwarding log:");
+    for (client, modality) in &session.base_station.as_ref().unwrap().forward_log {
+        println!("  {client:<14} -> {modality:?}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Golden wire-format tests.
+//!
+//! The SNMP and RTP implementations claim wire-level fidelity; these
+//! tests pin exact byte sequences. The SNMP vectors are hand-assembled
+//! from RFC 3416/BER rules and match what standard tooling (net-snmp,
+//! Wireshark) produces for the same operations, so a regression in the
+//! codec cannot hide behind a symmetric encode/decode bug. The
+//! semantic-message vector pins our own container format against
+//! accidental breaking changes.
+
+use collabqos::sempubsub::{AttrValue, SemanticMessage};
+use collabqos::simnet::rtp::{RtpHeader, RTP_HEADER_LEN};
+use collabqos::snmp::{Message, Oid, Pdu, PduKind};
+
+/// `GetRequest(sysDescr.0)`, community "public", request-id 1 — the
+/// canonical first SNMP packet everyone sends.
+#[test]
+fn snmp_get_sysdescr_matches_rfc_encoding() {
+    let msg = Message::new(
+        "public",
+        Pdu::request(
+            PduKind::GetRequest,
+            1,
+            vec!["1.3.6.1.2.1.1.1.0".parse::<Oid>().unwrap()],
+        ),
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x26, // SEQUENCE, 38 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA0, 0x19, // GetRequest PDU, 25 bytes
+        0x02, 0x01, 0x01, // request-id = 1
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x0E, // varbind list
+        0x30, 0x0C, // varbind
+        0x06, 0x08, 0x2B, 0x06, 0x01, 0x02, 0x01, 0x01, 0x01, 0x00, // sysDescr.0
+        0x05, 0x00, // NULL
+    ];
+    assert_eq!(msg.encode(), expected);
+    // And the golden bytes decode back to the same message.
+    assert_eq!(Message::decode(&expected).unwrap(), msg);
+}
+
+/// The 1.3.6.1 prefix must pack to the classic 0x2B first byte.
+#[test]
+fn snmp_oid_prefix_byte() {
+    let msg = Message::new(
+        "c",
+        Pdu::request(
+            PduKind::GetNextRequest,
+            0,
+            vec![Oid::new(&[1, 3, 6, 1, 4, 1, 99999])],
+        ),
+    );
+    let bytes = msg.encode();
+    // Find the OID TLV: tag 0x06, then content starting with 0x2B, and
+    // 99999 = 0x1869F -> base-128: 0x86 0x8D 0x1F.
+    let oid_content = [0x2Bu8, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F];
+    assert!(
+        bytes.windows(oid_content.len()).any(|w| w == oid_content),
+        "multi-byte arc encoding: {bytes:02X?}"
+    );
+}
+
+/// RTP fixed header per RFC 3550 §5.1: version 2, no padding, no
+/// extension, marker + PT byte, big-endian seq/timestamp/SSRC.
+#[test]
+fn rtp_header_matches_rfc3550_layout() {
+    let h = RtpHeader {
+        marker: true,
+        payload_type: 96,
+        seq: 0x1234,
+        timestamp: 0xDEADBEEF,
+        ssrc: 0xCAFEBABE,
+    };
+    let wire = h.encode();
+    assert_eq!(wire.len(), RTP_HEADER_LEN);
+    assert_eq!(
+        wire,
+        [
+            0x80, // V=2, P=0, X=0, CC=0
+            0xE0, // M=1, PT=96
+            0x12, 0x34, // sequence
+            0xDE, 0xAD, 0xBE, 0xEF, // timestamp
+            0xCA, 0xFE, 0xBA, 0xBE, // SSRC
+        ]
+    );
+}
+
+/// Snapshot of the semantic-message container: changing the wire format
+/// must be a conscious, versioned decision, not a refactoring accident.
+#[test]
+fn semantic_message_format_is_stable() {
+    let mut content = std::collections::BTreeMap::new();
+    content.insert("n".to_string(), AttrValue::Int(5));
+    let msg = SemanticMessage {
+        sender: "a".to_string(),
+        kind: "k".to_string(),
+        selector: "true".to_string(),
+        seq: 2,
+        content,
+        body: vec![0xAB],
+    };
+    let expected: Vec<u8> = vec![
+        b'S', b'E', b'M', b'1', // magic
+        0x00, 0x01, b'a', // sender
+        0x00, 0x01, b'k', // kind
+        0x00, 0x04, b't', b'r', b'u', b'e', // selector
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, // seq
+        0x00, 0x01, // content count
+        0x00, 0x01, b'n', // key
+        0x00, // tag: Int
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05, // value 5
+        0x00, 0x00, 0x00, 0x01, // body len
+        0xAB, // body
+    ];
+    assert_eq!(msg.encode(), expected);
+    assert_eq!(SemanticMessage::decode(&expected).unwrap(), msg);
+}
+
+/// The EZW container magic and layout prefix are pinned too.
+#[test]
+fn ezw_container_prefix_is_stable() {
+    use collabqos::media::ezw;
+    use collabqos::media::image::Image;
+    use collabqos::media::wavelet::WaveletKind;
+    let img = Image::new(8, 8, 1); // all-black: tiny deterministic stream
+    let c = ezw::encode_image(&img, 2, WaveletKind::Cdf53).unwrap();
+    assert_eq!(&c[..4], b"EZC1");
+    assert_eq!(c[4], 1, "channels");
+    assert_eq!(c[5], 1, "kind: CDF 5/3, no colour transform");
+    // Channel stream: len u32 then "EZP1" plane header.
+    let len = u32::from_be_bytes(c[6..10].try_into().unwrap()) as usize;
+    assert_eq!(&c[10..14], b"EZP1");
+    assert_eq!(len, c.len() - 10, "single channel fills the container");
+    // Plane header fields: 8x8, 2 levels; black pixels level-shift to
+    // -128, so the top bit-plane is 7.
+    assert_eq!(u16::from_be_bytes([c[14], c[15]]), 8);
+    assert_eq!(u16::from_be_bytes([c[16], c[17]]), 8);
+    assert_eq!(c[18], 2, "levels");
+    assert_eq!(c[19], 7, "top bit-plane of |-128|");
+}

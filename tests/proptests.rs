@@ -1,0 +1,388 @@
+//! Property-based tests over the core data structures and invariants:
+//! wire codecs round-trip, the embedded stream is prefix-decodable with
+//! monotone quality, the reorder buffer releases in order, and the
+//! replicated state machinery converges under permutation.
+
+use collabqos::media::ezw::{self, BitReader, BitWriter};
+use collabqos::media::image::Image;
+use collabqos::media::packetize::{reassemble_prefix, split_packets};
+use collabqos::media::wavelet::{self, WaveletKind};
+use collabqos::media::psnr;
+use collabqos::sempubsub::{AttrValue, SemanticMessage, Selector};
+use collabqos::simnet::rtp::{RtpReceiver, RtpSender};
+use collabqos::snmp::ber::{Reader, Writer};
+use collabqos::snmp::{Message, Oid, Pdu, PduKind, SnmpValue, VarBind};
+use collabqos::core::concurrency::LwwRegister;
+use collabqos::core::state_repo::{ObjectState, StateRepository};
+use collabqos::sempubsub::ast::{CmpOp, Expr};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+// ------------------------------------------------------------ strategies
+
+fn arb_oid() -> impl Strategy<Value = Oid> {
+    (0u32..=2, 0u32..40, proptest::collection::vec(any::<u32>(), 0..8)).prop_map(
+        |(first, second, rest)| {
+            let mut arcs = vec![first, second];
+            arcs.extend(rest);
+            Oid::new(&arcs)
+        },
+    )
+}
+
+fn arb_snmp_value() -> impl Strategy<Value = SnmpValue> {
+    prop_oneof![
+        any::<i64>().prop_map(SnmpValue::Integer),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(SnmpValue::OctetString),
+        Just(SnmpValue::Null),
+        arb_oid().prop_map(SnmpValue::Oid),
+        any::<[u8; 4]>().prop_map(SnmpValue::IpAddress),
+        any::<u32>().prop_map(SnmpValue::Counter32),
+        any::<u32>().prop_map(SnmpValue::Gauge32),
+        any::<u32>().prop_map(SnmpValue::TimeTicks),
+    ]
+}
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(AttrValue::Int),
+        (-1e12f64..1e12).prop_map(AttrValue::Float),
+        "[a-z0-9 ]{0,12}".prop_map(AttrValue::Str),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(AttrValue::List)
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(AttrValue::Int),
+        (-1000.0f64..1000.0).prop_map(|f| AttrValue::Float((f * 100.0).round() / 100.0)),
+        "[a-z]{0,6}".prop_map(AttrValue::Str),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let cmp_op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::In),
+        Just(CmpOp::Contains),
+    ];
+    let leaf = prop_oneof![
+        ("[a-z][a-z0-9_]{0,5}", cmp_op, arb_literal()).prop_map(|(attr, op, lit)| {
+            Expr::Cmp(
+                op,
+                Box::new(Expr::Attr(attr)),
+                Box::new(Expr::Literal(lit)),
+            )
+        }),
+        "[a-z][a-z0-9_]{0,5}".prop_map(Expr::Exists),
+        any::<bool>().prop_map(|b| Expr::Literal(AttrValue::Bool(b))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Printing an expression and reparsing it yields semantically
+    /// identical evaluation on arbitrary attribute maps — the selector
+    /// language's Display form is a faithful wire representation.
+    #[test]
+    fn selector_display_reparse_equivalence(
+        expr in arb_expr(),
+        attrs in proptest::collection::btree_map("[a-z][a-z0-9_]{0,5}", arb_attr_value(), 0..5),
+    ) {
+        let printed = expr.to_string();
+        let reparsed = Selector::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form must reparse: '{printed}': {e}"));
+        let lhs = collabqos::sempubsub::eval::eval_bool(&expr, &attrs);
+        let rhs = reparsed.matches(&attrs);
+        match (lhs, rhs) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "mismatch on '{}'", printed),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergent results on '{}': {:?} vs {:?}", printed, a, b),
+        }
+    }
+
+    // ------------------------------------------------------------- BER
+
+    #[test]
+    fn ber_integer_round_trips(v in any::<i64>()) {
+        let mut w = Writer::new();
+        w.integer(v);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.integer().unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ber_oid_round_trips(oid in arb_oid()) {
+        let mut w = Writer::new();
+        w.oid(&oid);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.oid().unwrap(), oid);
+    }
+
+    #[test]
+    fn snmp_message_round_trips(
+        community in "[a-z]{1,12}",
+        request_id in any::<i32>(),
+        binds in proptest::collection::vec((arb_oid(), arb_snmp_value()), 0..6),
+    ) {
+        let msg = Message::new(
+            &community,
+            Pdu {
+                kind: PduKind::Response,
+                request_id,
+                error_status: collabqos::snmp::ErrorStatus::NoError,
+                error_index: 0,
+                bulk: None,
+                varbinds: binds
+                    .into_iter()
+                    .map(|(o, v)| VarBind::bound(o, v))
+                    .collect(),
+            },
+        );
+        prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn snmp_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Message::decode(&bytes); // must not panic
+    }
+
+    // ------------------------------------------------------- sempubsub
+
+    #[test]
+    fn semantic_message_round_trips(
+        sender in "[a-z]{0,8}",
+        seq in any::<u64>(),
+        keys in proptest::collection::btree_map("[a-z]{1,6}", arb_attr_value(), 0..6),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let msg = SemanticMessage {
+            sender,
+            kind: "k".to_string(),
+            selector: "true".to_string(),
+            seq,
+            content: keys,
+            body,
+        };
+        let back = SemanticMessage::decode(&msg.encode()).unwrap();
+        // Float NaN-free by construction, so PartialEq is reliable here.
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn selector_eval_never_panics(
+        text in "[a-z0-9<>=!()' ]{0,40}",
+        attrs in proptest::collection::btree_map("[a-z]{1,4}", arb_attr_value(), 0..4),
+    ) {
+        if let Ok(sel) = Selector::parse(&text) {
+            let _ = sel.matches(&attrs); // Result either way, no panic
+        }
+    }
+
+    #[test]
+    fn numeric_comparison_selectors_are_sound(threshold in -1000i64..1000, value in -1000i64..1000) {
+        let sel = Selector::parse(&format!("x >= {threshold}")).unwrap();
+        let mut attrs = BTreeMap::new();
+        attrs.insert("x".to_string(), AttrValue::Int(value));
+        prop_assert_eq!(sel.matches(&attrs).unwrap(), value >= threshold);
+    }
+
+    // ------------------------------------------------------------ media
+
+    #[test]
+    fn wavelet_perfect_reconstruction(
+        seed in any::<u64>(),
+        kind in prop_oneof![Just(WaveletKind::Haar), Just(WaveletKind::Cdf53)],
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (w, h) = (16usize, 16usize);
+        let original: Vec<i32> = (0..w * h).map(|_| rng.random_range(-512..512)).collect();
+        let mut data = original.clone();
+        let levels = wavelet::max_levels(w, h);
+        wavelet::forward_2d(&mut data, w, h, levels, kind);
+        wavelet::inverse_2d(&mut data, w, h, levels, kind);
+        prop_assert_eq!(data, original);
+    }
+
+    #[test]
+    fn ezw_any_prefix_decodes(seed in any::<u64>(), cut_permille in 0u32..=1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut img = Image::new(32, 32, 1);
+        for v in img.data.iter_mut() {
+            *v = rng.random();
+        }
+        let container = ezw::encode_image(&img, 3, WaveletKind::Cdf53).unwrap();
+        let budget = (container.len() as u64 * cut_permille as u64 / 1000) as usize;
+        let cut = ezw::truncate_container(&container, budget).unwrap();
+        let decoded = ezw::decode_image(&cut).unwrap();
+        prop_assert_eq!(decoded.width, 32);
+        prop_assert_eq!(decoded.height, 32);
+        if cut_permille == 1000 {
+            prop_assert_eq!(decoded.data, img.data);
+        }
+    }
+
+    /// The EZW decoder must never panic on corrupted input — a hostile
+    /// or damaged stream yields `Err` or a garbage-but-valid image.
+    #[test]
+    fn ezw_decoder_survives_corruption(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let scene = collabqos::media::image::synthetic_scene(32, 32, 1, 2, seed);
+        let mut container = ezw::encode_image(&scene.image, 3, WaveletKind::Cdf53).unwrap();
+        for (pos, val) in flips {
+            let i = pos as usize % container.len();
+            container[i] ^= val;
+        }
+        let _ = ezw::decode_image(&container); // must not panic
+    }
+
+    /// Truncating a container at any byte must not panic the decoder.
+    #[test]
+    fn ezw_decoder_survives_raw_truncation(seed in any::<u64>(), cut in any::<u16>()) {
+        let scene = collabqos::media::image::synthetic_scene(32, 32, 1, 2, seed);
+        let container = ezw::encode_image(&scene.image, 3, WaveletKind::Cdf53).unwrap();
+        let cut = cut as usize % (container.len() + 1);
+        let _ = ezw::decode_image(&container[..cut]); // must not panic
+    }
+
+    /// Media packet decode must never panic on arbitrary bytes.
+    #[test]
+    fn media_packet_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = collabqos::media::packetize::MediaPacket::decode(&bytes);
+    }
+
+    /// AppEvent decode must never panic on arbitrary bytes.
+    #[test]
+    fn app_event_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = collabqos::core::events::AppEvent::decode(&bytes);
+    }
+
+    /// SemanticMessage decode must never panic on arbitrary bytes.
+    #[test]
+    fn semantic_message_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = SemanticMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn packet_prefix_quality_monotone(seed in any::<u64>()) {
+        let scene = collabqos::media::image::synthetic_scene(32, 32, 1, 2, seed);
+        let container = ezw::encode_image(&scene.image, 3, WaveletKind::Cdf53).unwrap();
+        let packets = split_packets(&container, 8);
+        let mut prev = -1.0f64;
+        for k in 1..=8usize {
+            let c = reassemble_prefix(&packets[..k]).unwrap();
+            let img = ezw::decode_image(&c).unwrap();
+            let q = psnr(&scene.image, &img);
+            prop_assert!(q >= prev - 1.0, "k={} gave {} after {}", k, q, prev);
+            prev = q;
+        }
+        prop_assert!(prev.is_infinite());
+    }
+
+    #[test]
+    fn bit_io_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..256)) {
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.push(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            prop_assert_eq!(r.next(), Some(b));
+        }
+    }
+
+    // ------------------------------------------------------------- RTP
+
+    #[test]
+    fn rtp_receiver_releases_in_order_under_any_arrival(
+        order in Just(()).prop_flat_map(|_| {
+            proptest::collection::vec(0u16..32, 0..64)
+        }),
+    ) {
+        let mut sender = RtpSender::new(7, 1);
+        let wires: Vec<Vec<u8>> = (0..32u16)
+            .map(|i| sender.wrap(i as u32, false, &[i as u8]))
+            .collect();
+        let mut receiver = RtpReceiver::new(8);
+        let mut released = Vec::new();
+        for &i in &order {
+            released.extend(receiver.push(&wires[i as usize]));
+        }
+        released.extend(receiver.flush());
+        // Strictly increasing sequence numbers, no duplicates.
+        for w in released.windows(2) {
+            prop_assert!(w[0].header.seq < w[1].header.seq);
+        }
+        let rep = receiver.report();
+        prop_assert!(rep.received == released.len() as u64);
+    }
+
+    // ----------------------------------------------------- convergence
+
+    #[test]
+    fn lww_register_order_insensitive(
+        mut writes in proptest::collection::vec((any::<u64>(), "[a-z]{1,4}", any::<u8>()), 1..12),
+    ) {
+        let mut r1 = LwwRegister::default();
+        for (l, c, v) in &writes {
+            r1.write(*l, c, *v);
+        }
+        writes.reverse();
+        let mut r2 = LwwRegister::default();
+        for (l, c, v) in &writes {
+            r2.write(*l, c, *v);
+        }
+        prop_assert_eq!(r1.current, r2.current);
+    }
+
+    #[test]
+    fn state_repo_converges_under_permutation(
+        updates in proptest::collection::vec(
+            (0u64..4, any::<u64>(), "[a-z]{1,3}", proptest::collection::vec(any::<u8>(), 0..8)),
+            1..16,
+        ),
+        swap_seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut repo1 = StateRepository::new();
+        for (id, l, c, data) in &updates {
+            repo1.update(*id, *l, c, ObjectState { kind: "t".into(), data: data.clone() });
+        }
+        let mut shuffled = updates.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(swap_seed);
+        shuffled.shuffle(&mut rng);
+        let mut repo2 = StateRepository::new();
+        for (id, l, c, data) in &shuffled {
+            repo2.update(*id, *l, c, ObjectState { kind: "t".into(), data: data.clone() });
+        }
+        prop_assert_eq!(repo1.snapshot(), repo2.snapshot());
+    }
+}
