@@ -24,9 +24,10 @@ use std::hint::black_box;
 /// addressing relative to a HashMap of explicit names.
 fn ablation_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_matching");
-    let selector =
-        Selector::parse("interested_in contains 'image' and max_size_kb >= 512 and region == 'east'")
-            .unwrap();
+    let selector = Selector::parse(
+        "interested_in contains 'image' and max_size_kb >= 512 and region == 'east'",
+    )
+    .unwrap();
     let mut attrs: BTreeMap<String, AttrValue> = BTreeMap::new();
     attrs.insert(
         "interested_in".to_string(),
@@ -102,7 +103,9 @@ fn ablation_ber(c: &mut Criterion) {
     );
     let wire = msg.encode();
     let mut g = c.benchmark_group("ablation_ber");
-    g.bench_function("encode_get_response", |b| b.iter(|| black_box(msg.encode())));
+    g.bench_function("encode_get_response", |b| {
+        b.iter(|| black_box(msg.encode()))
+    });
     g.bench_function("decode_get_response", |b| {
         b.iter(|| black_box(Message::decode(black_box(&wire)).unwrap()))
     });
@@ -161,8 +164,7 @@ fn ablation_transform_search(c: &mut Criterion) {
 fn ablation_color_transform(c: &mut Criterion) {
     let scene = synthetic_scene(128, 128, 3, 4, 11);
     let plain = ezw::encode_image(&scene.image, 5, WaveletKind::Cdf53).unwrap();
-    let transformed =
-        ezw::encode_image_opts(&scene.image, 5, WaveletKind::Cdf53, true).unwrap();
+    let transformed = ezw::encode_image_opts(&scene.image, 5, WaveletKind::Cdf53, true).unwrap();
     println!(
         "color-transform stream: {} B plain vs {} B YCoCg-R",
         plain.len(),

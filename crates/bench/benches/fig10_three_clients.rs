@@ -1,8 +1,8 @@
 //! Criterion bench for the Figure 10 experiment (3 clients, combined
 //! distance/power variation with join-degradation measurement).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqos_core::experiments::run_fig10;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_fig10(c: &mut Criterion) {

@@ -2,8 +2,8 @@
 //! (SNMP sampling -> inference -> multicast image share -> adaptive
 //! decode) across the 8-point page-fault sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqos_core::experiments::run_fig6;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_fig6(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Criterion bench for the Figure 7 experiment (colour source, CPU
 //! load sweep to suspension).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqos_core::experiments::run_fig7;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_fig7(c: &mut Criterion) {

@@ -1,14 +1,16 @@
 //! Criterion bench for the Figure 8 experiment (2 wireless clients,
 //! distance trajectory) plus the underlying SIR kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqos_core::experiments::run_fig8;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wireless::sir::all_sirs_db;
 use wireless::{ClientRadio, PathLossModel};
 
 fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("fig8/distance_trajectory", |b| b.iter(|| black_box(run_fig8())));
+    c.bench_function("fig8/distance_trajectory", |b| {
+        b.iter(|| black_box(run_fig8()))
+    });
 
     let model = PathLossModel::default();
     for n in [2usize, 8, 32] {

@@ -1,8 +1,8 @@
 //! Criterion bench for the Figure 9 experiment (power stepping) and
 //! the Foschini-Miljanic power-control iteration it builds on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqos_core::experiments::run_fig9;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wireless::channel::from_db;
 use wireless::power::foschini_miljanic;

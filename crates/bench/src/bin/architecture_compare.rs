@@ -10,7 +10,14 @@ fn main() {
     println!("workload: client 0 sends 10 events to a fully interested session\n");
     let widths = [8, 14, 12, 12, 12, 12];
     header(
-        &["clients", "arch", "offered B", "fabric B", "deliveries", "completion"],
+        &[
+            "clients",
+            "arch",
+            "offered B",
+            "fabric B",
+            "deliveries",
+            "completion",
+        ],
         &widths,
     );
     for n in [2usize, 4, 8, 16, 32] {
@@ -38,7 +45,10 @@ fn main() {
             &widths,
         );
         let ratio = central.bytes_sent as f64 / multicast.bytes_sent as f64;
-        println!("  -> centralized offers {}x the app-layer bytes", fmt(ratio));
+        println!(
+            "  -> centralized offers {}x the app-layer bytes",
+            fmt(ratio)
+        );
     }
     println!("\npaper: centralized architectures 'are not scalable and cannot readily");
     println!("adapt to changing client interests and capabilities' (§2)");

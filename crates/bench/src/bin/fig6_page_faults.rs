@@ -11,7 +11,10 @@ fn main() {
     println!("Figure 6 — ImageViewer parameters vs host page faults");
     println!("paper: packets 16->1 (powers of 2), CR 3.6->131, BPP 2.1->0.1\n");
     let widths = [12, 8, 18, 8];
-    header(&["page_faults", "packets", "compression_ratio", "bpp"], &widths);
+    header(
+        &["page_faults", "packets", "compression_ratio", "bpp"],
+        &widths,
+    );
     let rows = run_fig6(42);
     for r in &rows {
         row(

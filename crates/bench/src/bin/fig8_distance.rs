@@ -12,7 +12,10 @@ fn main() {
     println!("Figure 8 — performance of 2 wireless clients with varying distance");
     println!("paper: A approaches 100m->50m (steps 0-3) then recedes; B at 80m\n");
     let widths = [5, 12, 12, 16];
-    header(&["step", "SIR_A (dB)", "SIR_B (dB)", "modality(A)"], &widths);
+    header(
+        &["step", "SIR_A (dB)", "SIR_B (dB)", "modality(A)"],
+        &widths,
+    );
     let rows = run_fig8();
     for r in &rows {
         row(

@@ -12,7 +12,10 @@ fn main() {
     println!("Figure 9 — performance of 2 wireless clients with varying power");
     println!("paper: A's power stepped 50->250 mW at fixed distance\n");
     let widths = [5, 12, 12, 16];
-    header(&["step", "SIR_A (dB)", "SIR_B (dB)", "modality(A)"], &widths);
+    header(
+        &["step", "SIR_A (dB)", "SIR_B (dB)", "modality(A)"],
+        &widths,
+    );
     for r in run_fig9() {
         row(
             &[

@@ -9,9 +9,7 @@ fn main() {
     let mut best: f64 = 0.0;
     for seed in 0..10u64 {
         let (orig, sk, ratio) = run_headline_sketch(seed);
-        println!(
-            "seed {seed}: original {orig} B  sketch {sk} B  reduction {ratio:.0}x"
-        );
+        println!("seed {seed}: original {orig} B  sketch {sk} B  reduction {ratio:.0}x");
         worst = worst.min(ratio);
         best = best.max(ratio);
     }

@@ -14,17 +14,27 @@ fn main() {
 
     let rows = run_fig6(42);
     let (f6a, f6z) = (rows.first().unwrap(), rows.last().unwrap());
-    println!("Fig 6  packets {}→{} (paper 16→1) | CR {}→{} (paper 3.6→131) | BPP {}→{} (paper 2.1→0.1)",
-        f6a.packets, f6z.packets,
-        fmt(f6a.compression_ratio), fmt(f6z.compression_ratio),
-        fmt(f6a.bpp), fmt(f6z.bpp));
+    println!(
+        "Fig 6  packets {}→{} (paper 16→1) | CR {}→{} (paper 3.6→131) | BPP {}→{} (paper 2.1→0.1)",
+        f6a.packets,
+        f6z.packets,
+        fmt(f6a.compression_ratio),
+        fmt(f6z.compression_ratio),
+        fmt(f6a.bpp),
+        fmt(f6z.bpp)
+    );
 
     let rows = run_fig7(42);
     let f7a = rows.first().unwrap();
     let f7last = rows.iter().rev().find(|r| r.packets > 0).unwrap();
-    println!("Fig 7  packets {}→0 (paper 16→0) | BPP {}→{} (paper 14.3→0.7) | CR {}→{} (paper 1.6→32.7)",
-        f7a.packets, fmt(f7a.bpp), fmt(f7last.bpp),
-        fmt(f7a.compression_ratio), fmt(f7last.compression_ratio));
+    println!(
+        "Fig 7  packets {}→0 (paper 16→0) | BPP {}→{} (paper 14.3→0.7) | CR {}→{} (paper 1.6→32.7)",
+        f7a.packets,
+        fmt(f7a.bpp),
+        fmt(f7last.bpp),
+        fmt(f7a.compression_ratio),
+        fmt(f7last.compression_ratio)
+    );
 
     let rows = run_fig8();
     println!(

@@ -18,9 +18,33 @@ pub fn row(cells: &[String], widths: &[usize]) {
 
 /// Print a table header plus separator.
 pub fn header(cells: &[&str], widths: &[usize]) {
-    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("|-{}-|", sep.join("-|-"));
+}
+
+/// Time a closure over `reps` runs, returning the last result and the
+/// best (minimum) wall-clock seconds — the standard noise-resistant
+/// point estimate for short deterministic workloads.
+pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(reps > 0);
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(out);
+    }
+    (result.expect("reps > 0"), best)
+}
+
+/// Hardware threads available to this process (1 if unknown).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Format a float compactly, mapping infinity to `-`.

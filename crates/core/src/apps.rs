@@ -71,7 +71,9 @@ impl Whiteboard {
             // Insert in (lamport, client) order so replicas converge.
             let pos = list
                 .iter()
-                .position(|s| (stroke.lamport, stroke.client.as_str()) < (s.lamport, s.client.as_str()))
+                .position(|s| {
+                    (stroke.lamport, stroke.client.as_str()) < (s.lamport, s.client.as_str())
+                })
                 .unwrap_or(list.len());
             list.insert(pos, stroke);
         }
@@ -236,7 +238,11 @@ impl ImageViewer {
     /// Set the resolution scale (the inference engine's
     /// `ScaleResolution` output). Values are clamped to `(0, 1]`.
     pub fn set_resolution(&mut self, r: f64) {
-        self.resolution = if r.is_finite() { r.clamp(1e-3, 1.0) } else { 1.0 };
+        self.resolution = if r.is_finite() {
+            r.clamp(1e-3, 1.0)
+        } else {
+            1.0
+        };
     }
 
     /// Downsampling factor for the current resolution that divides the
@@ -598,7 +604,7 @@ mod tests {
     fn resolution_factor_respects_divisibility() {
         let mut viewer = ImageViewer::new(1);
         viewer.set_resolution(0.3); // wants factor 3
-        // 64 is not divisible by 3; the next divisor down is 2.
+                                    // 64 is not divisible by 3; the next divisor down is 2.
         assert_eq!(viewer.resolution_factor(64, 64), 2);
         viewer.set_resolution(1.0);
         assert_eq!(viewer.resolution_factor(64, 64), 1);

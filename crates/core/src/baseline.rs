@@ -153,7 +153,11 @@ impl BaselineClient {
             body,
         };
         self.seq += 1;
-        net.send(self.socket, Addr::unicast(self.server, SERVER_PORT), msg.encode())
+        net.send(
+            self.socket,
+            Addr::unicast(self.server, SERVER_PORT),
+            msg.encode(),
+        )
     }
 
     /// Drain received events.
@@ -185,7 +189,10 @@ pub struct ArchitectureReport {
 /// Run the same chat-fanout workload (`n_clients` all interested,
 /// `n_events` events from client 0) through both architectures and
 /// return `(centralized, multicast)` reports.
-pub fn compare_architectures(n_clients: usize, n_events: usize) -> (ArchitectureReport, ArchitectureReport) {
+pub fn compare_architectures(
+    n_clients: usize,
+    n_events: usize,
+) -> (ArchitectureReport, ArchitectureReport) {
     assert!(n_clients >= 2);
     let interested = |name: &str| {
         let mut p = Profile::new(name);
@@ -214,7 +221,12 @@ pub fn compare_architectures(n_clients: usize, n_events: usize) -> (Architecture
         }
         for e in 0..n_events {
             clients[0]
-                .publish(&mut net, "chat", "interested_in contains 'chat'", vec![e as u8; 64])
+                .publish(
+                    &mut net,
+                    "chat",
+                    "interested_in contains 'chat'",
+                    vec![e as u8; 64],
+                )
                 .unwrap();
         }
         // Route until quiescent.

@@ -220,8 +220,16 @@ mod tests {
         assert_eq!(lm.request(1, "alice", 5), LockOutcome::Granted);
         assert_eq!(lm.request(1, "alice", 6), LockOutcome::AlreadyHeld);
         assert_eq!(lm.request(1, "bob", 7), LockOutcome::Queued(0));
-        assert_eq!(lm.request(1, "carol", 6), LockOutcome::Queued(0), "earlier lamport jumps queue");
-        assert_eq!(lm.request(1, "bob", 9), LockOutcome::Queued(1), "dedup keeps position");
+        assert_eq!(
+            lm.request(1, "carol", 6),
+            LockOutcome::Queued(0),
+            "earlier lamport jumps queue"
+        );
+        assert_eq!(
+            lm.request(1, "bob", 9),
+            LockOutcome::Queued(1),
+            "dedup keeps position"
+        );
         assert_eq!(lm.holder(1), Some("alice"));
         let next = lm.release(1, "alice").unwrap();
         assert_eq!(next.as_deref(), Some("carol"));

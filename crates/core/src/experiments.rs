@@ -52,10 +52,12 @@ fn run_viewer_sweep(
     full_stream_bpp: f64,
     states: impl Iterator<Item = (f64, HostState)>,
     seed: u64,
+    workers: usize,
 ) -> Vec<ViewerRow> {
     let cfg = SessionConfig {
         seed,
         full_stream_bpp: Some(full_stream_bpp),
+        workers,
         ..SessionConfig::default()
     };
     let mut session = CollaborationSession::new(cfg);
@@ -105,6 +107,12 @@ fn run_viewer_sweep(
 /// Figure 6: image-viewer parameters versus host page faults
 /// (grayscale source, stream peak ≈ 2.1 bpp as in the paper).
 pub fn run_fig6(seed: u64) -> Vec<ViewerRow> {
+    run_fig6_with(seed, 1)
+}
+
+/// [`run_fig6`] with the session's worker-pool size exposed; any
+/// `workers` value produces the identical series.
+pub fn run_fig6_with(seed: u64, workers: usize) -> Vec<ViewerRow> {
     let scene = synthetic_scene(256, 256, 1, 4, seed);
     let states = sweep(30.0, 100.0, 8).into_iter().map(|f| {
         (
@@ -122,12 +130,19 @@ pub fn run_fig6(seed: u64) -> Vec<ViewerRow> {
         2.1,
         states,
         seed,
+        workers,
     )
 }
 
 /// Figure 7: image-viewer parameters versus CPU load (colour source,
 /// stream peak ≈ 14.3 bpp as in the paper; packets reach 0 at 100%).
 pub fn run_fig7(seed: u64) -> Vec<ViewerRow> {
+    run_fig7_with(seed, 1)
+}
+
+/// [`run_fig7`] with the session's worker-pool size exposed; any
+/// `workers` value produces the identical series.
+pub fn run_fig7_with(seed: u64, workers: usize) -> Vec<ViewerRow> {
     let scene = synthetic_scene(256, 256, 3, 4, seed);
     let states = sweep(30.0, 100.0, 8).into_iter().map(|c| {
         (
@@ -139,7 +154,14 @@ pub fn run_fig7(seed: u64) -> Vec<ViewerRow> {
             },
         )
     });
-    run_viewer_sweep(PolicyDb::paper_cpu_load_policy(), &scene, 14.3, states, seed)
+    run_viewer_sweep(
+        PolicyDb::paper_cpu_load_policy(),
+        &scene,
+        14.3,
+        states,
+        seed,
+        workers,
+    )
 }
 
 // ---------------------------------------------------- figures 8, 9, 10
@@ -215,16 +237,25 @@ pub struct Fig10Result {
 
 /// Figure 10: three wireless clients with varying distance and power.
 pub fn run_fig10() -> Fig10Result {
+    run_fig10_with(1)
+}
+
+/// [`run_fig10`] with the SIR assessments sharded across `workers`
+/// threads; any `workers` value produces the identical series.
+pub fn run_fig10_with(workers: usize) -> Fig10Result {
     let model = PathLossModel::default();
     let thresholds = ModalityThresholds::default();
     let mut bs = BaseStation::new(model, thresholds);
     let mut a_sir_by_count = Vec::new();
 
-    bs.join_unchecked(ClientRadio::new("a", 60.0, 100.0)).unwrap();
+    bs.join_unchecked(ClientRadio::new("a", 60.0, 100.0))
+        .unwrap();
     a_sir_by_count.push(bs.assess("a").unwrap().sir_db);
-    bs.join_unchecked(ClientRadio::new("b", 55.0, 100.0)).unwrap();
+    bs.join_unchecked(ClientRadio::new("b", 55.0, 100.0))
+        .unwrap();
     a_sir_by_count.push(bs.assess("a").unwrap().sir_db);
-    bs.join_unchecked(ClientRadio::new("c", 65.0, 100.0)).unwrap();
+    bs.join_unchecked(ClientRadio::new("c", 65.0, 100.0))
+        .unwrap();
     a_sir_by_count.push(bs.assess("a").unwrap().sir_db);
 
     let lin = |db: f64| from_db(db);
@@ -240,7 +271,7 @@ pub fn run_fig10() -> Fig10Result {
         bs.update_distance("a", a_dist.at(s)).unwrap();
         bs.update_power("b", 100.0 + 30.0 * s).unwrap();
         bs.update_distance("c", c_dist.at(s)).unwrap();
-        let assessments = bs.assess_all();
+        let assessments = bs.assess_all_with(workers);
         series.push(SirRow {
             step: s,
             sirs_db: assessments.iter().map(|a| a.sir_db).collect(),
@@ -298,6 +329,13 @@ pub struct CapacityRow {
 /// after each join; separately report how many clients *admission
 /// control* would have accepted before the text threshold broke.
 pub fn run_capacity_curve(max_clients: usize) -> (Vec<CapacityRow>, usize) {
+    run_capacity_curve_with(max_clients, 1)
+}
+
+/// [`run_capacity_curve`] with each join's O(N²) SIR sweep sharded
+/// across `workers` threads; any `workers` value produces the identical
+/// curve.
+pub fn run_capacity_curve_with(max_clients: usize, workers: usize) -> (Vec<CapacityRow>, usize) {
     let model = PathLossModel::default();
     let thresholds = ModalityThresholds::default();
     let mk = |i: usize| ClientRadio::new(&format!("c{i}"), 60.0, 100.0);
@@ -307,7 +345,7 @@ pub fn run_capacity_curve(max_clients: usize) -> (Vec<CapacityRow>, usize) {
     for i in 0..max_clients {
         unchecked.join_unchecked(mk(i)).expect("unique ids");
         let worst = unchecked
-            .assess_all()
+            .assess_all_with(workers)
             .into_iter()
             .min_by(|a, b| a.sir_db.total_cmp(&b.sir_db))
             .expect("non-empty");
@@ -398,8 +436,7 @@ pub fn run_quality_curve(seed: u64) -> Vec<QualityRow> {
     use media::wavelet::WaveletKind;
 
     let scene = synthetic_scene(256, 256, 1, 4, seed);
-    let container = ezw::encode_image(&scene.image, 5, WaveletKind::Cdf53)
-        .expect("encodes");
+    let container = ezw::encode_image(&scene.image, 5, WaveletKind::Cdf53).expect("encodes");
     let packets = split_packets(&container, 16);
     let mut rows = Vec::new();
     for k in 1..=16usize {
@@ -415,6 +452,77 @@ pub fn run_quality_curve(seed: u64) -> Vec<QualityRow> {
     rows
 }
 
+// ------------------------------------------- parallel session scaling
+
+/// One completed image delivery in the scaling workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Receiving client index.
+    pub client: usize,
+    /// Shared object id.
+    pub object_id: u64,
+    /// Packets the viewer accepted.
+    pub packets: u32,
+    /// Bits per pixel received.
+    pub bpp: f64,
+    /// Compression ratio vs the original.
+    pub compression_ratio: f64,
+}
+
+/// The session-engine scaling workload: one publisher multicasts
+/// `images` synthetic scenes to `viewers` subscribed clients, each of
+/// which EZW-decodes every delivery (the per-client pipeline the
+/// sharded engine parallelises). Returns every completed delivery in
+/// deterministic `(round, client)` order — byte-identical for any
+/// `workers` value, faster wall-clock for `workers > 1` once enough
+/// viewers are attached.
+pub fn run_parallel_scaling(
+    viewers: usize,
+    images: usize,
+    workers: usize,
+    seed: u64,
+) -> Vec<ScalingRow> {
+    let cfg = SessionConfig {
+        seed,
+        workers,
+        ..SessionConfig::default()
+    };
+    let mut session = CollaborationSession::new(cfg);
+    let publisher = session
+        .add_wired_client(
+            viewer_profile("publisher"),
+            InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+            SimHost::idle("publisher"),
+        )
+        .expect("publisher joins");
+    for i in 0..viewers {
+        session
+            .add_wired_client(
+                viewer_profile(&format!("viewer{i}")),
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle(&format!("viewer{i}")),
+            )
+            .expect("viewer joins");
+    }
+    let mut rows = Vec::new();
+    for round in 0..images {
+        let scene = synthetic_scene(256, 256, 1, 4, seed.wrapping_add(round as u64));
+        session
+            .share_image(publisher, &scene, "interested_in contains 'image'")
+            .expect("share succeeds");
+        for (client, viewed) in session.pump(Ticks::from_secs(2)) {
+            rows.push(ScalingRow {
+                client,
+                object_id: viewed.object_id,
+                packets: viewed.packets_accepted,
+                bpp: viewed.bpp,
+                compression_ratio: viewed.compression_ratio,
+            });
+        }
+    }
+    rows
+}
+
 // ------------------------------------------------------- §5.4 headline
 
 /// The sketch-reduction headline: returns `(original_bytes,
@@ -422,11 +530,7 @@ pub fn run_quality_curve(seed: u64) -> Vec<QualityRow> {
 pub fn run_headline_sketch(seed: u64) -> (usize, usize, f64) {
     let scene = synthetic_scene(512, 512, 3, 5, seed);
     let sketch = Sketch::extract(&scene.image, 8).expect("512 divisible by 8");
-    (
-        scene.image.byte_len(),
-        sketch.byte_len(),
-        sketch.ratio(),
-    )
+    (scene.image.byte_len(), sketch.byte_len(), sketch.ratio())
 }
 
 #[cfg(test)]
@@ -451,7 +555,11 @@ mod tests {
         // Dynamic ranges in the ballpark of the paper (2.1 -> 0.1 bpp).
         let first = rows.first().unwrap();
         let last = rows.last().unwrap();
-        assert!(first.bpp > 1.5 && first.bpp <= 2.2, "top bpp {:.2}", first.bpp);
+        assert!(
+            first.bpp > 1.5 && first.bpp <= 2.2,
+            "top bpp {:.2}",
+            first.bpp
+        );
         assert!(last.bpp < 0.35, "bottom bpp {:.2}", last.bpp);
         assert!(first.compression_ratio < 6.0);
         assert!(last.compression_ratio > 25.0);
@@ -464,7 +572,11 @@ mod tests {
         assert_eq!(rows.last().unwrap().packets, 0, "suspended at 100% CPU");
         assert_eq!(rows.last().unwrap().bpp, 0.0);
         let first = rows.first().unwrap();
-        assert!(first.bpp > 8.0 && first.bpp <= 14.5, "colour top bpp {:.2}", first.bpp);
+        assert!(
+            first.bpp > 8.0 && first.bpp <= 14.5,
+            "colour top bpp {:.2}",
+            first.bpp
+        );
         // CR at full quality close to the paper's 1.6-ish.
         assert!(first.compression_ratio < 4.0);
     }
@@ -537,7 +649,10 @@ mod tests {
     #[test]
     fn distance_beats_power() {
         let (d_gain, p_gain) = distance_vs_power_leverage();
-        assert!(d_gain > p_gain, "distance {d_gain:.1} dB vs power {p_gain:.1} dB");
+        assert!(
+            d_gain > p_gain,
+            "distance {d_gain:.1} dB vs power {p_gain:.1} dB"
+        );
         assert!(d_gain > 0.0 && p_gain > 0.0);
     }
 

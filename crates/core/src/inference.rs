@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn bandwidth_caps_modality_alongside_packets() {
         let e = engine();
-        let d = e.decide(&state(&[("page_faults", 30.0), ("bandwidth_bps", 32_000.0)]));
+        let d = e.decide(&state(&[
+            ("page_faults", 30.0),
+            ("bandwidth_bps", 32_000.0),
+        ]));
         assert_eq!(d.max_packets, 16, "packets unconstrained");
         assert_eq!(d.modality, ModalityChoice::Text, "but modality capped");
     }

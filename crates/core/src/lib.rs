@@ -54,6 +54,7 @@ pub mod netstate;
 pub mod policy;
 pub mod probe;
 pub mod session;
+pub mod shard;
 pub mod state_repo;
 pub mod transformer;
 pub mod trapwatch;

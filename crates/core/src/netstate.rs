@@ -99,8 +99,7 @@ impl NetworkStateInterface {
             }
         }
         for target in targets {
-            let batch: Vec<&MetricSpec> =
-                metrics.iter().filter(|m| m.target == target).collect();
+            let batch: Vec<&MetricSpec> = metrics.iter().filter(|m| m.target == target).collect();
             let oids: Vec<Oid> = batch.iter().map(|m| m.oid.clone()).collect();
             match self.manager.get(net, agents, target, &oids) {
                 Ok(binds) => {

@@ -100,8 +100,13 @@ impl PolicyDb {
             ("pf-extreme", "page_faults >= 86", 1),
         ];
         for (i, (name, cond, packets)) in rules.iter().enumerate() {
-            db.add_rule(name, i as i32, cond, AdaptationAction::LimitPackets(*packets))
-                .expect("static rule parses");
+            db.add_rule(
+                name,
+                i as i32,
+                cond,
+                AdaptationAction::LimitPackets(*packets),
+            )
+            .expect("static rule parses");
         }
         db
     }
@@ -119,8 +124,13 @@ impl PolicyDb {
             ("cpu-saturated", "cpu_load >= 97", 0),
         ];
         for (i, (name, cond, packets)) in rules.iter().enumerate() {
-            db.add_rule(name, i as i32, cond, AdaptationAction::LimitPackets(*packets))
-                .expect("static rule parses");
+            db.add_rule(
+                name,
+                i as i32,
+                cond,
+                AdaptationAction::LimitPackets(*packets),
+            )
+            .expect("static rule parses");
         }
         // At saturation the viewer also suspends media.
         db.add_rule(

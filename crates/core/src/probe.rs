@@ -182,8 +182,7 @@ mod tests {
 
     #[test]
     fn lossy_path_loses_probes_gracefully() {
-        let (mut net, mut probe, mut echo, target) =
-            world(LinkSpec::lan().with_loss(0.45));
+        let (mut net, mut probe, mut echo, target) = world(LinkSpec::lan().with_loss(0.45));
         let r = probe.burst(&mut net, &mut echo, target, 20, Ticks::from_secs(1));
         assert!(r.received < 20, "some probes lost");
         assert_eq!(r.sent, 20);

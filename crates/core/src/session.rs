@@ -53,6 +53,11 @@ pub struct SessionConfig {
     pub link: LinkSpec,
     /// SNMP community.
     pub community: String,
+    /// Worker threads for per-client pipeline stages (event
+    /// interpretation, media decoding, inference). `1` runs everything
+    /// serially on the caller's thread; any value produces bit-identical
+    /// results (see [`crate::shard`]).
+    pub workers: usize,
 }
 
 impl Default for SessionConfig {
@@ -65,6 +70,7 @@ impl Default for SessionConfig {
             color_transform: false,
             link: LinkSpec::lan(),
             community: "public".to_string(),
+            workers: 1,
         }
     }
 }
@@ -212,8 +218,7 @@ impl CollaborationSession {
 
         let mut agent = SnmpAgent::new(&name, &self.cfg.community, None);
         install_host_agent(&host.shared(), &mut agent);
-        let agent_rt =
-            AgentRuntime::bind(&mut self.net, node, agent).map_err(|e| e.to_string())?;
+        let agent_rt = AgentRuntime::bind(&mut self.net, node, agent).map_err(|e| e.to_string())?;
 
         let mut netstate = NetworkStateInterface::bind(
             &mut self.net,
@@ -315,6 +320,32 @@ impl CollaborationSession {
         client.viewer.set_resolution(decision.resolution);
         client.last_decision = Some(decision.clone());
         decision
+    }
+
+    /// Run one adaptation pass for every client. SNMP sampling walks
+    /// the shared network serially; the inference-engine decisions and
+    /// viewer updates are sharded across `SessionConfig::workers`
+    /// threads and returned in client order (identical to calling
+    /// [`CollaborationSession::adapt`] for each client in turn).
+    pub fn adapt_all(&mut self) -> Vec<AdaptationDecision> {
+        let mut states = Vec::with_capacity(self.clients.len());
+        for id in 0..self.clients.len() {
+            let (client, agents, net) = (&mut self.clients[id], &mut self.agents, &mut self.net);
+            let mut refs: Vec<&mut AgentRuntime> = agents.iter_mut().collect();
+            states.push(client.netstate.sample(net, &mut refs));
+        }
+        crate::shard::map_shards(
+            &mut self.clients,
+            states,
+            self.cfg.workers,
+            |_, client, state| {
+                let decision = client.engine.decide(&state);
+                client.viewer.set_packet_budget(decision.max_packets);
+                client.viewer.set_resolution(decision.resolution);
+                client.last_decision = Some(decision.clone());
+                decision
+            },
+        )
     }
 
     /// Attach an RFC 862-style echo reflector on a new LAN node; probes
@@ -425,8 +456,8 @@ impl CollaborationSession {
         if let Some(bpp) = self.cfg.full_stream_bpp {
             let budget = (scene.image.pixels() as f64 * bpp / 8.0) as usize;
             if budget < container.len() {
-                container = ezw::truncate_container(&container, budget)
-                    .map_err(|e| e.to_string())?;
+                container =
+                    ezw::truncate_container(&container, budget).map_err(|e| e.to_string())?;
             }
         }
         let packets = split_packets(&container, self.cfg.packets_per_image);
@@ -438,30 +469,21 @@ impl CollaborationSession {
             pixels: scene.image.pixels() as u64,
             total_packets: packets.len() as u16,
         };
+        // Metadata + every packet go out as one network batch: group
+        // membership and routes are resolved once for the whole object
+        // instead of per packet (the fan-out cost the paper's
+        // communication module pays per event).
+        let mut events: Vec<(String, Vec<u8>)> = Vec::with_capacity(packets.len() + 1);
+        events.push((meta.kind().to_string(), meta.encode()));
+        for packet in packets {
+            let ev = AppEvent::ImagePacket { object_id, packet };
+            events.push((ev.kind().to_string(), ev.encode()));
+        }
         let client = &mut self.clients[id];
         client
             .bus
-            .publish(
-                &mut self.net,
-                meta.kind(),
-                selector,
-                content.clone(),
-                meta.encode(),
-            )
+            .publish_batch(&mut self.net, selector, content, events)
             .map_err(|e| e.to_string())?;
-        for packet in packets {
-            let ev = AppEvent::ImagePacket { object_id, packet };
-            client
-                .bus
-                .publish(
-                    &mut self.net,
-                    ev.kind(),
-                    selector,
-                    content.clone(),
-                    ev.encode(),
-                )
-                .map_err(|e| e.to_string())?;
-        }
         Ok(object_id)
     }
 
@@ -581,64 +603,96 @@ impl CollaborationSession {
         Ok(())
     }
 
-    /// Advance simulated time and dispatch everything that arrived.
-    /// Returns images completed during this step, tagged by client.
-    pub fn pump(&mut self, d: Ticks) -> Vec<(ClientId, ViewedImage)> {
-        self.net.run_for(d);
+    /// Apply previously drained payloads to one client: decode each
+    /// semantic message, interpret it against the client's profile, and
+    /// dispatch accepted events to the client's application entities.
+    /// Pure per-client CPU work (EZW decoding dominates) — touches no
+    /// shared state, so the sharded engine runs it on worker threads.
+    fn apply_payloads(client: &mut ClientRuntime, payloads: Vec<Vec<u8>>) -> Vec<ViewedImage> {
         let mut completed = Vec::new();
-        for (id, client) in self.clients.iter_mut().enumerate() {
-            for delivery in client.bus.poll(&mut self.net) {
-                let Some(ev) = AppEvent::decode(&delivery.message.body) else {
-                    continue;
-                };
-                let sender = delivery.message.sender.clone();
-                match &ev {
-                    AppEvent::Chat { .. } => client.chat.apply(&ev),
-                    AppEvent::WhiteboardStroke {
-                        object_id, lamport, ..
-                    } => {
-                        client.whiteboard.apply(&sender, &ev);
-                        client.clock.observe(*lamport);
-                        client.repo.update(
-                            *object_id,
-                            *lamport,
-                            &sender,
-                            ObjectState {
-                                kind: "whiteboard".to_string(),
-                                data: ev.encode(),
-                            },
-                        );
+        for delivery in client.bus.interpret_batch(payloads) {
+            let Some(ev) = AppEvent::decode(&delivery.message.body) else {
+                continue;
+            };
+            let sender = delivery.message.sender.clone();
+            match &ev {
+                AppEvent::Chat { .. } => client.chat.apply(&ev),
+                AppEvent::WhiteboardStroke {
+                    object_id, lamport, ..
+                } => {
+                    client.whiteboard.apply(&sender, &ev);
+                    client.clock.observe(*lamport);
+                    client.repo.update(
+                        *object_id,
+                        *lamport,
+                        &sender,
+                        ObjectState {
+                            kind: "whiteboard".to_string(),
+                            data: ev.encode(),
+                        },
+                    );
+                }
+                AppEvent::ImageMeta { .. } | AppEvent::ImagePacket { .. } => {
+                    if let Some(viewed) = client.viewer.apply(&ev) {
+                        completed.push(viewed);
                     }
-                    AppEvent::ImageMeta { .. } | AppEvent::ImagePacket { .. } => {
-                        if let Some(viewed) = client.viewer.apply(&ev) {
-                            completed.push((id, viewed));
-                        }
+                }
+                AppEvent::SketchShare {
+                    object_id,
+                    data,
+                    caption,
+                } => {
+                    if let Ok(sketch) = Sketch::decode(data) {
+                        client.sketches.push((*object_id, sketch, caption.clone()));
                     }
-                    AppEvent::SketchShare {
-                        object_id,
-                        data,
-                        caption,
-                    } => {
-                        if let Ok(sketch) = Sketch::decode(data) {
-                            client.sketches.push((*object_id, sketch, caption.clone()));
-                        }
-                    }
-                    AppEvent::Lock {
-                        object_id,
-                        client: requester,
-                        lamport,
-                        op,
-                    } => {
-                        client.clock.observe(*lamport);
-                        if *op == 0 {
-                            client.locks.request(*object_id, requester, *lamport);
-                        } else {
-                            let _ = client.locks.release(*object_id, requester);
-                        }
+                }
+                AppEvent::Lock {
+                    object_id,
+                    client: requester,
+                    lamport,
+                    op,
+                } => {
+                    client.clock.observe(*lamport);
+                    if *op == 0 {
+                        client.locks.request(*object_id, requester, *lamport);
+                    } else {
+                        let _ = client.locks.release(*object_id, requester);
                     }
                 }
             }
         }
+        completed
+    }
+
+    /// Advance simulated time and dispatch everything that arrived.
+    /// Returns images completed during this step, tagged by client.
+    ///
+    /// Reception is a three-phase pipeline: (1) the shared network is
+    /// drained serially (one inbox per client), (2) decoding +
+    /// interpretation + application run per client, sharded across
+    /// `SessionConfig::workers` threads, (3) results merge back in
+    /// client order — the same order the serial loop produces, so any
+    /// worker count is bit-identical to `workers: 1`.
+    pub fn pump(&mut self, d: Ticks) -> Vec<(ClientId, ViewedImage)> {
+        self.net.run_for(d);
+        let raw: Vec<Vec<Vec<u8>>> = {
+            let net = &mut self.net;
+            self.clients
+                .iter_mut()
+                .map(|c| c.bus.drain_raw(net))
+                .collect()
+        };
+        let per_client = crate::shard::map_shards(
+            &mut self.clients,
+            raw,
+            self.cfg.workers,
+            |_, client, payloads| Self::apply_payloads(client, payloads),
+        );
+        let completed: Vec<(ClientId, ViewedImage)> = per_client
+            .into_iter()
+            .enumerate()
+            .flat_map(|(id, viewed)| viewed.into_iter().map(move |v| (id, v)))
+            .collect();
         // The base station is a peer too: it interprets every arriving
         // session event *against each wireless client's profile* and
         // relays it over the radio downlink in the modality the
@@ -896,7 +950,11 @@ mod tests {
             )
             .unwrap();
         let viewer = s
-            .add_wired_client(viewer_profile("viewer"), engine_pf(), SimHost::idle("viewer"))
+            .add_wired_client(
+                viewer_profile("viewer"),
+                engine_pf(),
+                SimHost::idle("viewer"),
+            )
             .unwrap();
         (s, publisher, viewer)
     }
@@ -943,7 +1001,8 @@ mod tests {
         let (mut s, a, b) = two_client_session();
         s.share_chat(a, "hello from a", "true").unwrap();
         let oid = s.new_object_id();
-        s.share_stroke(a, oid, vec![(1, 2), (3, 4)], 1, "true").unwrap();
+        s.share_stroke(a, oid, vec![(1, 2), (3, 4)], 1, "true")
+            .unwrap();
         s.pump(Ticks::from_millis(50));
         assert_eq!(s.client(b).chat.log.len(), 1);
         assert_eq!(s.client(b).whiteboard.strokes(oid).len(), 1);
@@ -1160,7 +1219,10 @@ mod tests {
             .unwrap();
         assert!(s.client(newcomer).repo.get(oid).is_none());
         s.catch_up(b, newcomer);
-        assert!(s.client(newcomer).repo.get(oid).is_some(), "history installed");
+        assert!(
+            s.client(newcomer).repo.get(oid).is_some(),
+            "history installed"
+        );
     }
 
     #[test]

@@ -157,10 +157,7 @@ impl HostWatcher {
 /// Interpret a received QoS-alert trap: extract the known host metrics
 /// from its varbinds and run the engine on them. Returns `None` for
 /// traps that are not QoS alerts or carry no known metric.
-pub fn decision_from_trap(
-    engine: &InferenceEngine,
-    trap: &Message,
-) -> Option<AdaptationDecision> {
+pub fn decision_from_trap(engine: &InferenceEngine, trap: &Message) -> Option<AdaptationDecision> {
     // varbind[1] is snmpTrapOID.0 per the SNMPv2 trap layout.
     let trap_oid = trap.pdu.varbinds.get(1)?;
     if trap_oid.value != SnmpValue::Oid(qos_alert_trap_oid()) {
@@ -221,7 +218,11 @@ mod tests {
             mem_avail_kb: 1024.0,
         });
         assert_eq!(watcher.service(&mut net, &mut rt, station), 1);
-        assert_eq!(watcher.service(&mut net, &mut rt, station), 0, "edge-triggered");
+        assert_eq!(
+            watcher.service(&mut net, &mut rt, station),
+            0,
+            "edge-triggered"
+        );
         net.run_for(Ticks::from_millis(5));
         assert_eq!(sink.service(&mut net), 1);
     }

@@ -25,12 +25,19 @@ impl TextDescription {
             .objects
             .iter()
             .map(|o| match o {
-                SceneObject::Disc { cx, cy, r, brightness } => format!(
-                    "disc of radius {r} at ({cx}, {cy}), brightness {brightness}"
-                ),
-                SceneObject::Rect { x, y, w, h, brightness } => format!(
-                    "rectangle {w}x{h} at ({x}, {y}), brightness {brightness}"
-                ),
+                SceneObject::Disc {
+                    cx,
+                    cy,
+                    r,
+                    brightness,
+                } => format!("disc of radius {r} at ({cx}, {cy}), brightness {brightness}"),
+                SceneObject::Rect {
+                    x,
+                    y,
+                    w,
+                    h,
+                    brightness,
+                } => format!("rectangle {w}x{h} at ({x}, {y}), brightness {brightness}"),
             })
             .collect();
         TextDescription {

@@ -301,7 +301,12 @@ impl EzwDecoder {
         }
         let mut coeffs = vec![0i32; w * h];
         if top == EMPTY_PLANE {
-            return Ok(DecodedPlane { w, h, levels, coeffs });
+            return Ok(DecodedPlane {
+                w,
+                h,
+                levels,
+                coeffs,
+            });
         }
         let top_plane = top as u32;
         if top_plane > 31 {
@@ -376,14 +381,23 @@ impl EzwDecoder {
             }
         }
 
-        let offset = if finished { 0 } else { (1u32 << current_plane) >> 1 };
+        let offset = if finished {
+            0
+        } else {
+            (1u32 << current_plane) >> 1
+        };
         for idx in 0..coeffs.len() {
             if mags[idx] != 0 {
                 let v = (mags[idx] + offset) as i32;
                 coeffs[idx] = if negs[idx] { -v } else { v };
             }
         }
-        Ok(DecodedPlane { w, h, levels, coeffs })
+        Ok(DecodedPlane {
+            w,
+            h,
+            levels,
+            coeffs,
+        })
     }
 }
 
@@ -439,7 +453,14 @@ pub fn encode_image_opts(
     let mut out = Vec::new();
     out.extend_from_slice(CONTAINER_MAGIC);
     out.push(img.channels as u8);
-    out.push(kind_to_byte(kind) | if color_transform { COLOR_TRANSFORM_FLAG } else { 0 });
+    out.push(
+        kind_to_byte(kind)
+            | if color_transform {
+                COLOR_TRANSFORM_FLAG
+            } else {
+                0
+            },
+    );
     let mut planes: Vec<Vec<i32>> = (0..img.channels).map(|c| img.plane(c)).collect();
     if color_transform {
         let (r, rest) = planes.split_at_mut(1);
@@ -761,8 +782,7 @@ mod tests {
     fn color_transform_is_lossless_and_usually_smaller() {
         let scene = synthetic_scene(64, 64, 3, 4, 19);
         let plain = encode_image(&scene.image, 4, WaveletKind::Cdf53).unwrap();
-        let transformed =
-            encode_image_opts(&scene.image, 4, WaveletKind::Cdf53, true).unwrap();
+        let transformed = encode_image_opts(&scene.image, 4, WaveletKind::Cdf53, true).unwrap();
         assert_eq!(
             decode_image(&transformed).unwrap().data,
             scene.image.data,

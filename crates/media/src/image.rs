@@ -94,7 +94,9 @@ impl Image {
 
     /// Downsample by integer factor using box averaging.
     pub fn downsample(&self, factor: usize) -> Image {
-        assert!(factor >= 1 && self.width.is_multiple_of(factor) && self.height.is_multiple_of(factor));
+        assert!(
+            factor >= 1 && self.width.is_multiple_of(factor) && self.height.is_multiple_of(factor)
+        );
         let (w, h) = (self.width / factor, self.height / factor);
         let mut out = Image::new(w, h, self.channels);
         for y in 0..h {
@@ -174,9 +176,20 @@ impl Image {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SceneObject {
     /// Filled disc at (cx, cy) with radius r.
-    Disc { cx: usize, cy: usize, r: usize, brightness: u8 },
+    Disc {
+        cx: usize,
+        cy: usize,
+        r: usize,
+        brightness: u8,
+    },
     /// Axis-aligned rectangle.
-    Rect { x: usize, y: usize, w: usize, h: usize, brightness: u8 },
+    Rect {
+        x: usize,
+        y: usize,
+        w: usize,
+        h: usize,
+        brightness: u8,
+    },
 }
 
 /// A synthetic scene: the image plus ground-truth object list.
@@ -239,7 +252,12 @@ pub fn synthetic_scene(
                     }
                 }
             }
-            objects.push(SceneObject::Disc { cx, cy, r, brightness });
+            objects.push(SceneObject::Disc {
+                cx,
+                cy,
+                r,
+                brightness,
+            });
         } else {
             let w = rng.random_range(width / 12..=width / 4).max(1);
             let h = rng.random_range(height / 12..=height / 4).max(1);
@@ -252,7 +270,13 @@ pub fn synthetic_scene(
                     }
                 }
             }
-            objects.push(SceneObject::Rect { x: x0, y: y0, w, h, brightness });
+            objects.push(SceneObject::Rect {
+                x: x0,
+                y: y0,
+                w,
+                h,
+                brightness,
+            });
         }
     }
     // Texture noise.

@@ -116,12 +116,13 @@ fn chunk_bounds(len: usize, n: usize) -> Vec<(usize, usize)> {
 /// Panics when `container` is not a valid EZW container or `n` is out
 /// of range — callers split containers they just encoded.
 pub fn split_packets(container: &[u8], n: usize) -> Vec<MediaPacket> {
-    assert!(n >= 1 && n <= u16::MAX as usize, "packet count out of range");
+    assert!(
+        n >= 1 && n <= u16::MAX as usize,
+        "packet count out of range"
+    );
     let (header, streams) = parse_container(container).expect("valid container");
-    let bounds: Vec<Vec<(usize, usize)>> = streams
-        .iter()
-        .map(|s| chunk_bounds(s.len(), n))
-        .collect();
+    let bounds: Vec<Vec<(usize, usize)>> =
+        streams.iter().map(|s| chunk_bounds(s.len(), n)).collect();
     (0..n)
         .map(|i| {
             let mut payload = Vec::with_capacity(CONTAINER_HEADER + container.len() / n + 8);
@@ -190,9 +191,8 @@ pub fn reassemble_prefix(packets: &[MediaPacket]) -> Result<Vec<u8>, MediaError>
             return Err(MediaError::Malformed("trailing stripe bytes"));
         }
     }
-    let mut out = Vec::with_capacity(
-        CONTAINER_HEADER + streams.iter().map(|s| s.len() + 4).sum::<usize>(),
-    );
+    let mut out =
+        Vec::with_capacity(CONTAINER_HEADER + streams.iter().map(|s| s.len() + 4).sum::<usize>());
     out.extend_from_slice(header);
     for s in &streams {
         out.extend_from_slice(&(s.len() as u32).to_be_bytes());

@@ -144,8 +144,8 @@ impl Sketch {
         let mut idx = 0usize;
         let mut bit = false;
         while pos < self.rle.len() {
-            let (run, used) = get_varint(&self.rle[pos..])
-                .ok_or(MediaError::Malformed("bad sketch varint"))?;
+            let (run, used) =
+                get_varint(&self.rle[pos..]).ok_or(MediaError::Malformed("bad sketch varint"))?;
             pos += used;
             for _ in 0..run {
                 if idx >= img.data.len() {
@@ -165,9 +165,7 @@ impl Sketch {
     /// Fraction of sketch cells that are features.
     pub fn density(&self) -> f64 {
         match self.to_image() {
-            Ok(img) => {
-                img.data.iter().filter(|&&v| v != 0).count() as f64 / img.data.len() as f64
-            }
+            Ok(img) => img.data.iter().filter(|&&v| v != 0).count() as f64 / img.data.len() as f64,
             Err(_) => 0.0,
         }
     }

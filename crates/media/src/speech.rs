@@ -59,9 +59,9 @@ pub fn speech_to_text(speech: &SpeechStream) -> String {
 fn char_to_phoneme(ch: char) -> u8 {
     let c = ch.to_ascii_lowercase();
     match c {
-        'a'..='z' => c as u8 - b'a' + 1, // 1..=26
+        'a'..='z' => c as u8 - b'a' + 1,  // 1..=26
         '0'..='9' => c as u8 - b'0' + 27, // 27..=36
-        _ => 37 + (c as u32 % 90) as u8, // other printable, folded
+        _ => 37 + (c as u32 % 90) as u8,  // other printable, folded
     }
 }
 

@@ -54,7 +54,11 @@ fn forward_1d(buf: &mut [i32], kind: WaveletKind, scratch: &mut Vec<i32>) {
             // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
             for i in 0..half {
                 let left = buf[2 * i];
-                let right = if 2 * i + 2 < n { buf[2 * i + 2] } else { buf[n - 2] };
+                let right = if 2 * i + 2 < n {
+                    buf[2 * i + 2]
+                } else {
+                    buf[n - 2]
+                };
                 d[i] = buf[2 * i + 1] - ((left + right) >> 1);
             }
             // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)

@@ -142,12 +142,62 @@ impl BusEndpoint {
         out
     }
 
-    /// Drain arrived datagrams, interpreting each against the local
-    /// profile; returns only accepted messages.
-    pub fn poll(&mut self, net: &mut Network) -> Vec<Delivery> {
+    /// Publish several events in one network batch: each body becomes
+    /// its own sequenced [`SemanticMessage`] (exactly as repeated
+    /// [`BusEndpoint::publish`] calls would), but the network computes
+    /// multicast membership and routes once for the whole batch instead
+    /// of per message. Returns the assigned sequence numbers.
+    pub fn publish_batch(
+        &mut self,
+        net: &mut Network,
+        selector: &str,
+        content: BTreeMap<String, AttrValue>,
+        events: Vec<(String, Vec<u8>)>,
+    ) -> Result<Vec<u64>, SemError> {
+        Selector::parse(selector)?;
+        let mut seqs = Vec::with_capacity(events.len());
+        let mut wires = Vec::with_capacity(events.len());
+        for (kind, body) in events {
+            let seq = self.seq;
+            self.seq += 1;
+            seqs.push(seq);
+            let msg = SemanticMessage {
+                sender: self.profile.name.clone(),
+                kind,
+                selector: selector.to_string(),
+                seq,
+                content: content.clone(),
+                body,
+            };
+            wires.push(msg.encode());
+        }
+        net.send_batch(self.socket, Addr::multicast(self.group, self.port), wires)
+            .map_err(|e| SemError::Transport(e.to_string()))?;
+        self.stats.published += seqs.len() as u64;
+        Ok(seqs)
+    }
+
+    /// Drain arrived datagram payloads without decoding them. Paired
+    /// with [`BusEndpoint::interpret_batch`], this splits reception into
+    /// a network phase (needs `&mut Network`, inherently serial) and a
+    /// pure-CPU interpretation phase that a sharded session engine can
+    /// run on worker threads.
+    pub fn drain_raw(&mut self, net: &mut Network) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
         while let Some(dgram) = net.recv(self.socket) {
-            let Ok(msg) = SemanticMessage::decode(&dgram.payload) else {
+            out.push(dgram.payload);
+        }
+        out
+    }
+
+    /// Decode and interpret previously drained payloads against the
+    /// local profile; returns only accepted messages. Pure CPU — needs
+    /// no network access, so it is safe to call from a worker thread
+    /// that owns this endpoint.
+    pub fn interpret_batch(&mut self, payloads: Vec<Vec<u8>>) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for payload in payloads {
+            let Ok(msg) = SemanticMessage::decode(&payload) else {
                 self.stats.malformed += 1;
                 continue;
             };
@@ -171,6 +221,13 @@ impl BusEndpoint {
             }
         }
         out
+    }
+
+    /// Drain arrived datagrams, interpreting each against the local
+    /// profile; returns only accepted messages.
+    pub fn poll(&mut self, net: &mut Network) -> Vec<Delivery> {
+        let payloads = self.drain_raw(net);
+        self.interpret_batch(payloads)
     }
 }
 
@@ -295,7 +352,13 @@ mod tests {
         let mut user_b = BusEndpoint::join(&mut net, hosts[1], SESSION_PORT, group, b).unwrap();
 
         publisher
-            .publish(&mut net, "image-share", "mode == 'image'", content_image(), vec![])
+            .publish(
+                &mut net,
+                "image-share",
+                "mode == 'image'",
+                content_image(),
+                vec![],
+            )
             .unwrap();
         net.run_for(Ticks::from_millis(10));
         assert_eq!(user_b.poll(&mut net).len(), 1);
@@ -303,7 +366,13 @@ mod tests {
         // B switches to text mode locally — no roster update anywhere.
         user_b.profile.set("mode", AttrValue::str("text"));
         publisher
-            .publish(&mut net, "image-share", "mode == 'image'", content_image(), vec![])
+            .publish(
+                &mut net,
+                "image-share",
+                "mode == 'image'",
+                content_image(),
+                vec![],
+            )
             .unwrap();
         publisher
             .publish(
@@ -323,23 +392,12 @@ mod tests {
     #[test]
     fn poll_raw_bypasses_interpretation() {
         let (mut net, group, hosts) = world(2);
-        let mut publisher = BusEndpoint::join(
-            &mut net,
-            hosts[0],
-            SESSION_PORT,
-            group,
-            Profile::new("pub"),
-        )
-        .unwrap();
+        let mut publisher =
+            BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, Profile::new("pub"))
+                .unwrap();
         // Gateway whose own profile matches nothing.
-        let mut gateway = BusEndpoint::join(
-            &mut net,
-            hosts[1],
-            SESSION_PORT,
-            group,
-            Profile::new("gw"),
-        )
-        .unwrap();
+        let mut gateway =
+            BusEndpoint::join(&mut net, hosts[1], SESSION_PORT, group, Profile::new("gw")).unwrap();
         publisher
             .publish(
                 &mut net,
@@ -358,14 +416,8 @@ mod tests {
     #[test]
     fn bad_selector_rejected_at_publish() {
         let (mut net, group, hosts) = world(1);
-        let mut publisher = BusEndpoint::join(
-            &mut net,
-            hosts[0],
-            SESSION_PORT,
-            group,
-            Profile::new("p"),
-        )
-        .unwrap();
+        let mut publisher =
+            BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, Profile::new("p")).unwrap();
         let err = publisher.publish(&mut net, "x", "mode ==", BTreeMap::new(), vec![]);
         assert!(err.is_err());
         assert_eq!(publisher.stats().published, 0);
@@ -376,16 +428,10 @@ mod tests {
         let (mut net, group, hosts) = world(2);
         let mut p = Profile::new("pub");
         p.set("x", AttrValue::Int(1));
-        let mut publisher =
-            BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, p).unwrap();
-        let mut sub = BusEndpoint::join(
-            &mut net,
-            hosts[1],
-            SESSION_PORT,
-            group,
-            Profile::new("sub"),
-        )
-        .unwrap();
+        let mut publisher = BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, p).unwrap();
+        let mut sub =
+            BusEndpoint::join(&mut net, hosts[1], SESSION_PORT, group, Profile::new("sub"))
+                .unwrap();
         sub.leave(&mut net);
         publisher
             .publish(&mut net, "x", "true", BTreeMap::new(), vec![])

@@ -27,9 +27,7 @@ pub fn eval_bool(expr: &Expr, attrs: &BTreeMap<String, AttrValue>) -> Result<boo
         Operand::Val(AttrValue::Bool(b)) => Ok(b),
         // A bare missing attribute in boolean position is false.
         Operand::Missing(_) => Ok(false),
-        Operand::Val(v) => Err(SemError::Type(format!(
-            "expected boolean, got {v}"
-        ))),
+        Operand::Val(v) => Err(SemError::Type(format!("expected boolean, got {v}"))),
     }
 }
 
@@ -145,7 +143,10 @@ mod tests {
     #[test]
     fn type_errors_surface() {
         let a = attrs(&[("name", AttrValue::str("x"))]);
-        assert!(Selector::parse("name and true").unwrap().matches(&a).is_err());
+        assert!(Selector::parse("name and true")
+            .unwrap()
+            .matches(&a)
+            .is_err());
         assert!(Selector::parse("not name").unwrap().matches(&a).is_err());
     }
 

@@ -206,8 +206,10 @@ mod tests {
     #[test]
     fn figure3_client1_accepts() {
         let mut p = base_profile("client-1");
-        p.set_interest("media == 'video' and color == true and encoding == 'mpeg2' and size_mb <= 1")
-            .unwrap();
+        p.set_interest(
+            "media == 'video' and color == true and encoding == 'mpeg2' and size_mb <= 1",
+        )
+        .unwrap();
         let out = interpret(&p, &to_video_clients(), &stream()).unwrap();
         assert_eq!(out, MatchOutcome::Accept);
     }

@@ -245,6 +245,8 @@ mod tests {
         m.content.insert("y".to_string(), AttrValue::Float(-0.0));
         let back = SemanticMessage::decode(&m.encode()).unwrap();
         assert_eq!(back.content["x"], AttrValue::Float(f64::MIN_POSITIVE));
-        assert!(matches!(back.content["y"], AttrValue::Float(v) if v.to_bits() == (-0.0f64).to_bits()));
+        assert!(
+            matches!(back.content["y"], AttrValue::Float(v) if v.to_bits() == (-0.0f64).to_bits())
+        );
     }
 }

@@ -254,7 +254,10 @@ mod tests {
         assert!(parse(&lex("a ==").unwrap()).is_err());
         assert!(parse(&lex("a b").unwrap()).is_err());
         assert!(parse(&lex("(a").unwrap()).is_err());
-        assert!(parse(&lex("[a]").unwrap()).is_err(), "idents not allowed in lists");
+        assert!(
+            parse(&lex("[a]").unwrap()).is_err(),
+            "idents not allowed in lists"
+        );
         assert!(parse(&lex("exists(3)").unwrap()).is_err());
         assert!(parse(&lex("").unwrap()).is_err());
     }

@@ -8,13 +8,12 @@
 
 use crate::value::AttrValue;
 use crate::{Selector, SemError};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A declared capability to transform content along one attribute,
 /// e.g. `encoding: 'mpeg2' -> 'jpeg'` (Figure 3's Client 3) or
 /// `modality: 'image' -> 'text'` (§5.4's information abstraction).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformCap {
     /// Content attribute the transform rewrites.
     pub attr: String,

@@ -1,11 +1,10 @@
 //! Attribute values: the universe selectors and profiles range over.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A value an attribute can take.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
     /// Signed integer.
     Int(i64),

@@ -4,7 +4,7 @@
 use crate::event::EventQueue;
 use crate::packet::{Port, WirePacket, MAX_DATAGRAM};
 use crate::time::{SimClock, Ticks};
-use crate::topology::{LinkSpec, NodeId, Topology};
+use crate::topology::{LinkId, LinkSpec, NodeId, Topology};
 use crate::trace::NetStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -218,14 +218,20 @@ impl Network {
 
     /// Join a multicast group on a socket.
     pub fn join(&mut self, s: SocketHandle, g: GroupId) -> Result<(), NetError> {
-        let sock = self.sockets.get_mut(s.0 as usize).ok_or(NetError::BadSocket)?;
+        let sock = self
+            .sockets
+            .get_mut(s.0 as usize)
+            .ok_or(NetError::BadSocket)?;
         sock.groups.insert(g);
         Ok(())
     }
 
     /// Leave a multicast group.
     pub fn leave(&mut self, s: SocketHandle, g: GroupId) -> Result<(), NetError> {
-        let sock = self.sockets.get_mut(s.0 as usize).ok_or(NetError::BadSocket)?;
+        let sock = self
+            .sockets
+            .get_mut(s.0 as usize)
+            .ok_or(NetError::BadSocket)?;
         sock.groups.remove(&g);
         Ok(())
     }
@@ -295,6 +301,83 @@ impl Network {
         Ok(())
     }
 
+    /// Send a batch of datagrams from socket `s` to the same `dst` in
+    /// one call. Semantically identical to calling [`Network::send`]
+    /// once per payload, except that multicast fan-out is member-major:
+    /// group membership is resolved once and each member's route is
+    /// computed once for the whole batch (instead of per payload), then
+    /// every payload is scheduled along it in order. Per-receiver
+    /// delivery order is unchanged. Returns the number of packet copies
+    /// scheduled (payloads × receivers for multicast).
+    pub fn send_batch(
+        &mut self,
+        s: SocketHandle,
+        dst: Addr,
+        payloads: Vec<Vec<u8>>,
+    ) -> Result<usize, NetError> {
+        for p in &payloads {
+            if p.len() > MAX_DATAGRAM {
+                return Err(NetError::PayloadTooLarge(p.len()));
+            }
+        }
+        let (src_node, src_port) = {
+            let sock = self.sockets.get(s.0 as usize).ok_or(NetError::BadSocket)?;
+            if !sock.open {
+                return Err(NetError::BadSocket);
+            }
+            (sock.node, sock.port)
+        };
+        let packets: Vec<WirePacket> = payloads
+            .into_iter()
+            .map(|payload| WirePacket {
+                src_node,
+                src_port,
+                payload,
+            })
+            .collect();
+        self.stats.sent += packets.len() as u64;
+        self.stats.bytes_sent += packets.iter().map(|p| p.wire_size() as u64).sum::<u64>();
+        let mut copies = 0;
+        match dst {
+            Addr::Unicast(dst_node, dst_port) => {
+                let target = self.by_addr.get(&(dst_node, dst_port)).copied();
+                let path = self
+                    .topo
+                    .route(src_node, dst_node)
+                    .ok_or(NetError::Unreachable(src_node, dst_node))?;
+                for packet in &packets {
+                    self.transmit_on_path(packet, &path, dst, target);
+                    copies += 1;
+                }
+            }
+            Addr::Multicast(group, dst_port) => {
+                let members: Vec<(SocketHandle, NodeId)> = self
+                    .sockets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, sock)| {
+                        sock.open
+                            && sock.port == dst_port
+                            && sock.groups.contains(&group)
+                            && SocketHandle(*i as u32) != s
+                    })
+                    .map(|(i, sock)| (SocketHandle(i as u32), sock.node))
+                    .collect();
+                for (member, node) in members {
+                    let path = self
+                        .topo
+                        .route(src_node, node)
+                        .ok_or(NetError::Unreachable(src_node, node))?;
+                    for packet in &packets {
+                        self.transmit_on_path(packet, &path, dst, Some(member));
+                        copies += 1;
+                    }
+                }
+            }
+        }
+        Ok(copies)
+    }
+
     /// Route and schedule one copy of `packet` towards `dst_node`.
     fn transmit(
         &mut self,
@@ -307,6 +390,19 @@ impl Network {
             .topo
             .route(packet.src_node, dst_node)
             .ok_or(NetError::Unreachable(packet.src_node, dst_node))?;
+        self.transmit_on_path(packet, &path, dst, target);
+        Ok(())
+    }
+
+    /// Schedule one copy of `packet` along a precomputed link path,
+    /// applying serialization, FIFO queueing, latency, and loss.
+    fn transmit_on_path(
+        &mut self,
+        packet: &WirePacket,
+        path: &[LinkId],
+        dst: Addr,
+        target: Option<SocketHandle>,
+    ) {
         let mut t = self.clock.now();
         let mut dropped = false;
         for link_id in path {
@@ -323,7 +419,7 @@ impl Network {
         }
         if dropped {
             self.stats.dropped += 1;
-            return Ok(());
+            return;
         }
         if let Some(target) = target {
             self.queue.schedule(
@@ -340,7 +436,6 @@ impl Network {
                 },
             );
         }
-        Ok(())
     }
 
     /// Schedule an opaque timer key to fire at absolute time `at`.
@@ -423,7 +518,8 @@ mod tests {
     #[test]
     fn unicast_delivery_and_latency() {
         let (mut net, sa, sb, _a, b) = pair();
-        net.send(sa, Addr::unicast(b, Port(1000)), vec![1, 2, 3]).unwrap();
+        net.send(sa, Addr::unicast(b, Port(1000)), vec![1, 2, 3])
+            .unwrap();
         assert!(net.recv(sb).is_none(), "not delivered before time passes");
         net.run_for(Ticks::from_millis(1));
         let d = net.recv(sb).unwrap();
@@ -431,6 +527,51 @@ mod tests {
         // LAN: 100us latency + serialization of 31 bytes at 100 Mb/s (~3us)
         assert!(d.arrived_at >= Ticks::from_micros(100));
         assert!(d.arrived_at <= Ticks::from_micros(110));
+    }
+
+    #[test]
+    fn send_batch_unicast_delivers_all_in_order() {
+        let (mut net, sa, sb, _a, b) = pair();
+        let payloads: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 3]).collect();
+        let copies = net
+            .send_batch(sa, Addr::unicast(b, Port(1000)), payloads.clone())
+            .unwrap();
+        assert_eq!(copies, 5);
+        net.run_to_quiescence();
+        for want in &payloads {
+            assert_eq!(&net.recv(sb).unwrap().payload, want);
+        }
+        assert!(net.recv(sb).is_none());
+        assert_eq!(net.stats().sent, 5, "one send per payload, as serial");
+    }
+
+    #[test]
+    fn send_batch_multicast_reaches_every_member() {
+        let mut net = Network::new(1);
+        let hub = net.add_node("hub");
+        let group = net.new_group();
+        let mut members = Vec::new();
+        for i in 0..3 {
+            let n = net.add_node(&format!("m{i}"));
+            net.connect(hub, n, LinkSpec::lan());
+            let s = net.bind(n, Port(2000)).unwrap();
+            net.join(s, group).unwrap();
+            members.push(s);
+        }
+        let sender = net.bind(hub, Port(2000)).unwrap();
+        net.join(sender, group).unwrap();
+        let payloads: Vec<Vec<u8>> = (0u8..4).map(|i| vec![i]).collect();
+        let copies = net
+            .send_batch(sender, Addr::multicast(group, Port(2000)), payloads.clone())
+            .unwrap();
+        assert_eq!(copies, 12, "4 payloads x 3 members (no loopback)");
+        net.run_to_quiescence();
+        for s in members {
+            for want in &payloads {
+                assert_eq!(&net.recv(s).unwrap().payload, want, "in-order per member");
+            }
+            assert!(net.recv(s).is_none());
+        }
     }
 
     #[test]
@@ -510,7 +651,8 @@ mod tests {
         // socks[2] never joins; socks[1] joins then leaves.
         net.join(socks[2], g).unwrap();
         net.leave(socks[2], g).unwrap();
-        net.send(socks[0], Addr::multicast(g, Port(7000)), vec![9]).unwrap();
+        net.send(socks[0], Addr::multicast(g, Port(7000)), vec![9])
+            .unwrap();
         net.run_to_quiescence();
         assert_eq!(net.pending(socks[1]), 1);
         assert_eq!(net.pending(socks[2]), 0);
@@ -543,7 +685,8 @@ mod tests {
             let sa = net.bind(a, Port(1)).unwrap();
             let _sb = net.bind(b, Port(1)).unwrap();
             for _ in 0..200 {
-                net.send(sa, Addr::unicast(b, Port(1)), vec![0; 64]).unwrap();
+                net.send(sa, Addr::unicast(b, Port(1)), vec![0; 64])
+                    .unwrap();
             }
             net.run_to_quiescence();
             (net.stats().delivered, net.stats().dropped)
@@ -562,8 +705,10 @@ mod tests {
         net.connect(a, b, LinkSpec::wireless().with_loss(0.0));
         let sa = net.bind(a, Port(1)).unwrap();
         let sb = net.bind(b, Port(1)).unwrap();
-        net.send(sa, Addr::unicast(b, Port(1)), vec![0; 972]).unwrap(); // 1000 wire bytes
-        net.send(sa, Addr::unicast(b, Port(1)), vec![1; 972]).unwrap();
+        net.send(sa, Addr::unicast(b, Port(1)), vec![0; 972])
+            .unwrap(); // 1000 wire bytes
+        net.send(sa, Addr::unicast(b, Port(1)), vec![1; 972])
+            .unwrap();
         net.run_to_quiescence();
         let d1 = net.recv(sb).unwrap();
         let d2 = net.recv(sb).unwrap();
@@ -581,7 +726,8 @@ mod tests {
         let _sb = net.bind(b, Port(1)).unwrap();
         assert_eq!(net.topology().link_busy_time(l), Ticks::ZERO);
         // 972 + 28 = 1000 wire bytes at 1 Mb/s = 8 ms serialization.
-        net.send(sa, Addr::unicast(b, Port(1)), vec![0; 972]).unwrap();
+        net.send(sa, Addr::unicast(b, Port(1)), vec![0; 972])
+            .unwrap();
         assert_eq!(net.topology().link_busy_time(l), Ticks::from_millis(8));
         net.run_until(Ticks::from_millis(16));
         let u = net.topology().link_utilization(l, net.now());

@@ -118,7 +118,8 @@ mod tests {
             net.run_until(Ticks::from_millis(40));
         }
         let sent_at = net.now();
-        net.send(app, Addr::unicast(c, Port(1000)), vec![1; 500]).unwrap();
+        net.send(app, Addr::unicast(c, Port(1000)), vec![1; 500])
+            .unwrap();
         net.run_to_quiescence();
         let dgram = net.recv(sink).expect("app datagram delivered");
         dgram.arrived_at - sent_at

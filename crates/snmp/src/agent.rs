@@ -77,10 +77,7 @@ impl SnmpAgent {
                     .varbinds
                     .iter()
                     .map(|vb| {
-                        let value = self
-                            .mib
-                            .get(&vb.name)
-                            .unwrap_or(SnmpValue::NoSuchObject);
+                        let value = self.mib.get(&vb.name).unwrap_or(SnmpValue::NoSuchObject);
                         VarBind::bound(vb.name.clone(), value)
                     })
                     .collect();
@@ -102,14 +99,10 @@ impl SnmpAgent {
                     match self.mib.set(&vb.name, vb.value.clone()) {
                         SetOutcome::Ok => {}
                         SetOutcome::NoSuchName => {
-                            return Some(
-                                pdu.error_response(ErrorStatus::NoSuchName, i as u32 + 1),
-                            )
+                            return Some(pdu.error_response(ErrorStatus::NoSuchName, i as u32 + 1))
                         }
                         SetOutcome::NotWritable => {
-                            return Some(
-                                pdu.error_response(ErrorStatus::NotWritable, i as u32 + 1),
-                            )
+                            return Some(pdu.error_response(ErrorStatus::NotWritable, i as u32 + 1))
                         }
                     }
                 }
@@ -137,10 +130,7 @@ impl SnmpAgent {
                                 binds.push(VarBind::bound(oid, value));
                             }
                             None => {
-                                binds.push(VarBind::bound(
-                                    cursor.clone(),
-                                    SnmpValue::EndOfMibView,
-                                ));
+                                binds.push(VarBind::bound(cursor.clone(), SnmpValue::EndOfMibView));
                                 break;
                             }
                         }
@@ -155,12 +145,7 @@ impl SnmpAgent {
 
     /// Build an SNMPv2-Trap message (uptime + trap OID + payload binds),
     /// ready to send to a trap sink on port 162.
-    pub fn build_trap(
-        &mut self,
-        uptime_ticks: u32,
-        trap_oid: Oid,
-        binds: Vec<VarBind>,
-    ) -> Vec<u8> {
+    pub fn build_trap(&mut self, uptime_ticks: u32, trap_oid: Oid, binds: Vec<VarBind>) -> Vec<u8> {
         let mut varbinds = vec![
             VarBind::bound(arcs::sys_uptime(), SnmpValue::TimeTicks(uptime_ticks)),
             VarBind::bound(
@@ -280,7 +265,10 @@ mod tests {
             "public",
             Pdu::request(PduKind::GetRequest, 6, vec![arcs::host_mem_avail()]),
         );
-        assert_eq!(ask(&mut a, &req).pdu.varbinds[0].value, SnmpValue::Gauge32(2048));
+        assert_eq!(
+            ask(&mut a, &req).pdu.varbinds[0].value,
+            SnmpValue::Gauge32(2048)
+        );
     }
 
     #[test]
@@ -294,10 +282,7 @@ mod tests {
                 error_status: ErrorStatus::NoError,
                 error_index: 0,
                 bulk: None,
-                varbinds: vec![VarBind::bound(
-                    arcs::host_cpu_load(),
-                    SnmpValue::Gauge32(0),
-                )],
+                varbinds: vec![VarBind::bound(arcs::host_cpu_load(), SnmpValue::Gauge32(0))],
             },
         );
         let resp = ask(&mut a, &msg);
@@ -362,7 +347,10 @@ mod tests {
         let raw = a.build_trap(
             100,
             arcs::tassl().child(99),
-            vec![VarBind::bound(arcs::host_cpu_load(), SnmpValue::Gauge32(88))],
+            vec![VarBind::bound(
+                arcs::host_cpu_load(),
+                SnmpValue::Gauge32(88),
+            )],
         );
         let msg = Message::decode(&raw).unwrap();
         assert_eq!(msg.pdu.kind, PduKind::TrapV2);

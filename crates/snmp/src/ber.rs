@@ -79,8 +79,7 @@ impl Writer {
         while start < 7 {
             let cur = bytes[start];
             let next = bytes[start + 1];
-            let redundant =
-                (cur == 0x00 && next & 0x80 == 0) || (cur == 0xff && next & 0x80 != 0);
+            let redundant = (cur == 0x00 && next & 0x80 == 0) || (cur == 0xff && next & 0x80 != 0);
             if redundant {
                 start += 1;
             } else {
@@ -301,7 +300,9 @@ pub fn decode_oid(content: &[u8]) -> Result<Oid, SnmpError> {
     let read_arc = |iter: &mut dyn Iterator<Item = u8>| -> Result<u32, SnmpError> {
         let mut v: u32 = 0;
         loop {
-            let b = iter.next().ok_or(SnmpError::Malformed("truncated OID arc"))?;
+            let b = iter
+                .next()
+                .ok_or(SnmpError::Malformed("truncated OID arc"))?;
             v = v
                 .checked_shl(7)
                 .ok_or(SnmpError::Malformed("OID arc overflow"))?

@@ -92,11 +92,7 @@ impl MibTree {
     }
 
     /// Register a read-only instrumentation routine.
-    pub fn register_computed(
-        &mut self,
-        oid: Oid,
-        f: impl FnMut() -> SnmpValue + Send + 'static,
-    ) {
+    pub fn register_computed(&mut self, oid: Oid, f: impl FnMut() -> SnmpValue + Send + 'static) {
         self.entries.insert(
             oid,
             Entry {
@@ -171,10 +167,7 @@ mod tests {
     fn get_exact_and_missing() {
         let mut mib = MibTree::new();
         mib.register_scalar(arcs::sys_descr(), SnmpValue::string("host"));
-        assert_eq!(
-            mib.get(&arcs::sys_descr()),
-            Some(SnmpValue::string("host"))
-        );
+        assert_eq!(mib.get(&arcs::sys_descr()), Some(SnmpValue::string("host")));
         assert_eq!(mib.get(&arcs::sys_name()), None);
     }
 

@@ -72,7 +72,10 @@ impl FromStr for Oid {
         }
         trimmed
             .split('.')
-            .map(|part| part.parse::<u32>().map_err(|_| SnmpError::BadOid(s.to_string())))
+            .map(|part| {
+                part.parse::<u32>()
+                    .map_err(|_| SnmpError::BadOid(s.to_string()))
+            })
             .collect::<Result<Vec<_>, _>>()
             .map(Oid)
     }

@@ -238,10 +238,7 @@ impl Message {
                 let (f1, f2) = match (self.pdu.kind, self.pdu.bulk) {
                     (PduKind::GetBulkRequest, Some((nr, mr))) => (nr as i64, mr as i64),
                     (PduKind::GetBulkRequest, None) => (0, 10),
-                    _ => (
-                        self.pdu.error_status.to_i64(),
-                        self.pdu.error_index as i64,
-                    ),
+                    _ => (self.pdu.error_status.to_i64(), self.pdu.error_index as i64),
                 };
                 w.integer(f1);
                 w.integer(f2);

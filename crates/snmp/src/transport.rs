@@ -15,7 +15,11 @@ pub struct AgentRuntime {
 
 impl AgentRuntime {
     /// Bind `agent` on `node`'s SNMP port.
-    pub fn bind(net: &mut Network, node: NodeId, agent: SnmpAgent) -> Result<Self, simnet::net::NetError> {
+    pub fn bind(
+        net: &mut Network,
+        node: NodeId,
+        agent: SnmpAgent,
+    ) -> Result<Self, simnet::net::NetError> {
         let socket = net.bind(node, well_known::SNMP_AGENT)?;
         Ok(AgentRuntime {
             agent,
@@ -173,7 +177,10 @@ mod tests {
             &mut net,
             hosts[0],
             arcs::tassl().child(1),
-            vec![VarBind::bound(arcs::host_cpu_load(), SnmpValue::Gauge32(95))],
+            vec![VarBind::bound(
+                arcs::host_cpu_load(),
+                SnmpValue::Gauge32(95),
+            )],
         );
         net.run_for(Ticks::from_millis(5));
         assert_eq!(sink.service(&mut net), 1);

@@ -14,9 +14,11 @@ use snmp::{SnmpAgent, SnmpValue};
 /// "instrumentation routines".
 pub fn install_host_agent(host: &SharedHost, agent: &mut SnmpAgent) {
     let h = host.clone();
-    agent.mib_mut().register_computed(arcs::host_cpu_load(), move || {
-        SnmpValue::Gauge32(h.lock().unwrap().cpu_load.round().clamp(0.0, 100.0) as u32)
-    });
+    agent
+        .mib_mut()
+        .register_computed(arcs::host_cpu_load(), move || {
+            SnmpValue::Gauge32(h.lock().unwrap().cpu_load.round().clamp(0.0, 100.0) as u32)
+        });
     let h = host.clone();
     agent
         .mib_mut()
@@ -35,9 +37,9 @@ pub fn install_host_agent(host: &SharedHost, agent: &mut SnmpAgent) {
 mod tests {
     use super::*;
     use crate::host::{HostState, LoadProfile, SimHost};
+    use simnet::{LinkSpec, Network, Port};
     use snmp::manager::SnmpManager;
     use snmp::transport::AgentRuntime;
-    use simnet::{LinkSpec, Network, Port};
 
     #[test]
     fn agent_serves_live_metrics() {
@@ -73,7 +75,12 @@ mod tests {
         assert_eq!(v, 50.0);
 
         let faults = mgr
-            .get_f64(&mut net, &mut [&mut rt], nodes[1], &arcs::host_page_faults())
+            .get_f64(
+                &mut net,
+                &mut [&mut rt],
+                nodes[1],
+                &arcs::host_page_faults(),
+            )
             .unwrap();
         assert_eq!(faults, 64.0);
         let mem = mgr

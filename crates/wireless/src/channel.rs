@@ -183,8 +183,7 @@ mod tests {
             .map(|i| to_db(shadowing_gain(&m, &format!("c{i}"))))
             .collect();
         let mean = fades_db.iter().sum::<f64>() / fades_db.len() as f64;
-        let var = fades_db.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
-            / fades_db.len() as f64;
+        let var = fades_db.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / fades_db.len() as f64;
         assert!(mean.abs() < 0.6, "mean {mean}");
         assert!((var.sqrt() - 6.0).abs() < 0.6, "sigma {}", var.sqrt());
     }

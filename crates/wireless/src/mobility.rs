@@ -16,7 +16,10 @@ impl DistanceSchedule {
         for pair in waypoints.windows(2) {
             assert!(pair[0].0 < pair[1].0, "steps must increase");
         }
-        assert!(waypoints.iter().all(|&(_, d)| d > 0.0), "distances positive");
+        assert!(
+            waypoints.iter().all(|&(_, d)| d > 0.0),
+            "distances positive"
+        );
         DistanceSchedule {
             waypoints: waypoints.to_vec(),
         }

@@ -225,9 +225,7 @@ mod tests {
             ClientRadio::new("b", 40.0, 100.0),
         ];
         // Client a is interference-swamped; no reduction possible.
-        assert!(
-            power_reduction_suggestion(0, &clients, &model(), from_db(4.0), 1.2).is_none()
-        );
+        assert!(power_reduction_suggestion(0, &clients, &model(), from_db(4.0), 1.2).is_none());
     }
 
     #[test]

@@ -198,7 +198,10 @@ impl BaseStation {
 
     /// Join without admission control (used to reproduce the §6.3.3
     /// saturation experiment, where clients keep piling on).
-    pub fn join_unchecked(&mut self, client: ClientRadio) -> Result<ServiceAssessment, StationError> {
+    pub fn join_unchecked(
+        &mut self,
+        client: ClientRadio,
+    ) -> Result<ServiceAssessment, StationError> {
         if self.index_of(&client.id).is_some() {
             return Err(StationError::DuplicateId(client.id));
         }
@@ -269,6 +272,41 @@ impl BaseStation {
             .map(|c| self.assess(&c.id).expect("attached"))
             .collect()
     }
+
+    /// Assess every attached client, sharding the O(N²) SIR evaluation
+    /// across `workers` threads. Clients are split into contiguous
+    /// index ranges and results are reassembled in client order, so the
+    /// output is identical to [`BaseStation::assess_all`] for any
+    /// worker count; `workers <= 1` runs serially on the caller's
+    /// thread.
+    pub fn assess_all_with(&self, workers: usize) -> Vec<ServiceAssessment> {
+        let n = self.clients.len();
+        let workers = workers.clamp(1, n.max(1));
+        if workers <= 1 {
+            return self.assess_all();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut out: Vec<Vec<ServiceAssessment>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+                .take_while(|(lo, hi)| lo < hi)
+                .map(|(lo, hi)| {
+                    scope.spawn(move || {
+                        self.clients[lo..hi]
+                            .iter()
+                            .map(|c| self.assess(&c.id).expect("attached"))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            out = handles
+                .into_iter()
+                .map(|h| h.join().expect("assessment worker panicked"))
+                .collect();
+        });
+        out.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +329,25 @@ mod tests {
     }
 
     #[test]
+    fn assess_all_with_matches_serial_for_any_worker_count() {
+        let mut s = bs();
+        for i in 0..5 {
+            s.join_unchecked(ClientRadio::new(
+                &format!("c{i}"),
+                40.0 + 10.0 * i as f64,
+                100.0 + 20.0 * i as f64,
+            ))
+            .unwrap();
+        }
+        let serial = s.assess_all();
+        // Worker counts that divide the client count unevenly, exceed
+        // it, or degenerate to serial must all agree exactly.
+        for workers in [0, 1, 2, 3, 4, 5, 16] {
+            assert_eq!(s.assess_all_with(workers), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
     fn single_client_gets_full_image_and_power_suggestion() {
         let mut s = bs();
         let a = s.join(ClientRadio::new("a", 20.0, 200.0)).unwrap();
@@ -308,7 +365,8 @@ mod tests {
         s.join(ClientRadio::new("a", 40.0, 100.0)).unwrap();
         let before = s.assess("a").unwrap();
         assert_eq!(before.modality, Modality::FullImage);
-        s.join_unchecked(ClientRadio::new("b", 45.0, 100.0)).unwrap();
+        s.join_unchecked(ClientRadio::new("b", 45.0, 100.0))
+            .unwrap();
         let after = s.assess("a").unwrap();
         assert!(after.sir_db < before.sir_db);
         assert!(after.modality < before.modality);
@@ -319,7 +377,8 @@ mod tests {
         let mut s = bs();
         s.join(ClientRadio::new("a", 40.0, 100.0)).unwrap();
         let solo = s.assess("a").unwrap().sir_db;
-        s.join_unchecked(ClientRadio::new("b", 50.0, 100.0)).unwrap();
+        s.join_unchecked(ClientRadio::new("b", 50.0, 100.0))
+            .unwrap();
         assert!(s.assess("a").unwrap().sir_db < solo);
         s.leave("b").unwrap();
         assert!((s.assess("a").unwrap().sir_db - solo).abs() < 1e-9);
@@ -357,7 +416,8 @@ mod tests {
     fn mobility_updates_change_assessment() {
         let mut s = bs();
         s.join(ClientRadio::new("a", 100.0, 100.0)).unwrap();
-        s.join_unchecked(ClientRadio::new("b", 100.0, 100.0)).unwrap();
+        s.join_unchecked(ClientRadio::new("b", 100.0, 100.0))
+            .unwrap();
         let far = s.assess("a").unwrap().sir_db;
         s.update_distance("a", 50.0).unwrap();
         let near = s.assess("a").unwrap().sir_db;
@@ -370,12 +430,19 @@ mod tests {
     #[test]
     fn achievable_rate_tracks_sir() {
         assert_eq!(achievable_rate_bps(0.0, 1e6), 0.0);
-        assert!((achievable_rate_bps(1.0, 1e6) - 1e6).abs() < 1.0, "SIR 1 -> 1 b/s/Hz");
-        assert!((achievable_rate_bps(3.0, 1e6) - 2e6).abs() < 1.0, "SIR 3 -> 2 b/s/Hz");
+        assert!(
+            (achievable_rate_bps(1.0, 1e6) - 1e6).abs() < 1.0,
+            "SIR 1 -> 1 b/s/Hz"
+        );
+        assert!(
+            (achievable_rate_bps(3.0, 1e6) - 2e6).abs() < 1.0,
+            "SIR 3 -> 2 b/s/Hz"
+        );
         // Assessments expose it, monotone in SIR.
         let mut s = bs();
         s.join(ClientRadio::new("near", 20.0, 100.0)).unwrap();
-        s.join_unchecked(ClientRadio::new("far", 90.0, 100.0)).unwrap();
+        s.join_unchecked(ClientRadio::new("far", 90.0, 100.0))
+            .unwrap();
         let near = s.assess("near").unwrap();
         let far = s.assess("far").unwrap();
         assert!(near.rate_bps > far.rate_bps);
@@ -386,7 +453,8 @@ mod tests {
     fn assess_all_covers_everyone() {
         let mut s = bs();
         s.join(ClientRadio::new("a", 30.0, 100.0)).unwrap();
-        s.join_unchecked(ClientRadio::new("b", 60.0, 150.0)).unwrap();
+        s.join_unchecked(ClientRadio::new("b", 60.0, 150.0))
+            .unwrap();
         let all = s.assess_all();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].id, "a");

@@ -45,11 +45,7 @@ fn main() {
         .iter()
         .map(|(name, wants, max)| {
             session
-                .add_wired_client(
-                    bidder(name, wants, *max),
-                    engine(),
-                    SimHost::idle(name),
-                )
+                .add_wired_client(bidder(name, wants, *max), engine(), SimHost::idle(name))
                 .unwrap()
         })
         .collect();
@@ -62,11 +58,14 @@ fn main() {
         ("laser printer pallet", "printers", 350),
     ];
     for (desc, category, reserve) in &lots {
-        let selector =
-            format!("categories contains '{category}' and max_price >= {reserve}");
+        let selector = format!("categories contains '{category}' and max_price >= {reserve}");
         println!("announcing \"{desc}\" to: {selector}");
         session
-            .share_chat(auctioneer, &format!("LOT: {desc} (reserve {reserve})"), &selector)
+            .share_chat(
+                auctioneer,
+                &format!("LOT: {desc} (reserve {reserve})"),
+                &selector,
+            )
             .unwrap();
     }
     session.pump(Ticks::from_millis(100));
@@ -91,6 +90,10 @@ fn main() {
         .iter()
         .map(|&id| session.client(id).chat.log.len())
         .collect();
-    assert_eq!(heard, vec![1, 0, 1, 1], "semantic groups formed as expected");
+    assert_eq!(
+        heard,
+        vec![1, 0, 1, 1],
+        "semantic groups formed as expected"
+    );
     println!("\ngroup formation matches the selector semantics — no rosters were consulted.");
 }

@@ -81,7 +81,11 @@ fn main() {
         println!(
             "{name:<18} page_faults={faults:>3} -> {:>2} packets{}{}",
             d.max_packets,
-            if d.violations.is_empty() { "" } else { "  [QoS contract violated]" },
+            if d.violations.is_empty() {
+                ""
+            } else {
+                "  [QoS contract violated]"
+            },
             if d.fired_rules.is_empty() {
                 String::new()
             } else {
@@ -122,10 +126,7 @@ fn main() {
         match completed.iter().find(|(c, _)| *c == id) {
             Some((_, viewed)) => println!(
                 "{name:<18} image at {:>2}/{} packets, {:.2} bpp, CR {:.1}",
-                viewed.packets_accepted,
-                viewed.total_packets,
-                viewed.bpp,
-                viewed.compression_ratio
+                viewed.packets_accepted, viewed.total_packets, viewed.bpp, viewed.compression_ratio
             ),
             None => {
                 let client = session.client(id);

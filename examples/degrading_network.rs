@@ -58,7 +58,10 @@ fn main() {
     let mut filter = HysteresisFilter::new(3);
     let scene = synthetic_scene(128, 128, 1, 4, 77);
     println!("slide: {}\n", scene.caption);
-    println!("{:<6} {:>12} {:>12} {:>14}", "step", "link (bps)", "raw", "with hysteresis");
+    println!(
+        "{:<6} {:>12} {:>12} {:>14}",
+        "step", "link (bps)", "raw", "with hysteresis"
+    );
     for (step, &bps) in trace_bps.iter().enumerate() {
         session.set_router_speed(router, bps).unwrap();
         let raw = session.adapt(student);

@@ -1,0 +1,642 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this shim implements
+//! the subset of proptest's API the workspace's property tests use:
+//! the `proptest!` macro (with `#![proptest_config(..)]`), the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, `prop_oneof!`, `Just`, `any::<T>()`,
+//! range and regex-lite string strategies, tuple strategies,
+//! `collection::{vec, btree_map}`, and `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (hash of the test name), and failing cases are **not
+//! shrunk** — the failing input is reported as-is. That trades debugging
+//! convenience for zero dependencies; determinism makes CI stable.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// The RNG handed to strategies by the `proptest!` runner.
+    pub type TestRng = StdRng;
+
+    /// A generator of values of type `Value` (no shrinking).
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values with `f`.
+        fn prop_map<W, F: Fn(Self::Value) -> W>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Produce a value, then generate from the strategy `f` returns.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Build a recursive strategy: `self` is the leaf case, `f` maps
+        /// a strategy for subtrees to a strategy for branch nodes.
+        /// `depth` bounds nesting; the size hints are accepted for API
+        /// compatibility but unused (no shrinking, no size tracking).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                // Mix the leaf back in at every level so generation
+                // terminates and trees have varied depth.
+                cur = Union::new(vec![leaf.clone(), f(cur).boxed()]).boxed();
+            }
+            cur
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, W, F: Fn(S::Value) -> W> Strategy for Map<S, F> {
+        type Value = W;
+        fn generate(&self, rng: &mut TestRng) -> W {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from pre-boxed arms; panics if empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.random_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.random::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the unconstrained strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+
+    // ----------------------------------------------------- regex-lite
+
+    /// One element of a regex-lite pattern: a character set and a
+    /// repetition count range.
+    struct PatternItem {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parse the regex subset the tests use: concatenations of
+    /// character classes (`[a-z0-9_ ]`) or literal characters, each
+    /// optionally followed by `{m}`, `{m,n}`, `?`, `*`, or `+`.
+    fn parse_pattern(pattern: &str) -> Vec<PatternItem> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut items = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = if chars[i] == '[' {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range in pattern '{pattern}'");
+                        set.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in '{pattern}'");
+                i += 1; // skip ']'
+                set
+            } else {
+                let c = chars[i];
+                assert!(
+                    !"(){}|.^$\\".contains(c),
+                    "unsupported regex construct '{c}' in '{pattern}'"
+                );
+                i += 1;
+                vec![c]
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated {} quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            items.push(PatternItem {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        items
+    }
+
+    /// `&str` patterns act as regex-lite string strategies, mirroring
+    /// proptest's `impl Strategy for &str`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for item in parse_pattern(self) {
+                let n = rng.random_range(item.min..=item.max);
+                for _ in 0..n {
+                    out.push(item.chars[rng.random_range(0..item.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// `vec(element, len_range)` — lengths drawn from the half-open range.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            min: len.start,
+            max_exclusive: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.min..self.max_exclusive.max(self.min + 1));
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// `btree_map(key, value, size_range)` — sizes drawn from the
+    /// half-open range; duplicate keys may yield a smaller map.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: core::ops::Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            min: size.start,
+            max_exclusive: size.end,
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.random_range(self.min..self.max_exclusive.max(self.min + 1));
+            let mut map = BTreeMap::new();
+            // Bounded retries: tiny key spaces may not admit `target`
+            // distinct keys.
+            for _ in 0..target * 4 {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-block configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Failure raised by `prop_assert!` family inside a test case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Construct a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-test seed: FNV-1a of the test's name.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Everything `use proptest::prelude::*;` is expected to provide.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Declare property tests. Each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = <$crate::strategy::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                $crate::test_runner::seed_for(stringify!($name)),
+            );
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        let ($($parm,)+) =
+                            $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}",
+                        stringify!($name), case + 1, config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_pattern_respects_class_and_quantifier() {
+        let mut rng = crate::strategy::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&"[a-z][a-z0-9_]{0,5}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 6, "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn leaf_sum(t: &Tree) -> i64 {
+            match t {
+                Tree::Leaf(v) => *v,
+                Tree::Node(a, b) => leaf_sum(a).wrapping_add(leaf_sum(b)),
+            }
+        }
+        let strat = any::<i64>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::strategy::TestRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let t = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 3);
+            let _ = leaf_sum(&t); // leaf payloads are reachable
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(v in 0u32..100, flag in any::<bool>()) {
+            prop_assert!(v < 100, "v out of range: {}", v);
+            prop_assert_eq!(flag, flag);
+        }
+
+        #[test]
+        fn oneof_and_collections_work(
+            vs in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 0..10),
+            m in crate::collection::btree_map("[a-z]{1,4}", any::<u8>(), 0..5),
+        ) {
+            prop_assert!(vs.iter().all(|&v| v == 1 || v == 2));
+            prop_assert!(m.len() < 5);
+        }
+    }
+}

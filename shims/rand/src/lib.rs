@@ -1,0 +1,252 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so external crates
+//! cannot be fetched. This shim exposes the subset of the rand 0.9 API
+//! the workspace uses — `rngs::StdRng`, `Rng::{random, random_range}`,
+//! `SeedableRng::seed_from_u64`, and `seq::SliceRandom::shuffle` — on
+//! top of a deterministic xoshiro256** generator seeded via SplitMix64.
+//!
+//! The stream differs from upstream rand's, which is fine: everything in
+//! this workspace only requires per-seed determinism and roughly uniform
+//! statistics, never a specific byte sequence.
+
+/// Low-level source of randomness: a stream of `u64` words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of the 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be drawn uniformly from an RNG's native stream.
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges a value can be drawn from uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range. Panics on empty ranges.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as $wide;
+                (self.start as $wide).wrapping_add(off) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128 + 1;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as $wide;
+                (lo as $wide).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    /// Uniform draw over `T`'s full domain (`[0, 1)` for floats).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform draw from a half-open or inclusive range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs constructible from seed material.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for rand's
+    /// `StdRng`; the output stream is unrelated to upstream's).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 seed expansion, as recommended by the xoshiro
+            // authors; guarantees a non-zero state for any seed.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, SampleRange};
+
+    /// Extension methods on slices (subset of rand's trait).
+    pub trait SliceRandom {
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample_from(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i32 = rng.random_range(-512..512);
+            assert!((-512..512).contains(&v));
+            let u: usize = rng.random_range(3..=9);
+            assert!((3..=9).contains(&u));
+            let f: f64 = rng.random_range(-2.5..=2.5);
+            assert!((-2.5..=2.5).contains(&f));
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_draws_cover_domain_roughly_uniformly() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+}

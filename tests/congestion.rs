@@ -62,7 +62,10 @@ fn multicast_session_survives_competing_cbr() {
         ..SessionConfig::default()
     });
     let mut p = Profile::new("pub");
-    p.set("interested_in", AttrValue::List(vec![AttrValue::str("image")]));
+    p.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("image")]),
+    );
     let publisher = session
         .add_wired_client(
             p.clone(),
@@ -71,7 +74,10 @@ fn multicast_session_survives_competing_cbr() {
         )
         .unwrap();
     let mut v = Profile::new("view");
-    v.set("interested_in", AttrValue::List(vec![AttrValue::str("image")]));
+    v.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("image")]),
+    );
     let viewer = session
         .add_wired_client(
             v,

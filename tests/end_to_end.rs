@@ -89,7 +89,11 @@ fn profile_change_switches_modality_mid_session() {
     assert!(completed.iter().any(|(c, _)| *c == b), "B got the image");
 
     // B runs low on power and flips to text mode — a purely local act.
-    session.client_mut(b).bus.profile.set("mode", AttrValue::str("text"));
+    session
+        .client_mut(b)
+        .bus
+        .profile
+        .set("mode", AttrValue::str("text"));
     session.share_image(a, &scene, "mode == 'image'").unwrap();
     session
         .share_chat(a, "description instead", "mode == 'text'")

@@ -23,7 +23,11 @@ fn figure6_page_fault_series() {
     }
     // Paper dynamic ranges: BPP 2.1 -> 0.1, CR 3.6 -> 131 (shape: BPP
     // starts ~2, ends near 0.1; CR grows by >10x).
-    assert!((1.8..=2.2).contains(&rows[0].bpp), "top bpp {}", rows[0].bpp);
+    assert!(
+        (1.8..=2.2).contains(&rows[0].bpp),
+        "top bpp {}",
+        rows[0].bpp
+    );
     assert!(rows[7].bpp <= 0.2, "bottom bpp {}", rows[7].bpp);
     assert!(rows[7].compression_ratio / rows[0].compression_ratio > 10.0);
 }
@@ -62,7 +66,10 @@ fn figure9_power_series() {
     let rows = run_fig9();
     assert_eq!(rows.len(), 5);
     for w in rows.windows(2) {
-        assert!(w[1].sirs_db[0] > w[0].sirs_db[0], "A's SIR rises with power");
+        assert!(
+            w[1].sirs_db[0] > w[0].sirs_db[0],
+            "A's SIR rises with power"
+        );
         assert!(w[1].sirs_db[1] < w[0].sirs_db[1], "B pays for it");
     }
     // §6.3.2: distance is the stronger lever.

@@ -3,31 +3,34 @@
 //! monotone quality, the reorder buffer releases in order, and the
 //! replicated state machinery converges under permutation.
 
+use collabqos::core::concurrency::LwwRegister;
+use collabqos::core::state_repo::{ObjectState, StateRepository};
 use collabqos::media::ezw::{self, BitReader, BitWriter};
 use collabqos::media::image::Image;
 use collabqos::media::packetize::{reassemble_prefix, split_packets};
-use collabqos::media::wavelet::{self, WaveletKind};
 use collabqos::media::psnr;
-use collabqos::sempubsub::{AttrValue, SemanticMessage, Selector};
+use collabqos::media::wavelet::{self, WaveletKind};
+use collabqos::sempubsub::ast::{CmpOp, Expr};
+use collabqos::sempubsub::{AttrValue, Selector, SemanticMessage};
 use collabqos::simnet::rtp::{RtpReceiver, RtpSender};
 use collabqos::snmp::ber::{Reader, Writer};
 use collabqos::snmp::{Message, Oid, Pdu, PduKind, SnmpValue, VarBind};
-use collabqos::core::concurrency::LwwRegister;
-use collabqos::core::state_repo::{ObjectState, StateRepository};
-use collabqos::sempubsub::ast::{CmpOp, Expr};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 // ------------------------------------------------------------ strategies
 
 fn arb_oid() -> impl Strategy<Value = Oid> {
-    (0u32..=2, 0u32..40, proptest::collection::vec(any::<u32>(), 0..8)).prop_map(
-        |(first, second, rest)| {
+    (
+        0u32..=2,
+        0u32..40,
+        proptest::collection::vec(any::<u32>(), 0..8),
+    )
+        .prop_map(|(first, second, rest)| {
             let mut arcs = vec![first, second];
             arcs.extend(rest);
             Oid::new(&arcs)
-        },
-    )
+        })
 }
 
 fn arb_snmp_value() -> impl Strategy<Value = SnmpValue> {
@@ -77,21 +80,15 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     let leaf = prop_oneof![
         ("[a-z][a-z0-9_]{0,5}", cmp_op, arb_literal()).prop_map(|(attr, op, lit)| {
-            Expr::Cmp(
-                op,
-                Box::new(Expr::Attr(attr)),
-                Box::new(Expr::Literal(lit)),
-            )
+            Expr::Cmp(op, Box::new(Expr::Attr(attr)), Box::new(Expr::Literal(lit)))
         }),
         "[a-z][a-z0-9_]{0,5}".prop_map(Expr::Exists),
         any::<bool>().prop_map(|b| Expr::Literal(AttrValue::Bool(b))),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|e| Expr::Not(Box::new(e))),
         ]
     })

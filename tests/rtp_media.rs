@@ -52,7 +52,10 @@ fn reordered_rtp_stream_reassembles_image() {
     assert_eq!(indices, (0..16).collect::<Vec<u16>>());
     let back = reassemble_prefix(&restored).unwrap();
     let decoded = ezw::decode_image(&back).unwrap();
-    assert_eq!(decoded.data, scene.image.data, "lossless after resequencing");
+    assert_eq!(
+        decoded.data, scene.image.data,
+        "lossless after resequencing"
+    );
     assert_eq!(receiver.report().lost, 0);
 }
 
