@@ -53,11 +53,13 @@ fn run_viewer_sweep(
     states: impl Iterator<Item = (f64, HostState)>,
     seed: u64,
     workers: usize,
+    fault: Option<simnet::FaultModel>,
 ) -> Vec<ViewerRow> {
     let cfg = SessionConfig {
         seed,
         full_stream_bpp: Some(full_stream_bpp),
         workers,
+        fault,
         ..SessionConfig::default()
     };
     let mut session = CollaborationSession::new(cfg);
@@ -113,6 +115,18 @@ pub fn run_fig6(seed: u64) -> Vec<ViewerRow> {
 /// [`run_fig6`] with the session's worker-pool size exposed; any
 /// `workers` value produces the identical series.
 pub fn run_fig6_with(seed: u64, workers: usize) -> Vec<ViewerRow> {
+    run_fig6_faulted(seed, workers, None)
+}
+
+/// [`run_fig6`] with a per-link [`simnet::FaultModel`] installed on
+/// every LAN link (the chaos-harness variant). `None` and
+/// `Some(FaultModel::none())` both produce the exact `run_fig6`
+/// series: inert models draw nothing from the RNG.
+pub fn run_fig6_faulted(
+    seed: u64,
+    workers: usize,
+    fault: Option<simnet::FaultModel>,
+) -> Vec<ViewerRow> {
     let scene = synthetic_scene(256, 256, 1, 4, seed);
     let states = sweep(30.0, 100.0, 8).into_iter().map(|f| {
         (
@@ -131,6 +145,7 @@ pub fn run_fig6_with(seed: u64, workers: usize) -> Vec<ViewerRow> {
         states,
         seed,
         workers,
+        fault,
     )
 }
 
@@ -143,6 +158,16 @@ pub fn run_fig7(seed: u64) -> Vec<ViewerRow> {
 /// [`run_fig7`] with the session's worker-pool size exposed; any
 /// `workers` value produces the identical series.
 pub fn run_fig7_with(seed: u64, workers: usize) -> Vec<ViewerRow> {
+    run_fig7_faulted(seed, workers, None)
+}
+
+/// [`run_fig7`] with a per-link [`simnet::FaultModel`] installed on
+/// every LAN link; see [`run_fig6_faulted`].
+pub fn run_fig7_faulted(
+    seed: u64,
+    workers: usize,
+    fault: Option<simnet::FaultModel>,
+) -> Vec<ViewerRow> {
     let scene = synthetic_scene(256, 256, 3, 4, seed);
     let states = sweep(30.0, 100.0, 8).into_iter().map(|c| {
         (
@@ -161,6 +186,7 @@ pub fn run_fig7_with(seed: u64, workers: usize) -> Vec<ViewerRow> {
         states,
         seed,
         workers,
+        fault,
     )
 }
 

@@ -181,6 +181,31 @@ mod tests {
     }
 
     #[test]
+    fn filter_suppresses_loss_driven_oscillation() {
+        // Measured RTP loss hovering around the 10% mild/heavy band
+        // edge (wireless burst loss coming and going).
+        let engine = InferenceEngine::new(PolicyDb::loss_policy(), QosContract::default());
+        let raw: Vec<AdaptationDecision> = (0..40)
+            .map(|i| {
+                let mut s = BTreeMap::new();
+                s.insert("loss_pct".to_string(), if i % 2 == 0 { 8.0 } else { 12.0 });
+                engine.decide(&s)
+            })
+            .collect();
+        let mut filter = HysteresisFilter::new(4);
+        let filtered: Vec<AdaptationDecision> =
+            raw.iter().cloned().map(|d| filter.filter(d)).collect();
+        let raw_flips = count_flips(&raw);
+        assert!(raw_flips > 30, "loss boundary oscillates: {raw_flips}");
+        assert!(
+            count_flips(&filtered) <= 1,
+            "hysteresis pins the level under loss noise"
+        );
+        // The held level is the conservative mild-loss budget.
+        assert!(filtered.iter().skip(1).all(|d| d.max_packets == 8));
+    }
+
+    #[test]
     fn reset_forgets_state() {
         let mut f = HysteresisFilter::new(2);
         f.filter(d(2));

@@ -185,6 +185,37 @@ impl PolicyDb {
         db
     }
 
+    /// Measured-loss policy: reacts to the RTP receiver-report loss
+    /// percentage (`loss_pct`, 0–100). Mild loss halves the packet
+    /// budget; bursty wireless-grade loss falls back to sketch;
+    /// severe loss drops to text so only control traffic competes
+    /// with retransmissions.
+    pub fn loss_policy() -> PolicyDb {
+        let mut db = PolicyDb::new();
+        db.add_rule(
+            "loss-mild",
+            0,
+            "loss_pct >= 2 and loss_pct < 10",
+            AdaptationAction::LimitPackets(8),
+        )
+        .expect("static rule parses");
+        db.add_rule(
+            "loss-heavy",
+            1,
+            "loss_pct >= 10 and loss_pct < 30",
+            AdaptationAction::CapModality(crate::inference::ModalityChoice::Sketch),
+        )
+        .expect("static rule parses");
+        db.add_rule(
+            "loss-severe",
+            2,
+            "loss_pct >= 30",
+            AdaptationAction::CapModality(crate::inference::ModalityChoice::Text),
+        )
+        .expect("static rule parses");
+        db
+    }
+
     /// Merge another database into this one (rule lists concatenate,
     /// priorities interleave).
     pub fn merge(&mut self, other: PolicyDb) {
@@ -288,6 +319,24 @@ mod tests {
             AdaptationAction::CapModality(ModalityChoice::Sketch)
         );
         assert!(db.matching(&attrs(&[("bandwidth_bps", 1e7)])).is_empty());
+    }
+
+    #[test]
+    fn loss_policy_bands() {
+        let db = PolicyDb::loss_policy();
+        assert!(db.matching(&attrs(&[("loss_pct", 0.5)])).is_empty());
+        let m = db.matching(&attrs(&[("loss_pct", 5.0)]));
+        assert_eq!(m[0].action, AdaptationAction::LimitPackets(8));
+        let m = db.matching(&attrs(&[("loss_pct", 15.0)]));
+        assert_eq!(
+            m[0].action,
+            AdaptationAction::CapModality(ModalityChoice::Sketch)
+        );
+        let m = db.matching(&attrs(&[("loss_pct", 45.0)]));
+        assert_eq!(
+            m[0].action,
+            AdaptationAction::CapModality(ModalityChoice::Text)
+        );
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct SessionConfig {
     pub color_transform: bool,
     /// LAN link characteristics.
     pub link: LinkSpec,
+    /// Fault-injection model attached to every session link as it is
+    /// created (`None` = clean links). `Some(FaultModel::none())` is
+    /// bit-identical to `None`: inert models draw no randomness.
+    pub fault: Option<simnet::FaultModel>,
     /// SNMP community.
     pub community: String,
     /// Worker threads for per-client pipeline stages (event
@@ -69,6 +73,7 @@ impl Default for SessionConfig {
             full_stream_bpp: None,
             color_transform: false,
             link: LinkSpec::lan(),
+            fault: None,
             community: "public".to_string(),
             workers: 1,
         }
@@ -108,6 +113,9 @@ pub struct ClientRuntime {
     pub sketches: Vec<(u64, Sketch, String)>,
     /// Latency prober, when enabled.
     probe: Option<LatencyProbe>,
+    /// Measured RTP loss fraction in `[0, 1]` from the latest ingested
+    /// receiver report; included in adaptation state as `loss_pct`.
+    pub rtp_loss: Option<f64>,
     /// The latest adaptation decision.
     pub last_decision: Option<AdaptationDecision>,
 }
@@ -188,6 +196,16 @@ impl CollaborationSession {
         &self.cfg
     }
 
+    /// Connect `node` to the session switch with the configured link,
+    /// attaching the configured fault model (if any) to the new link.
+    fn connect_to_switch(&mut self, node: NodeId) -> simnet::LinkId {
+        let link = self.net.connect(self.switch, node, self.cfg.link);
+        if let Some(model) = self.cfg.fault {
+            self.net.topology_mut().set_link_fault(link, Some(model));
+        }
+        link
+    }
+
     /// Number of wired clients.
     pub fn client_count(&self) -> usize {
         self.clients.len()
@@ -214,7 +232,7 @@ impl CollaborationSession {
         let id = self.clients.len();
         let name = profile.name.clone();
         let node = self.net.add_node(&name);
-        self.net.connect(self.switch, node, self.cfg.link);
+        self.connect_to_switch(node);
 
         let mut agent = SnmpAgent::new(&name, &self.cfg.community, None);
         install_host_agent(&host.shared(), &mut agent);
@@ -254,6 +272,7 @@ impl CollaborationSession {
             locks: LockManager::new(),
             sketches: Vec::new(),
             probe: None,
+            rtp_loss: None,
             last_decision: None,
         });
         Ok(id)
@@ -266,7 +285,7 @@ impl CollaborationSession {
     /// or path changes.
     pub fn add_router(&mut self, name: &str, if_speed_bps: u64) -> Result<NodeId, String> {
         let node = self.net.add_node(name);
-        self.net.connect(self.switch, node, self.cfg.link);
+        self.connect_to_switch(node);
         let speed = Arc::new(AtomicU64::new(if_speed_bps));
         let mut agent = SnmpAgent::new(name, &self.cfg.community, None);
         let s = speed.clone();
@@ -314,7 +333,10 @@ impl CollaborationSession {
     pub fn adapt(&mut self, id: ClientId) -> AdaptationDecision {
         let (client, agents, net) = (&mut self.clients[id], &mut self.agents, &mut self.net);
         let mut refs: Vec<&mut AgentRuntime> = agents.iter_mut().collect();
-        let state = client.netstate.sample(net, &mut refs);
+        let mut state = client.netstate.sample(net, &mut refs);
+        if let Some(loss) = client.rtp_loss {
+            state.insert("loss_pct".to_string(), loss * 100.0);
+        }
         let decision = client.engine.decide(&state);
         client.viewer.set_packet_budget(decision.max_packets);
         client.viewer.set_resolution(decision.resolution);
@@ -332,7 +354,11 @@ impl CollaborationSession {
         for id in 0..self.clients.len() {
             let (client, agents, net) = (&mut self.clients[id], &mut self.agents, &mut self.net);
             let mut refs: Vec<&mut AgentRuntime> = agents.iter_mut().collect();
-            states.push(client.netstate.sample(net, &mut refs));
+            let mut state = client.netstate.sample(net, &mut refs);
+            if let Some(loss) = client.rtp_loss {
+                state.insert("loss_pct".to_string(), loss * 100.0);
+            }
+            states.push(state);
         }
         crate::shard::map_shards(
             &mut self.clients,
@@ -352,7 +378,7 @@ impl CollaborationSession {
     /// target it to measure path latency and jitter.
     pub fn add_echo_node(&mut self, name: &str) -> Result<NodeId, String> {
         let node = self.net.add_node(name);
-        self.net.connect(self.switch, node, self.cfg.link);
+        self.connect_to_switch(node);
         let echo = EchoResponder::bind(&mut self.net, node).map_err(|e| e.to_string())?;
         self.echoes.push((node, echo));
         Ok(node)
@@ -406,11 +432,22 @@ impl CollaborationSession {
             state.insert("latency_us".to_string(), report.latency_us);
             state.insert("jitter_us".to_string(), report.jitter_us);
         }
+        if let Some(loss) = client.rtp_loss {
+            state.insert("loss_pct".to_string(), loss * 100.0);
+        }
         let decision = client.engine.decide(&state);
         client.viewer.set_packet_budget(decision.max_packets);
         client.viewer.set_resolution(decision.resolution);
         client.last_decision = Some(decision.clone());
         Ok(decision)
+    }
+
+    /// Feed a client the loss figures from an RTP receiver report so
+    /// the next adaptation pass sees `loss_pct` (fraction lost × 100)
+    /// and the measured-loss policy can react by trimming the packet
+    /// budget or switching modality.
+    pub fn ingest_rtp_report(&mut self, id: ClientId, report: &simnet::rtp::ReceiverReport) {
+        self.clients[id].rtp_loss = Some(report.fraction_lost);
     }
 
     /// Allocate a fresh shared-object id.
@@ -742,7 +779,7 @@ impl CollaborationSession {
             return Err("base station already attached".to_string());
         }
         let node = self.net.add_node("base-station");
-        self.net.connect(self.switch, node, self.cfg.link);
+        self.connect_to_switch(node);
         let mut profile = Profile::new("base-station");
         profile.set("role", AttrValue::str("gateway"));
         let bus = BusEndpoint::join(
@@ -994,6 +1031,33 @@ mod tests {
         assert_ne!(viewed.image.data, scene.image.data, "coarse image");
         assert!(viewed.bpp < 8.0);
         assert!(viewed.compression_ratio > 1.0);
+    }
+
+    #[test]
+    fn ingested_rtp_loss_drives_modality_switch() {
+        let mut s = CollaborationSession::new(SessionConfig::default());
+        let viewer = s
+            .add_wired_client(
+                viewer_profile("viewer"),
+                InferenceEngine::new(PolicyDb::loss_policy(), QosContract::default()),
+                SimHost::idle("viewer"),
+            )
+            .unwrap();
+        // Clean stream: no loss_pct attribute, policy stays silent.
+        let d = s.adapt(viewer);
+        assert_eq!(d.modality, crate::inference::ModalityChoice::FullImage);
+        // A receiver report measuring 20% loss caps modality at sketch.
+        let report = simnet::rtp::ReceiverReport {
+            fraction_lost: 0.2,
+            ..Default::default()
+        };
+        s.ingest_rtp_report(viewer, &report);
+        let d = s.adapt(viewer);
+        assert_eq!(d.modality, crate::inference::ModalityChoice::Sketch);
+        // Recovery back to a clean stream restores full imagery.
+        s.ingest_rtp_report(viewer, &simnet::rtp::ReceiverReport::default());
+        let d = s.adapt(viewer);
+        assert_eq!(d.modality, crate::inference::ModalityChoice::FullImage);
     }
 
     #[test]

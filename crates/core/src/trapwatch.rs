@@ -154,6 +154,55 @@ impl HostWatcher {
     }
 }
 
+/// Watches a measured RTP stream and emits a QoS-alert trap when the
+/// receiver-report loss fraction crosses a threshold — the §5.1
+/// recovery layer feeding the §5.2 adaptation loop: sustained loss the
+/// NACK path cannot hide becomes a one-way notification that lets the
+/// inference engine switch modality.
+pub struct LossWatcher {
+    watch: Watch,
+    /// Traps emitted so far.
+    pub traps_sent: u64,
+}
+
+impl LossWatcher {
+    /// Fire when measured loss rises to or above `threshold_pct`
+    /// percent; re-arms when it falls back below.
+    pub fn new(threshold_pct: f64) -> LossWatcher {
+        LossWatcher {
+            watch: Watch::rising("loss_pct", arcs::host_rtp_loss(), threshold_pct),
+            traps_sent: 0,
+        }
+    }
+
+    /// Evaluate `report` and emit a trap towards `sink_node` on a fresh
+    /// crossing. Returns true when a trap was sent.
+    pub fn observe(
+        &mut self,
+        net: &mut Network,
+        agent_rt: &mut AgentRuntime,
+        sink_node: simnet::NodeId,
+        report: &simnet::rtp::ReceiverReport,
+    ) -> bool {
+        let loss_pct = report.fraction_lost * 100.0;
+        if self.watch.evaluate(loss_pct) {
+            agent_rt.send_trap(
+                net,
+                sink_node,
+                qos_alert_trap_oid(),
+                vec![VarBind::bound(
+                    arcs::host_rtp_loss(),
+                    SnmpValue::Gauge32(loss_pct.round().max(0.0) as u32),
+                )],
+            );
+            self.traps_sent += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Interpret a received QoS-alert trap: extract the known host metrics
 /// from its varbinds and run the engine on them. Returns `None` for
 /// traps that are not QoS alerts or carry no known metric.
@@ -171,6 +220,8 @@ pub fn decision_from_trap(engine: &InferenceEngine, trap: &Message) -> Option<Ad
             "cpu_load"
         } else if vb.name == arcs::host_mem_avail() {
             "mem_avail_kb"
+        } else if vb.name == arcs::host_rtp_loss() {
+            "loss_pct"
         } else {
             continue;
         };
@@ -277,6 +328,45 @@ mod tests {
         let raw = agent.build_trap(0, arcs::tassl().child(77), vec![]);
         let msg = Message::decode(&raw).unwrap();
         assert!(decision_from_trap(&engine, &msg).is_none());
+    }
+
+    #[test]
+    fn loss_trap_switches_modality() {
+        use simnet::rtp::ReceiverReport;
+        let (mut net, mut rt, mut sink, _host, station) = world();
+        let mut watcher = LossWatcher::new(10.0);
+        let calm = ReceiverReport {
+            received: 99,
+            lost: 1,
+            fraction_lost: 0.01,
+            ..Default::default()
+        };
+        assert!(!watcher.observe(&mut net, &mut rt, station, &calm));
+        // Wireless-grade burst loss the NACK budget could not hide.
+        let bursty = ReceiverReport {
+            received: 80,
+            lost: 20,
+            fraction_lost: 0.2,
+            ..Default::default()
+        };
+        assert!(watcher.observe(&mut net, &mut rt, station, &bursty));
+        assert!(
+            !watcher.observe(&mut net, &mut rt, station, &bursty),
+            "edge-triggered"
+        );
+        net.run_for(Ticks::from_millis(5));
+        assert_eq!(sink.service(&mut net), 1);
+        let engine = InferenceEngine::new(PolicyDb::loss_policy(), QosContract::default());
+        let decision = decision_from_trap(&engine, &sink.traps[0]).expect("qos alert");
+        assert_eq!(
+            decision.modality,
+            crate::inference::ModalityChoice::Sketch,
+            "20% loss -> loss-heavy band"
+        );
+        // Recovery re-arms the watch.
+        assert!(!watcher.observe(&mut net, &mut rt, station, &calm));
+        assert!(watcher.observe(&mut net, &mut rt, station, &bursty));
+        assert_eq!(watcher.traps_sent, 2);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod event;
+pub mod faults;
 pub mod net;
 pub mod packet;
 pub mod rtp;
@@ -44,6 +45,7 @@ pub mod topology;
 pub mod trace;
 pub mod traffic;
 
+pub use faults::{FaultAction, FaultModel, FaultPlan, GilbertElliott};
 pub use net::{Addr, Datagram, GroupId, Network, SocketHandle};
 pub use packet::Port;
 pub use time::{SimClock, Ticks};

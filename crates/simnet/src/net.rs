@@ -2,6 +2,7 @@
 //! multicast groups, timers, and the event loop.
 
 use crate::event::EventQueue;
+use crate::faults::{FaultAction, FaultPlan};
 use crate::packet::{Port, WirePacket, MAX_DATAGRAM};
 use crate::time::{SimClock, Ticks};
 use crate::topology::{LinkId, LinkSpec, NodeId, Topology};
@@ -116,11 +117,15 @@ pub struct Network {
     rng: StdRng,
     stats: NetStats,
     fired_timers: VecDeque<(Ticks, u64)>,
+    /// Scripted fault actions sorted by time; `plan_next` indexes the
+    /// first not-yet-applied entry.
+    plan: FaultPlan,
+    plan_next: usize,
 }
 
 impl Network {
-    /// A fresh network; `seed` drives the loss model (and nothing else),
-    /// so identical seeds yield identical runs.
+    /// A fresh network; `seed` drives the loss and fault models (and
+    /// nothing else), so identical seeds yield identical runs.
     pub fn new(seed: u64) -> Self {
         Network {
             topo: Topology::new(),
@@ -132,6 +137,38 @@ impl Network {
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
             fired_timers: VecDeque::new(),
+            plan: FaultPlan::new(),
+            plan_next: 0,
+        }
+    }
+
+    /// Install a scripted fault plan. Actions fire during
+    /// [`Network::run_until`] once the clock reaches their instant
+    /// (events already due at that instant are delivered first).
+    /// Replaces any previously installed plan, including its
+    /// not-yet-applied entries.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.plan_next = 0;
+    }
+
+    /// Number of scripted fault actions not yet applied.
+    pub fn fault_actions_pending(&self) -> usize {
+        self.plan.len() - self.plan_next
+    }
+
+    fn apply_fault_action(&mut self, action: &FaultAction) {
+        match action {
+            FaultAction::LinkDown(l) => self.topo.set_link_up(*l, false),
+            FaultAction::LinkUp(l) => self.topo.set_link_up(*l, true),
+            FaultAction::SetFault(l, model) => self.topo.set_link_fault(*l, Some(*model)),
+            FaultAction::ClearFault(l) => self.topo.set_link_fault(*l, None),
+            FaultAction::SetLoss(l, p) => {
+                let spec = self.topo.link_spec(*l).with_loss(*p);
+                self.topo.set_link_spec(*l, spec);
+            }
+            FaultAction::Partition(island) => self.topo.partition(island),
+            FaultAction::Heal => self.topo.heal(),
         }
     }
 
@@ -395,7 +432,12 @@ impl Network {
     }
 
     /// Schedule one copy of `packet` along a precomputed link path,
-    /// applying serialization, FIFO queueing, latency, and loss.
+    /// applying serialization, FIFO queueing, latency, loss, and any
+    /// per-link fault model (burst loss, jitter, reorder, duplication).
+    ///
+    /// Every fault draw is gated on its rate being non-zero, so links
+    /// without a model — or with [`crate::faults::FaultModel::none`] —
+    /// consume exactly the same RNG stream as before faults existed.
     fn transmit_on_path(
         &mut self,
         packet: &WirePacket,
@@ -405,6 +447,7 @@ impl Network {
     ) {
         let mut t = self.clock.now();
         let mut dropped = false;
+        let mut duplicate = false;
         for link_id in path {
             let link = &mut self.topo.links[link_id.0 as usize];
             let start = t.max(link.busy_until);
@@ -416,25 +459,65 @@ impl Network {
                 dropped = true;
                 break;
             }
+            if let Some(fault) = link.fault.as_mut() {
+                // Evolve the Gilbert–Elliott chain, then sample loss at
+                // the current state's rate.
+                let flip = if fault.bad {
+                    fault.model.burst.p_exit_bad
+                } else {
+                    fault.model.burst.p_enter_bad
+                };
+                if flip > 0.0 && self.rng.random::<f64>() < flip {
+                    fault.bad = !fault.bad;
+                }
+                let loss = if fault.bad {
+                    fault.model.burst.loss_bad
+                } else {
+                    fault.model.burst.loss_good
+                };
+                if loss > 0.0 && self.rng.random::<f64>() < loss {
+                    dropped = true;
+                    break;
+                }
+                if fault.model.jitter > Ticks::ZERO {
+                    let j = self.rng.random_range(0..=fault.model.jitter.as_micros());
+                    t += Ticks::from_micros(j);
+                }
+                if fault.model.reorder > 0.0 && self.rng.random::<f64>() < fault.model.reorder {
+                    // Hold the packet back so trailing traffic can
+                    // overtake; the hold bounds the displacement.
+                    let hold = fault.model.reorder_hold.as_micros().max(1);
+                    t += Ticks::from_micros(self.rng.random_range(1..=hold));
+                }
+                if fault.model.duplicate > 0.0 && self.rng.random::<f64>() < fault.model.duplicate {
+                    duplicate = true;
+                }
+            }
         }
         if dropped {
             self.stats.dropped += 1;
             return;
         }
         if let Some(target) = target {
-            self.queue.schedule(
-                t,
-                NetEvent::Deliver {
-                    socket: target,
-                    dgram: Datagram {
-                        src_node: packet.src_node,
-                        src_port: packet.src_port,
-                        dst,
-                        payload: packet.payload.clone(),
-                        arrived_at: t,
+            let copies = if duplicate { 2 } else { 1 };
+            for _ in 0..copies {
+                self.queue.schedule(
+                    t,
+                    NetEvent::Deliver {
+                        socket: target,
+                        dgram: Datagram {
+                            src_node: packet.src_node,
+                            src_port: packet.src_port,
+                            dst,
+                            payload: packet.payload.clone(),
+                            arrived_at: t,
+                        },
                     },
-                },
-            );
+                );
+            }
+            if duplicate {
+                self.stats.duplicated += 1;
+            }
         }
     }
 
@@ -451,8 +534,30 @@ impl Network {
     }
 
     /// Advance simulated time to `deadline`, processing every event due
-    /// at or before it.
+    /// at or before it and applying scripted fault-plan actions at
+    /// their scheduled instants (after same-instant deliveries).
     pub fn run_until(&mut self, deadline: Ticks) {
+        while self.plan_next < self.plan.entries.len()
+            && self.plan.entries[self.plan_next].0 <= deadline
+        {
+            // Deliver everything due up to (and at) the fault instant,
+            // then apply every action scheduled for that instant.
+            let at = self.plan.entries[self.plan_next].0.max(self.clock.now());
+            self.drain_until(at);
+            while self.plan_next < self.plan.entries.len()
+                && self.plan.entries[self.plan_next].0 <= at
+            {
+                let action = self.plan.entries[self.plan_next].1.clone();
+                self.plan_next += 1;
+                self.apply_fault_action(&action);
+            }
+        }
+        self.drain_until(deadline);
+    }
+
+    /// Process every queued event due at or before `deadline` and
+    /// advance the clock to it (no fault-plan interleaving).
+    fn drain_until(&mut self, deadline: Ticks) {
         while let Some(ev) = self.queue.pop_before(deadline) {
             self.clock.advance_to(ev.at);
             match ev.event {
@@ -479,10 +584,23 @@ impl Network {
         self.run_until(deadline);
     }
 
-    /// Run until the event queue is empty (all in-flight traffic and
-    /// timers resolved). Returns the final time.
+    /// Run until the event queue is empty and every scripted fault
+    /// action has been applied (all in-flight traffic, timers, and plan
+    /// entries resolved). Returns the final time.
     pub fn run_to_quiescence(&mut self) -> Ticks {
-        while let Some(t) = self.queue.next_time() {
+        loop {
+            let next_event = self.queue.next_time();
+            let next_fault = self
+                .plan
+                .entries
+                .get(self.plan_next)
+                .map(|(t, _)| (*t).max(self.clock.now()));
+            let t = match (next_event, next_fault) {
+                (Some(e), Some(f)) => e.min(f),
+                (Some(e), None) => e,
+                (None, Some(f)) => f,
+                (None, None) => break,
+            };
             self.run_until(t);
         }
         self.clock.now()
@@ -743,6 +861,161 @@ mod tests {
         assert_eq!(net.poll_timers(), vec![(Ticks::from_millis(1), 11)]);
         net.run_for(Ticks::from_millis(10));
         assert_eq!(net.poll_timers(), vec![(Ticks::from_millis(5), 55)]);
+    }
+
+    #[test]
+    fn inert_fault_model_changes_nothing() {
+        use crate::faults::FaultModel;
+        let run = |fault: Option<FaultModel>| -> (NetStats, Vec<Ticks>) {
+            let mut net = Network::new(7);
+            let a = net.add_node("a");
+            let b = net.add_node("b");
+            let l = net.connect(a, b, LinkSpec::wireless().with_loss(0.2));
+            net.topology_mut().set_link_fault(l, fault);
+            let sa = net.bind(a, Port(1)).unwrap();
+            let sb = net.bind(b, Port(1)).unwrap();
+            for _ in 0..300 {
+                net.send(sa, Addr::unicast(b, Port(1)), vec![0; 100])
+                    .unwrap();
+            }
+            net.run_to_quiescence();
+            let mut arrivals = Vec::new();
+            while let Some(d) = net.recv(sb) {
+                arrivals.push(d.arrived_at);
+            }
+            (net.stats().clone(), arrivals)
+        };
+        // Attaching the all-zero model must be bit-identical to no model:
+        // the RNG stream is untouched because zero-rate draws are skipped.
+        assert_eq!(run(None), run(Some(FaultModel::none())));
+    }
+
+    #[test]
+    fn burst_loss_drops_in_bursts() {
+        use crate::faults::{FaultModel, GilbertElliott};
+        let mut net = Network::new(5);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let l = net.connect(a, b, LinkSpec::lan());
+        // ~25% of time in a fully-lossy bad state, mean burst 10 packets.
+        let model = FaultModel::none().with_burst(GilbertElliott::bursty(1.0 / 30.0, 0.1, 1.0));
+        net.topology_mut().set_link_fault(l, Some(model));
+        let sa = net.bind(a, Port(1)).unwrap();
+        let _sb = net.bind(b, Port(1)).unwrap();
+        for _ in 0..2000 {
+            net.send(sa, Addr::unicast(b, Port(1)), vec![0]).unwrap();
+        }
+        net.run_to_quiescence();
+        let rate = net.stats().loss_rate();
+        let expect = model.burst.steady_state_loss();
+        assert!(
+            (rate - expect).abs() < 0.08,
+            "measured {rate:.3}, steady state {expect:.3}"
+        );
+        assert_eq!(net.stats().dropped + net.stats().delivered, 2000);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        use crate::faults::FaultModel;
+        let mut net = Network::new(9);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let l = net.connect(a, b, LinkSpec::lan());
+        net.topology_mut()
+            .set_link_fault(l, Some(FaultModel::none().with_duplicate(1.0)));
+        let sa = net.bind(a, Port(1)).unwrap();
+        let sb = net.bind(b, Port(1)).unwrap();
+        for i in 0..5u8 {
+            net.send(sa, Addr::unicast(b, Port(1)), vec![i]).unwrap();
+        }
+        net.run_to_quiescence();
+        assert_eq!(net.stats().duplicated, 5);
+        assert_eq!(net.stats().delivered, 10);
+        // Copies arrive back-to-back, preserving send order.
+        let seen: Vec<u8> = std::iter::from_fn(|| net.recv(sb))
+            .map(|d| d.payload[0])
+            .collect();
+        assert_eq!(seen, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn reorder_hold_reorders_arrivals() {
+        use crate::faults::FaultModel;
+        let mut net = Network::new(11);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let l = net.connect(a, b, LinkSpec::lan());
+        // Hold ~half the packets back far enough for several successors
+        // to overtake.
+        net.topology_mut().set_link_fault(
+            l,
+            Some(FaultModel::none().with_reorder(0.5, Ticks::from_millis(2))),
+        );
+        let sa = net.bind(a, Port(1)).unwrap();
+        let sb = net.bind(b, Port(1)).unwrap();
+        for i in 0..50u8 {
+            net.send(sa, Addr::unicast(b, Port(1)), vec![i]).unwrap();
+        }
+        net.run_to_quiescence();
+        let seen: Vec<u8> = std::iter::from_fn(|| net.recv(sb))
+            .map(|d| d.payload[0])
+            .collect();
+        assert_eq!(seen.len(), 50, "reordering never loses packets");
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u8>>());
+        assert_ne!(seen, sorted, "some packets overtook others");
+    }
+
+    #[test]
+    fn fault_plan_flaps_link() {
+        use crate::faults::{FaultAction, FaultPlan};
+        let mut net = Network::new(0);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let l = net.connect(a, b, LinkSpec::lan());
+        let sa = net.bind(a, Port(1)).unwrap();
+        let sb = net.bind(b, Port(1)).unwrap();
+        net.set_fault_plan(
+            FaultPlan::new()
+                .at(Ticks::from_millis(10), FaultAction::LinkDown(l))
+                .at(Ticks::from_millis(20), FaultAction::LinkUp(l)),
+        );
+        assert_eq!(net.fault_actions_pending(), 2);
+        net.send(sa, Addr::unicast(b, Port(1)), vec![1]).unwrap();
+        net.run_until(Ticks::from_millis(15));
+        assert_eq!(net.pending(sb), 1, "pre-flap packet delivered");
+        assert!(
+            matches!(
+                net.send(sa, Addr::unicast(b, Port(1)), vec![2]),
+                Err(NetError::Unreachable(_, _))
+            ),
+            "no route while the link is down"
+        );
+        net.run_until(Ticks::from_millis(25));
+        assert_eq!(net.fault_actions_pending(), 0);
+        net.send(sa, Addr::unicast(b, Port(1)), vec![3]).unwrap();
+        net.run_to_quiescence();
+        assert_eq!(net.pending(sb), 2, "traffic resumes after the flap");
+    }
+
+    #[test]
+    fn fault_plan_degrades_and_restores_loss() {
+        use crate::faults::{FaultAction, FaultPlan};
+        let mut net = Network::new(3);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let l = net.connect(a, b, LinkSpec::lan());
+        net.set_fault_plan(
+            FaultPlan::new()
+                .at(Ticks::from_millis(1), FaultAction::SetLoss(l, 1.0))
+                .at(Ticks::from_millis(2), FaultAction::SetLoss(l, 0.0)),
+        );
+        net.run_until(Ticks::from_millis(1));
+        assert_eq!(net.topology().link_spec(l).loss, 1.0);
+        net.run_to_quiescence();
+        assert_eq!(net.topology().link_spec(l).loss, 0.0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! unicast path, which matches LAN-scope IP multicast behaviour closely
 //! enough for the paper's experiments.
 
+use crate::faults::{FaultModel, FaultState};
 use crate::time::Ticks;
 use std::collections::VecDeque;
 use std::fmt;
@@ -103,6 +104,12 @@ pub(crate) struct Link {
     pub busy_until: Ticks,
     /// Total serialization time accumulated (utilization accounting).
     pub busy_accum: Ticks,
+    /// False while the link is administratively down (fault plan flap
+    /// or partition): routing avoids it, in-flight packets are not
+    /// recalled.
+    pub up: bool,
+    /// Optional fault-injection model and its mutable channel state.
+    pub fault: Option<FaultState>,
 }
 
 #[derive(Clone, Debug)]
@@ -148,6 +155,8 @@ impl Topology {
             b,
             busy_until: Ticks::ZERO,
             busy_accum: Ticks::ZERO,
+            up: true,
+            fault: None,
         });
         self.nodes[a.0 as usize].links.push(id);
         self.nodes[b.0 as usize].links.push(id);
@@ -179,6 +188,44 @@ impl Topology {
         self.links[l.0 as usize].spec = spec;
     }
 
+    /// Attach a fault model to link `l` (or detach with `None`). The
+    /// Gilbert–Elliott channel (re)starts in the good state.
+    pub fn set_link_fault(&mut self, l: LinkId, model: Option<FaultModel>) {
+        self.links[l.0 as usize].fault = model.map(FaultState::new);
+    }
+
+    /// The fault model attached to link `l`, if any.
+    pub fn link_fault(&self, l: LinkId) -> Option<FaultModel> {
+        self.links[l.0 as usize].fault.as_ref().map(|s| s.model)
+    }
+
+    /// Administratively raise or lower link `l`.
+    pub fn set_link_up(&mut self, l: LinkId, up: bool) {
+        self.links[l.0 as usize].up = up;
+    }
+
+    /// Whether link `l` is up.
+    pub fn link_up(&self, l: LinkId) -> bool {
+        self.links[l.0 as usize].up
+    }
+
+    /// Take down every link with exactly one endpoint in `island`,
+    /// cutting the node set off from the rest of the topology.
+    pub fn partition(&mut self, island: &[NodeId]) {
+        for link in &mut self.links {
+            if island.contains(&link.a) != island.contains(&link.b) {
+                link.up = false;
+            }
+        }
+    }
+
+    /// Bring every link back up (undo flaps and partitions).
+    pub fn heal(&mut self) {
+        for link in &mut self.links {
+            link.up = true;
+        }
+    }
+
     /// Total time link `l` has spent serializing packets.
     pub fn link_busy_time(&self, l: LinkId) -> Ticks {
         self.links[l.0 as usize].busy_accum
@@ -206,7 +253,7 @@ impl Topology {
 
     /// Hop-count shortest path from `src` to `dst` as a sequence of
     /// link ids, or `None` if unreachable. Deterministic: BFS visits
-    /// links in id order.
+    /// links in id order. Links that are down are invisible to routing.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
         if src == dst {
             return Some(Vec::new());
@@ -219,6 +266,9 @@ impl Topology {
         queue.push_back(src);
         while let Some(u) = queue.pop_front() {
             for &l in &self.nodes[u.0 as usize].links {
+                if !self.links[l.0 as usize].up {
+                    continue;
+                }
                 let v = self.peer(l, u);
                 if !visited[v.0 as usize] {
                     visited[v.0 as usize] = true;
@@ -305,6 +355,47 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a");
         t.connect(a, a, LinkSpec::lan());
+    }
+
+    #[test]
+    fn route_avoids_down_links() {
+        // a - b - c plus a direct a - c link: direct is preferred, but
+        // routing falls back to the two-hop path when it goes down.
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        let ab = t.connect(a, b, LinkSpec::lan());
+        let bc = t.connect(b, c, LinkSpec::lan());
+        let direct = t.connect(a, c, LinkSpec::wan());
+        assert!(t.link_up(direct));
+        t.set_link_up(direct, false);
+        assert_eq!(t.route(a, c).unwrap(), vec![ab, bc]);
+        t.set_link_up(direct, true);
+        assert_eq!(t.route(a, c).unwrap(), vec![direct]);
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let (mut t, hub, leaves) = star(3);
+        t.partition(&[leaves[0]]);
+        assert!(t.route(hub, leaves[0]).is_none());
+        assert!(t.route(hub, leaves[1]).is_some(), "others unaffected");
+        // Links wholly inside the island stay up.
+        t.heal();
+        assert!(t.route(hub, leaves[0]).is_some());
+    }
+
+    #[test]
+    fn link_fault_attach_detach() {
+        let (mut t, _hub, _leaves) = star(1);
+        let l = LinkId(0);
+        assert!(t.link_fault(l).is_none());
+        let model = crate::faults::FaultModel::none().with_duplicate(0.25);
+        t.set_link_fault(l, Some(model));
+        assert_eq!(t.link_fault(l), Some(model));
+        t.set_link_fault(l, None);
+        assert!(t.link_fault(l).is_none());
     }
 
     #[test]

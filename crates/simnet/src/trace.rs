@@ -14,6 +14,9 @@ pub struct NetStats {
     pub bytes_sent: u64,
     /// Wire bytes delivered.
     pub bytes_delivered: u64,
+    /// Copies duplicated by a fault model (each adds one extra
+    /// delivery on top of the original).
+    pub duplicated: u64,
 }
 
 impl NetStats {

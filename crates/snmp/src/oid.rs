@@ -192,6 +192,11 @@ pub mod arcs {
     pub fn host_net_jitter() -> Oid {
         tassl().extend(&[5, 0])
     }
+
+    /// hostRtpLossPct.0 — measured RTP stream loss, percent (Gauge32).
+    pub fn host_rtp_loss() -> Oid {
+        tassl().extend(&[6, 0])
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,477 @@
+//! Chaos suite: scenario-driven fault injection over the deterministic
+//! simulator. Every scenario is reproducible from the seed and
+//! [`FaultPlan`] printed in its assertion messages; the suite asserts
+//! the RTP recovery layer's invariants (in-order, duplicate-free
+//! release, bounded recovery latency, NACK/retransmit effectiveness)
+//! and that inert fault configuration leaves the paper's figure series
+//! bit-identical.
+
+use collabqos::core::experiments::{
+    run_fig10, run_fig6, run_fig6_faulted, run_fig7, run_fig7_faulted,
+};
+use collabqos::prelude::*;
+use collabqos::simnet::rtp::{Nack, ReceiverReport, RtpReceiver, RtpSender};
+use collabqos::simnet::{
+    Addr, Datagram, FaultAction, FaultModel, FaultPlan, GilbertElliott, LinkId, Network, NodeId,
+    Port, SocketHandle,
+};
+
+const MEDIA_PORT: Port = Port(5004);
+const FEEDBACK_PORT: Port = Port(5005);
+
+/// A scripted RTP-over-faulty-link scenario. The harness topology is
+/// fixed — node 0 streams to node 1 over a single wireless-grade link
+/// (`LinkId(0)`, base loss zero) — so plans can name links and nodes
+/// statically.
+struct Scenario {
+    name: &'static str,
+    seed: u64,
+    plan: FaultPlan,
+    /// Media packets to stream, one every `send_every`.
+    packets: u32,
+    send_every: Ticks,
+    /// Extra pump time after the last send (recovery tail).
+    drain_for: Ticks,
+}
+
+impl Scenario {
+    /// Reproduction recipe printed on every assertion failure.
+    fn ctx(&self) -> String {
+        format!(
+            "scenario `{}` is reproducible with seed {} and fault plan:\n{}",
+            self.name, self.seed, self.plan
+        )
+    }
+}
+
+/// One packet released to the application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Delivery {
+    seq: u16,
+    released_at_us: u64,
+}
+
+/// Everything observable from one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+struct Outcome {
+    deliveries: Vec<Delivery>,
+    report: ReceiverReport,
+    /// Sends refused by the network (link down / partition).
+    send_failures: u32,
+    retransmits: u64,
+}
+
+fn drain_socket(net: &mut Network, s: SocketHandle) -> Vec<Datagram> {
+    let mut out = Vec::new();
+    while let Some(d) = net.recv(s) {
+        out.push(d);
+    }
+    out
+}
+
+/// Drive a scenario: stream RTP over the faulty link with NACK-driven
+/// recovery (feedback on a separate port, crossing the same link).
+fn run_stream(sc: &Scenario) -> Outcome {
+    let mut net = Network::new(sc.seed);
+    let src = net.add_node("sender");
+    let dst = net.add_node("receiver");
+    net.connect(src, dst, LinkSpec::wireless().with_loss(0.0));
+    net.set_fault_plan(sc.plan.clone());
+
+    let tx_media = net.bind(src, MEDIA_PORT).unwrap();
+    let rx_media = net.bind(dst, MEDIA_PORT).unwrap();
+    let tx_fb = net.bind(dst, FEEDBACK_PORT).unwrap();
+    let rx_fb = net.bind(src, FEEDBACK_PORT).unwrap();
+
+    let mut sender = RtpSender::with_history(0xC0FFEE, 96, 4096);
+    let mut receiver = RtpReceiver::with_recovery(2048, 1, Ticks::from_millis(20), 5);
+
+    let mut deliveries = Vec::new();
+    let mut send_failures = 0u32;
+    let step_us = sc.send_every.as_micros().max(1);
+    let drain_steps = sc.drain_for.as_micros().div_ceil(step_us);
+
+    for step in 0..(sc.packets as u64 + drain_steps) {
+        if step < sc.packets as u64 {
+            let wire = sender.wrap(step as u32, false, &step.to_be_bytes());
+            if net
+                .send(tx_media, Addr::unicast(dst, MEDIA_PORT), wire)
+                .is_err()
+            {
+                send_failures += 1;
+            }
+        }
+        net.run_for(sc.send_every);
+        let now = net.now();
+
+        // Receiver side: media in, NACKs out.
+        for dgram in drain_socket(&mut net, rx_media) {
+            for pkt in receiver.push(&dgram.payload) {
+                deliveries.push(Delivery {
+                    seq: pkt.header.seq,
+                    released_at_us: now.as_micros(),
+                });
+            }
+        }
+        let poll = receiver.poll_nacks(now);
+        for pkt in poll.released {
+            deliveries.push(Delivery {
+                seq: pkt.header.seq,
+                released_at_us: now.as_micros(),
+            });
+        }
+        if let Some(nack) = poll.nack {
+            // Feedback may itself be lost or unroutable; backoff retries.
+            let _ = net.send(tx_fb, Addr::unicast(src, FEEDBACK_PORT), nack.encode());
+        }
+
+        // Sender side: honour NACKs from history.
+        for dgram in drain_socket(&mut net, rx_fb) {
+            if let Some(nack) = Nack::decode(&dgram.payload) {
+                for wire in sender.retransmit(&nack) {
+                    let _ = net.send(tx_media, Addr::unicast(dst, MEDIA_PORT), wire);
+                }
+            }
+        }
+    }
+
+    let end = net.now().as_micros();
+    for pkt in receiver.flush() {
+        deliveries.push(Delivery {
+            seq: pkt.header.seq,
+            released_at_us: end,
+        });
+    }
+    Outcome {
+        deliveries,
+        report: receiver.report(),
+        send_failures,
+        retransmits: sender.retransmits(),
+    }
+}
+
+/// The application-facing invariant every scenario must uphold: each
+/// sequence number is released at most once, in strictly increasing
+/// order.
+fn assert_in_order_unique(out: &Outcome, ctx: &str) {
+    for w in out.deliveries.windows(2) {
+        assert!(
+            w[1].seq > w[0].seq,
+            "duplicate or out-of-order release: seq {} then {}\n{}",
+            w[0].seq,
+            w[1].seq,
+            ctx
+        );
+    }
+}
+
+/// A Gilbert–Elliott model with ≥10% steady-state loss (bad-state
+/// dwell ≈ 4 packets, π_bad = 1/6, 0.8 loss while bad ⇒ ≈13%).
+fn heavy_burst() -> FaultModel {
+    FaultModel::none().with_burst(GilbertElliott::bursty(0.05, 0.25, 0.8))
+}
+
+fn burst_scenario(seed: u64) -> Scenario {
+    Scenario {
+        name: "wireless-burst-loss",
+        seed,
+        // First packet crosses clean (anchors the receiver), then the
+        // link degrades for the rest of the stream.
+        plan: FaultPlan::new().at(
+            Ticks::from_millis(1),
+            FaultAction::SetFault(LinkId(0), heavy_burst()),
+        ),
+        packets: 600,
+        send_every: Ticks::from_millis(5),
+        drain_for: Ticks::from_secs(2),
+    }
+}
+
+// ------------------------------------------------- recovery effectiveness
+
+/// Acceptance: with burst loss ≥10% on the wireless link, NACK-driven
+/// retransmission recovers ≥90% of the lost RTP packets.
+#[test]
+fn burst_loss_on_wireless_link_mostly_recovered() {
+    let sc = burst_scenario(1002);
+    let ctx = sc.ctx();
+    let out = run_stream(&sc);
+    assert_in_order_unique(&out, &ctx);
+
+    let gaps = out.report.recovered + out.report.lost;
+    assert!(
+        gaps >= 30,
+        "burst model barely bit: only {gaps} gaps detected\n{ctx}"
+    );
+    let recovery = out.report.recovered as f64 / gaps as f64;
+    assert!(
+        recovery >= 0.9,
+        "recovered {}/{gaps} = {recovery:.2} of lost packets, need >= 0.90\n{ctx}",
+        out.report.recovered
+    );
+    assert!(out.retransmits >= out.report.recovered, "{ctx}");
+    assert!(out.report.nacks_sent > 0, "{ctx}");
+    // Loss accounting stays a fraction even under heavy churn.
+    assert!(
+        (0.0..=1.0).contains(&out.report.fraction_lost),
+        "fraction_lost = {}\n{}",
+        out.report.fraction_lost,
+        ctx
+    );
+}
+
+/// Duplication, reordering, and jitter on the link must never surface
+/// as duplicate or out-of-order deliveries to the application.
+#[test]
+fn duplication_and_reorder_never_reach_the_app() {
+    let sc = Scenario {
+        name: "dup-reorder-jitter",
+        seed: 2002,
+        plan: FaultPlan::new().at(
+            Ticks::from_millis(1),
+            FaultAction::SetFault(
+                LinkId(0),
+                FaultModel::none()
+                    .with_duplicate(0.3)
+                    .with_reorder(0.2, Ticks::from_millis(10))
+                    .with_jitter(Ticks::from_millis(3)),
+            ),
+        ),
+        packets: 400,
+        send_every: Ticks::from_millis(5),
+        drain_for: Ticks::from_secs(1),
+    };
+    let ctx = sc.ctx();
+    let out = run_stream(&sc);
+    assert_in_order_unique(&out, &ctx);
+    // Nothing was dropped, so every packet must come through exactly once.
+    let seqs: Vec<u16> = out.deliveries.iter().map(|d| d.seq).collect();
+    assert_eq!(
+        seqs,
+        (0..sc.packets as u16).collect::<Vec<u16>>(),
+        "lossless faulty link still delivers the full stream once\n{ctx}"
+    );
+    assert!(
+        out.report.duplicates > 0,
+        "duplication model never fired\n{ctx}"
+    );
+    assert_eq!(out.report.lost, 0, "{ctx}");
+}
+
+// ------------------------------------------------- recovery latency
+
+/// A single scripted drop is repaired within a bounded window: gap
+/// reveal + one NACK round-trip, well under 100 ms on this link.
+#[test]
+fn single_drop_recovery_latency_is_bounded() {
+    let sc = Scenario {
+        name: "single-drop-latency",
+        seed: 3003,
+        plan: FaultPlan::new()
+            .at(Ticks::from_millis(48), FaultAction::SetLoss(LinkId(0), 1.0))
+            .at(Ticks::from_millis(52), FaultAction::SetLoss(LinkId(0), 0.0)),
+        packets: 20,
+        send_every: Ticks::from_millis(10),
+        drain_for: Ticks::from_secs(1),
+    };
+    let ctx = sc.ctx();
+    let out = run_stream(&sc);
+    assert_in_order_unique(&out, &ctx);
+    // Packet 5 (sent at t = 50 ms) fell in the blackout window.
+    assert_eq!(out.report.recovered, 1, "exactly one gap repaired\n{ctx}");
+    assert_eq!(out.report.lost, 0, "{ctx}");
+    let repaired = out
+        .deliveries
+        .iter()
+        .find(|d| d.seq == 5)
+        .unwrap_or_else(|| panic!("packet 5 never released\n{ctx}"));
+    let sent_at_us = 5 * sc.send_every.as_micros();
+    let latency = repaired.released_at_us - sent_at_us;
+    assert!(
+        latency < 100_000,
+        "recovery took {latency} us, expected < 100 ms\n{ctx}"
+    );
+}
+
+// ------------------------------------------------- flaps and partitions
+
+/// Shared checks for the two outage scenarios: ten sends fail while the
+/// receiver is unreachable, and after the heal the NACK path backfills
+/// every one of them from the sender's history.
+fn assert_outage_backfilled(sc: &Scenario, out: &Outcome) {
+    let ctx = sc.ctx();
+    assert_in_order_unique(out, &ctx);
+    assert_eq!(out.send_failures, 10, "sends during the outage fail\n{ctx}");
+    let seqs: Vec<u16> = out.deliveries.iter().map(|d| d.seq).collect();
+    assert_eq!(
+        seqs,
+        (0..sc.packets as u16).collect::<Vec<u16>>(),
+        "full stream restored after heal\n{ctx}"
+    );
+    assert_eq!(out.report.lost, 0, "{ctx}");
+    assert_eq!(
+        out.report.recovered, 10,
+        "every outage packet recovered via retransmit\n{ctx}"
+    );
+}
+
+#[test]
+fn link_flap_is_backfilled_from_sender_history() {
+    let sc = Scenario {
+        name: "link-flap",
+        seed: 4004,
+        plan: FaultPlan::new()
+            .at(Ticks::from_millis(95), FaultAction::LinkDown(LinkId(0)))
+            .at(Ticks::from_millis(195), FaultAction::LinkUp(LinkId(0))),
+        packets: 50,
+        send_every: Ticks::from_millis(10),
+        drain_for: Ticks::from_secs(1),
+    };
+    let out = run_stream(&sc);
+    assert_outage_backfilled(&sc, &out);
+}
+
+#[test]
+fn partition_heals_and_stream_recovers() {
+    let sc = Scenario {
+        name: "partition-heal",
+        seed: 5005,
+        plan: FaultPlan::new()
+            .at(
+                Ticks::from_millis(95),
+                FaultAction::Partition(vec![NodeId(1)]),
+            )
+            .at(Ticks::from_millis(195), FaultAction::Heal),
+        packets: 50,
+        send_every: Ticks::from_millis(10),
+        drain_for: Ticks::from_secs(1),
+    };
+    let out = run_stream(&sc);
+    assert_outage_backfilled(&sc, &out);
+}
+
+// ------------------------------------------------- reproducibility
+
+/// The whole point of the harness: same seed + same plan ⇒ the same
+/// delivery trace, timestamps and all.
+#[test]
+fn scenario_trace_is_reproducible_from_seed() {
+    let sc = burst_scenario(6006);
+    let first = run_stream(&sc);
+    let second = run_stream(&sc);
+    assert_eq!(first, second, "non-deterministic run!\n{}", sc.ctx());
+    assert!(!first.deliveries.is_empty());
+}
+
+// ------------------------------------------------- figure bit-identity
+
+/// Acceptance: all-zero fault rates leave the paper's figure series
+/// bit-identical — inert models draw nothing from the seeded RNG.
+#[test]
+fn zero_fault_rates_leave_figures_bit_identical() {
+    let inert = Some(FaultModel::none());
+    assert_eq!(
+        run_fig6_faulted(7, 1, inert),
+        run_fig6(7),
+        "fig6 perturbed by an inert fault model"
+    );
+    assert_eq!(
+        run_fig7_faulted(42, 1, inert),
+        run_fig7(42),
+        "fig7 perturbed by an inert fault model"
+    );
+    // Fig 10 is network-free; it must simply stay deterministic.
+    let a = run_fig10();
+    let b = run_fig10();
+    assert_eq!(a.series, b.series);
+    assert_eq!(a.a_sir_by_count, b.a_sir_by_count);
+}
+
+/// An *active* burst model on every LAN link still yields the identical
+/// figure series for any worker count: the network RNG sequence does
+/// not depend on how the engine is sharded.
+#[test]
+fn faulted_figures_identical_across_worker_counts() {
+    let active = Some(FaultModel::none().with_burst(GilbertElliott::bursty(0.02, 0.3, 0.5)));
+    let serial6 = run_fig6_faulted(7, 1, active);
+    assert_eq!(run_fig6_faulted(7, 4, active), serial6, "fig6, workers 4");
+    assert_eq!(run_fig6_faulted(7, 1, active), serial6, "fig6, rerun");
+    let serial7 = run_fig7_faulted(42, 1, active);
+    assert_eq!(run_fig7_faulted(42, 4, active), serial7, "fig7, workers 4");
+}
+
+// ------------------------------------------------- session under a plan
+
+/// Full-session chaos: one publisher multicasts scenes to three viewers
+/// while a scripted plan degrades and restores a viewer's link. The
+/// delivery trace must be bit-identical for 1 and 4 workers.
+fn run_session_under_plan(
+    workers: usize,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Vec<(usize, u64, u32, f64)> {
+    let cfg = SessionConfig {
+        seed,
+        workers,
+        ..SessionConfig::default()
+    };
+    let mut session = CollaborationSession::new(cfg);
+    let mut profile = Profile::new("publisher");
+    profile.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("image")]),
+    );
+    let publisher = session
+        .add_wired_client(
+            profile.clone(),
+            InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+            SimHost::idle("publisher"),
+        )
+        .unwrap();
+    for i in 0..3 {
+        let mut p = Profile::new(&format!("viewer{i}"));
+        p.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image")]),
+        );
+        session
+            .add_wired_client(
+                p,
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle(&format!("viewer{i}")),
+            )
+            .unwrap();
+    }
+    session.net.set_fault_plan(plan.clone());
+    let mut rows = Vec::new();
+    for round in 0..3u64 {
+        let scene = synthetic_scene(64, 64, 1, 3, seed.wrapping_add(round));
+        session
+            .share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        for (cid, viewed) in session.pump(Ticks::from_secs(2)) {
+            rows.push((cid, viewed.object_id, viewed.packets_accepted, viewed.bpp));
+        }
+    }
+    rows
+}
+
+#[test]
+fn session_chaos_trace_identical_across_worker_counts() {
+    // Client links are created in join order: publisher = LinkId(0),
+    // viewer0 = LinkId(1). Degrade viewer0's link mid-stream, restore
+    // later.
+    let plan = FaultPlan::new()
+        .at(
+            Ticks::from_millis(5),
+            FaultAction::SetFault(LinkId(1), heavy_burst()),
+        )
+        .at(Ticks::from_millis(400), FaultAction::ClearFault(LinkId(1)));
+    let serial = run_session_under_plan(1, 99, &plan);
+    assert!(!serial.is_empty(), "at least some deliveries complete");
+    let sharded = run_session_under_plan(4, 99, &plan);
+    assert_eq!(
+        sharded, serial,
+        "session delivery trace diverged across worker counts; seed 99, plan:\n{plan}"
+    );
+}

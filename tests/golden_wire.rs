@@ -10,7 +10,8 @@
 
 use collabqos::sempubsub::{AttrValue, SemanticMessage};
 use collabqos::simnet::rtp::{RtpHeader, RTP_HEADER_LEN};
-use collabqos::snmp::{Message, Oid, Pdu, PduKind};
+use collabqos::snmp::oid::arcs;
+use collabqos::snmp::{ErrorStatus, Message, Oid, Pdu, PduKind, SnmpAgent, SnmpValue, VarBind};
 
 /// `GetRequest(sysDescr.0)`, community "public", request-id 1 — the
 /// canonical first SNMP packet everyone sends.
@@ -40,6 +41,84 @@ fn snmp_get_sysdescr_matches_rfc_encoding() {
     assert_eq!(msg.encode(), expected);
     // And the golden bytes decode back to the same message.
     assert_eq!(Message::decode(&expected).unwrap(), msg);
+}
+
+/// `GetResponse(sysDescr.0 = "simhost")`, community "public",
+/// request-id 1 — the answer to the request above, with a bound
+/// OCTET STRING value instead of NULL.
+#[test]
+fn snmp_get_response_matches_rfc_encoding() {
+    let msg = Message::new(
+        "public",
+        Pdu {
+            kind: PduKind::Response,
+            request_id: 1,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds: vec![VarBind::bound(
+                arcs::sys_descr(),
+                SnmpValue::OctetString(b"simhost".to_vec()),
+            )],
+        },
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x2D, // SEQUENCE, 45 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA2, 0x20, // Response PDU, 32 bytes
+        0x02, 0x01, 0x01, // request-id = 1
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x15, // varbind list
+        0x30, 0x13, // varbind
+        0x06, 0x08, 0x2B, 0x06, 0x01, 0x02, 0x01, 0x01, 0x01, 0x00, // sysDescr.0
+        0x04, 0x07, b's', b'i', b'm', b'h', b'o', b's', b't', // value
+    ];
+    assert_eq!(msg.encode(), expected);
+    assert_eq!(Message::decode(&expected).unwrap(), msg);
+}
+
+/// An SNMPv2-Trap carrying the QoS-alert notification with the RTP
+/// loss gauge, exactly as the host extension agent emits it: the RFC
+/// 3416 mandatory prefix (sysUpTime.0 TimeTicks, snmpTrapOID.0) then
+/// the payload varbind.
+#[test]
+fn snmp_qos_alert_trap_matches_rfc_encoding() {
+    let mut agent = SnmpAgent::new("host", "public", None);
+    let raw = agent.build_trap(
+        1234,
+        arcs::tassl().child(10), // qosAlert notification OID
+        vec![VarBind::bound(
+            arcs::host_rtp_loss(),
+            SnmpValue::Gauge32(17),
+        )],
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x52, // SEQUENCE, 82 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA7, 0x45, // SNMPv2-Trap PDU, 69 bytes
+        0x02, 0x01, 0x00, // request-id = 0
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x3A, // varbind list
+        0x30, 0x0E, // varbind: sysUpTime.0 = TimeTicks 1234
+        0x06, 0x08, 0x2B, 0x06, 0x01, 0x02, 0x01, 0x01, 0x03, 0x00, //
+        0x43, 0x02, 0x04, 0xD2, //
+        0x30, 0x17, // varbind: snmpTrapOID.0 = qosAlert
+        0x06, 0x0A, 0x2B, 0x06, 0x01, 0x06, 0x03, 0x01, 0x01, 0x04, 0x01, 0x00, //
+        0x06, 0x09, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x0A, //
+        0x30, 0x0F, // varbind: hostRtpLossPct.0 = Gauge32 17
+        0x06, 0x0A, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x06, 0x00, //
+        0x42, 0x01, 0x11, //
+    ];
+    assert_eq!(raw, expected);
+    // The golden bytes decode to a well-formed trap.
+    let msg = Message::decode(&expected).unwrap();
+    assert_eq!(msg.pdu.kind, PduKind::TrapV2);
+    assert_eq!(msg.pdu.varbinds.len(), 3);
+    assert_eq!(msg.pdu.varbinds[2].name, arcs::host_rtp_loss());
 }
 
 /// The 1.3.6.1 prefix must pack to the classic 0x2B first byte.
@@ -86,6 +165,27 @@ fn rtp_header_matches_rfc3550_layout() {
             0xCA, 0xFE, 0xBA, 0xBE, // SSRC
         ]
     );
+}
+
+/// RTCP NACK feedback layout: version byte, PT 205, 16-bit count, SSRC,
+/// then each missing sequence big-endian.
+#[test]
+fn rtcp_nack_wire_layout_is_stable() {
+    use collabqos::simnet::rtp::Nack;
+    let nack = Nack {
+        ssrc: 0xCAFEBABE,
+        seqs: vec![0x0102, 0xFFFF],
+    };
+    let expected: Vec<u8> = vec![
+        0x80, // V=2
+        0xCD, // PT=205 (transport-layer feedback)
+        0x00, 0x02, // count
+        0xCA, 0xFE, 0xBA, 0xBE, // SSRC
+        0x01, 0x02, // seq 258
+        0xFF, 0xFF, // seq 65535
+    ];
+    assert_eq!(nack.encode(), expected);
+    assert_eq!(Nack::decode(&expected).unwrap(), nack);
 }
 
 /// Snapshot of the semantic-message container: changing the wire format

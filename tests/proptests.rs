@@ -12,7 +12,8 @@ use collabqos::media::psnr;
 use collabqos::media::wavelet::{self, WaveletKind};
 use collabqos::sempubsub::ast::{CmpOp, Expr};
 use collabqos::sempubsub::{AttrValue, Selector, SemanticMessage};
-use collabqos::simnet::rtp::{RtpReceiver, RtpSender};
+use collabqos::simnet::rtp::{Nack, RtpHeader, RtpReceiver, RtpSender};
+use collabqos::simnet::Ticks;
 use collabqos::snmp::ber::{Reader, Writer};
 use collabqos::snmp::{Message, Oid, Pdu, PduKind, SnmpValue, VarBind};
 use proptest::prelude::*;
@@ -339,6 +340,119 @@ proptest! {
         }
         let rep = receiver.report();
         prop_assert!(rep.received == released.len() as u64);
+    }
+
+    /// The RTP fixed header survives an encode/decode round trip for
+    /// every field value, including sequence numbers at the u16
+    /// wraparound boundary.
+    #[test]
+    fn rtp_header_round_trips(
+        marker in any::<bool>(),
+        payload_type in 0u8..128,
+        seq in any::<u16>(),
+        timestamp in any::<u32>(),
+        ssrc in any::<u32>(),
+        body in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let h = RtpHeader { marker, payload_type, seq, timestamp, ssrc };
+        let mut wire = h.encode().to_vec();
+        wire.extend_from_slice(&body);
+        let (back, rest) = RtpHeader::decode(&wire).unwrap();
+        prop_assert_eq!(back, h);
+        prop_assert_eq!(rest, &body[..]);
+    }
+
+    /// NACK feedback round-trips for any SSRC and sequence list.
+    #[test]
+    fn rtcp_nack_round_trips(
+        ssrc in any::<u32>(),
+        seqs in proptest::collection::vec(any::<u16>(), 0..24),
+    ) {
+        let nack = Nack { ssrc, seqs };
+        prop_assert_eq!(Nack::decode(&nack.encode()).unwrap(), nack);
+    }
+
+    /// A stream started anywhere in u16 space — including right at the
+    /// wraparound — is released complete and in order.
+    #[test]
+    fn rtp_stream_survives_seq_wraparound(start_seq in any::<u16>()) {
+        let mut sender = RtpSender::starting_at(7, 96, start_seq);
+        let mut receiver = RtpReceiver::new(8);
+        let mut released = Vec::new();
+        for i in 0..16u16 {
+            let wire = sender.wrap(i as u32, false, &i.to_be_bytes());
+            released.extend(receiver.push(&wire));
+        }
+        released.extend(receiver.flush());
+        let payloads: Vec<u16> = released
+            .iter()
+            .map(|p| u16::from_be_bytes([p.payload[0], p.payload[1]]))
+            .collect();
+        prop_assert_eq!(payloads, (0..16).collect::<Vec<u16>>());
+        let wire_seqs: Vec<u16> = released.iter().map(|p| p.header.seq).collect();
+        let expected: Vec<u16> = (0..16u16).map(|i| start_seq.wrapping_add(i)).collect();
+        prop_assert_eq!(wire_seqs, expected);
+        prop_assert_eq!(receiver.report().lost, 0);
+    }
+
+    /// The recovery-enabled receiver upholds the same release
+    /// invariant as the plain one under arbitrary arrival orders with
+    /// duplicates, with NACK polling interleaved at arbitrary instants
+    /// — and its loss accounting stays a fraction.
+    #[test]
+    fn rtp_recovery_receiver_releases_in_order_under_any_arrival(
+        order in proptest::collection::vec(0u16..32, 0..96),
+    ) {
+        let mut sender = RtpSender::new(7, 1);
+        let wires: Vec<Vec<u8>> = (0..32u16)
+            .map(|i| sender.wrap(i as u32, false, &[i as u8]))
+            .collect();
+        let mut receiver = RtpReceiver::with_recovery(8, 1, Ticks::from_millis(10), 3);
+        let mut released = Vec::new();
+        let mut now = Ticks::ZERO;
+        for &i in &order {
+            released.extend(receiver.push(&wires[i as usize]));
+            now += Ticks::from_millis(7);
+            let poll = receiver.poll_nacks(now);
+            released.extend(poll.released);
+        }
+        released.extend(receiver.flush());
+        for w in released.windows(2) {
+            prop_assert!(
+                w[0].header.seq < w[1].header.seq,
+                "out-of-order or duplicate release: {} then {}",
+                w[0].header.seq,
+                w[1].header.seq
+            );
+        }
+        let rep = receiver.report();
+        prop_assert_eq!(rep.received, released.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&rep.fraction_lost), "fraction {}", rep.fraction_lost);
+        prop_assert!(rep.recovered <= rep.received, "recoveries are real releases");
+    }
+
+    /// Without a NACK path nothing can ever count as "recovered", no
+    /// matter how arrivals reorder or repeat — duplicates must never be
+    /// misbooked as repaired losses.
+    #[test]
+    fn rtp_receiver_without_nacks_never_counts_recoveries(
+        order in proptest::collection::vec(0u16..24, 0..72),
+    ) {
+        let mut sender = RtpSender::new(9, 1);
+        let wires: Vec<Vec<u8>> = (0..24u16)
+            .map(|i| sender.wrap(i as u32, false, &[i as u8]))
+            .collect();
+        let mut receiver = RtpReceiver::new(6);
+        let mut released = 0u64;
+        for &i in &order {
+            released += receiver.push(&wires[i as usize]).len() as u64;
+        }
+        released += receiver.flush().len() as u64;
+        let rep = receiver.report();
+        prop_assert_eq!(rep.recovered, 0);
+        prop_assert_eq!(rep.nacks_sent, 0);
+        prop_assert_eq!(rep.received, released);
+        prop_assert!((0.0..=1.0).contains(&rep.fraction_lost));
     }
 
     // ----------------------------------------------------- convergence
