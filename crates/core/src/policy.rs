@@ -216,6 +216,40 @@ impl PolicyDb {
         db
     }
 
+    /// ECN-congestion policy: reacts to the echoed Congestion-
+    /// Experienced fraction of the measured RTP stream
+    /// (`congestion_pct`, 0–100), the pre-loss twin of
+    /// [`PolicyDb::loss_policy`]. A link's AQM marks ECN-capable
+    /// traffic where it would drop anything else, so these bands fire
+    /// while `loss_pct` is still zero: light marking trims the packet
+    /// budget, sustained marking falls back to sketch, saturation
+    /// drops to text.
+    pub fn congestion_policy() -> PolicyDb {
+        let mut db = PolicyDb::new();
+        db.add_rule(
+            "ecn-mild",
+            0,
+            "congestion_pct >= 5 and congestion_pct < 20",
+            AdaptationAction::LimitPackets(8),
+        )
+        .expect("static rule parses");
+        db.add_rule(
+            "ecn-heavy",
+            1,
+            "congestion_pct >= 20 and congestion_pct < 60",
+            AdaptationAction::CapModality(crate::inference::ModalityChoice::Sketch),
+        )
+        .expect("static rule parses");
+        db.add_rule(
+            "ecn-saturated",
+            2,
+            "congestion_pct >= 60",
+            AdaptationAction::CapModality(crate::inference::ModalityChoice::Text),
+        )
+        .expect("static rule parses");
+        db
+    }
+
     /// Merge another database into this one (rule lists concatenate,
     /// priorities interleave).
     pub fn merge(&mut self, other: PolicyDb) {
@@ -337,6 +371,27 @@ mod tests {
             m[0].action,
             AdaptationAction::CapModality(ModalityChoice::Text)
         );
+    }
+
+    #[test]
+    fn congestion_policy_bands() {
+        let db = PolicyDb::congestion_policy();
+        assert!(db.matching(&attrs(&[("congestion_pct", 1.0)])).is_empty());
+        let m = db.matching(&attrs(&[("congestion_pct", 8.0)]));
+        assert_eq!(m[0].action, AdaptationAction::LimitPackets(8));
+        let m = db.matching(&attrs(&[("congestion_pct", 30.0)]));
+        assert_eq!(
+            m[0].action,
+            AdaptationAction::CapModality(ModalityChoice::Sketch)
+        );
+        let m = db.matching(&attrs(&[("congestion_pct", 75.0)]));
+        assert_eq!(
+            m[0].action,
+            AdaptationAction::CapModality(ModalityChoice::Text)
+        );
+        // Congestion bands key on the ECN echo only; loss alone is the
+        // loss policy's business.
+        assert!(db.matching(&attrs(&[("loss_pct", 50.0)])).is_empty());
     }
 
     #[test]

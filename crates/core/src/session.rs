@@ -113,9 +113,19 @@ pub struct ClientRuntime {
     pub sketches: Vec<(u64, Sketch, String)>,
     /// Latency prober, when enabled.
     probe: Option<LatencyProbe>,
+    /// The client's access link (switch ↔ client); the mount point
+    /// for a per-link traffic-control plane
+    /// ([`CollaborationSession::attach_qdisc`]).
+    pub link: simnet::LinkId,
     /// Measured RTP loss fraction in `[0, 1]` from the latest ingested
     /// receiver report; included in adaptation state as `loss_pct`.
     pub rtp_loss: Option<f64>,
+    /// Measured ECN Congestion-Experienced fraction in `[0, 1]` from
+    /// the latest ingested receiver report; included in adaptation
+    /// state as `congestion_pct`. Moves before `loss_pct` does: the
+    /// AQM marks ECN-capable traffic where it would drop anything
+    /// else.
+    pub rtp_congestion: Option<f64>,
     /// The latest adaptation decision.
     pub last_decision: Option<AdaptationDecision>,
 }
@@ -232,7 +242,7 @@ impl CollaborationSession {
         let id = self.clients.len();
         let name = profile.name.clone();
         let node = self.net.add_node(&name);
-        self.connect_to_switch(node);
+        let link = self.connect_to_switch(node);
 
         let mut agent = SnmpAgent::new(&name, &self.cfg.community, None);
         install_host_agent(&host.shared(), &mut agent);
@@ -272,10 +282,30 @@ impl CollaborationSession {
             locks: LockManager::new(),
             sketches: Vec::new(),
             probe: None,
+            link,
             rtp_loss: None,
+            rtp_congestion: None,
             last_decision: None,
         });
         Ok(id)
+    }
+
+    /// Mount a traffic-control plane (token-bucket shaping, DRR class
+    /// scheduling, ECN-capable CoDel AQM) on a client's access link
+    /// and expose its live counters — `qdiscBacklog`, `qdiscDrops`,
+    /// `qdiscEcnMarks` — through the client's SNMP extension agent.
+    /// Returns the stats handle for direct inspection. Sessions
+    /// without a plane behave bit-identically to before the plane
+    /// existed.
+    pub fn attach_qdisc(
+        &mut self,
+        id: ClientId,
+        cfg: simnet::qdisc::QdiscConfig,
+    ) -> simnet::qdisc::StatsHandle {
+        let link = self.clients[id].link;
+        let handle = self.net.attach_qdisc(link, cfg);
+        crate::trapwatch::install_qdisc_metrics(&mut self.agents[id].agent, link, &handle);
+        handle
     }
 
     /// Add a network element (router/switch with a standard agent) to
@@ -337,6 +367,9 @@ impl CollaborationSession {
         if let Some(loss) = client.rtp_loss {
             state.insert("loss_pct".to_string(), loss * 100.0);
         }
+        if let Some(ce) = client.rtp_congestion {
+            state.insert("congestion_pct".to_string(), ce * 100.0);
+        }
         let decision = client.engine.decide(&state);
         client.viewer.set_packet_budget(decision.max_packets);
         client.viewer.set_resolution(decision.resolution);
@@ -357,6 +390,9 @@ impl CollaborationSession {
             let mut state = client.netstate.sample(net, &mut refs);
             if let Some(loss) = client.rtp_loss {
                 state.insert("loss_pct".to_string(), loss * 100.0);
+            }
+            if let Some(ce) = client.rtp_congestion {
+                state.insert("congestion_pct".to_string(), ce * 100.0);
             }
             states.push(state);
         }
@@ -435,6 +471,9 @@ impl CollaborationSession {
         if let Some(loss) = client.rtp_loss {
             state.insert("loss_pct".to_string(), loss * 100.0);
         }
+        if let Some(ce) = client.rtp_congestion {
+            state.insert("congestion_pct".to_string(), ce * 100.0);
+        }
         let decision = client.engine.decide(&state);
         client.viewer.set_packet_budget(decision.max_packets);
         client.viewer.set_resolution(decision.resolution);
@@ -442,12 +481,14 @@ impl CollaborationSession {
         Ok(decision)
     }
 
-    /// Feed a client the loss figures from an RTP receiver report so
-    /// the next adaptation pass sees `loss_pct` (fraction lost × 100)
-    /// and the measured-loss policy can react by trimming the packet
-    /// budget or switching modality.
+    /// Feed a client the figures from an RTP receiver report so the
+    /// next adaptation pass sees `loss_pct` (fraction lost × 100) and
+    /// `congestion_pct` (fraction ECN-CE × 100). The measured-loss
+    /// policy reacts to the former; the congestion policy reacts to
+    /// the latter *before* any packet is actually lost.
     pub fn ingest_rtp_report(&mut self, id: ClientId, report: &simnet::rtp::ReceiverReport) {
         self.clients[id].rtp_loss = Some(report.fraction_lost);
+        self.clients[id].rtp_congestion = Some(report.fraction_ecn_ce);
     }
 
     /// Allocate a fresh shared-object id.

@@ -24,6 +24,13 @@ pub fn qos_alert_trap_oid() -> Oid {
     arcs::tassl().child(10)
 }
 
+/// Trap OID for a congestion alert from the traffic-control plane
+/// (tasslQosCongestionAlert = 1.3.6.1.4.1.99999.11): ECN marking
+/// crossed a threshold while loss may still be zero.
+pub fn qos_congestion_alert_trap_oid() -> Oid {
+    arcs::tassl().child(11)
+}
+
 /// Crossing direction that arms a watch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -203,13 +210,103 @@ impl LossWatcher {
     }
 }
 
-/// Interpret a received QoS-alert trap: extract the known host metrics
-/// from its varbinds and run the engine on them. Returns `None` for
-/// traps that are not QoS alerts or carry no known metric.
+/// Watches the ECN-echo congestion fraction of a measured RTP stream
+/// and emits a `qosCongestionAlert` trap when it crosses a threshold.
+///
+/// This is the pre-loss half of the feedback loop: a link's AQM marks
+/// ECN-capable packets while it would still be queueing (not dropping)
+/// anything else, the receiver echoes the marks
+/// ([`simnet::rtp::ReceiverReport::fraction_ecn_ce`]), and this
+/// watcher turns a sustained mark rate into a one-way notification so
+/// policy can shift modality (image → sketch → text) *before* the
+/// first packet is lost.
+pub struct CongestionWatcher {
+    watch: Watch,
+    /// Traps emitted so far.
+    pub traps_sent: u64,
+}
+
+impl CongestionWatcher {
+    /// Fire when the echoed CE fraction rises to or above
+    /// `threshold_pct` percent; re-arms when it falls back below.
+    pub fn new(threshold_pct: f64) -> CongestionWatcher {
+        CongestionWatcher {
+            watch: Watch::rising("congestion_pct", arcs::host_congestion(), threshold_pct),
+            traps_sent: 0,
+        }
+    }
+
+    /// Evaluate `report` and emit a trap towards `sink_node` on a
+    /// fresh crossing. Returns true when a trap was sent.
+    pub fn observe(
+        &mut self,
+        net: &mut Network,
+        agent_rt: &mut AgentRuntime,
+        sink_node: simnet::NodeId,
+        report: &simnet::rtp::ReceiverReport,
+    ) -> bool {
+        let congestion_pct = report.fraction_ecn_ce * 100.0;
+        if self.watch.evaluate(congestion_pct) {
+            agent_rt.send_trap(
+                net,
+                sink_node,
+                qos_congestion_alert_trap_oid(),
+                vec![VarBind::bound(
+                    arcs::host_congestion(),
+                    SnmpValue::Gauge32(congestion_pct.round().max(0.0) as u32),
+                )],
+            );
+            self.traps_sent += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Expose a mounted traffic-control plane's live counters as MIB
+/// variables on `agent`: `qdiscBacklog.{link}` (Gauge32, queued
+/// bytes), `qdiscDrops.{link}` (Counter32, tail + AQM drops) and
+/// `qdiscEcnMarks.{link}` (Counter32). The handle comes from
+/// [`simnet::Network::attach_qdisc`]; the agent samples it at query
+/// time, so GETs always see the current values.
+pub fn install_qdisc_metrics(
+    agent: &mut snmp::SnmpAgent,
+    link: simnet::LinkId,
+    stats: &simnet::qdisc::StatsHandle,
+) {
+    use std::sync::atomic::Ordering;
+    let clamp = |v: u64| SnmpValue::Gauge32(v.min(u32::MAX as u64) as u32);
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::qdisc_backlog(link.0), move || {
+            clamp(s.backlog_bytes.load(Ordering::Relaxed))
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::qdisc_drops(link.0), move || {
+            SnmpValue::Counter32(s.drops.load(Ordering::Relaxed) as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::qdisc_ecn_marks(link.0), move || {
+            SnmpValue::Counter32(s.ecn_marks.load(Ordering::Relaxed) as u32)
+        });
+}
+
+/// Interpret a received QoS-alert or congestion-alert trap: extract
+/// the known host metrics from its varbinds and run the engine on
+/// them. Returns `None` for traps that are neither alert kind or carry
+/// no known metric.
 pub fn decision_from_trap(engine: &InferenceEngine, trap: &Message) -> Option<AdaptationDecision> {
     // varbind[1] is snmpTrapOID.0 per the SNMPv2 trap layout.
     let trap_oid = trap.pdu.varbinds.get(1)?;
-    if trap_oid.value != SnmpValue::Oid(qos_alert_trap_oid()) {
+    let known = trap_oid.value == SnmpValue::Oid(qos_alert_trap_oid())
+        || trap_oid.value == SnmpValue::Oid(qos_congestion_alert_trap_oid());
+    if !known {
         return None;
     }
     let mut state = BTreeMap::new();
@@ -222,6 +319,8 @@ pub fn decision_from_trap(engine: &InferenceEngine, trap: &Message) -> Option<Ad
             "mem_avail_kb"
         } else if vb.name == arcs::host_rtp_loss() {
             "loss_pct"
+        } else if vb.name == arcs::host_congestion() {
+            "congestion_pct"
         } else {
             continue;
         };
@@ -367,6 +466,96 @@ mod tests {
         assert!(!watcher.observe(&mut net, &mut rt, station, &calm));
         assert!(watcher.observe(&mut net, &mut rt, station, &bursty));
         assert_eq!(watcher.traps_sent, 2);
+    }
+
+    #[test]
+    fn congestion_trap_downgrades_before_loss() {
+        use simnet::rtp::ReceiverReport;
+        let (mut net, mut rt, mut sink, _host, station) = world();
+        let mut watcher = CongestionWatcher::new(10.0);
+        // Lightly marked stream with ZERO loss: below threshold.
+        let calm = ReceiverReport {
+            received: 100,
+            ecn_ce: 2,
+            fraction_ecn_ce: 0.02,
+            ..Default::default()
+        };
+        assert!(!watcher.observe(&mut net, &mut rt, station, &calm));
+        // AQM marking a quarter of the stream — still zero loss.
+        let marked = ReceiverReport {
+            received: 100,
+            ecn_ce: 25,
+            fraction_ecn_ce: 0.25,
+            ..Default::default()
+        };
+        assert!(watcher.observe(&mut net, &mut rt, station, &marked));
+        assert!(
+            !watcher.observe(&mut net, &mut rt, station, &marked),
+            "edge-triggered"
+        );
+        net.run_for(Ticks::from_millis(5));
+        assert_eq!(sink.service(&mut net), 1);
+        let engine = InferenceEngine::new(PolicyDb::congestion_policy(), QosContract::default());
+        let decision = decision_from_trap(&engine, &sink.traps[0]).expect("congestion alert");
+        assert_eq!(
+            decision.modality,
+            crate::inference::ModalityChoice::Sketch,
+            "25% CE -> congestion-heavy band, despite fraction_lost == 0"
+        );
+        // Recovery re-arms the watch.
+        assert!(!watcher.observe(&mut net, &mut rt, station, &calm));
+        assert!(watcher.observe(&mut net, &mut rt, station, &marked));
+        assert_eq!(watcher.traps_sent, 2);
+    }
+
+    #[test]
+    fn qdisc_metrics_visible_over_snmp() {
+        use simnet::qdisc::{QdiscConfig, TrafficClass};
+        use simnet::Port;
+        use snmp::manager::SnmpManager;
+        use snmp::oid::arcs;
+
+        let mut net = Network::new(5);
+        let a = net.add_node("edge");
+        let b = net.add_node("peer");
+        let link = net.connect(a, b, LinkSpec::lan());
+        let mut cfg = QdiscConfig::for_rate(800_000);
+        cfg.codel_target_us = 2_000;
+        cfg.codel_interval_us = 10_000;
+        cfg.classes[TrafficClass::Background.index()].queue_cap_pkts = 8;
+        let handle = net.attach_qdisc(link, cfg);
+
+        let mut agent = snmp::SnmpAgent::new("edge", "public", None);
+        install_qdisc_metrics(&mut agent, link, &handle);
+        let mut rt = AgentRuntime::bind(&mut net, a, agent).unwrap();
+
+        // Overload the link so the plane accumulates backlog and drops.
+        let src = net.bind(a, Port(7000)).unwrap();
+        let _dst = net.bind(b, Port(7000)).unwrap();
+        for _ in 0..40 {
+            net.send(src, simnet::Addr::unicast(b, Port(7000)), vec![0u8; 900])
+                .unwrap();
+        }
+        net.run_for(Ticks::from_millis(5));
+
+        let mgr_node = net.add_node("mgr");
+        net.connect(mgr_node, a, LinkSpec::lan());
+        let mut mgr = SnmpManager::bind(&mut net, mgr_node, Port(30000), "public").unwrap();
+        let mut refs: Vec<&mut AgentRuntime> = vec![&mut rt];
+        let backlog = mgr
+            .get_f64(&mut net, &mut refs, a, &arcs::qdisc_backlog(link.0))
+            .unwrap();
+        let drops = mgr
+            .get_f64(&mut net, &mut refs, a, &arcs::qdisc_drops(link.0))
+            .unwrap();
+        assert!(backlog > 0.0, "queued bytes visible over SNMP");
+        assert!(drops > 0.0, "tail drops visible over SNMP");
+        // The MIB samples the live handle: drain the queue and re-read.
+        net.run_to_quiescence();
+        let drained = mgr
+            .get_f64(&mut net, &mut refs, a, &arcs::qdisc_backlog(link.0))
+            .unwrap();
+        assert_eq!(drained, 0.0, "backlog gauge follows the live queue");
     }
 
     #[test]

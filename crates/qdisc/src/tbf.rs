@@ -1,0 +1,174 @@
+//! Token-bucket filter: the shaping primitive.
+//!
+//! A bucket of capacity `burst_bytes` fills at `rate_bps`. A packet of
+//! `n` bytes conforms when the bucket holds at least `8n` token bits
+//! (clamped to the burst, so an oversize packet borrows the full burst
+//! rather than blocking the queue forever).
+//!
+//! All arithmetic is integral and exact: token accrual is tracked in
+//! units of bit-µs (`rate_bps × Δt_µs`), with the sub-bit remainder
+//! carried between refills, so a bucket drained at exactly its rate
+//! never gains or loses a bit to rounding — the conformance proptest
+//! (`rate·t + burst` is never exceeded) relies on this.
+
+/// Shaper parameters: sustained rate plus burst allowance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shaper {
+    /// Sustained rate in bits per second.
+    pub rate_bps: u64,
+    /// Bucket depth in bytes (should be at least one MTU).
+    pub burst_bytes: u64,
+}
+
+/// Scale factor between bit-µs accrual units and token bits.
+const UNITS_PER_BIT: u128 = 1_000_000;
+
+/// A deterministic token bucket over a u64 microsecond clock.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_bits: u64,
+    /// Whole token bits available.
+    tokens_bits: u64,
+    /// Sub-bit accrual remainder, in bit-µs units (`< UNITS_PER_BIT`).
+    carry: u128,
+    /// Instant of the last materialized refill.
+    last_us: u64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    pub fn new(shaper: Shaper) -> Self {
+        assert!(shaper.rate_bps > 0, "shaper rate must be positive");
+        assert!(shaper.burst_bytes > 0, "burst must be positive");
+        TokenBucket {
+            rate_bps: shaper.rate_bps,
+            burst_bits: shaper.burst_bytes * 8,
+            tokens_bits: shaper.burst_bytes * 8,
+            carry: 0,
+            last_us: 0,
+        }
+    }
+
+    /// Configured sustained rate.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Token bits a packet of `bytes` needs, clamped to the burst so an
+    /// oversize packet can still eventually conform.
+    fn need_bits(&self, bytes: u32) -> u64 {
+        (bytes as u64 * 8).min(self.burst_bits)
+    }
+
+    /// Tokens and carry projected forward to `at` without mutating.
+    fn project(&self, at: u64) -> (u64, u128) {
+        let dt = at.saturating_sub(self.last_us);
+        let accrued = self.rate_bps as u128 * dt as u128 + self.carry;
+        let tokens = self
+            .tokens_bits
+            .saturating_add((accrued / UNITS_PER_BIT) as u64);
+        if tokens >= self.burst_bits {
+            // Full bucket: overflow (including the remainder) is lost.
+            (self.burst_bits, 0)
+        } else {
+            (tokens, accrued % UNITS_PER_BIT)
+        }
+    }
+
+    /// Token bits available at instant `at`.
+    pub fn available_bits(&self, at: u64) -> u64 {
+        self.project(at).0
+    }
+
+    /// Whether a packet of `bytes` conforms at instant `at`.
+    pub fn conforms(&self, at: u64, bytes: u32) -> bool {
+        self.project(at).0 >= self.need_bits(bytes)
+    }
+
+    /// Earliest instant `>= at` at which a packet of `bytes` conforms.
+    pub fn next_conforming(&self, at: u64, bytes: u32) -> u64 {
+        let need = self.need_bits(bytes);
+        let (tokens, carry) = self.project(at);
+        if tokens >= need {
+            return at;
+        }
+        let deficit_units = (need - tokens) as u128 * UNITS_PER_BIT - carry;
+        at + deficit_units.div_ceil(self.rate_bps as u128) as u64
+    }
+
+    /// Consume tokens for a packet of `bytes` sent at instant `at`.
+    /// The caller must have checked conformance; consuming a
+    /// non-conforming packet saturates the bucket at zero.
+    pub fn consume(&mut self, at: u64, bytes: u32) {
+        let (tokens, carry) = self.project(at);
+        self.tokens_bits = tokens.saturating_sub(self.need_bits(bytes));
+        self.carry = carry;
+        self.last_us = self.last_us.max(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(rate_bps: u64, burst_bytes: u64) -> TokenBucket {
+        TokenBucket::new(Shaper {
+            rate_bps,
+            burst_bytes,
+        })
+    }
+
+    #[test]
+    fn starts_full_and_caps_at_burst() {
+        let tb = bucket(1_000_000, 1500);
+        assert_eq!(tb.available_bits(0), 12_000);
+        assert_eq!(tb.available_bits(1_000_000), 12_000, "never above burst");
+    }
+
+    #[test]
+    fn drains_and_refills_at_rate() {
+        let mut tb = bucket(1_000_000, 1500); // 1 bit/µs
+        tb.consume(0, 1500);
+        assert_eq!(tb.available_bits(0), 0);
+        assert!(!tb.conforms(0, 1500));
+        // 12000 bits refill in 12000 µs at 1 bit/µs.
+        assert_eq!(tb.next_conforming(0, 1500), 12_000);
+        assert!(tb.conforms(12_000, 1500));
+        assert!(!tb.conforms(11_999, 1500));
+    }
+
+    #[test]
+    fn sub_bit_remainder_carries_exactly() {
+        // 3 bits per 1000 µs: fractional accrual every µs.
+        let mut tb = bucket(3_000, 125);
+        tb.consume(0, 125); // empty
+        assert_eq!(tb.next_conforming(0, 1), 2667, "ceil(8·1e6/3000)");
+        // Draining exactly at the rate loses nothing to rounding.
+        let mut t = 0;
+        for _ in 0..50 {
+            t = tb.next_conforming(t, 1);
+            assert!(tb.conforms(t, 1));
+            tb.consume(t, 1);
+        }
+        // 50 packets x 8 bits at 3000 bps = 133333.3 µs minimum.
+        assert_eq!(t, 133_334);
+    }
+
+    #[test]
+    fn oversize_packet_clamps_to_burst() {
+        let tb = bucket(1_000_000, 100);
+        // 200 bytes > 100-byte burst: conforms whenever the bucket is full.
+        assert!(tb.conforms(0, 200));
+        assert_eq!(tb.next_conforming(0, 200), 0);
+    }
+
+    #[test]
+    fn projection_does_not_mutate() {
+        let tb = bucket(1_000_000, 1500);
+        let a = tb.available_bits(5_000);
+        let b = tb.available_bits(5_000);
+        assert_eq!(a, b);
+        assert_eq!(tb.last_us, 0, "projection leaves state untouched");
+    }
+}

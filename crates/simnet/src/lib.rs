@@ -13,7 +13,10 @@
 //!   delivery for multi-packet media objects ([`rtp`]), exactly the
 //!   role of the paper's "thin layer based on the RTP-RTCP scheme"
 //!   (§5.1),
-//! * per-network statistics for tests and benches ([`trace`]).
+//! * per-network statistics for tests and benches ([`trace`]),
+//! * an optional per-link traffic-control plane (token-bucket shaping,
+//!   DRR class scheduling, ECN-capable CoDel AQM) mounted with
+//!   [`Network::attach_qdisc`] (re-exported [`qdisc`] crate).
 //!
 //! The simulator is fully deterministic: all randomness (packet loss)
 //! derives from a seed supplied to [`Network::new`].
@@ -34,6 +37,8 @@
 //! let dgram = net.recv(sb).expect("delivered");
 //! assert_eq!(dgram.payload, b"hello");
 //! ```
+
+pub use qdisc;
 
 pub mod event;
 pub mod faults;

@@ -7,6 +7,7 @@ use crate::packet::{Port, WirePacket, MAX_DATAGRAM};
 use crate::time::{SimClock, Ticks};
 use crate::topology::{LinkId, LinkSpec, NodeId, Topology};
 use crate::trace::NetStats;
+use qdisc::{EnqueueOutcome, Qdisc, QdiscConfig, QdiscStats, StatsHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -53,6 +54,9 @@ pub struct Datagram {
     pub payload: Vec<u8>,
     /// Simulated arrival instant.
     pub arrived_at: Ticks,
+    /// True when a link's AQM marked the packet Congestion Experienced
+    /// (only possible for ECN-capable flows, see [`Network::set_ecn`]).
+    pub ecn_ce: bool,
 }
 
 /// Errors surfaced by [`Network`] operations.
@@ -88,6 +92,30 @@ struct Socket {
     inbox: VecDeque<Datagram>,
     groups: HashSet<GroupId>,
     open: bool,
+    /// Whether traffic sent from this socket is ECN-capable (ECT):
+    /// AQM on a congested link marks it instead of dropping it.
+    ecn: bool,
+}
+
+/// A packet copy travelling a multi-hop path through at least one
+/// qdisc-equipped link. Links without a qdisc are still traversed
+/// analytically (identical arithmetic and RNG draws to the plain
+/// path); a qdisc hop suspends the walk in the link's class queues
+/// and resumes it as a [`NetEvent::Hop`] on release.
+#[derive(Debug)]
+struct InFlight {
+    packet: WirePacket,
+    path: Vec<LinkId>,
+    /// Index of the next link in `path` to traverse.
+    hop: usize,
+    dst: Addr,
+    target: Option<SocketHandle>,
+    /// Sender socket was ECN-capable.
+    ecn_capable: bool,
+    /// Congestion Experienced mark accumulated along the path.
+    ce: bool,
+    /// A fault model chose to duplicate this copy on delivery.
+    duplicate: bool,
 }
 
 #[derive(Debug)]
@@ -99,6 +127,26 @@ enum NetEvent {
     Timer {
         key: u64,
     },
+    /// Resume an in-flight packet's path walk at its arrival instant
+    /// on the next hop.
+    Hop {
+        flight: InFlight,
+    },
+    /// Serve one packet from the qdisc on `link`. `gen` invalidates
+    /// events superseded by an earlier reschedule.
+    QdiscService {
+        link: u32,
+        gen: u64,
+    },
+}
+
+/// A mounted traffic-control plane plus its service scheduling state.
+struct LinkQdisc {
+    q: Qdisc<InFlight>,
+    /// Instant of the currently scheduled service event, if any.
+    service_at: Option<Ticks>,
+    /// Generation of the live service event; stale events are ignored.
+    gen: u64,
 }
 
 /// The simulated network: topology + sockets + clock + event queue.
@@ -121,6 +169,9 @@ pub struct Network {
     /// first not-yet-applied entry.
     plan: FaultPlan,
     plan_next: usize,
+    /// Traffic-control planes keyed by link id. Never iterated —
+    /// only keyed lookups — so map order cannot affect determinism.
+    qdiscs: HashMap<u32, LinkQdisc>,
 }
 
 impl Network {
@@ -139,6 +190,44 @@ impl Network {
             fired_timers: VecDeque::new(),
             plan: FaultPlan::new(),
             plan_next: 0,
+            qdiscs: HashMap::new(),
+        }
+    }
+
+    /// Mount a traffic-control plane on `link`. All traffic crossing
+    /// the link is then classified, shaped, DRR-scheduled, and subject
+    /// to CoDel AQM; links without a plane keep the plain analytic
+    /// FIFO model bit-for-bit. Returns a handle to the plane's live
+    /// aggregate counters (for SNMP instrumentation).
+    pub fn attach_qdisc(&mut self, link: LinkId, cfg: QdiscConfig) -> StatsHandle {
+        let q: Qdisc<InFlight> = Qdisc::new(cfg);
+        let handle = q.shared_stats();
+        self.qdiscs.insert(
+            link.0,
+            LinkQdisc {
+                q,
+                service_at: None,
+                gen: 0,
+            },
+        );
+        handle
+    }
+
+    /// Whether `link` has a traffic-control plane mounted.
+    pub fn qdisc_attached(&self, link: LinkId) -> bool {
+        self.qdiscs.contains_key(&link.0)
+    }
+
+    /// Snapshot of the per-class counters of the plane on `link`.
+    pub fn qdisc_stats(&self, link: LinkId) -> Option<QdiscStats> {
+        self.qdiscs.get(&link.0).map(|lq| lq.q.stats().clone())
+    }
+
+    /// Declare traffic sent from socket `s` ECN-capable (or not).
+    /// AQM marks ECN-capable packets where it would drop others.
+    pub fn set_ecn(&mut self, s: SocketHandle, enabled: bool) {
+        if let Some(sock) = self.sockets.get_mut(s.0 as usize) {
+            sock.ecn = enabled;
         }
     }
 
@@ -229,6 +318,7 @@ impl Network {
             inbox: VecDeque::new(),
             groups: HashSet::new(),
             open: true,
+            ecn: false,
         });
         self.by_addr.insert((node, port), h);
         Ok(h)
@@ -296,12 +386,12 @@ impl Network {
         if payload.len() > MAX_DATAGRAM {
             return Err(NetError::PayloadTooLarge(payload.len()));
         }
-        let (src_node, src_port) = {
+        let (src_node, src_port, ecn) = {
             let sock = self.sockets.get(s.0 as usize).ok_or(NetError::BadSocket)?;
             if !sock.open {
                 return Err(NetError::BadSocket);
             }
-            (sock.node, sock.port)
+            (sock.node, sock.port, sock.ecn)
         };
         let packet = WirePacket {
             src_node,
@@ -315,7 +405,7 @@ impl Network {
                 // A datagram to an unbound port is silently discarded,
                 // like real UDP (no ICMP in this simulator).
                 let target = self.by_addr.get(&(dst_node, dst_port)).copied();
-                self.transmit(&packet, dst_node, dst, target)?;
+                self.transmit(&packet, dst_node, dst, target, ecn)?;
             }
             Addr::Multicast(group, dst_port) => {
                 let members: Vec<(SocketHandle, NodeId)> = self
@@ -331,7 +421,7 @@ impl Network {
                     .map(|(i, sock)| (SocketHandle(i as u32), sock.node))
                     .collect();
                 for (member, node) in members {
-                    self.transmit(&packet, node, dst, Some(member))?;
+                    self.transmit(&packet, node, dst, Some(member), ecn)?;
                 }
             }
         }
@@ -357,12 +447,12 @@ impl Network {
                 return Err(NetError::PayloadTooLarge(p.len()));
             }
         }
-        let (src_node, src_port) = {
+        let (src_node, src_port, ecn) = {
             let sock = self.sockets.get(s.0 as usize).ok_or(NetError::BadSocket)?;
             if !sock.open {
                 return Err(NetError::BadSocket);
             }
-            (sock.node, sock.port)
+            (sock.node, sock.port, sock.ecn)
         };
         let packets: Vec<WirePacket> = payloads
             .into_iter()
@@ -383,7 +473,7 @@ impl Network {
                     .route(src_node, dst_node)
                     .ok_or(NetError::Unreachable(src_node, dst_node))?;
                 for packet in &packets {
-                    self.transmit_on_path(packet, &path, dst, target);
+                    self.transmit_on_path(packet, &path, dst, target, ecn);
                     copies += 1;
                 }
             }
@@ -406,7 +496,7 @@ impl Network {
                         .route(src_node, node)
                         .ok_or(NetError::Unreachable(src_node, node))?;
                     for packet in &packets {
-                        self.transmit_on_path(packet, &path, dst, Some(member));
+                        self.transmit_on_path(packet, &path, dst, Some(member), ecn);
                         copies += 1;
                     }
                 }
@@ -422,18 +512,22 @@ impl Network {
         dst_node: NodeId,
         dst: Addr,
         target: Option<SocketHandle>,
+        ecn_capable: bool,
     ) -> Result<(), NetError> {
         let path = self
             .topo
             .route(packet.src_node, dst_node)
             .ok_or(NetError::Unreachable(packet.src_node, dst_node))?;
-        self.transmit_on_path(packet, &path, dst, target);
+        self.transmit_on_path(packet, &path, dst, target, ecn_capable);
         Ok(())
     }
 
     /// Schedule one copy of `packet` along a precomputed link path,
     /// applying serialization, FIFO queueing, latency, loss, and any
     /// per-link fault model (burst loss, jitter, reorder, duplication).
+    /// When a link on the path has a qdisc mounted, the copy travels as
+    /// an [`InFlight`] event-driven walk instead; paths without one use
+    /// the analytic loop below, which consumes an identical RNG stream.
     ///
     /// Every fault draw is gated on its rate being non-zero, so links
     /// without a model — or with [`crate::faults::FaultModel::none`] —
@@ -444,60 +538,119 @@ impl Network {
         path: &[LinkId],
         dst: Addr,
         target: Option<SocketHandle>,
+        ecn_capable: bool,
     ) {
-        let mut t = self.clock.now();
-        let mut dropped = false;
-        let mut duplicate = false;
-        for link_id in path {
-            let link = &mut self.topo.links[link_id.0 as usize];
-            let start = t.max(link.busy_until);
-            let ser = link.spec.serialization_time(packet.wire_size());
-            link.busy_until = start + ser;
-            link.busy_accum += ser;
-            t = start + ser + link.spec.latency;
-            if link.spec.loss > 0.0 && self.rng.random::<f64>() < link.spec.loss {
-                dropped = true;
-                break;
-            }
-            if let Some(fault) = link.fault.as_mut() {
-                // Evolve the Gilbert–Elliott chain, then sample loss at
-                // the current state's rate.
-                let flip = if fault.bad {
-                    fault.model.burst.p_exit_bad
-                } else {
-                    fault.model.burst.p_enter_bad
-                };
-                if flip > 0.0 && self.rng.random::<f64>() < flip {
-                    fault.bad = !fault.bad;
-                }
-                let loss = if fault.bad {
-                    fault.model.burst.loss_bad
-                } else {
-                    fault.model.burst.loss_good
-                };
-                if loss > 0.0 && self.rng.random::<f64>() < loss {
-                    dropped = true;
-                    break;
-                }
-                if fault.model.jitter > Ticks::ZERO {
-                    let j = self.rng.random_range(0..=fault.model.jitter.as_micros());
-                    t += Ticks::from_micros(j);
-                }
-                if fault.model.reorder > 0.0 && self.rng.random::<f64>() < fault.model.reorder {
-                    // Hold the packet back so trailing traffic can
-                    // overtake; the hold bounds the displacement.
-                    let hold = fault.model.reorder_hold.as_micros().max(1);
-                    t += Ticks::from_micros(self.rng.random_range(1..=hold));
-                }
-                if fault.model.duplicate > 0.0 && self.rng.random::<f64>() < fault.model.duplicate {
-                    duplicate = true;
-                }
-            }
-        }
-        if dropped {
-            self.stats.dropped += 1;
+        if !self.qdiscs.is_empty() && path.iter().any(|l| self.qdiscs.contains_key(&l.0)) {
+            let flight = InFlight {
+                packet: packet.clone(),
+                path: path.to_vec(),
+                hop: 0,
+                dst,
+                target,
+                ecn_capable,
+                ce: false,
+                duplicate: false,
+            };
+            self.advance_flight(flight);
             return;
         }
+        let mut t = self.clock.now();
+        let mut duplicate = false;
+        for link_id in path {
+            if !self.traverse_link(*link_id, packet.wire_size(), &mut t, &mut duplicate) {
+                self.stats.dropped += 1;
+                return;
+            }
+        }
+        self.deliver(packet, dst, target, t, false, duplicate);
+    }
+
+    /// Traverse one link analytically: bounded-FIFO admission (when the
+    /// link has a queue cap), busy-time reservation, serialization +
+    /// propagation, then the loss/fault rolls. Advances `t` to the exit
+    /// instant and returns false when the copy is dropped.
+    fn traverse_link(
+        &mut self,
+        link_id: LinkId,
+        wire_size: usize,
+        t: &mut Ticks,
+        duplicate: &mut bool,
+    ) -> bool {
+        let link = &mut self.topo.links[link_id.0 as usize];
+        if let Some(cap) = link.spec.queue_cap_bytes {
+            // Bytes currently waiting = backlog time × line rate. The
+            // check consumes no RNG, so unbounded links are untouched.
+            let backlog_us = link.busy_until.saturating_sub(*t).as_micros();
+            let backlog_bytes = backlog_us * link.spec.bandwidth_bps / 8_000_000;
+            if backlog_bytes + wire_size as u64 > cap {
+                self.stats.fifo_dropped += 1;
+                return false;
+            }
+        }
+        let start = (*t).max(link.busy_until);
+        let ser = link.spec.serialization_time(wire_size);
+        link.busy_until = start + ser;
+        link.busy_accum += ser;
+        *t = start + ser + link.spec.latency;
+        self.roll_link_loss(link_id, t, duplicate)
+    }
+
+    /// Roll the per-link loss and fault-model draws for one copy at its
+    /// exit from `link_id`, possibly adding jitter/reorder delay to `t`
+    /// or flagging duplication. Returns false when the copy is lost.
+    /// Draw order and gating are identical to the historical analytic
+    /// loop, keeping seeded runs bit-for-bit reproducible.
+    fn roll_link_loss(&mut self, link_id: LinkId, t: &mut Ticks, duplicate: &mut bool) -> bool {
+        let link = &mut self.topo.links[link_id.0 as usize];
+        if link.spec.loss > 0.0 && self.rng.random::<f64>() < link.spec.loss {
+            return false;
+        }
+        if let Some(fault) = link.fault.as_mut() {
+            // Evolve the Gilbert–Elliott chain, then sample loss at
+            // the current state's rate.
+            let flip = if fault.bad {
+                fault.model.burst.p_exit_bad
+            } else {
+                fault.model.burst.p_enter_bad
+            };
+            if flip > 0.0 && self.rng.random::<f64>() < flip {
+                fault.bad = !fault.bad;
+            }
+            let loss = if fault.bad {
+                fault.model.burst.loss_bad
+            } else {
+                fault.model.burst.loss_good
+            };
+            if loss > 0.0 && self.rng.random::<f64>() < loss {
+                return false;
+            }
+            if fault.model.jitter > Ticks::ZERO {
+                let j = self.rng.random_range(0..=fault.model.jitter.as_micros());
+                *t += Ticks::from_micros(j);
+            }
+            if fault.model.reorder > 0.0 && self.rng.random::<f64>() < fault.model.reorder {
+                // Hold the packet back so trailing traffic can
+                // overtake; the hold bounds the displacement.
+                let hold = fault.model.reorder_hold.as_micros().max(1);
+                *t += Ticks::from_micros(self.rng.random_range(1..=hold));
+            }
+            if fault.model.duplicate > 0.0 && self.rng.random::<f64>() < fault.model.duplicate {
+                *duplicate = true;
+            }
+        }
+        true
+    }
+
+    /// Schedule delivery of a surviving copy into the target inbox.
+    fn deliver(
+        &mut self,
+        packet: &WirePacket,
+        dst: Addr,
+        target: Option<SocketHandle>,
+        t: Ticks,
+        ecn_ce: bool,
+        duplicate: bool,
+    ) {
         if let Some(target) = target {
             let copies = if duplicate { 2 } else { 1 };
             for _ in 0..copies {
@@ -511,6 +664,7 @@ impl Network {
                             dst,
                             payload: packet.payload.clone(),
                             arrived_at: t,
+                            ecn_ce,
                         },
                     },
                 );
@@ -519,6 +673,149 @@ impl Network {
                 self.stats.duplicated += 1;
             }
         }
+    }
+
+    /// Walk an in-flight copy along its remaining path starting at the
+    /// current instant. Plain links are traversed analytically; on
+    /// reaching a qdisc link the copy is enqueued there (or handed off
+    /// as a [`NetEvent::Hop`] when its arrival lies in the future).
+    fn advance_flight(&mut self, mut flight: InFlight) {
+        let now = self.clock.now();
+        let mut t = now;
+        while flight.hop < flight.path.len() {
+            let link_id = flight.path[flight.hop];
+            if self.qdiscs.contains_key(&link_id.0) {
+                if t > now {
+                    // The copy only reaches the qdisc at `t`; classify
+                    // and enqueue it then, in arrival order.
+                    self.queue.schedule(t, NetEvent::Hop { flight });
+                } else {
+                    self.qdisc_enqueue(link_id, flight);
+                }
+                return;
+            }
+            if !self.traverse_link(
+                link_id,
+                flight.packet.wire_size(),
+                &mut t,
+                &mut flight.duplicate,
+            ) {
+                self.stats.dropped += 1;
+                return;
+            }
+            flight.hop += 1;
+        }
+        self.deliver(
+            &flight.packet,
+            flight.dst,
+            flight.target,
+            t,
+            flight.ce,
+            flight.duplicate,
+        );
+    }
+
+    /// Classify an arriving copy into the class queues of the qdisc on
+    /// `link_id` and (re)schedule service.
+    fn qdisc_enqueue(&mut self, link_id: LinkId, flight: InFlight) {
+        let now = self.clock.now();
+        let port = match flight.dst {
+            Addr::Unicast(_, p) | Addr::Multicast(_, p) => p,
+        };
+        let wire = flight.packet.wire_size() as u32;
+        let ecn = flight.ecn_capable;
+        let Some(lq) = self.qdiscs.get_mut(&link_id.0) else {
+            return;
+        };
+        let class = lq.q.classify(port.0);
+        match lq.q.enqueue(now.as_micros(), class, wire, ecn, flight) {
+            EnqueueOutcome::Queued => {
+                lq.q.publish_backlog();
+                self.kick_qdisc(link_id);
+            }
+            EnqueueOutcome::TailDropped(_) => {
+                self.stats.dropped += 1;
+                self.stats.qdisc_dropped += 1;
+            }
+        }
+    }
+
+    /// Ensure a service event is pending for the qdisc on `link_id` at
+    /// the earliest instant its head packet both conforms to shaping
+    /// and finds the line idle. Superseded events are invalidated by
+    /// bumping the generation counter.
+    fn kick_qdisc(&mut self, link_id: LinkId) {
+        let now = self.clock.now();
+        let busy = self.topo.links[link_id.0 as usize].busy_until.max(now);
+        let Some(lq) = self.qdiscs.get_mut(&link_id.0) else {
+            return;
+        };
+        let Some(ready) = lq.q.next_ready(busy.as_micros()) else {
+            return;
+        };
+        let at = Ticks::from_micros(ready);
+        if lq.service_at.is_none_or(|s| at < s) {
+            lq.gen += 1;
+            lq.service_at = Some(at);
+            let gen = lq.gen;
+            self.queue.schedule(
+                at,
+                NetEvent::QdiscService {
+                    link: link_id.0,
+                    gen,
+                },
+            );
+        }
+    }
+
+    /// Serve at most one packet from the qdisc on `link`, putting it on
+    /// the wire (busy-time reservation + loss rolls) and resuming its
+    /// path walk, then reschedule service for whatever remains queued.
+    fn service_qdisc(&mut self, link: u32, gen: u64) {
+        let now = self.clock.now();
+        let link_id = LinkId(link);
+        let Some(lq) = self.qdiscs.get_mut(&link) else {
+            return;
+        };
+        if lq.gen != gen {
+            return;
+        }
+        lq.service_at = None;
+        let out = lq.q.dequeue(now.as_micros());
+        let aqm_drops = out.aqm_dropped.len() as u64;
+        lq.q.publish_backlog();
+        self.stats.dropped += aqm_drops;
+        self.stats.qdisc_dropped += aqm_drops;
+        if let Some(rel) = out.released {
+            let mut flight = rel.payload;
+            if rel.ecn_marked {
+                self.stats.ecn_marked += 1;
+                flight.ce = true;
+            }
+            let link_ref = &mut self.topo.links[link as usize];
+            let ser = link_ref.spec.serialization_time(flight.packet.wire_size());
+            link_ref.busy_until = now + ser;
+            link_ref.busy_accum += ser;
+            let mut t = now + ser + link_ref.spec.latency;
+            if self.roll_link_loss(link_id, &mut t, &mut flight.duplicate) {
+                flight.hop += 1;
+                if flight.hop < flight.path.len() {
+                    self.queue.schedule(t, NetEvent::Hop { flight });
+                } else {
+                    self.deliver(
+                        &flight.packet,
+                        flight.dst,
+                        flight.target,
+                        t,
+                        flight.ce,
+                        flight.duplicate,
+                    );
+                }
+            } else {
+                self.stats.dropped += 1;
+            }
+        }
+        self.kick_qdisc(link_id);
     }
 
     /// Schedule an opaque timer key to fire at absolute time `at`.
@@ -573,6 +870,8 @@ impl Network {
                 NetEvent::Timer { key } => {
                     self.fired_timers.push_back((ev.at, key));
                 }
+                NetEvent::Hop { flight } => self.advance_flight(flight),
+                NetEvent::QdiscService { link, gen } => self.service_qdisc(link, gen),
             }
         }
         self.clock.advance_to(deadline);
@@ -1027,5 +1326,202 @@ mod tests {
         assert_eq!(net.pending(sb), 0);
         // Port can be rebound after close.
         assert!(net.bind(b, Port(1000)).is_ok());
+    }
+
+    /// A slow link with a FIFO cap tail-drops the overflow instead of
+    /// queueing unboundedly; without the cap the same burst queues in
+    /// full (the historical behavior).
+    #[test]
+    fn bounded_fifo_tail_drops_overflow() {
+        let run = |cap: Option<u64>| -> (u64, u64, usize) {
+            let mut net = Network::new(7);
+            let a = net.add_node("a");
+            let b = net.add_node("b");
+            let mut spec = LinkSpec::wireless().with_loss(0.0); // 1 Mb/s
+            if let Some(c) = cap {
+                spec = spec.with_queue_cap(c);
+            }
+            net.connect(a, b, spec);
+            let sa = net.bind(a, Port(1)).unwrap();
+            let sb = net.bind(b, Port(1)).unwrap();
+            // 100 x 1000B back-to-back = 100 ms of backlog on this link.
+            for _ in 0..100 {
+                net.send(sa, Addr::unicast(b, Port(1)), vec![0u8; 1000])
+                    .unwrap();
+            }
+            net.run_to_quiescence();
+            let mut delivered = 0;
+            while net.recv(sb).is_some() {
+                delivered += 1;
+            }
+            (net.stats().fifo_dropped, net.stats().dropped, delivered)
+        };
+        let (unbounded_fifo, unbounded_drops, unbounded_delivered) = run(None);
+        assert_eq!(unbounded_fifo, 0);
+        assert_eq!(unbounded_drops, 0);
+        assert_eq!(unbounded_delivered, 100, "no cap: everything queues");
+
+        // Cap the backlog at ~10 packets' worth of wire bytes.
+        let (fifo, drops, delivered) = run(Some(10_300));
+        assert!(fifo > 0, "cap must tail-drop the burst overflow");
+        assert_eq!(drops, fifo, "FIFO drops are counted in `dropped` too");
+        assert_eq!(delivered as u64 + fifo, 100, "every packet accounted");
+        assert!(
+            (9..=12).contains(&delivered),
+            "roughly the cap's worth delivered, got {delivered}"
+        );
+    }
+
+    /// The FIFO cap admits packets again as the backlog drains: spacing
+    /// the same offered load out over time loses nothing.
+    #[test]
+    fn bounded_fifo_admits_after_drain() {
+        let mut net = Network::new(8);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(
+            a,
+            b,
+            LinkSpec::wireless().with_loss(0.0).with_queue_cap(4_000),
+        );
+        let sa = net.bind(a, Port(1)).unwrap();
+        let sb = net.bind(b, Port(1)).unwrap();
+        for _ in 0..30 {
+            net.send(sa, Addr::unicast(b, Port(1)), vec![0u8; 1000])
+                .unwrap();
+            // 1000B wire takes ~8 ms at 1 Mb/s; 10 ms gaps keep the
+            // queue shallow.
+            net.run_for(Ticks::from_millis(10));
+        }
+        net.run_to_quiescence();
+        assert_eq!(net.stats().fifo_dropped, 0, "paced load never overflows");
+        let mut delivered = 0;
+        while net.recv(sb).is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 30);
+    }
+
+    // ------------------------------------------------- qdisc egress
+
+    use qdisc::{QdiscConfig, TrafficClass};
+
+    /// 1 Mb/s shaped link: packets are paced at the token-bucket rate
+    /// rather than the (here unconstrained) link serialization rate.
+    #[test]
+    fn qdisc_shapes_egress_rate() {
+        let mut net = Network::new(9);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        // Fast line so any pacing observed comes from the qdisc.
+        let link = net.connect(a, b, LinkSpec::lan());
+        net.attach_qdisc(link, QdiscConfig::for_rate(8_000_000)); // 1 B/us
+        let sa = net.bind(a, Port(1)).unwrap();
+        let sb = net.bind(b, Port(1)).unwrap();
+        for _ in 0..10 {
+            net.send(sa, Addr::unicast(b, Port(1)), vec![0u8; 1000])
+                .unwrap();
+        }
+        net.run_to_quiescence();
+        let mut arrivals = Vec::new();
+        while let Some(d) = net.recv(sb) {
+            arrivals.push(d.arrived_at);
+        }
+        assert_eq!(arrivals.len(), 10);
+        // ~1031 wire bytes per packet at 1 B/µs: steady-state spacing
+        // near 1 ms once the 3000-byte burst is spent.
+        let gaps: Vec<u64> = arrivals
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_micros())
+            .collect();
+        let tail = &gaps[gaps.len() - 4..];
+        for g in tail {
+            assert!(
+                (900..=1200).contains(g),
+                "steady-state pacing ~1ms/packet, got gaps {gaps:?}"
+            );
+        }
+        let stats = net.qdisc_stats(link).unwrap();
+        assert_eq!(stats.class(TrafficClass::Background).dequeued, 10);
+    }
+
+    /// ECN-capable traffic through a congested qdisc arrives CE-marked
+    /// and undropped; the same overload drops non-ECT traffic instead.
+    #[test]
+    fn qdisc_marks_ect_instead_of_dropping() {
+        let run = |ecn: bool| -> (usize, usize, u64, u64) {
+            let mut net = Network::new(10);
+            let a = net.add_node("a");
+            let b = net.add_node("b");
+            let link = net.connect(a, b, LinkSpec::lan());
+            let mut cfg = QdiscConfig::for_rate(800_000); // 0.1 B/us
+            cfg.codel_target_us = 5_000;
+            cfg.codel_interval_us = 20_000;
+            net.attach_qdisc(link, cfg);
+            let sa = net.bind(a, Port(1)).unwrap();
+            let sb = net.bind(b, Port(1)).unwrap();
+            net.set_ecn(sa, ecn);
+            // 500B every 2 ms = 2 Mb/s offered against 0.8 Mb/s of
+            // shaped capacity: deep sustained backlog, CoDel far past
+            // target.
+            for _ in 0..60 {
+                net.send(sa, Addr::unicast(b, Port(1)), vec![0u8; 500])
+                    .unwrap();
+                net.run_for(Ticks::from_millis(2));
+            }
+            net.run_for(Ticks::from_secs(5));
+            let mut total = 0;
+            let mut marked = 0;
+            while let Some(d) = net.recv(sb) {
+                total += 1;
+                if d.ecn_ce {
+                    marked += 1;
+                }
+            }
+            (
+                total,
+                marked,
+                net.stats().ecn_marked,
+                net.stats().qdisc_dropped,
+            )
+        };
+        let (ect_total, ect_marked, ect_mark_stat, ect_drops) = run(true);
+        assert!(ect_marked > 0, "AQM must mark the ECT flow");
+        assert_eq!(ect_marked as u64, ect_mark_stat);
+        assert_eq!(ect_drops, 0, "ECT traffic is marked, not dropped");
+        assert_eq!(ect_total, 60, "nothing lost");
+
+        let (not_total, not_marked, not_mark_stat, not_drops) = run(false);
+        assert_eq!(not_marked, 0, "non-ECT can never carry CE");
+        assert_eq!(not_mark_stat, 0);
+        assert!(not_drops > 0, "same overload drops non-ECT traffic");
+        assert!(not_total < 60);
+    }
+
+    /// Same seed + same qdisc config ⇒ identical arrival trace.
+    #[test]
+    fn qdisc_runs_are_deterministic() {
+        let run = || -> Vec<(u64, Vec<u8>, bool)> {
+            let mut net = Network::new(11);
+            let a = net.add_node("a");
+            let b = net.add_node("b");
+            let link = net.connect(a, b, LinkSpec::wireless()); // has loss
+            net.attach_qdisc(link, QdiscConfig::for_rate(500_000));
+            let sa = net.bind(a, Port(5004)).unwrap();
+            let sb = net.bind(b, Port(5004)).unwrap();
+            net.set_ecn(sa, true);
+            for n in 0..40u8 {
+                net.send(sa, Addr::unicast(b, Port(5004)), vec![n; 200])
+                    .unwrap();
+                net.run_for(Ticks::from_millis(2));
+            }
+            net.run_to_quiescence();
+            let mut out = Vec::new();
+            while let Some(d) = net.recv(sb) {
+                out.push((d.arrived_at.as_micros(), d.payload, d.ecn_ce));
+            }
+            out
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -18,7 +18,13 @@
 //! * [`Nack`] + the sender retransmit buffer — an RFC 4585-style
 //!   feedback loop: the receiver detects sequence gaps, NACKs them
 //!   with exponential backoff under a retransmit budget, and the
-//!   sender replays them from a bounded history.
+//!   sender replays them from a bounded history, and
+//! * [`EcnEcho`] — an RFC 6679-style ECN feedback report: the
+//!   receiver counts packets that arrived Congestion-Experienced
+//!   (marked by a link's AQM instead of being dropped) via
+//!   [`RtpReceiver::push_marked`] and echoes the counts back, so the
+//!   sender-side adaptation loop can react to congestion *before*
+//!   any packet is lost.
 //!
 //! NACKs share the RTP version bits, so a NACK datagram *parses* as an
 //! RTP header; feedback must travel on its own port (as RTCP does).
@@ -118,6 +124,67 @@ impl Nack {
             .map(|c| u16::from_be_bytes([c[0], c[1]]))
             .collect();
         Some(Nack { ssrc, seqs })
+    }
+}
+
+/// RTCP payload type used for ECN feedback (after RFC 6679's ECN
+/// feedback format; carried as payload-specific feedback, PT 206).
+pub const RTCP_ECN_PT: u8 = 206;
+
+/// ECN echo: how much of the stream arrived Congestion-Experienced.
+///
+/// A link's AQM marks ECN-capable packets instead of dropping them;
+/// the receiver counts the marks and echoes them to the sender so the
+/// adaptation loop sees congestion while loss is still zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EcnEcho {
+    /// Stream the feedback refers to.
+    pub ssrc: u32,
+    /// Extended highest sequence number covered by the counts.
+    pub ext_highest_seq: u32,
+    /// Packets that arrived with the CE mark.
+    pub ce_count: u32,
+    /// Packets that arrived unmarked.
+    pub not_ce_count: u32,
+}
+
+impl EcnEcho {
+    /// Serialize: version byte, [`RTCP_ECN_PT`], then SSRC, extended
+    /// highest sequence, CE count and not-CE count, all big-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(18);
+        out.push(RTP_VERSION << 6);
+        out.push(RTCP_ECN_PT);
+        out.extend_from_slice(&self.ssrc.to_be_bytes());
+        out.extend_from_slice(&self.ext_highest_seq.to_be_bytes());
+        out.extend_from_slice(&self.ce_count.to_be_bytes());
+        out.extend_from_slice(&self.not_ce_count.to_be_bytes());
+        out
+    }
+
+    /// Parse the wire form; `None` on wrong version/type or bad length.
+    pub fn decode(buf: &[u8]) -> Option<EcnEcho> {
+        if buf.len() != 18 || buf[0] >> 6 != RTP_VERSION || buf[1] != RTCP_ECN_PT {
+            return None;
+        }
+        let word = |i: usize| u32::from_be_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]);
+        Some(EcnEcho {
+            ssrc: word(2),
+            ext_highest_seq: word(6),
+            ce_count: word(10),
+            not_ce_count: word(14),
+        })
+    }
+
+    /// Fraction of the counted stream that arrived CE-marked, in
+    /// `[0, 1]`.
+    pub fn fraction_ce(&self) -> f64 {
+        let total = self.ce_count as u64 + self.not_ce_count as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.ce_count as f64 / total as f64
+        }
     }
 }
 
@@ -249,6 +316,15 @@ pub struct ReceiverReport {
     pub duplicates: u64,
     /// NACK feedback messages emitted.
     pub nacks_sent: u64,
+    /// Arrivals that carried the ECN Congestion-Experienced mark
+    /// (counted by [`RtpReceiver::push_marked`]).
+    pub ecn_ce: u64,
+    /// Fraction of all decoded arrivals that were CE-marked, in
+    /// `[0, 1]` — the congestion signal the adaptation loop consumes
+    /// as `congestion_pct` (× 100). Congestion shows here *before*
+    /// `fraction_lost` moves: the AQM marks ECN-capable traffic where
+    /// it would drop anything else.
+    pub fraction_ecn_ce: f64,
 }
 
 /// Per-gap NACK bookkeeping.
@@ -314,6 +390,10 @@ pub struct RtpReceiver {
     recovered: u64,
     duplicates: u64,
     nacks_sent: u64,
+    /// Decoded RTP arrivals (any disposition), the ECN denominator.
+    arrivals: u64,
+    /// Arrivals that carried the CE mark.
+    ce_arrivals: u64,
 }
 
 impl RtpReceiver {
@@ -337,6 +417,8 @@ impl RtpReceiver {
             recovered: 0,
             duplicates: 0,
             nacks_sent: 0,
+            arrivals: 0,
+            ce_arrivals: 0,
         }
     }
 
@@ -396,11 +478,27 @@ impl RtpReceiver {
     }
 
     /// Offer a raw datagram payload; returns packets now releasable in
-    /// order (possibly empty, possibly several).
+    /// order (possibly empty, possibly several). Equivalent to
+    /// [`RtpReceiver::push_marked`] with `ecn_ce = false`.
     pub fn push(&mut self, raw: &[u8]) -> Vec<RtpPacket> {
+        self.push_marked(raw, false)
+    }
+
+    /// Offer a raw datagram payload together with its network-layer
+    /// ECN disposition (`ecn_ce` is the Congestion-Experienced mark a
+    /// link's AQM may have set; see `simnet::net::Datagram::ecn_ce`).
+    /// Marks are counted per decoded arrival — duplicates included,
+    /// since each copy's mark is an independent congestion observation
+    /// — and surface in [`ReceiverReport::fraction_ecn_ce`] and the
+    /// [`EcnEcho`] feedback.
+    pub fn push_marked(&mut self, raw: &[u8], ecn_ce: bool) -> Vec<RtpPacket> {
         let Some((header, body)) = RtpHeader::decode(raw) else {
             return Vec::new();
         };
+        self.arrivals += 1;
+        if ecn_ce {
+            self.ce_arrivals += 1;
+        }
         let ext = self.extend(header.seq);
         self.ssrc = Some(header.ssrc);
         if self.next_ext.is_none() {
@@ -580,7 +678,25 @@ impl RtpReceiver {
             recovered: self.recovered,
             duplicates: self.duplicates,
             nacks_sent: self.nacks_sent,
+            ecn_ce: self.ce_arrivals,
+            fraction_ecn_ce: if self.arrivals == 0 {
+                0.0
+            } else {
+                self.ce_arrivals as f64 / self.arrivals as f64
+            },
         }
+    }
+
+    /// ECN feedback for the sender: the CE/not-CE counts observed so
+    /// far. `None` until the first packet arrives (no SSRC yet).
+    pub fn ecn_echo(&self) -> Option<EcnEcho> {
+        let ssrc = self.ssrc?;
+        Some(EcnEcho {
+            ssrc,
+            ext_highest_seq: self.highest_ext,
+            ce_count: self.ce_arrivals.min(u32::MAX as u64) as u32,
+            not_ce_count: (self.arrivals - self.ce_arrivals).min(u32::MAX as u64) as u32,
+        })
     }
 }
 
@@ -887,6 +1003,55 @@ mod tests {
         assert_eq!(released.len(), 8);
         assert_eq!(r.report().recovered, 1);
         assert_eq!(r.report().lost, 0);
+    }
+
+    #[test]
+    fn ecn_echo_wire_round_trip() {
+        let e = EcnEcho {
+            ssrc: 0xfeedface,
+            ext_highest_seq: 0x0001_0042,
+            ce_count: 7,
+            not_ce_count: 93,
+        };
+        assert_eq!(EcnEcho::decode(&e.encode()), Some(e));
+        assert!((e.fraction_ce() - 0.07).abs() < 1e-12);
+        assert_eq!(EcnEcho::decode(&[0u8; 4]), None, "too short");
+        let mut bad = e.encode();
+        bad[1] = RTCP_NACK_PT;
+        assert_eq!(EcnEcho::decode(&bad), None, "wrong payload type");
+        let mut long = e.encode();
+        long.push(0);
+        assert_eq!(EcnEcho::decode(&long), None, "bad length");
+    }
+
+    #[test]
+    fn ce_marks_counted_and_echoed() {
+        let mut r = RtpReceiver::new(8);
+        assert!(r.ecn_echo().is_none(), "no SSRC before first arrival");
+        // 1 of 4 arrivals CE-marked; dup counted as its own observation.
+        assert_eq!(r.push_marked(&mk(0), false).len(), 1);
+        assert_eq!(r.push_marked(&mk(1), true).len(), 1);
+        assert_eq!(r.push_marked(&mk(2), false).len(), 1);
+        assert!(r.push_marked(&mk(2), false).is_empty(), "duplicate");
+        let rep = r.report();
+        assert_eq!(rep.ecn_ce, 1);
+        assert!((rep.fraction_ecn_ce - 0.25).abs() < 1e-12);
+        assert_eq!(rep.fraction_lost, 0.0, "ECN signals without loss");
+        let echo = r.ecn_echo().expect("stream started");
+        assert_eq!(echo.ssrc, 0xabcd);
+        assert_eq!((echo.ce_count, echo.not_ce_count), (1, 3));
+        assert!((echo.fraction_ce() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmarked_stream_reports_zero_congestion() {
+        let mut r = RtpReceiver::new(8);
+        for seq in 0..10u16 {
+            r.push(&mk(seq));
+        }
+        let rep = r.report();
+        assert_eq!(rep.ecn_ce, 0);
+        assert_eq!(rep.fraction_ecn_ce, 0.0);
     }
 
     #[test]

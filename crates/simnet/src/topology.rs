@@ -36,6 +36,13 @@ pub struct LinkSpec {
     pub latency: Ticks,
     /// Probability in `[0, 1]` that a packet traversing the link is lost.
     pub loss: f64,
+    /// Optional bound on the link's FIFO backlog, in wire bytes. With
+    /// `None` (the default) the FIFO queues unboundedly, exactly as
+    /// before the cap existed; with `Some(cap)` a packet that would
+    /// push the queued-but-unserialized backlog past `cap` is
+    /// tail-dropped and counted in
+    /// [`crate::trace::NetStats::fifo_dropped`].
+    pub queue_cap_bytes: Option<u64>,
 }
 
 impl LinkSpec {
@@ -45,6 +52,7 @@ impl LinkSpec {
             bandwidth_bps: 100_000_000,
             latency: Ticks::from_micros(100),
             loss: 0.0,
+            queue_cap_bytes: None,
         }
     }
 
@@ -54,6 +62,7 @@ impl LinkSpec {
             bandwidth_bps: 1_000_000,
             latency: Ticks::from_millis(2),
             loss: 0.01,
+            queue_cap_bytes: None,
         }
     }
 
@@ -63,6 +72,7 @@ impl LinkSpec {
             bandwidth_bps: 10_000_000,
             latency: Ticks::from_millis(20),
             loss: 0.001,
+            queue_cap_bytes: None,
         }
     }
 
@@ -83,6 +93,13 @@ impl LinkSpec {
     /// Override the propagation latency.
     pub fn with_latency(mut self, latency: Ticks) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Bound the link's FIFO backlog to `cap` wire bytes (drop-tail).
+    pub fn with_queue_cap(mut self, cap: u64) -> Self {
+        assert!(cap > 0, "queue cap must be positive");
+        self.queue_cap_bytes = Some(cap);
         self
     }
 

@@ -17,6 +17,15 @@ pub struct NetStats {
     /// Copies duplicated by a fault model (each adds one extra
     /// delivery on top of the original).
     pub duplicated: u64,
+    /// Copies tail-dropped by a bounded per-link FIFO (also counted in
+    /// `dropped`).
+    pub fifo_dropped: u64,
+    /// Copies dropped by a link's traffic-control plane — class-queue
+    /// tail drops plus CoDel drops of non-ECT packets (also counted in
+    /// `dropped`).
+    pub qdisc_dropped: u64,
+    /// Copies ECN-marked by a link's AQM and still delivered.
+    pub ecn_marked: u64,
 }
 
 impl NetStats {

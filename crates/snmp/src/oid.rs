@@ -197,6 +197,38 @@ pub mod arcs {
     pub fn host_rtp_loss() -> Oid {
         tassl().extend(&[6, 0])
     }
+
+    /// hostCongestionPct.0 — fraction of the measured RTP stream that
+    /// arrived ECN Congestion-Experienced, percent (Gauge32). The
+    /// early-warning counterpart of hostRtpLossPct: it moves while
+    /// loss is still zero.
+    pub fn host_congestion() -> Oid {
+        tassl().extend(&[7, 0])
+    }
+
+    /// The per-link traffic-control (qdisc) subtree: 99999.20.
+    pub fn qdisc() -> Oid {
+        tassl().child(20)
+    }
+
+    /// qdiscBacklog.{link} — current queued bytes on the link's
+    /// traffic-control plane (Gauge32).
+    pub fn qdisc_backlog(link: u32) -> Oid {
+        qdisc().extend(&[1, link])
+    }
+
+    /// qdiscDrops.{link} — cumulative packets dropped by the plane,
+    /// class-queue tail drops plus AQM drops of non-ECT traffic
+    /// (Counter32).
+    pub fn qdisc_drops(link: u32) -> Oid {
+        qdisc().extend(&[2, link])
+    }
+
+    /// qdiscEcnMarks.{link} — cumulative packets ECN-marked by the
+    /// plane's AQM and still delivered (Counter32).
+    pub fn qdisc_ecn_marks(link: u32) -> Oid {
+        qdisc().extend(&[3, link])
+    }
 }
 
 #[cfg(test)]

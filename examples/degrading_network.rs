@@ -1,9 +1,18 @@
 //! Distance-learning under a degrading network (§1's motivating
-//! dynamics + §5.5's network-element monitoring): a lecturer streams
-//! slides to students; an edge router's advertised bandwidth collapses
-//! mid-session, the bandwidth policy caps the students' modality, and
-//! a hysteresis filter keeps the level from flapping as the link
-//! recovers noisily.
+//! dynamics + §5.5's network-element monitoring), in two acts:
+//!
+//! 1. **Bandwidth collapse** — a lecturer streams slides to students;
+//!    an edge router's advertised bandwidth collapses mid-session, the
+//!    bandwidth policy caps the students' modality, and a hysteresis
+//!    filter keeps the level from flapping as the link recovers
+//!    noisily.
+//! 2. **Shaped vs unshaped bottleneck** — the same offered load (an
+//!    interactive RTP stream plus a mid-run bulk flood) crosses a
+//!    1 Mb/s access link twice: once through the link's plain bounded
+//!    FIFO, once through the traffic-control plane (DRR + ECN-capable
+//!    CoDel). Side-by-side timelines show the unshaped run losing
+//!    media packets and downgrading *after* the damage, while the
+//!    shaped run is warned by ECN marks and downgrades with zero loss.
 //!
 //! ```sh
 //! cargo run --example degrading_network
@@ -11,8 +20,20 @@
 
 use collabqos::core::hysteresis::HysteresisFilter;
 use collabqos::prelude::*;
+use collabqos::simnet::qdisc::{QdiscConfig, TrafficClass};
+use collabqos::simnet::rtp::{RtpReceiver, RtpSender};
+use collabqos::simnet::{Addr, Port};
+use std::collections::BTreeMap;
 
 fn main() {
+    bandwidth_collapse_demo();
+    println!();
+    traffic_control_demo();
+}
+
+// ---------------------------------------------- act 1: bandwidth collapse
+
+fn bandwidth_collapse_demo() {
     let mut session = CollaborationSession::new(SessionConfig {
         full_stream_bpp: Some(2.1),
         ..SessionConfig::default()
@@ -57,7 +78,7 @@ fn main() {
 
     let mut filter = HysteresisFilter::new(3);
     let scene = synthetic_scene(128, 128, 1, 4, 77);
-    println!("slide: {}\n", scene.caption);
+    println!("act 1: bandwidth collapse — slide: {}\n", scene.caption);
     println!(
         "{:<6} {:>12} {:>12} {:>14}",
         "step", "link (bps)", "raw", "with hysteresis"
@@ -88,5 +109,151 @@ fn main() {
         viewer.viewed.len(),
         viewer.text_fallbacks.len(),
         filter.suppressed_upgrades,
+    );
+}
+
+// ------------------------------------------ act 2: shaped vs unshaped
+
+const MEDIA_PORT: Port = Port(5004);
+const BULK_PORT: Port = Port(9000);
+const STEPS_PER_PHASE: u32 = 100; // x 2 ms = 200 ms per phase
+const PHASES: u32 = 10;
+
+/// One 200 ms slice of a bottleneck run.
+struct PhaseRow {
+    delivered: u64,
+    loss_pct: f64,
+    congestion_pct: f64,
+    avg_latency_ms: f64,
+    modality: ModalityChoice,
+}
+
+/// Drive the identical offered load over the 1 Mb/s access link —
+/// media at ~0.85 Mb/s throughout, plus a bulk flood during phases
+/// 2..=5 — with or without the traffic-control plane, and adapt from
+/// the receiver reports after every phase.
+fn run_bottleneck(shaped: bool) -> Vec<PhaseRow> {
+    let mut net = Network::new(4242);
+    let src = net.add_node("lecturer");
+    let dst = net.add_node("student");
+    // The access link itself: 1 Mb/s with a bounded drop-tail FIFO.
+    let spec = LinkSpec::wireless().with_loss(0.0).with_queue_cap(12_000);
+    let link = net.connect(src, dst, spec);
+    if shaped {
+        let mut cfg = QdiscConfig::for_rate(1_000_000);
+        cfg.codel_target_us = 2_000;
+        cfg.codel_interval_us = 10_000;
+        cfg.class_map.assign(BULK_PORT.0, TrafficClass::BulkMedia);
+        // Keep the bulk class on a short leash: a small quantum pins
+        // its congested share to 20%, and a 32-packet queue lets its
+        // backlog drain within a phase or two of the flood ending.
+        let bulk = TrafficClass::BulkMedia.index();
+        cfg.classes[bulk].quantum = 1_500;
+        cfg.classes[bulk].queue_cap_pkts = 32;
+        net.attach_qdisc(link, cfg);
+    }
+
+    let tx_media = net.bind(src, MEDIA_PORT).unwrap();
+    let rx_media = net.bind(dst, MEDIA_PORT).unwrap();
+    let tx_bulk = net.bind(src, BULK_PORT).unwrap();
+    net.bind(dst, BULK_PORT).unwrap();
+    net.set_ecn(tx_media, true);
+    net.set_ecn(tx_bulk, true);
+
+    let mut sender = RtpSender::new(0xC1A55, 96);
+    let mut receiver = RtpReceiver::new(64);
+    let mut db = PolicyDb::loss_policy();
+    db.merge(PolicyDb::congestion_policy());
+    let engine = InferenceEngine::new(db, QosContract::default());
+
+    let mut sent_at_us = Vec::new();
+    let mut rows = Vec::new();
+    for phase in 0..PHASES {
+        let flood = (2..=5).contains(&phase);
+        let mut latencies = Vec::new();
+        let mut delivered = 0u64;
+        let mut marked = 0u64;
+        for _ in 0..STEPS_PER_PHASE {
+            // Flood first: on the unshaped FIFO, whoever reaches the
+            // full queue first wins the freed slots, so the flood
+            // starves the media stream — exactly the failure the
+            // traffic-control plane exists to prevent.
+            if flood {
+                for _ in 0..5 {
+                    let _ = net.send(tx_bulk, Addr::unicast(dst, BULK_PORT), vec![0u8; 182]);
+                }
+            }
+            let seq = sent_at_us.len() as u32;
+            let mut media = vec![0u8; 170];
+            media[..4].copy_from_slice(&seq.to_be_bytes());
+            let wire = sender.wrap(seq, false, &media);
+            sent_at_us.push(net.now().as_micros());
+            let _ = net.send(tx_media, Addr::unicast(dst, MEDIA_PORT), wire);
+            net.run_for(Ticks::from_millis(2));
+            while let Some(d) = net.recv(rx_media) {
+                for pkt in receiver.push_marked(&d.payload, d.ecn_ce) {
+                    delivered += 1;
+                    marked += u64::from(d.ecn_ce);
+                    let sent = sent_at_us[pkt.header.seq as usize];
+                    latencies.push((net.now().as_micros() - sent) as f64 / 1_000.0);
+                }
+            }
+        }
+        let report = receiver.report();
+        let congestion_pct = if delivered == 0 {
+            0.0
+        } else {
+            marked as f64 * 100.0 / delivered as f64
+        };
+        let mut state = BTreeMap::new();
+        state.insert("loss_pct".to_string(), report.fraction_lost * 100.0);
+        state.insert("congestion_pct".to_string(), congestion_pct);
+        rows.push(PhaseRow {
+            delivered,
+            loss_pct: report.fraction_lost * 100.0,
+            congestion_pct,
+            avg_latency_ms: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            modality: engine.decide(&state).modality,
+        });
+    }
+    rows
+}
+
+fn traffic_control_demo() {
+    println!("act 2: same offered load, without and with the traffic-control plane");
+    println!("(media ~0.85 Mb/s on a 1 Mb/s link; bulk flood during phases 2-5)\n");
+    let unshaped = run_bottleneck(false);
+    let shaped = run_bottleneck(true);
+    println!(
+        "{:<6} | {:>5} {:>6} {:>6} {:>9} | {:>5} {:>5} {:>6} {:>9}",
+        "phase", "dlvd", "loss%", "lat ms", "modality", "dlvd", "ce%", "lat ms", "modality"
+    );
+    println!("{:-<6}-+-{:-<30}-+-{:-<29}", "", " unshaped", " shaped");
+    for (i, (u, s)) in unshaped.iter().zip(&shaped).enumerate() {
+        println!(
+            "{i:<6} | {:>5} {:>6.1} {:>6.1} {:>9} | {:>5} {:>5.1} {:>6.1} {:>9}",
+            u.delivered,
+            u.loss_pct,
+            u.avg_latency_ms,
+            format!("{:?}", u.modality),
+            s.delivered,
+            s.congestion_pct,
+            s.avg_latency_ms,
+            format!("{:?}", s.modality),
+        );
+    }
+    let u_last = unshaped.last().unwrap();
+    let s_last = shaped.last().unwrap();
+    println!(
+        "\nunshaped: {:.1}% of the media stream lost before the policy could react",
+        u_last.loss_pct
+    );
+    println!(
+        "shaped:   {:.1}% lost — ECN marks warned the policy while the queue was still building",
+        s_last.loss_pct
     );
 }

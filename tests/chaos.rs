@@ -363,6 +363,109 @@ fn scenario_trace_is_reproducible_from_seed() {
     assert!(!first.deliveries.is_empty());
 }
 
+// ------------------------------------------------- ECN under congestion
+
+/// Scripted congestion instead of scripted loss: an RTP stream crosses
+/// a qdisc-shaped link comfortably until a mid-run background flood
+/// squeezes it below its offered rate. The AQM ECN-marks the (ECT)
+/// media packets instead of dropping anything, the receiver report
+/// echoes the marks, and the congestion watcher's trap downgrades
+/// modality — all while the stream is delivered *complete*, with zero
+/// loss and zero retransmissions.
+#[test]
+fn ecn_congestion_downgrades_modality_with_zero_loss() {
+    use collabqos::core::trapwatch::{decision_from_trap, CongestionWatcher};
+    use collabqos::simnet::qdisc::QdiscConfig;
+    use collabqos::snmp::transport::{AgentRuntime, TrapSink};
+    use collabqos::snmp::SnmpAgent;
+
+    let seed = 7007;
+    let mut net = Network::new(seed);
+    let src = net.add_node("sender");
+    let dst = net.add_node("receiver");
+    let station = net.add_node("station");
+    let link = net.connect(src, dst, LinkSpec::lan());
+    net.connect(dst, station, LinkSpec::lan());
+    let mut cfg = QdiscConfig::for_rate(1_000_000);
+    cfg.codel_target_us = 2_000;
+    cfg.codel_interval_us = 10_000;
+    // The flood rides the bulk class: its 3000-byte quantum squeezes
+    // interactive media down to 2/3 of the link while both backlog.
+    cfg.class_map
+        .assign(9000, collabqos::simnet::qdisc::TrafficClass::BulkMedia);
+    let ctx = format!("seed {seed}, {}", cfg.summary());
+    net.attach_qdisc(link, cfg);
+
+    let tx_media = net.bind(src, MEDIA_PORT).unwrap();
+    let rx_media = net.bind(dst, MEDIA_PORT).unwrap();
+    let tx_noise = net.bind(src, Port(9000)).unwrap();
+    net.bind(dst, Port(9000)).unwrap();
+    net.set_ecn(tx_media, true);
+    // ECT flood: marked rather than AQM-dropped, so it keeps consuming
+    // link tokens and genuinely competes with the media class.
+    net.set_ecn(tx_noise, true);
+
+    let mut sender = RtpSender::new(0xFEED, 96);
+    let mut receiver = RtpReceiver::new(64);
+    let mut delivered = 0u32;
+
+    // ~0.85 Mb/s of media on a 1 Mb/s shaped link; steps 200..400 add
+    // a ~4 Mb/s bulk flood of equal-size packets (a shaper-blocked
+    // head forfeits its DRR visit, so only same-size competition
+    // exercises the quanta) that squeezes the media class down to its
+    // 2/3 share.
+    for step in 0..600u32 {
+        let mut media = vec![0u8; 170];
+        media[..4].copy_from_slice(&step.to_be_bytes());
+        let wire = sender.wrap(step, false, &media);
+        net.send(tx_media, Addr::unicast(dst, MEDIA_PORT), wire)
+            .unwrap();
+        if (200..400).contains(&step) {
+            for _ in 0..5 {
+                let _ = net.send(tx_noise, Addr::unicast(dst, Port(9000)), vec![0u8; 182]);
+            }
+        }
+        net.run_for(Ticks::from_millis(2));
+        while let Some(d) = net.recv(rx_media) {
+            delivered += receiver.push_marked(&d.payload, d.ecn_ce).len() as u32;
+        }
+    }
+    net.run_to_quiescence();
+    while let Some(d) = net.recv(rx_media) {
+        delivered += receiver.push_marked(&d.payload, d.ecn_ce).len() as u32;
+    }
+    let report = receiver.report();
+
+    assert_eq!(report.lost, 0, "AQM marked instead of dropping\n{ctx}");
+    assert_eq!(delivered, 600, "full stream delivered\n{ctx}");
+    assert_eq!(report.recovered, 0, "no retransmission was needed\n{ctx}");
+    assert!(
+        report.fraction_ecn_ce >= 0.05,
+        "flood phase must leave a CE footprint, got {:.3}\n{ctx}",
+        report.fraction_ecn_ce
+    );
+
+    // The echoed marks, not loss, drive the adaptation.
+    let agent = SnmpAgent::new("receiver", "public", None);
+    let mut rt = AgentRuntime::bind(&mut net, dst, agent).unwrap();
+    let mut sink = TrapSink::bind(&mut net, station).unwrap();
+    let mut watcher = CongestionWatcher::new(5.0);
+    assert!(
+        watcher.observe(&mut net, &mut rt, station, &report),
+        "congestion crossing must trap\n{ctx}"
+    );
+    net.run_for(Ticks::from_millis(5));
+    assert_eq!(sink.service(&mut net), 1, "{ctx}");
+    let engine = InferenceEngine::new(PolicyDb::congestion_policy(), QosContract::default());
+    let decision = decision_from_trap(&engine, &sink.traps[0])
+        .unwrap_or_else(|| panic!("trap must carry congestion_pct\n{ctx}"));
+    assert_ne!(
+        decision.modality,
+        ModalityChoice::FullImage,
+        "congestion policy must cap modality below full image\n{ctx}"
+    );
+}
+
 // ------------------------------------------------- figure bit-identity
 
 /// Acceptance: all-zero fault rates leave the paper's figure series

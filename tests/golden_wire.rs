@@ -121,6 +121,97 @@ fn snmp_qos_alert_trap_matches_rfc_encoding() {
     assert_eq!(msg.pdu.varbinds[2].name, arcs::host_rtp_loss());
 }
 
+/// `GetResponse` carrying the traffic-control plane's per-link MIB
+/// row for link 0 — qdiscBacklog.0 (Gauge32), qdiscDrops.0 and
+/// qdiscEcnMarks.0 (Counter32) — exactly as a station polling the
+/// qdisc subtree (99999.20) sees it on the wire.
+#[test]
+fn snmp_qdisc_row_response_matches_rfc_encoding() {
+    let msg = Message::new(
+        "public",
+        Pdu {
+            kind: PduKind::Response,
+            request_id: 7,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds: vec![
+                VarBind::bound(arcs::qdisc_backlog(0), SnmpValue::Gauge32(4500)),
+                VarBind::bound(arcs::qdisc_drops(0), SnmpValue::Counter32(3)),
+                VarBind::bound(arcs::qdisc_ecn_marks(0), SnmpValue::Counter32(12)),
+            ],
+        },
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x4F, // SEQUENCE, 79 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA2, 0x42, // Response PDU, 66 bytes
+        0x02, 0x01, 0x07, // request-id = 7
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x37, // varbind list
+        0x30, 0x11, // varbind: qdiscBacklog.0 = Gauge32 4500
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x14, 0x01, 0x00, //
+        0x42, 0x02, 0x11, 0x94, //
+        0x30, 0x10, // varbind: qdiscDrops.0 = Counter32 3
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x14, 0x02, 0x00, //
+        0x41, 0x01, 0x03, //
+        0x30, 0x10, // varbind: qdiscEcnMarks.0 = Counter32 12
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x14, 0x03, 0x00, //
+        0x41, 0x01, 0x0C, //
+    ];
+    assert_eq!(msg.encode(), expected);
+    assert_eq!(Message::decode(&expected).unwrap(), msg);
+}
+
+/// An SNMPv2-Trap carrying the qosCongestionAlert notification
+/// (tassl.11) with the hostCongestionPct gauge — the ECN early-warning
+/// counterpart of the qosAlert trap above, emitted while loss is still
+/// zero.
+#[test]
+fn snmp_qos_congestion_alert_trap_matches_rfc_encoding() {
+    let mut agent = SnmpAgent::new("host", "public", None);
+    let raw = agent.build_trap(
+        1234,
+        arcs::tassl().child(11), // qosCongestionAlert notification OID
+        vec![VarBind::bound(
+            arcs::host_congestion(),
+            SnmpValue::Gauge32(42),
+        )],
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x52, // SEQUENCE, 82 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA7, 0x45, // SNMPv2-Trap PDU, 69 bytes
+        0x02, 0x01, 0x00, // request-id = 0
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x3A, // varbind list
+        0x30, 0x0E, // varbind: sysUpTime.0 = TimeTicks 1234
+        0x06, 0x08, 0x2B, 0x06, 0x01, 0x02, 0x01, 0x01, 0x03, 0x00, //
+        0x43, 0x02, 0x04, 0xD2, //
+        0x30, 0x17, // varbind: snmpTrapOID.0 = qosCongestionAlert
+        0x06, 0x0A, 0x2B, 0x06, 0x01, 0x06, 0x03, 0x01, 0x01, 0x04, 0x01, 0x00, //
+        0x06, 0x09, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x0B, //
+        0x30, 0x0F, // varbind: hostCongestionPct.0 = Gauge32 42
+        0x06, 0x0A, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x07, 0x00, //
+        0x42, 0x01, 0x2A, //
+    ];
+    assert_eq!(raw, expected);
+    // The golden bytes decode to a well-formed trap that the watcher
+    // pipeline can interpret.
+    let msg = Message::decode(&expected).unwrap();
+    assert_eq!(msg.pdu.kind, PduKind::TrapV2);
+    assert_eq!(msg.pdu.varbinds.len(), 3);
+    assert_eq!(
+        msg.pdu.varbinds[1].value,
+        SnmpValue::Oid(arcs::tassl().child(11))
+    );
+    assert_eq!(msg.pdu.varbinds[2].name, arcs::host_congestion());
+}
+
 /// The 1.3.6.1 prefix must pack to the classic 0x2B first byte.
 #[test]
 fn snmp_oid_prefix_byte() {

@@ -12,6 +12,9 @@ use collabqos::media::psnr;
 use collabqos::media::wavelet::{self, WaveletKind};
 use collabqos::sempubsub::ast::{CmpOp, Expr};
 use collabqos::sempubsub::{AttrValue, Selector, SemanticMessage};
+use collabqos::simnet::qdisc::{
+    Qdisc, QdiscConfig, Shaper, TokenBucket, TrafficClass, CLASS_COUNT,
+};
 use collabqos::simnet::rtp::{Nack, RtpHeader, RtpReceiver, RtpSender};
 use collabqos::simnet::Ticks;
 use collabqos::snmp::ber::{Reader, Writer};
@@ -453,6 +456,82 @@ proptest! {
         prop_assert_eq!(rep.nacks_sent, 0);
         prop_assert_eq!(rep.received, released);
         prop_assert!((0.0..=1.0).contains(&rep.fraction_lost));
+    }
+
+    // ----------------------------------------------------------- qdisc
+
+    /// Token-bucket conformance: whatever the arrival pattern, the
+    /// bytes admitted by time `t` never exceed `rate·t + burst`. The
+    /// bucket's bit-µs carry arithmetic makes the bound exact, with no
+    /// rounding slack.
+    #[test]
+    fn token_bucket_never_exceeds_rate_t_plus_burst(
+        rate_bps in 8_000u64..10_000_000,
+        burst_bytes in 1_500u64..10_000,
+        steps in proptest::collection::vec((0u64..5_000, 40u32..=1_500), 1..200),
+    ) {
+        let mut tb = TokenBucket::new(Shaper { rate_bps, burst_bytes });
+        let mut now = 0u64;
+        let mut sent_bits: u128 = 0;
+        for (dt, bytes) in steps {
+            now += dt;
+            if tb.conforms(now, bytes) {
+                tb.consume(now, bytes);
+                sent_bits += bytes as u128 * 8;
+            }
+            // rate·t (in whole bits) + burst. Packets never exceed the
+            // burst here, so no oversize-clamp borrowing applies.
+            let bound = rate_bps as u128 * now as u128 / 1_000_000
+                + burst_bytes as u128 * 8;
+            prop_assert!(
+                sent_bits <= bound,
+                "sent {sent_bits} bits by t={now}us, bound {bound} (rate {rate_bps} bps, burst {burst_bytes} B)"
+            );
+        }
+    }
+
+    /// DRR fairness: with every class continuously backlogged on
+    /// arbitrary per-class packet sizes, long-run per-class throughput
+    /// tracks the configured quanta to within one quantum plus one
+    /// packet — the classic DRR service bound.
+    #[test]
+    fn drr_throughput_tracks_quanta(
+        size_tuple in (100u32..=1_500, 100u32..=1_500, 100u32..=1_500, 100u32..=1_500),
+    ) {
+        let sizes = [size_tuple.0, size_tuple.1, size_tuple.2, size_tuple.3];
+        let mut cfg = QdiscConfig::for_rate(1_000_000);
+        cfg.link_shaper = None;              // pure scheduling
+        cfg.codel_target_us = u64::MAX / 2;  // inert AQM
+        for c in cfg.classes.iter_mut() {
+            c.queue_cap_pkts = usize::MAX;   // never tail-drop
+        }
+        let total_quanta: u64 = cfg.classes.iter().map(|c| c.quantum as u64).sum();
+        let target_total: u64 = 50 * total_quanta; // ~50 DRR rounds
+        let mut q: Qdisc<u32> = Qdisc::new(cfg);
+        // Keep every class deeply backlogged for the whole run.
+        for (ci, &sz) in sizes.iter().enumerate() {
+            let need = (2 * target_total / sz as u64 + 2) as usize;
+            for n in 0..need {
+                q.enqueue(0, TrafficClass::ALL[ci], sz, false, n as u32);
+            }
+        }
+        let mut served = [0u64; CLASS_COUNT];
+        while served.iter().sum::<u64>() < target_total {
+            let rel = q.dequeue(0).released.expect("all classes backlogged");
+            served[rel.class.index()] += rel.bytes as u64;
+        }
+        let total: u64 = served.iter().sum();
+        for (ci, &s) in served.iter().enumerate() {
+            let quantum = q.config().classes[ci].quantum as u64;
+            let expected = total as f64 * quantum as f64 / total_quanta as f64;
+            let slack = (quantum + sizes[ci] as u64) as f64;
+            prop_assert!(
+                (s as f64 - expected).abs() <= slack,
+                "class {ci} (pkt {} B): served {s} B of {total} B, expected ~{expected:.0} ± {slack} [{}]",
+                sizes[ci],
+                q.config().summary()
+            );
+        }
     }
 
     // ----------------------------------------------------- convergence
