@@ -1,0 +1,69 @@
+//! SNMP instrumentation of the overlay: per-broker rows under
+//! `tassl.21.*`, served by the same embedded extension agent the hosts
+//! run, so the management station watches overlay health with the
+//! tooling it already has (GET/GETNEXT, golden BER fixtures).
+
+use crate::overlay::BrokerStatsHandle;
+use snmp::oid::arcs;
+use snmp::SnmpValue;
+
+/// Register broker `index`'s live counters on an agent:
+/// `brokerTableSize.{index}` (Gauge32), `brokerForwarded.{index}`,
+/// `brokerSuppressed.{index}` and `brokerAdvertsMerged.{index}`
+/// (Counter32) — mirroring the qdisc metric rows.
+pub fn install_broker_metrics(agent: &mut snmp::SnmpAgent, index: u32, stats: &BrokerStatsHandle) {
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::broker_table_size(index), move || {
+            SnmpValue::Gauge32(s.table_size().min(u32::MAX as u64) as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::broker_forwarded(index), move || {
+            SnmpValue::Counter32(s.forwarded() as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::broker_suppressed(index), move || {
+            SnmpValue::Counter32(s.suppressed() as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::broker_adverts_merged(index), move || {
+            SnmpValue::Counter32(s.adverts_merged() as u32)
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snmp::SnmpAgent;
+
+    #[test]
+    fn rows_serve_live_counters() {
+        let stats = BrokerStatsHandle::default();
+        let mut agent = SnmpAgent::new("broker-0", "public", None);
+        install_broker_metrics(&mut agent, 0, &stats);
+        let (oids, values): (Vec<_>, Vec<_>) = [
+            arcs::broker_table_size(0),
+            arcs::broker_forwarded(0),
+            arcs::broker_suppressed(0),
+            arcs::broker_adverts_merged(0),
+        ]
+        .into_iter()
+        .map(|oid| {
+            let v = agent.mib_mut().get(&oid).expect("row registered");
+            (oid, v)
+        })
+        .unzip();
+        assert_eq!(oids.len(), 4);
+        assert_eq!(values[0], SnmpValue::Gauge32(0));
+        assert_eq!(values[1], SnmpValue::Counter32(0));
+        assert_eq!(values[2], SnmpValue::Counter32(0));
+        assert_eq!(values[3], SnmpValue::Counter32(0));
+    }
+}

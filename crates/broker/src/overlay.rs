@@ -1,0 +1,885 @@
+//! Broker nodes on simnet: content-based routing of semantic messages.
+//!
+//! A flat `sempubsub` session multicasts every message to every
+//! endpoint, which then interprets it locally — O(N·M) interpretations
+//! for N endpoints and M messages. The overlay replaces session-wide
+//! flooding with *routed* delivery: each broker is a simnet node with
+//! unicast links to its neighbor brokers and a local multicast group
+//! for the endpoints attached to its domain. Endpoints register their
+//! profile (and interest) with the local broker; the resulting
+//! [`Advertisement`]s flood the overlay with generation numbers and a
+//! hop bound, and are merged via selector covering
+//! ([`crate::algebra`]) before re-advertisement. A broker forwards a
+//! message on a link only if some advertisement behind that link
+//! matches the message's selector; otherwise the copy is *suppressed*
+//! and nothing behind the link ever decodes it.
+//!
+//! Soundness of suppression rests on the first step of semantic
+//! interpretation: an endpoint accepts a message only if the selector
+//! matches its profile attributes, so a selector that matches no
+//! advertised profile behind a link can be dropped without changing
+//! any delivery outcome. Interests are carried and merged in
+//! advertisements but deliberately *not* used to suppress: transform
+//! chains can satisfy an interest the raw content description does
+//! not, so interest-based dropping would be unsound.
+//!
+//! Messages carry their `(sender, seq)` pair as a dedup id; a broker
+//! never processes the same id twice, so cyclic topologies deliver
+//! exactly once.
+
+use crate::algebra::covers;
+use sempubsub::{AttrValue, Profile, Selector, SemanticMessage};
+use simnet::packet::well_known;
+use simnet::{Addr, GroupId, LinkId, LinkSpec, Network, NodeId, SocketHandle, Ticks};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Message kind carried by advertisement control messages.
+pub const ADV_KIND: &str = "broker-adv";
+
+/// Maximum hop count an advertisement may travel from its origin.
+pub const MAX_HOPS: u8 = 16;
+
+/// A subscription advertisement: the profile attributes (what message
+/// selectors are interpreted against) plus the interest selector of
+/// one endpoint, stamped with a generation number and the hop distance
+/// from its origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advertisement {
+    /// Name of the registering endpoint (unique within the overlay).
+    pub origin: String,
+    /// The endpoint's profile attributes.
+    pub attrs: BTreeMap<String, AttrValue>,
+    /// The endpoint's interest selector, if any.
+    pub interest: Option<Selector>,
+    /// Monotone per-origin version; newer replaces older everywhere.
+    pub generation: u64,
+    /// Hop distance from the origin's home broker (0 = local).
+    pub hops: u8,
+    /// A promiscuous subscription (gateway/base-station): matches
+    /// every message regardless of selector.
+    pub wildcard: bool,
+}
+
+impl Advertisement {
+    /// Advertise an endpoint profile.
+    pub fn from_profile(profile: &Profile, generation: u64) -> Advertisement {
+        Advertisement {
+            origin: profile.name.clone(),
+            attrs: profile.attrs().clone(),
+            interest: profile.interest().cloned(),
+            generation,
+            hops: 0,
+            wildcard: false,
+        }
+    }
+
+    /// A promiscuous advertisement: everything flows toward it.
+    pub fn promiscuous(origin: &str, generation: u64) -> Advertisement {
+        Advertisement {
+            origin: origin.to_string(),
+            attrs: BTreeMap::new(),
+            interest: None,
+            generation,
+            hops: 0,
+            wildcard: true,
+        }
+    }
+
+    /// Would a message with this selector reach the advertised
+    /// endpoint's first interpretation step? Evaluation errors reject,
+    /// exactly as the endpoint itself treats them.
+    pub fn matches(&self, selector: &Selector) -> bool {
+        self.wildcard || selector.matches(&self.attrs).unwrap_or(false)
+    }
+
+    /// The interest as a selector, with "no interest" read as
+    /// accept-everything (that is what the endpoint does).
+    pub fn interest_selector(&self) -> Selector {
+        self.interest.clone().unwrap_or_else(Selector::all)
+    }
+
+    /// Does `self` make `other` redundant for routing? A wildcard
+    /// subsumes everything; otherwise the profiles must be identical
+    /// (routing matches selectors against attributes) and the interest
+    /// must cover.
+    pub fn subsumes(&self, other: &Advertisement) -> bool {
+        if self.wildcard {
+            return true;
+        }
+        if other.wildcard {
+            return false;
+        }
+        self.attrs == other.attrs && covers(&self.interest_selector(), &other.interest_selector())
+    }
+
+    /// Encode as a control-plane [`SemanticMessage`] (reusing the
+    /// substrate's own codec; no second wire format).
+    pub fn encode(&self) -> Vec<u8> {
+        let msg = SemanticMessage {
+            sender: self.origin.clone(),
+            kind: ADV_KIND.to_string(),
+            selector: self
+                .interest
+                .as_ref()
+                .map(|s| s.source().to_string())
+                .unwrap_or_else(|| "true".to_string()),
+            seq: self.generation,
+            content: self.attrs.clone(),
+            body: vec![
+                self.hops,
+                self.interest.is_some() as u8,
+                self.wildcard as u8,
+            ],
+        };
+        msg.encode()
+    }
+
+    /// Decode from a control-plane message; `None` if it is not a
+    /// well-formed advertisement.
+    pub fn decode(msg: &SemanticMessage) -> Option<Advertisement> {
+        if msg.kind != ADV_KIND || msg.body.len() != 3 {
+            return None;
+        }
+        let interest = if msg.body[1] != 0 {
+            Some(Selector::parse(&msg.selector).ok()?)
+        } else {
+            None
+        };
+        Some(Advertisement {
+            origin: msg.sender.clone(),
+            attrs: msg.content.clone(),
+            interest,
+            generation: msg.seq,
+            hops: msg.body[0],
+            wildcard: msg.body[2] != 0,
+        })
+    }
+}
+
+/// Merge an advertisement set via covering: drop every advertisement
+/// another one subsumes (a later entry can retroactively subsume
+/// earlier survivors). Returns the survivors and the number merged
+/// away. Routing behavior is preserved exactly: a subsumed
+/// advertisement matches a subset of the messages its subsumer does.
+pub fn merge_advertisements(ads: Vec<Advertisement>) -> (Vec<Advertisement>, u64) {
+    let mut kept: Vec<Advertisement> = Vec::new();
+    let mut merged = 0u64;
+    for ad in ads {
+        if kept.iter().any(|k| k.subsumes(&ad)) {
+            merged += 1;
+            continue;
+        }
+        let before = kept.len();
+        kept.retain(|k| !ad.subsumes(k));
+        merged += (before - kept.len()) as u64;
+        kept.push(ad);
+    }
+    (kept, merged)
+}
+
+/// Live overlay counters for one broker, shareable with SNMP
+/// instrumentation (same shape as the qdisc `StatsHandle`).
+#[derive(Clone, Default)]
+pub struct BrokerStatsHandle {
+    inner: Arc<BrokerCounters>,
+}
+
+#[derive(Default)]
+struct BrokerCounters {
+    table_size: AtomicU64,
+    forwarded: AtomicU64,
+    suppressed: AtomicU64,
+    adverts_merged: AtomicU64,
+    dedup_dropped: AtomicU64,
+    local_suppressed: AtomicU64,
+}
+
+impl BrokerStatsHandle {
+    /// Current routing-table size: local plus remote advertisements.
+    pub fn table_size(&self) -> u64 {
+        self.inner.table_size.load(Ordering::Relaxed)
+    }
+
+    /// Message copies forwarded (to a neighbor broker or into the
+    /// local domain group).
+    pub fn forwarded(&self) -> u64 {
+        self.inner.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Per-interface suppression decisions: a copy that was *not* sent
+    /// because no advertisement behind the interface matched.
+    pub fn suppressed(&self) -> u64 {
+        self.inner.suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Advertisements dropped by covering-based merge before
+    /// re-advertisement.
+    pub fn adverts_merged(&self) -> u64 {
+        self.inner.adverts_merged.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate message copies dropped by the dedup id check.
+    pub fn dedup_dropped(&self) -> u64 {
+        self.inner.dedup_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages not delivered into the local domain group (each local
+    /// endpoint was spared one interpretation).
+    pub fn local_suppressed(&self) -> u64 {
+        self.inner.local_suppressed.load(Ordering::Relaxed)
+    }
+}
+
+struct Neighbor {
+    broker: usize,
+    node: NodeId,
+    link: LinkId,
+}
+
+/// One broker: a simnet node bridging its local domain group and the
+/// inter-broker unicast mesh.
+pub struct BrokerNode {
+    name: String,
+    node: NodeId,
+    group: GroupId,
+    data: SocketHandle,
+    ctrl: SocketHandle,
+    neighbors: Vec<Neighbor>,
+    local_ads: Vec<Advertisement>,
+    remote_ads: BTreeMap<usize, Vec<Advertisement>>,
+    seen: BTreeSet<(String, u64)>,
+    stats: BrokerStatsHandle,
+}
+
+impl BrokerNode {
+    fn update_table_gauge(&self) {
+        let size = self.local_ads.len() as u64
+            + self
+                .remote_ads
+                .values()
+                .map(|v| v.len() as u64)
+                .sum::<u64>();
+        self.stats.inner.table_size.store(size, Ordering::Relaxed);
+    }
+
+    /// The advertisement set to export toward neighbor `k`:
+    /// split-horizon (everything except what `k` itself advertised),
+    /// merged via covering and bounded by the hop budget.
+    fn export_for(&self, k: usize) -> (Vec<Advertisement>, u64) {
+        let mut ads: Vec<Advertisement> = self.local_ads.clone();
+        for (j, set) in &self.remote_ads {
+            if *j != k {
+                ads.extend(set.iter().filter(|a| a.hops < MAX_HOPS).cloned());
+            }
+        }
+        merge_advertisements(ads)
+    }
+}
+
+/// The broker overlay: brokers, their mesh links, and the
+/// advertisement generation counter.
+#[derive(Default)]
+pub struct Overlay {
+    brokers: Vec<BrokerNode>,
+    node_to_broker: BTreeMap<NodeId, usize>,
+    next_generation: u64,
+}
+
+impl Overlay {
+    /// An overlay with no brokers.
+    pub fn new() -> Overlay {
+        Overlay::default()
+    }
+
+    /// Add a broker node with its own domain multicast group. The
+    /// broker binds the session data port (joined to the group, so it
+    /// sees local publishes) and the session control port (for
+    /// advertisements — classified as Control traffic by the default
+    /// qdisc class map).
+    pub fn add_broker(&mut self, net: &mut Network, name: &str) -> usize {
+        let node = net.add_node(name);
+        let group = net.new_group();
+        let data = net
+            .bind(node, well_known::SESSION_DATA)
+            .expect("fresh broker node has a free data port");
+        net.join(data, group).expect("socket just bound");
+        let ctrl = net
+            .bind(node, well_known::SESSION_CTRL)
+            .expect("fresh broker node has a free control port");
+        let idx = self.brokers.len();
+        self.brokers.push(BrokerNode {
+            name: name.to_string(),
+            node,
+            group,
+            data,
+            ctrl,
+            neighbors: Vec::new(),
+            local_ads: Vec::new(),
+            remote_ads: BTreeMap::new(),
+            seen: BTreeSet::new(),
+            stats: BrokerStatsHandle::default(),
+        });
+        self.node_to_broker.insert(node, idx);
+        idx
+    }
+
+    /// Connect two brokers with an inter-broker link. The returned
+    /// `LinkId` is the handle for fault injection
+    /// (`FaultPlan`/`set_link_fault`) and `Network::attach_qdisc`.
+    pub fn connect(&mut self, net: &mut Network, a: usize, b: usize, spec: LinkSpec) -> LinkId {
+        let (na, nb) = (self.brokers[a].node, self.brokers[b].node);
+        let link = net.connect(na, nb, spec);
+        self.brokers[a].neighbors.push(Neighbor {
+            broker: b,
+            node: nb,
+            link,
+        });
+        self.brokers[b].neighbors.push(Neighbor {
+            broker: a,
+            node: na,
+            link,
+        });
+        link
+    }
+
+    /// The link between two neighboring brokers, if connected.
+    pub fn link_between(&self, a: usize, b: usize) -> Option<LinkId> {
+        self.brokers[a]
+            .neighbors
+            .iter()
+            .find(|n| n.broker == b)
+            .map(|n| n.link)
+    }
+
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// The domain multicast group endpoints of broker `i` join.
+    pub fn group(&self, i: usize) -> GroupId {
+        self.brokers[i].group
+    }
+
+    /// The simnet node of broker `i` (attach client links here).
+    pub fn node(&self, i: usize) -> NodeId {
+        self.brokers[i].node
+    }
+
+    /// The broker's name.
+    pub fn name(&self, i: usize) -> &str {
+        &self.brokers[i].name
+    }
+
+    /// Live counters of broker `i`.
+    pub fn stats(&self, i: usize) -> BrokerStatsHandle {
+        self.brokers[i].stats.clone()
+    }
+
+    /// Register a local endpoint's profile with its domain broker and
+    /// flood the resulting advertisement. Re-registering the same
+    /// profile name replaces the old advertisement (new generation),
+    /// which is how profile changes propagate.
+    pub fn register_local(&mut self, net: &mut Network, i: usize, profile: &Profile) {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let ad = Advertisement::from_profile(profile, generation);
+        self.install_local(net, i, ad);
+    }
+
+    /// Register a promiscuous local subscriber (a gateway or base
+    /// station that must see all session traffic, §4.2).
+    pub fn register_wildcard(&mut self, net: &mut Network, i: usize, origin: &str) {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let ad = Advertisement::promiscuous(origin, generation);
+        self.install_local(net, i, ad);
+    }
+
+    fn install_local(&mut self, net: &mut Network, i: usize, ad: Advertisement) {
+        let broker = &mut self.brokers[i];
+        broker.local_ads.retain(|a| a.origin != ad.origin);
+        broker.local_ads.push(ad);
+        broker.update_table_gauge();
+        self.flood_export(net, i);
+    }
+
+    /// Re-flood every broker's export toward all neighbors — the
+    /// periodic refresh a long-lived deployment would run on a timer,
+    /// and the recovery path after an inter-broker link heals.
+    pub fn readvertise(&mut self, net: &mut Network) {
+        for i in 0..self.brokers.len() {
+            self.flood_export(net, i);
+        }
+    }
+
+    /// Send broker `i`'s merged advertisement export to every
+    /// neighbor. Receivers ignore entries that are not an improvement
+    /// (older generation, or equal generation with no better hop
+    /// count), so repeated floods terminate.
+    fn flood_export(&mut self, net: &mut Network, i: usize) {
+        let mut sends: Vec<(NodeId, Vec<Vec<u8>>)> = Vec::new();
+        let mut merged_total = 0u64;
+        let ctrl = {
+            let broker = &self.brokers[i];
+            for n in &broker.neighbors {
+                let (export, merged) = broker.export_for(n.broker);
+                merged_total += merged;
+                sends.push((n.node, export.iter().map(Advertisement::encode).collect()));
+            }
+            broker.ctrl
+        };
+        self.brokers[i]
+            .stats
+            .inner
+            .adverts_merged
+            .fetch_add(merged_total, Ordering::Relaxed);
+        for (node, payloads) in sends {
+            for payload in payloads {
+                let _ = net.send(ctrl, Addr::unicast(node, well_known::SESSION_CTRL), payload);
+            }
+        }
+    }
+
+    /// Drain and handle everything that arrived at broker `i`
+    /// (advertisements first, then data). Returns the number of
+    /// datagrams handled, for convergence detection.
+    pub fn process(&mut self, net: &mut Network, i: usize) -> usize {
+        self.process_ctrl(net, i) + self.process_data(net, i)
+    }
+
+    fn process_ctrl(&mut self, net: &mut Network, i: usize) -> usize {
+        let ctrl = self.brokers[i].ctrl;
+        let mut arrivals = Vec::new();
+        while let Some(d) = net.recv(ctrl) {
+            arrivals.push(d);
+        }
+        let handled = arrivals.len();
+        let mut changed = false;
+        for d in arrivals {
+            let Ok(msg) = SemanticMessage::decode(&d.payload) else {
+                continue;
+            };
+            let Some(mut ad) = Advertisement::decode(&msg) else {
+                continue;
+            };
+            // Advertisements are only meaningful from neighbor brokers.
+            let Some(&from) = self.node_to_broker.get(&d.src_node) else {
+                continue;
+            };
+            ad.hops = ad.hops.saturating_add(1);
+            if ad.hops > MAX_HOPS {
+                continue;
+            }
+            let table = self.brokers[i].remote_ads.entry(from).or_default();
+            match table.iter_mut().find(|e| e.origin == ad.origin) {
+                Some(e) => {
+                    let better = ad.generation > e.generation
+                        || (ad.generation == e.generation && ad.hops < e.hops);
+                    if better {
+                        *e = ad;
+                        changed = true;
+                    }
+                }
+                None => {
+                    table.push(ad);
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.brokers[i].update_table_gauge();
+            self.flood_export(net, i);
+        }
+        handled
+    }
+
+    fn process_data(&mut self, net: &mut Network, i: usize) -> usize {
+        let data = self.brokers[i].data;
+        let mut arrivals = Vec::new();
+        while let Some(d) = net.recv(data) {
+            arrivals.push(d);
+        }
+        let handled = arrivals.len();
+        for d in arrivals {
+            let Ok(msg) = SemanticMessage::decode(&d.payload) else {
+                continue;
+            };
+            let key = (msg.sender.clone(), msg.seq);
+            let broker = &mut self.brokers[i];
+            if !broker.seen.insert(key) {
+                broker
+                    .stats
+                    .inner
+                    .dedup_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // An unparseable selector cannot be reasoned about;
+            // forward conservatively (the endpoint will count it).
+            let selector = Selector::parse(&msg.selector).ok();
+            let ad_matches = |ad: &Advertisement| match &selector {
+                Some(sel) => ad.matches(sel),
+                None => true,
+            };
+            let from = self.node_to_broker.get(&d.src_node).copied();
+            let broker = &self.brokers[i];
+            let mut sends: Vec<Addr> = Vec::new();
+            let mut suppressed = 0u64;
+            let mut local_suppressed = 0u64;
+            // Deliver into the local domain only for copies arriving
+            // over the mesh: a locally-published message already
+            // reached every group member by multicast.
+            if from.is_some_and(|j| j != i) {
+                if broker.local_ads.iter().any(ad_matches) {
+                    sends.push(Addr::multicast(broker.group, well_known::SESSION_DATA));
+                } else {
+                    suppressed += 1;
+                    local_suppressed += 1;
+                }
+            }
+            for n in &broker.neighbors {
+                if Some(n.broker) == from {
+                    continue;
+                }
+                let behind = broker.remote_ads.get(&n.broker);
+                if behind.is_some_and(|ads| ads.iter().any(ad_matches)) {
+                    sends.push(Addr::unicast(n.node, well_known::SESSION_DATA));
+                } else {
+                    suppressed += 1;
+                }
+            }
+            broker
+                .stats
+                .inner
+                .forwarded
+                .fetch_add(sends.len() as u64, Ordering::Relaxed);
+            broker
+                .stats
+                .inner
+                .suppressed
+                .fetch_add(suppressed, Ordering::Relaxed);
+            broker
+                .stats
+                .inner
+                .local_suppressed
+                .fetch_add(local_suppressed, Ordering::Relaxed);
+            let data = broker.data;
+            for addr in sends {
+                let _ = net.send(data, addr, d.payload.clone());
+            }
+        }
+        handled
+    }
+
+    fn process_all(&mut self, net: &mut Network) -> usize {
+        (0..self.brokers.len()).map(|i| self.process(net, i)).sum()
+    }
+
+    /// Advance the simulation by `d` while servicing brokers at a
+    /// fixed cadence, then drain forwarding chains to quiescence so a
+    /// message published before the call is fully delivered after it
+    /// (matching the flat-multicast pump contract).
+    pub fn pump(&mut self, net: &mut Network, d: Ticks) {
+        const SLICES: u64 = 8;
+        let slice = Ticks::from_micros(d.as_micros() / SLICES);
+        for _ in 0..SLICES {
+            net.run_for(slice);
+            self.process_all(net);
+        }
+        let remainder = d.as_micros() - slice.as_micros() * SLICES;
+        if remainder > 0 {
+            net.run_for(Ticks::from_micros(remainder));
+        }
+        self.settle(net);
+    }
+
+    /// Service brokers until the overlay is quiescent: no broker has
+    /// pending input and one extra propagation interval delivers
+    /// nothing new. Used after registration (advertisement flooding)
+    /// and at the end of [`Overlay::pump`].
+    pub fn settle(&mut self, net: &mut Network) {
+        let mut quiet_rounds = 0;
+        for _ in 0..64 {
+            let activity = self.process_all(net);
+            if activity == 0 {
+                quiet_rounds += 1;
+                if quiet_rounds >= 2 {
+                    break;
+                }
+            } else {
+                quiet_rounds = 0;
+            }
+            net.run_for(Ticks::from_millis(50));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sempubsub::bus::BusEndpoint;
+
+    fn image_content() -> BTreeMap<String, AttrValue> {
+        [("media", AttrValue::str("image"))]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
+    fn interested_profile(name: &str, topic: &str) -> Profile {
+        let mut p = Profile::new(name);
+        p.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str(topic)]),
+        );
+        p
+    }
+
+    /// Build a chain overlay with one client per domain, the first
+    /// being the publisher.
+    fn chain(net: &mut Network, topics: &[&str]) -> (Overlay, Vec<BusEndpoint>) {
+        let mut overlay = Overlay::new();
+        for (i, _) in topics.iter().enumerate() {
+            overlay.add_broker(net, &format!("broker-{i}"));
+        }
+        for i in 1..topics.len() {
+            overlay.connect(net, i - 1, i, LinkSpec::lan());
+        }
+        let mut endpoints = Vec::new();
+        for (i, topic) in topics.iter().enumerate() {
+            let host = net.add_node(&format!("host-{i}"));
+            net.connect(host, overlay.node(i), LinkSpec::lan());
+            let profile = interested_profile(&format!("client-{i}"), topic);
+            overlay.register_local(net, i, &profile);
+            endpoints.push(
+                BusEndpoint::join(
+                    net,
+                    host,
+                    well_known::SESSION_DATA,
+                    overlay.group(i),
+                    profile,
+                )
+                .unwrap(),
+            );
+        }
+        overlay.settle(net);
+        (overlay, endpoints)
+    }
+
+    #[test]
+    fn advertisement_codec_round_trips() {
+        let mut p = Profile::new("viewer");
+        p.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image")]),
+        );
+        p.set_interest("encoding == 'jpeg'").unwrap();
+        let ad = Advertisement::from_profile(&p, 7);
+        let wire = ad.encode();
+        let msg = SemanticMessage::decode(&wire).unwrap();
+        assert_eq!(Advertisement::decode(&msg), Some(ad));
+
+        let promiscuous = Advertisement::promiscuous("bs", 9);
+        let msg = SemanticMessage::decode(&promiscuous.encode()).unwrap();
+        let back = Advertisement::decode(&msg).unwrap();
+        assert!(back.wildcard);
+        assert_eq!(back.generation, 9);
+
+        // Data messages are not advertisements.
+        let mut data = SemanticMessage::decode(&promiscuous.encode()).unwrap();
+        data.kind = "image-share".to_string();
+        assert_eq!(Advertisement::decode(&data), None);
+    }
+
+    #[test]
+    fn routes_to_matching_domain_and_suppresses_the_rest() {
+        let mut net = Network::new(11);
+        let (mut overlay, mut eps) = chain(&mut net, &["none", "image", "text"]);
+        eps[0]
+            .publish(
+                &mut net,
+                "image-share",
+                "interested_in contains 'image'",
+                image_content(),
+                vec![1, 2, 3],
+            )
+            .unwrap();
+        overlay.pump(&mut net, Ticks::from_millis(200));
+
+        assert_eq!(eps[1].poll(&mut net).len(), 1, "matching domain delivered");
+        assert!(
+            eps[2].poll(&mut net).is_empty(),
+            "text domain never sees it"
+        );
+        // Broker 1 delivered locally and suppressed the copy toward
+        // broker 2; broker 2 never received the message at all.
+        assert!(overlay.stats(1).forwarded() >= 1);
+        assert!(overlay.stats(1).suppressed() >= 1);
+        assert_eq!(overlay.stats(2).forwarded(), 0);
+        assert_eq!(overlay.stats(2).suppressed(), 0);
+        assert!(overlay.stats(1).table_size() >= 3);
+    }
+
+    #[test]
+    fn wildcard_subscription_pulls_everything() {
+        let mut net = Network::new(12);
+        let (mut overlay, mut eps) = chain(&mut net, &["none", "text"]);
+        // A promiscuous gateway in domain 1.
+        let gw_host = net.add_node("gw-host");
+        net.connect(gw_host, overlay.node(1), LinkSpec::lan());
+        overlay.register_wildcard(&mut net, 1, "gateway");
+        let mut gw = BusEndpoint::join(
+            &mut net,
+            gw_host,
+            well_known::SESSION_DATA,
+            overlay.group(1),
+            Profile::new("gateway"),
+        )
+        .unwrap();
+        overlay.settle(&mut net);
+
+        eps[0]
+            .publish(
+                &mut net,
+                "image-share",
+                "interested_in contains 'image'",
+                image_content(),
+                vec![9],
+            )
+            .unwrap();
+        overlay.pump(&mut net, Ticks::from_millis(200));
+        let raw = gw.poll_raw(&mut net);
+        assert_eq!(raw.len(), 1, "wildcard domain receives unmatched selector");
+        assert_eq!(raw[0].body, vec![9]);
+        let _ = eps; // publisher keeps its endpoint alive to the end
+    }
+
+    #[test]
+    fn triangle_delivers_exactly_once() {
+        let mut net = Network::new(13);
+        let mut overlay = Overlay::new();
+        for name in ["a", "b", "c"] {
+            overlay.add_broker(&mut net, name);
+        }
+        overlay.connect(&mut net, 0, 1, LinkSpec::lan());
+        overlay.connect(&mut net, 1, 2, LinkSpec::lan());
+        overlay.connect(&mut net, 0, 2, LinkSpec::lan());
+
+        let mut eps = Vec::new();
+        for i in 0..3 {
+            let host = net.add_node(&format!("h{i}"));
+            net.connect(host, overlay.node(i), LinkSpec::lan());
+            let profile = interested_profile(&format!("c{i}"), "image");
+            overlay.register_local(&mut net, i, &profile);
+            eps.push(
+                BusEndpoint::join(
+                    &mut net,
+                    host,
+                    well_known::SESSION_DATA,
+                    overlay.group(i),
+                    profile,
+                )
+                .unwrap(),
+            );
+        }
+        overlay.settle(&mut net);
+
+        eps[0]
+            .publish(
+                &mut net,
+                "image-share",
+                "interested_in contains 'image'",
+                image_content(),
+                vec![5],
+            )
+            .unwrap();
+        overlay.pump(&mut net, Ticks::from_millis(200));
+
+        for (i, ep) in eps.iter_mut().enumerate().skip(1) {
+            assert_eq!(
+                ep.poll(&mut net).len(),
+                1,
+                "domain {i} delivered exactly once despite the cycle"
+            );
+        }
+        let dedup: u64 = (0..3).map(|i| overlay.stats(i).dedup_dropped()).sum();
+        assert!(dedup > 0, "the cycle produced duplicates the ids caught");
+    }
+
+    #[test]
+    fn merge_collapses_covered_advertisements() {
+        let mut wide = Profile::new("wide");
+        wide.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image")]),
+        );
+        let mut narrow = Profile::new("narrow");
+        narrow.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image")]),
+        );
+        narrow.set_interest("encoding == 'jpeg'").unwrap();
+        let mut other = Profile::new("other");
+        other.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("text")]),
+        );
+
+        let ads = vec![
+            Advertisement::from_profile(&wide, 0),
+            Advertisement::from_profile(&narrow, 1),
+            Advertisement::from_profile(&other, 2),
+        ];
+        let (kept, merged) = merge_advertisements(ads);
+        // `narrow` is covered by `wide` (same attrs, wider interest);
+        // `other` has different attrs and survives.
+        assert_eq!(merged, 1);
+        let origins: Vec<&str> = kept.iter().map(|a| a.origin.as_str()).collect();
+        assert_eq!(origins, vec!["wide", "other"]);
+
+        let (kept, merged) =
+            merge_advertisements(vec![Advertisement::promiscuous("bs", 3), kept[0].clone()]);
+        assert_eq!(merged, 1, "wildcard subsumes everything");
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].wildcard);
+    }
+
+    #[test]
+    fn reregistration_updates_routing() {
+        let mut net = Network::new(14);
+        let (mut overlay, mut eps) = chain(&mut net, &["none", "text"]);
+        eps[0]
+            .publish(
+                &mut net,
+                "image-share",
+                "interested_in contains 'image'",
+                image_content(),
+                vec![1],
+            )
+            .unwrap();
+        overlay.pump(&mut net, Ticks::from_millis(200));
+        assert!(eps[1].poll(&mut net).is_empty());
+
+        // The text client re-registers with an image interest profile.
+        let profile = interested_profile("client-1", "image");
+        eps[1].profile = profile.clone();
+        overlay.register_local(&mut net, 1, &profile);
+        overlay.settle(&mut net);
+        eps[0]
+            .publish(
+                &mut net,
+                "image-share",
+                "interested_in contains 'image'",
+                image_content(),
+                vec![2],
+            )
+            .unwrap();
+        overlay.pump(&mut net, Ticks::from_millis(200));
+        let got = eps[1].poll(&mut net);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].message.body, vec![2]);
+    }
+}

@@ -49,19 +49,9 @@ fn viewer_profile(name: &str) -> Profile {
 fn run_viewer_sweep(
     policies: PolicyDb,
     scene: &Scene,
-    full_stream_bpp: f64,
     states: impl Iterator<Item = (f64, HostState)>,
-    seed: u64,
-    workers: usize,
-    fault: Option<simnet::FaultModel>,
+    cfg: SessionConfig,
 ) -> Vec<ViewerRow> {
-    let cfg = SessionConfig {
-        seed,
-        full_stream_bpp: Some(full_stream_bpp),
-        workers,
-        fault,
-        ..SessionConfig::default()
-    };
     let mut session = CollaborationSession::new(cfg);
     let publisher = session
         .add_wired_client(
@@ -127,6 +117,23 @@ pub fn run_fig6_faulted(
     workers: usize,
     fault: Option<simnet::FaultModel>,
 ) -> Vec<ViewerRow> {
+    run_fig6_routed(seed, workers, fault, None)
+}
+
+/// [`run_fig6`] over a brokered session: publisher and viewer land in
+/// different domains of a 3-broker overlay and the image crosses
+/// inter-broker links, routed by selector covering. The series is
+/// bit-identical to the flat-multicast [`run_fig6`].
+pub fn run_fig6_brokered(seed: u64, workers: usize) -> Vec<ViewerRow> {
+    run_fig6_routed(seed, workers, None, Some(3))
+}
+
+fn run_fig6_routed(
+    seed: u64,
+    workers: usize,
+    fault: Option<simnet::FaultModel>,
+    domains: Option<usize>,
+) -> Vec<ViewerRow> {
     let scene = synthetic_scene(256, 256, 1, 4, seed);
     let states = sweep(30.0, 100.0, 8).into_iter().map(|f| {
         (
@@ -141,11 +148,15 @@ pub fn run_fig6_faulted(
     run_viewer_sweep(
         PolicyDb::paper_page_fault_policy(),
         &scene,
-        2.1,
         states,
-        seed,
-        workers,
-        fault,
+        SessionConfig {
+            seed,
+            full_stream_bpp: Some(2.1),
+            workers,
+            fault,
+            domains,
+            ..SessionConfig::default()
+        },
     )
 }
 
@@ -168,6 +179,20 @@ pub fn run_fig7_faulted(
     workers: usize,
     fault: Option<simnet::FaultModel>,
 ) -> Vec<ViewerRow> {
+    run_fig7_routed(seed, workers, fault, None)
+}
+
+/// [`run_fig7`] over a brokered session; see [`run_fig6_brokered`].
+pub fn run_fig7_brokered(seed: u64, workers: usize) -> Vec<ViewerRow> {
+    run_fig7_routed(seed, workers, None, Some(3))
+}
+
+fn run_fig7_routed(
+    seed: u64,
+    workers: usize,
+    fault: Option<simnet::FaultModel>,
+    domains: Option<usize>,
+) -> Vec<ViewerRow> {
     let scene = synthetic_scene(256, 256, 3, 4, seed);
     let states = sweep(30.0, 100.0, 8).into_iter().map(|c| {
         (
@@ -182,11 +207,15 @@ pub fn run_fig7_faulted(
     run_viewer_sweep(
         PolicyDb::paper_cpu_load_policy(),
         &scene,
-        14.3,
         states,
-        seed,
-        workers,
-        fault,
+        SessionConfig {
+            seed,
+            full_stream_bpp: Some(14.3),
+            workers,
+            fault,
+            domains,
+            ..SessionConfig::default()
+        },
     )
 }
 
@@ -269,9 +298,32 @@ pub fn run_fig10() -> Fig10Result {
 /// [`run_fig10`] with the SIR assessments sharded across `workers`
 /// threads; any `workers` value produces the identical series.
 pub fn run_fig10_with(workers: usize) -> Fig10Result {
-    let model = PathLossModel::default();
-    let thresholds = ModalityThresholds::default();
-    let mut bs = BaseStation::new(model, thresholds);
+    let mut bs = BaseStation::new(PathLossModel::default(), ModalityThresholds::default());
+    fig10_series(&mut bs, workers)
+}
+
+/// [`run_fig10`] with the base station attached as the gateway of a
+/// 3-domain brokered session (promiscuous advertisement in domain 0)
+/// instead of standing alone. The radio-level series is bit-identical
+/// to [`run_fig10`]: the overlay moves session events, not SIR.
+pub fn run_fig10_brokered(workers: usize) -> Fig10Result {
+    let cfg = SessionConfig {
+        workers,
+        domains: Some(3),
+        ..SessionConfig::default()
+    };
+    let mut session = CollaborationSession::new(cfg);
+    session
+        .attach_base_station(PathLossModel::default(), ModalityThresholds::default())
+        .expect("gateway attaches");
+    // Let the wildcard advertisement flood the overlay before the
+    // radio schedule runs, as a real deployment would.
+    session.pump(Ticks::from_millis(50));
+    let bs = &mut session.base_station.as_mut().expect("attached").station;
+    fig10_series(bs, workers)
+}
+
+fn fig10_series(bs: &mut BaseStation, workers: usize) -> Fig10Result {
     let mut a_sir_by_count = Vec::new();
 
     bs.join_unchecked(ClientRadio::new("a", 60.0, 100.0))

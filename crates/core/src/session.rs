@@ -62,6 +62,16 @@ pub struct SessionConfig {
     /// serially on the caller's thread; any value produces bit-identical
     /// results (see [`crate::shard`]).
     pub workers: usize,
+    /// Brokered mode: `Some(n)` replaces the flat multicast session
+    /// with an `n`-domain broker overlay (a chain of `broker::Overlay`
+    /// nodes). Clients attach to their domain broker round-robin (or
+    /// explicitly via
+    /// [`CollaborationSession::add_wired_client_in_domain`]) and
+    /// messages are routed by selector covering instead of flooded;
+    /// delivery outcomes are bit-identical to `None`. Inter-broker
+    /// links take the configured `link`/`fault`, and each broker
+    /// serves `tassl.21.*` MIB rows through its own agent.
+    pub domains: Option<usize>,
 }
 
 impl Default for SessionConfig {
@@ -76,6 +86,7 @@ impl Default for SessionConfig {
             fault: None,
             community: "public".to_string(),
             workers: 1,
+            domains: None,
         }
     }
 }
@@ -113,10 +124,12 @@ pub struct ClientRuntime {
     pub sketches: Vec<(u64, Sketch, String)>,
     /// Latency prober, when enabled.
     probe: Option<LatencyProbe>,
-    /// The client's access link (switch ↔ client); the mount point
-    /// for a per-link traffic-control plane
-    /// ([`CollaborationSession::attach_qdisc`]).
+    /// The client's access link (switch ↔ client, or domain broker ↔
+    /// client in brokered mode); the mount point for a per-link
+    /// traffic-control plane ([`CollaborationSession::attach_qdisc`]).
     pub link: simnet::LinkId,
+    /// Broker domain the client attached to (always 0 in flat mode).
+    pub domain: usize,
     /// Measured RTP loss fraction in `[0, 1]` from the latest ingested
     /// receiver report; included in adaptation state as `loss_pct`.
     pub rtp_loss: Option<f64>,
@@ -179,14 +192,55 @@ pub struct CollaborationSession {
     echoes: Vec<(NodeId, EchoResponder)>,
     /// The wireless gateway, if attached.
     pub base_station: Option<BsPeer>,
+    /// The broker overlay, when `SessionConfig::domains` is set.
+    overlay: Option<broker::Overlay>,
+    /// Per-broker SNMP agents (separate from `agents`, which
+    /// `attach_qdisc`/netstate index by client id).
+    broker_agents: Vec<AgentRuntime>,
+    /// Per-broker `local_suppressed` totals already credited to client
+    /// `BusStats` via `note_suppressed` (so pump credits only deltas).
+    broker_credited: Vec<u64>,
 }
 
 impl CollaborationSession {
-    /// A fresh session with a switch-based LAN.
+    /// A fresh session with a switch-based LAN — or, when
+    /// `cfg.domains` is `Some(n)`, a brokered session: a chain of `n`
+    /// domain brokers (inter-broker links use the configured
+    /// `link`/`fault`), each with its own SNMP extension agent serving
+    /// the `tassl.21.*` rows, plus an uplink from the switch to broker
+    /// 0 so routers, echo nodes, and the base station stay reachable.
     pub fn new(cfg: SessionConfig) -> CollaborationSession {
         let mut net = Network::new(cfg.seed);
         let switch = net.add_node("switch");
         let group = net.new_group();
+        let mut overlay = None;
+        let mut broker_agents = Vec::new();
+        let mut broker_credited = Vec::new();
+        if let Some(n) = cfg.domains {
+            assert!(n > 0, "brokered session needs at least one domain");
+            let mut ov = broker::Overlay::new();
+            for i in 0..n {
+                let name = format!("broker-{i}");
+                let b = ov.add_broker(&mut net, &name);
+                if i > 0 {
+                    let link = ov.connect(&mut net, i - 1, i, cfg.link);
+                    if let Some(model) = cfg.fault {
+                        net.topology_mut().set_link_fault(link, Some(model));
+                    }
+                }
+                let mut agent = SnmpAgent::new(&name, &cfg.community, None);
+                broker::install_broker_metrics(&mut agent, i as u32, &ov.stats(b));
+                let rt = AgentRuntime::bind(&mut net, ov.node(b), agent)
+                    .expect("fresh broker node binds its agent port");
+                broker_agents.push(rt);
+                broker_credited.push(0);
+            }
+            let uplink = net.connect(switch, ov.node(0), cfg.link);
+            if let Some(model) = cfg.fault {
+                net.topology_mut().set_link_fault(uplink, Some(model));
+            }
+            overlay = Some(ov);
+        }
         CollaborationSession {
             net,
             group,
@@ -198,6 +252,9 @@ impl CollaborationSession {
             routers: Vec::new(),
             echoes: Vec::new(),
             base_station: None,
+            overlay,
+            broker_agents,
+            broker_credited,
         }
     }
 
@@ -232,17 +289,61 @@ impl CollaborationSession {
     }
 
     /// Add a wired client: joins the multicast session as a peer with
-    /// its own host, extension agent, state interface, and engine.
+    /// its own host, extension agent, state interface, and engine. In
+    /// brokered mode the client lands in domain `id % domains`
+    /// (round-robin); use
+    /// [`CollaborationSession::add_wired_client_in_domain`] to choose.
     pub fn add_wired_client(
         &mut self,
         profile: Profile,
         engine: InferenceEngine,
         host: SimHost,
     ) -> Result<ClientId, String> {
+        let domain = match self.cfg.domains {
+            Some(n) => self.clients.len() % n,
+            None => 0,
+        };
+        self.add_wired_client_in_domain(profile, engine, host, domain)
+    }
+
+    /// Add a wired client to an explicit broker domain. In flat mode
+    /// only `domain == 0` is valid. In brokered mode the client's
+    /// access link runs to its domain broker, its profile is
+    /// advertised into the overlay (and flooded broker-to-broker,
+    /// merged by covering), and its bus joins the domain's local
+    /// multicast group; the overlay is then settled so later publishes
+    /// route immediately.
+    pub fn add_wired_client_in_domain(
+        &mut self,
+        profile: Profile,
+        engine: InferenceEngine,
+        host: SimHost,
+        domain: usize,
+    ) -> Result<ClientId, String> {
         let id = self.clients.len();
         let name = profile.name.clone();
         let node = self.net.add_node(&name);
-        let link = self.connect_to_switch(node);
+        let (link, group) = if let Some(ov) = self.overlay.as_mut() {
+            if domain >= ov.broker_count() {
+                return Err(format!(
+                    "domain {domain} out of range (session has {} domains)",
+                    ov.broker_count()
+                ));
+            }
+            let link = self.net.connect(ov.node(domain), node, self.cfg.link);
+            if let Some(model) = self.cfg.fault {
+                self.net.topology_mut().set_link_fault(link, Some(model));
+            }
+            ov.register_local(&mut self.net, domain, &profile);
+            (link, ov.group(domain))
+        } else {
+            if domain != 0 {
+                return Err(format!(
+                    "domain {domain} requires brokered mode (SessionConfig::domains)"
+                ));
+            }
+            (self.connect_to_switch(node), self.group)
+        };
 
         let mut agent = SnmpAgent::new(&name, &self.cfg.community, None);
         install_host_agent(&host.shared(), &mut agent);
@@ -261,10 +362,13 @@ impl CollaborationSession {
             &mut self.net,
             node,
             well_known::SESSION_DATA,
-            self.group,
+            group,
             profile,
         )
         .map_err(|e| e.to_string())?;
+        if let Some(ov) = self.overlay.as_mut() {
+            ov.settle(&mut self.net);
+        }
 
         self.agents.push(agent_rt);
         self.clients.push(ClientRuntime {
@@ -283,6 +387,7 @@ impl CollaborationSession {
             sketches: Vec::new(),
             probe: None,
             link,
+            domain,
             rtp_loss: None,
             rtp_congestion: None,
             last_decision: None,
@@ -306,6 +411,55 @@ impl CollaborationSession {
         let handle = self.net.attach_qdisc(link, cfg);
         crate::trapwatch::install_qdisc_metrics(&mut self.agents[id].agent, link, &handle);
         handle
+    }
+
+    // ------------------------------------------------------- brokered
+
+    /// The broker overlay, in brokered mode.
+    pub fn overlay(&self) -> Option<&broker::Overlay> {
+        self.overlay.as_ref()
+    }
+
+    /// Mutable overlay access (e.g. to re-advertise after healing an
+    /// inter-broker link fault).
+    pub fn overlay_mut(&mut self) -> Option<&mut broker::Overlay> {
+        self.overlay.as_mut()
+    }
+
+    /// Live counters of broker `i`, in brokered mode.
+    pub fn broker_stats(&self, i: usize) -> Option<broker::BrokerStatsHandle> {
+        self.overlay.as_ref().map(|ov| ov.stats(i))
+    }
+
+    /// The inter-broker link between adjacent brokers `a` and `b` —
+    /// the mount point for fault models and traffic-control planes on
+    /// the overlay's own paths.
+    pub fn inter_broker_link(&self, a: usize, b: usize) -> Option<simnet::LinkId> {
+        self.overlay.as_ref().and_then(|ov| ov.link_between(a, b))
+    }
+
+    /// Mount a traffic-control plane on the inter-broker link `a`–`b`
+    /// and expose its counters through broker `a`'s extension agent.
+    /// Advertisements travel on the control port and land in the
+    /// Control class of the default classifier.
+    pub fn attach_broker_qdisc(
+        &mut self,
+        a: usize,
+        b: usize,
+        cfg: simnet::qdisc::QdiscConfig,
+    ) -> Option<simnet::qdisc::StatsHandle> {
+        let link = self.inter_broker_link(a, b)?;
+        let handle = self.net.attach_qdisc(link, cfg);
+        crate::trapwatch::install_qdisc_metrics(&mut self.broker_agents[a].agent, link, &handle);
+        Some(handle)
+    }
+
+    /// Read a row from broker `i`'s extension-agent MIB (the
+    /// `tassl.21.*` subtree) without going over the network.
+    pub fn broker_mib_get(&mut self, i: usize, oid: &snmp::oid::Oid) -> Option<snmp::SnmpValue> {
+        self.broker_agents
+            .get_mut(i)
+            .and_then(|rt| rt.agent.mib_mut().get(oid))
     }
 
     /// Add a network element (router/switch with a standard agent) to
@@ -361,8 +515,14 @@ impl CollaborationSession {
     /// over SNMP, run the inference engine, and apply the decision to
     /// the image viewer. Returns the decision.
     pub fn adapt(&mut self, id: ClientId) -> AdaptationDecision {
-        let (client, agents, net) = (&mut self.clients[id], &mut self.agents, &mut self.net);
-        let mut refs: Vec<&mut AgentRuntime> = agents.iter_mut().collect();
+        let (client, agents, brokers, net) = (
+            &mut self.clients[id],
+            &mut self.agents,
+            &mut self.broker_agents,
+            &mut self.net,
+        );
+        let mut refs: Vec<&mut AgentRuntime> =
+            agents.iter_mut().chain(brokers.iter_mut()).collect();
         let mut state = client.netstate.sample(net, &mut refs);
         if let Some(loss) = client.rtp_loss {
             state.insert("loss_pct".to_string(), loss * 100.0);
@@ -385,8 +545,14 @@ impl CollaborationSession {
     pub fn adapt_all(&mut self) -> Vec<AdaptationDecision> {
         let mut states = Vec::with_capacity(self.clients.len());
         for id in 0..self.clients.len() {
-            let (client, agents, net) = (&mut self.clients[id], &mut self.agents, &mut self.net);
-            let mut refs: Vec<&mut AgentRuntime> = agents.iter_mut().collect();
+            let (client, agents, brokers, net) = (
+                &mut self.clients[id],
+                &mut self.agents,
+                &mut self.broker_agents,
+                &mut self.net,
+            );
+            let mut refs: Vec<&mut AgentRuntime> =
+                agents.iter_mut().chain(brokers.iter_mut()).collect();
             let mut state = client.netstate.sample(net, &mut refs);
             if let Some(loss) = client.rtp_loss {
                 state.insert("loss_pct".to_string(), loss * 100.0);
@@ -445,8 +611,14 @@ impl CollaborationSession {
         self.enable_probing(id)?;
         // SNMP sample first.
         let mut state = {
-            let (client, agents, net) = (&mut self.clients[id], &mut self.agents, &mut self.net);
-            let mut refs: Vec<&mut AgentRuntime> = agents.iter_mut().collect();
+            let (client, agents, brokers, net) = (
+                &mut self.clients[id],
+                &mut self.agents,
+                &mut self.broker_agents,
+                &mut self.net,
+            );
+            let mut refs: Vec<&mut AgentRuntime> =
+                agents.iter_mut().chain(brokers.iter_mut()).collect();
             client.netstate.sample(net, &mut refs)
         };
         // Then the active probe.
@@ -752,7 +924,14 @@ impl CollaborationSession {
     /// client order — the same order the serial loop produces, so any
     /// worker count is bit-identical to `workers: 1`.
     pub fn pump(&mut self, d: Ticks) -> Vec<(ClientId, ViewedImage)> {
-        self.net.run_for(d);
+        if let Some(ov) = self.overlay.as_mut() {
+            // Interleave time slices with broker forwarding, then
+            // settle, so everything published before this pump is
+            // fully delivered — the same contract flat mode gives.
+            ov.pump(&mut self.net, d);
+        } else {
+            self.net.run_for(d);
+        }
         let raw: Vec<Vec<Vec<u8>>> = {
             let net = &mut self.net;
             self.clients
@@ -771,6 +950,23 @@ impl CollaborationSession {
             .enumerate()
             .flat_map(|(id, viewed)| viewed.into_iter().map(move |v| (id, v)))
             .collect();
+        // Credit broker-side suppression to the clients it spared:
+        // messages a domain broker routed away never reached the
+        // domain's endpoints, so flat-mode `rejected` shows up here as
+        // `rejected + suppressed` (see `BusStats::suppressed`).
+        if let Some(ov) = self.overlay.as_ref() {
+            for (i, credited) in self.broker_credited.iter_mut().enumerate() {
+                let total = ov.stats(i).local_suppressed();
+                let delta = total - *credited;
+                if delta == 0 {
+                    continue;
+                }
+                *credited = total;
+                for client in self.clients.iter_mut().filter(|c| c.domain == i) {
+                    client.bus.note_suppressed(delta);
+                }
+            }
+        }
         // The base station is a peer too: it interprets every arriving
         // session event *against each wireless client's profile* and
         // relays it over the radio downlink in the modality the
@@ -820,17 +1016,34 @@ impl CollaborationSession {
             return Err("base station already attached".to_string());
         }
         let node = self.net.add_node("base-station");
-        self.connect_to_switch(node);
+        // In brokered mode the gateway homes on broker 0 and registers
+        // a promiscuous (wildcard) advertisement: it interprets every
+        // session event against the wireless profiles it holds, so the
+        // overlay must not suppress anything on its behalf.
+        let group = if let Some(ov) = self.overlay.as_mut() {
+            let link = self.net.connect(ov.node(0), node, self.cfg.link);
+            if let Some(model) = self.cfg.fault {
+                self.net.topology_mut().set_link_fault(link, Some(model));
+            }
+            ov.register_wildcard(&mut self.net, 0, "base-station");
+            ov.group(0)
+        } else {
+            self.connect_to_switch(node);
+            self.group
+        };
         let mut profile = Profile::new("base-station");
         profile.set("role", AttrValue::str("gateway"));
         let bus = BusEndpoint::join(
             &mut self.net,
             node,
             well_known::SESSION_DATA,
-            self.group,
+            group,
             profile,
         )
         .map_err(|e| e.to_string())?;
+        if let Some(ov) = self.overlay.as_mut() {
+            ov.settle(&mut self.net);
+        }
         self.base_station = Some(BsPeer {
             station: BaseStation::new(model, thresholds),
             bus,
@@ -1035,6 +1248,73 @@ mod tests {
             )
             .unwrap();
         (s, publisher, viewer)
+    }
+
+    #[test]
+    fn brokered_session_delivers_across_domains_and_suppresses() {
+        let mut s = CollaborationSession::new(SessionConfig {
+            domains: Some(3),
+            ..SessionConfig::default()
+        });
+        // publisher in domain 0, a text-only client on the transit
+        // broker (domain 1), the image viewer at the far end (domain
+        // 2): the image must cross broker 1 without entering its
+        // local group.
+        let publisher = s
+            .add_wired_client_in_domain(
+                viewer_profile("publisher"),
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle("publisher"),
+                0,
+            )
+            .unwrap();
+        let mut texter = Profile::new("texter");
+        texter.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("text")]),
+        );
+        let t = s
+            .add_wired_client_in_domain(
+                texter,
+                InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                SimHost::idle("texter"),
+                1,
+            )
+            .unwrap();
+        let viewer = s
+            .add_wired_client_in_domain(
+                viewer_profile("viewer"),
+                engine_pf(),
+                SimHost::idle("viewer"),
+                2,
+            )
+            .unwrap();
+        assert_eq!(s.client(publisher).domain, 0);
+        assert_eq!(s.client(t).domain, 1);
+        assert_eq!(s.client(viewer).domain, 2);
+
+        s.adapt(viewer);
+        let scene = synthetic_scene(64, 64, 1, 3, 5);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        let completed = s.pump(Ticks::from_millis(200));
+        assert_eq!(completed.len(), 1, "viewer alone completes the image");
+        assert_eq!(completed[0].0, viewer);
+        assert_eq!(completed[0].1.image.data, scene.image.data);
+        // Broker 1 relayed the image toward domain 2 but kept it out
+        // of its own group, and the spared texter was credited.
+        let b1 = s.broker_stats(1).unwrap();
+        assert!(b1.forwarded() > 0);
+        assert!(b1.local_suppressed() > 0, "image kept out of domain 1");
+        assert!(s.client(t).bus.stats().suppressed > 0);
+        assert_eq!(s.client(t).bus.stats().accepted, 0);
+        assert_eq!(s.client(t).bus.stats().rejected, 0, "never even decoded");
+        // Broker MIB rows serve the same counters.
+        use snmp::oid::arcs;
+        assert_eq!(
+            s.broker_mib_get(1, &arcs::broker_suppressed(1)),
+            Some(snmp::SnmpValue::Counter32(b1.suppressed() as u32))
+        );
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct BusStats {
     pub rejected: u64,
     /// Datagrams that failed to decode.
     pub malformed: u64,
+    /// Messages that existed in the session but were never delivered
+    /// to this endpoint — routed away by a broker overlay before the
+    /// endpoint had to decode or interpret them. Distinct from
+    /// `rejected`, which counts interpretations this endpoint ran.
+    /// Credited externally via [`BusEndpoint::note_suppressed`].
+    pub suppressed: u64,
 }
 
 /// One client's attachment to the semantic bus.
@@ -90,6 +96,15 @@ impl BusEndpoint {
     /// Interpretation statistics.
     pub fn stats(&self) -> BusStats {
         self.stats
+    }
+
+    /// Credit `n` messages as suppressed: present in the session but
+    /// routed away before reaching this endpoint. Called by the broker
+    /// layer (which is the only component that knows), so flat and
+    /// brokered runs stay comparable: flat `rejected` ≈ brokered
+    /// `rejected + suppressed` for the same traffic.
+    pub fn note_suppressed(&mut self, n: u64) {
+        self.stats.suppressed += n;
     }
 
     /// Publish an event to the session.

@@ -229,6 +229,37 @@ pub mod arcs {
     pub fn qdisc_ecn_marks(link: u32) -> Oid {
         qdisc().extend(&[3, link])
     }
+
+    /// The broker-overlay subtree: 99999.21.
+    pub fn broker() -> Oid {
+        tassl().child(21)
+    }
+
+    /// brokerTableSize.{broker} — current routing-table size: local
+    /// plus remote advertisements held by the broker (Gauge32).
+    pub fn broker_table_size(broker: u32) -> Oid {
+        self::broker().extend(&[1, broker])
+    }
+
+    /// brokerForwarded.{broker} — cumulative message copies forwarded,
+    /// to a neighbor broker or into the local domain group (Counter32).
+    pub fn broker_forwarded(broker: u32) -> Oid {
+        self::broker().extend(&[2, broker])
+    }
+
+    /// brokerSuppressed.{broker} — cumulative per-interface
+    /// suppression decisions: copies not sent because no advertisement
+    /// behind the interface matched the selector (Counter32).
+    pub fn broker_suppressed(broker: u32) -> Oid {
+        self::broker().extend(&[3, broker])
+    }
+
+    /// brokerAdvertsMerged.{broker} — cumulative advertisements
+    /// dropped by covering-based merge before re-advertisement
+    /// (Counter32).
+    pub fn broker_adverts_merged(broker: u32) -> Oid {
+        self::broker().extend(&[4, broker])
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +297,22 @@ mod tests {
         assert!(arcs::host_cpu_load().starts_with(&root));
         assert!(!arcs::sys_descr().starts_with(&root));
         assert!(root.starts_with(&root));
+    }
+
+    #[test]
+    fn broker_rows_sit_under_their_subtree() {
+        let sub = arcs::broker();
+        assert_eq!(sub, arcs::tassl().child(21));
+        for (oid, field) in [
+            (arcs::broker_table_size(3), 1),
+            (arcs::broker_forwarded(3), 2),
+            (arcs::broker_suppressed(3), 3),
+            (arcs::broker_adverts_merged(3), 4),
+        ] {
+            assert!(oid.starts_with(&sub));
+            assert_eq!(oid, sub.extend(&[field, 3]));
+            assert!(oid.is_encodable());
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`simnet`] | deterministic discrete-event network simulator (UDP, multicast, RTP-thin layer) |
 //! | [`snmp`] | SNMPv2c subset: BER, OIDs, MIB, agent, manager |
 //! | [`sempubsub`] | semantic selectors, profiles, transform-aware matching, multicast bus |
+//! | [`broker`] | multi-broker overlay: selector covering, advertisement flooding, content-based routing |
 //! | [`media`] | EZW progressive image coding, sketches, text/speech modalities |
 //! | [`wireless`] | SIR model (eq. 1), base station, power control |
 //! | [`sysmon`] | simulated hosts + embedded SNMP extension agent |
@@ -54,6 +55,7 @@
 //! assert!(completed.iter().any(|(c, _)| *c == viewer));
 //! ```
 
+pub use broker;
 pub use cqos_core as core;
 pub use media;
 pub use sempubsub;
@@ -64,6 +66,7 @@ pub use wireless;
 
 /// The most commonly used types, one `use` away.
 pub mod prelude {
+    pub use broker::{Advertisement, BrokerStatsHandle, Overlay};
     pub use cqos_core::apps::{ImageViewer, ViewedImage};
     pub use cqos_core::contract::{Constraint, QosContract};
     pub use cqos_core::experiments;

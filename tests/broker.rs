@@ -1,0 +1,432 @@
+//! Broker-overlay integration suite (CI job `broker`): content-based
+//! routing over multi-broker topologies, covering-based suppression,
+//! figure bit-identity between flat and brokered sessions, and
+//! robustness of the advertisement protocol under link faults.
+
+use collabqos::broker::Overlay;
+use collabqos::core::experiments::{
+    run_fig10_brokered, run_fig10_with, run_fig6_brokered, run_fig6_with, run_fig7_brokered,
+    run_fig7_with,
+};
+use collabqos::prelude::*;
+use collabqos::sempubsub::BusEndpoint;
+use collabqos::simnet::packet::well_known;
+use collabqos::simnet::qdisc::{QdiscConfig, TrafficClass};
+use collabqos::simnet::{FaultAction, FaultPlan, Network};
+use std::collections::BTreeMap;
+
+fn topic_profile(name: &str, topics: &[&str]) -> Profile {
+    let mut p = Profile::new(name);
+    p.set(
+        "interested_in",
+        AttrValue::List(topics.iter().map(|t| AttrValue::str(t)).collect()),
+    );
+    p
+}
+
+fn engine() -> collabqos::prelude::InferenceEngine {
+    InferenceEngine::new(PolicyDb::new(), QosContract::default())
+}
+
+/// Attach one endpoint to domain `d` of a raw overlay: advertise the
+/// profile, join the domain group, and settle the flood.
+fn join_domain(net: &mut Network, ov: &mut Overlay, d: usize, profile: Profile) -> BusEndpoint {
+    let node = net.add_node(&profile.name.clone());
+    net.connect(ov.node(d), node, LinkSpec::lan());
+    ov.register_local(net, d, &profile);
+    let bus = BusEndpoint::join(net, node, well_known::SESSION_DATA, ov.group(d), profile)
+        .expect("endpoint joins");
+    ov.settle(net);
+    bus
+}
+
+fn accepted_bodies(net: &mut Network, bus: &mut BusEndpoint) -> Vec<Vec<u8>> {
+    let raw = bus.drain_raw(net);
+    bus.interpret_batch(raw)
+        .into_iter()
+        .map(|d| d.message.body)
+        .collect()
+}
+
+// ---------------------------------------------------------- suppression
+
+/// The acceptance scenario: 3 domains x 3 clients with domain-local
+/// interests. Domain-local traffic dominates, so >= 50% of all
+/// per-interface routing decisions at the brokers are suppressions —
+/// those messages never reach uninterested domains at all.
+#[test]
+fn three_domain_scenario_suppresses_at_least_half_of_messages() {
+    let mut net = Network::new(4242);
+    let mut ov = Overlay::new();
+    for i in 0..3 {
+        ov.add_broker(&mut net, &format!("b{i}"));
+    }
+    ov.connect(&mut net, 0, 1, LinkSpec::lan());
+    ov.connect(&mut net, 1, 2, LinkSpec::lan());
+
+    // Per domain: one publisher and two subscribers interested only in
+    // the domain's own topic (plus the session-wide "all" channel).
+    let mut pubs = Vec::new();
+    let mut subs = Vec::new();
+    for d in 0..3usize {
+        let topic = format!("d{d}");
+        pubs.push(join_domain(
+            &mut net,
+            &mut ov,
+            d,
+            topic_profile(&format!("pub{d}"), &[&topic, "all"]),
+        ));
+        for k in 0..2 {
+            subs.push((
+                d,
+                join_domain(
+                    &mut net,
+                    &mut ov,
+                    d,
+                    topic_profile(&format!("sub{d}{k}"), &[&topic, "all"]),
+                ),
+            ));
+        }
+    }
+
+    // 5 domain-local messages per publisher, then 1 broadcast each.
+    for (d, bus) in pubs.iter_mut().enumerate() {
+        for n in 0..5 {
+            bus.publish(
+                &mut net,
+                "chat",
+                &format!("interested_in contains 'd{d}'"),
+                BTreeMap::new(),
+                format!("local {d}/{n}").into_bytes(),
+            )
+            .expect("publishes");
+        }
+        bus.publish(
+            &mut net,
+            "chat",
+            "interested_in contains 'all'",
+            BTreeMap::new(),
+            format!("broadcast {d}").into_bytes(),
+        )
+        .expect("publishes");
+    }
+    ov.pump(&mut net, Ticks::from_millis(200));
+
+    // Every subscriber saw its 5 local messages + 3 broadcasts.
+    for (d, bus) in subs.iter_mut() {
+        let got = accepted_bodies(&mut net, bus);
+        assert_eq!(got.len(), 8, "domain {d} subscriber delivery count");
+    }
+
+    let (mut suppressed, mut forwarded) = (0u64, 0u64);
+    for i in 0..3 {
+        suppressed += ov.stats(i).suppressed();
+        forwarded += ov.stats(i).forwarded();
+    }
+    let total = suppressed + forwarded;
+    assert!(total > 0);
+    let ratio = suppressed as f64 / total as f64;
+    assert!(
+        ratio >= 0.5,
+        "covering must suppress >= 50% of routing decisions: \
+         suppressed {suppressed} / total {total} = {ratio:.2}"
+    );
+    // Domain-local traffic never transited an inter-broker link.
+    assert_eq!(
+        ov.stats(0).dedup_dropped() + ov.stats(1).dedup_dropped() + ov.stats(2).dedup_dropped(),
+        0,
+        "chain topology produces no duplicate paths"
+    );
+}
+
+// ------------------------------------------------- flat comparability
+
+/// Flat and brokered sessions deliver the same content, and what a
+/// flat endpoint decoded-and-rejected shows up at the brokered
+/// transit-domain endpoint as `suppressed` instead: `rejected_flat ==
+/// rejected_brokered + suppressed_brokered`, with identical `accepted`
+/// everywhere.
+#[test]
+fn brokered_rejections_become_suppressions() {
+    let run = |domains: Option<usize>| {
+        let mut s = CollaborationSession::new(SessionConfig {
+            seed: 77,
+            domains,
+            ..SessionConfig::default()
+        });
+        let publisher = s
+            .add_wired_client(
+                topic_profile("publisher", &["image", "text"]),
+                engine(),
+                SimHost::idle("publisher"),
+            )
+            .unwrap();
+        // In brokered mode round-robin places these in domains 1 and 2:
+        // the texter sits on the transit broker of the 0-1-2 chain.
+        let texter = s
+            .add_wired_client(
+                topic_profile("texter", &["text"]),
+                engine(),
+                SimHost::idle("texter"),
+            )
+            .unwrap();
+        let viewer = s
+            .add_wired_client(
+                topic_profile("viewer", &["image"]),
+                engine(),
+                SimHost::idle("viewer"),
+            )
+            .unwrap();
+        let scene = synthetic_scene(64, 64, 1, 3, 5);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        s.share_chat(publisher, "hello", "interested_in contains 'text'")
+            .unwrap();
+        s.pump(Ticks::from_millis(300));
+        let stats = |id: usize| s.client(id).bus.stats();
+        (
+            stats(texter),
+            stats(viewer),
+            s.client(viewer).chat.log.len(),
+            s.client(texter).chat.log.len(),
+        )
+    };
+
+    let (flat_texter, flat_viewer, _, flat_chat) = run(None);
+    let (brk_texter, brk_viewer, viewer_chat, brk_chat) = run(Some(3));
+
+    assert_eq!(brk_chat, flat_chat, "texter still gets the chat line");
+    assert_eq!(viewer_chat, 0, "viewer profile filters chat in both modes");
+    assert_eq!(brk_viewer.accepted, flat_viewer.accepted);
+    assert_eq!(brk_texter.accepted, flat_texter.accepted);
+    // The 17 image messages (meta + 16 packets) the flat texter decoded
+    // and rejected were routed away before its broker's domain.
+    assert!(flat_texter.rejected >= 17);
+    assert_eq!(
+        flat_texter.rejected,
+        brk_texter.rejected + brk_texter.suppressed,
+        "flat rejections must reappear as broker suppressions"
+    );
+    assert!(brk_texter.suppressed >= 17);
+}
+
+// ------------------------------------------------- figure bit-identity
+
+#[test]
+fn brokered_fig6_bit_identical_to_flat() {
+    let flat = run_fig6_with(7, 1);
+    assert_eq!(run_fig6_brokered(7, 1), flat, "workers 1");
+    assert_eq!(run_fig6_brokered(7, 4), flat, "workers 4");
+}
+
+#[test]
+fn brokered_fig7_bit_identical_to_flat() {
+    let flat = run_fig7_with(42, 1);
+    assert_eq!(run_fig7_brokered(42, 1), flat, "workers 1");
+    assert_eq!(run_fig7_brokered(42, 4), flat, "workers 4");
+}
+
+#[test]
+fn brokered_fig10_bit_identical_to_flat() {
+    let flat = run_fig10_with(1);
+    for workers in [1usize, 4] {
+        let brokered = run_fig10_brokered(workers);
+        assert_eq!(brokered.series, flat.series, "workers {workers}");
+        assert_eq!(brokered.a_sir_by_count, flat.a_sir_by_count);
+        assert_eq!(brokered.drop_on_second_join, flat.drop_on_second_join);
+        assert_eq!(brokered.drop_on_third_join, flat.drop_on_third_join);
+    }
+}
+
+// ---------------------------------------------------------- robustness
+
+/// Flap an inter-broker link with the chaos harness's [`FaultPlan`]
+/// while a subscriber joins: its advertisement is lost in the outage,
+/// so even after the link heals its traffic stays suppressed — until
+/// re-advertisement floods the tables again. Recovery must restore
+/// delivery without duplicating anything (dedup ids).
+#[test]
+fn link_flap_readvertisement_restores_delivery_without_duplicates() {
+    let seed = 9009;
+    let mut net = Network::new(seed);
+    let mut ov = Overlay::new();
+    ov.add_broker(&mut net, "b0");
+    ov.add_broker(&mut net, "b1");
+    let link = ov.connect(&mut net, 0, 1, LinkSpec::lan());
+
+    let mut publisher = join_domain(&mut net, &mut ov, 0, topic_profile("pub", &["image"]));
+
+    // Schedule the outage relative to the settled clock, then advance
+    // into it before the subscriber appears.
+    let t0 = net.now();
+    let down_at = t0 + Ticks::from_millis(10);
+    let up_at = t0 + Ticks::from_millis(30);
+    let plan = FaultPlan::new()
+        .at(down_at, FaultAction::LinkDown(link))
+        .at(up_at, FaultAction::LinkUp(link));
+    let ctx = format!("seed {seed}, fault plan:\n{plan}");
+    net.set_fault_plan(plan.clone());
+    net.run_for(Ticks::from_millis(20));
+
+    // Joins during the outage: the advertisement towards b0 is lost.
+    let mut sub = join_domain(&mut net, &mut ov, 1, topic_profile("sub", &["image"]));
+
+    // join_domain's settle ran the clock well past the heal; the link
+    // is up again but b0's table still has no domain-1 advertisement.
+    assert!(net.now() > up_at, "{ctx}");
+    let before = ov.stats(0).suppressed();
+    publisher
+        .publish(
+            &mut net,
+            "chat",
+            "interested_in contains 'image'",
+            BTreeMap::new(),
+            b"lost to the stale table".to_vec(),
+        )
+        .unwrap();
+    ov.pump(&mut net, Ticks::from_millis(100));
+    assert_eq!(
+        accepted_bodies(&mut net, &mut sub).len(),
+        0,
+        "stale routing table must still suppress\n{ctx}"
+    );
+    assert!(ov.stats(0).suppressed() > before, "{ctx}");
+
+    // Recovery: re-flood every broker's advertisements.
+    ov.readvertise(&mut net);
+    ov.settle(&mut net);
+    for n in 0..3 {
+        publisher
+            .publish(
+                &mut net,
+                "chat",
+                "interested_in contains 'image'",
+                BTreeMap::new(),
+                format!("after heal {n}").into_bytes(),
+            )
+            .unwrap();
+    }
+    ov.pump(&mut net, Ticks::from_millis(100));
+    let got = accepted_bodies(&mut net, &mut sub);
+    assert_eq!(
+        got,
+        (0..3)
+            .map(|n| format!("after heal {n}").into_bytes())
+            .collect::<Vec<_>>(),
+        "re-advertisement restores exactly-once, in-order delivery\n{ctx}"
+    );
+    assert_eq!(ov.stats(1).dedup_dropped(), 0, "{ctx}");
+}
+
+// ------------------------------------------------- control-plane qdisc
+
+/// A traffic-control plane mounted on an inter-broker link classifies
+/// advertisement floods as Control traffic (they ride the session
+/// control port) while routed data rides the interactive media class.
+#[test]
+fn advertisements_ride_the_control_class_on_inter_broker_qdisc() {
+    let mut net = Network::new(55);
+    let mut ov = Overlay::new();
+    ov.add_broker(&mut net, "b0");
+    ov.add_broker(&mut net, "b1");
+    let link = ov.connect(&mut net, 0, 1, LinkSpec::lan());
+    net.attach_qdisc(link, QdiscConfig::for_rate(10_000_000));
+
+    let mut publisher = join_domain(&mut net, &mut ov, 0, topic_profile("pub", &["image"]));
+    let mut sub = join_domain(&mut net, &mut ov, 1, topic_profile("sub", &["image"]));
+
+    let stats = net.qdisc_stats(link).expect("qdisc mounted");
+    let control = stats.class(TrafficClass::Control).dequeued;
+    assert!(
+        control > 0,
+        "advertisement flood must cross the link in the Control class"
+    );
+    assert_eq!(stats.class(TrafficClass::InteractiveMedia).dequeued, 0);
+
+    publisher
+        .publish(
+            &mut net,
+            "chat",
+            "interested_in contains 'image'",
+            BTreeMap::new(),
+            b"shaped data".to_vec(),
+        )
+        .unwrap();
+    ov.pump(&mut net, Ticks::from_millis(100));
+    assert_eq!(accepted_bodies(&mut net, &mut sub).len(), 1);
+    let stats = net.qdisc_stats(link).expect("qdisc mounted");
+    assert!(
+        stats.class(TrafficClass::InteractiveMedia).dequeued > 0,
+        "routed session data rides the media class"
+    );
+    assert_eq!(stats.drops(), 0);
+}
+
+// ------------------------------------------------- session-level wiring
+
+/// Session-level inter-broker instrumentation: the link is reachable
+/// for fault models and qdiscs, and the per-broker MIB rows served by
+/// the broker agents track the live overlay counters.
+#[test]
+fn session_exposes_inter_broker_links_and_mib_rows() {
+    use collabqos::snmp::oid::arcs;
+    use collabqos::snmp::SnmpValue;
+
+    let mut s = CollaborationSession::new(SessionConfig {
+        seed: 31,
+        domains: Some(3),
+        ..SessionConfig::default()
+    });
+    let qdisc_stats = s
+        .attach_broker_qdisc(0, 1, QdiscConfig::for_rate(10_000_000))
+        .expect("brokers 0 and 1 are adjacent");
+    assert!(s.inter_broker_link(0, 1).is_some());
+    assert!(s.inter_broker_link(1, 2).is_some());
+    assert!(s.inter_broker_link(0, 2).is_none(), "chain, not clique");
+
+    let publisher = s
+        .add_wired_client_in_domain(
+            topic_profile("pub", &["image"]),
+            engine(),
+            SimHost::idle("pub"),
+            0,
+        )
+        .unwrap();
+    s.add_wired_client_in_domain(
+        topic_profile("viewer", &["image"]),
+        engine(),
+        SimHost::idle("viewer"),
+        2,
+    )
+    .unwrap();
+    let scene = synthetic_scene(32, 32, 1, 2, 9);
+    s.share_image(publisher, &scene, "interested_in contains 'image'")
+        .unwrap();
+    let completed = s.pump(Ticks::from_millis(300));
+    assert_eq!(completed.len(), 1, "image crosses two broker hops");
+
+    for b in 0..3u32 {
+        let table = s.broker_mib_get(b as usize, &arcs::broker_table_size(b));
+        let fwd = s.broker_mib_get(b as usize, &arcs::broker_forwarded(b));
+        let stats = s.broker_stats(b as usize).unwrap();
+        assert_eq!(
+            table,
+            Some(SnmpValue::Gauge32(stats.table_size() as u32)),
+            "broker {b} tableSize row"
+        );
+        assert_eq!(
+            fwd,
+            Some(SnmpValue::Counter32(stats.forwarded() as u32)),
+            "broker {b} forwarded row"
+        );
+    }
+    assert!(s.broker_stats(1).unwrap().forwarded() > 0, "transit broker");
+    // The advertisement floods crossed the instrumented 0-1 link.
+    use std::sync::atomic::Ordering;
+    let _ = qdisc_stats.backlog_bytes.load(Ordering::Relaxed);
+    let snap = s
+        .net
+        .qdisc_stats(s.inter_broker_link(0, 1).unwrap())
+        .unwrap();
+    assert!(snap.class(TrafficClass::Control).dequeued > 0);
+}

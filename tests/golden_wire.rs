@@ -165,6 +165,54 @@ fn snmp_qdisc_row_response_matches_rfc_encoding() {
     assert_eq!(Message::decode(&expected).unwrap(), msg);
 }
 
+/// `GetResponse` carrying the broker overlay's per-broker MIB row for
+/// broker 1 — brokerTableSize.1 (Gauge32) plus the forwarded /
+/// suppressed / advertsMerged counters — exactly as a station polling
+/// the broker subtree (99999.21) sees it on the wire.
+#[test]
+fn snmp_broker_row_response_matches_rfc_encoding() {
+    let msg = Message::new(
+        "public",
+        Pdu {
+            kind: PduKind::Response,
+            request_id: 9,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds: vec![
+                VarBind::bound(arcs::broker_table_size(1), SnmpValue::Gauge32(6)),
+                VarBind::bound(arcs::broker_forwarded(1), SnmpValue::Counter32(57)),
+                VarBind::bound(arcs::broker_suppressed(1), SnmpValue::Counter32(113)),
+                VarBind::bound(arcs::broker_adverts_merged(1), SnmpValue::Counter32(4)),
+            ],
+        },
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x60, // SEQUENCE, 96 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA2, 0x53, // Response PDU, 83 bytes
+        0x02, 0x01, 0x09, // request-id = 9
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x48, // varbind list
+        0x30, 0x10, // varbind: brokerTableSize.1 = Gauge32 6
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x15, 0x01, 0x01, //
+        0x42, 0x01, 0x06, //
+        0x30, 0x10, // varbind: brokerForwarded.1 = Counter32 57
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x15, 0x02, 0x01, //
+        0x41, 0x01, 0x39, //
+        0x30, 0x10, // varbind: brokerSuppressed.1 = Counter32 113
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x15, 0x03, 0x01, //
+        0x41, 0x01, 0x71, //
+        0x30, 0x10, // varbind: brokerAdvertsMerged.1 = Counter32 4
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x15, 0x04, 0x01, //
+        0x41, 0x01, 0x04, //
+    ];
+    assert_eq!(msg.encode(), expected);
+    assert_eq!(Message::decode(&expected).unwrap(), msg);
+}
+
 /// An SNMPv2-Trap carrying the qosCongestionAlert notification
 /// (tassl.11) with the hostCongestionPct gauge — the ECN early-warning
 /// counterpart of the qosAlert trap above, emitted while loss is still

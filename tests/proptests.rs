@@ -1,8 +1,10 @@
 //! Property-based tests over the core data structures and invariants:
 //! wire codecs round-trip, the embedded stream is prefix-decodable with
-//! monotone quality, the reorder buffer releases in order, and the
-//! replicated state machinery converges under permutation.
+//! monotone quality, the reorder buffer releases in order, the
+//! replicated state machinery converges under permutation, and the
+//! broker overlay's covering relation is sound.
 
+use collabqos::broker::{covers_expr, merge_covering};
 use collabqos::core::concurrency::LwwRegister;
 use collabqos::core::state_repo::{ObjectState, StateRepository};
 use collabqos::media::ezw::{self, BitReader, BitWriter};
@@ -98,8 +100,171 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     })
 }
 
+/// Selector expressions over a deliberately tiny alphabet (3 attribute
+/// names, literals in a narrow range) so randomly drawn pairs actually
+/// relate: coverings hold, maps hit selectors, merges collapse.
+fn arb_cover_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("flag".to_string())
+    ]
+}
+
+fn arb_cover_expr() -> impl Strategy<Value = Expr> {
+    let lit = prop_oneof![
+        (-4i64..=4).prop_map(AttrValue::Int),
+        any::<bool>().prop_map(AttrValue::Bool),
+        "[ab]".prop_map(AttrValue::Str),
+    ];
+    let cmp_op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    let leaf = prop_oneof![
+        (arb_cover_name(), cmp_op, lit).prop_map(|(n, op, l)| {
+            Expr::Cmp(op, Box::new(Expr::Attr(n)), Box::new(Expr::Literal(l)))
+        }),
+        arb_cover_name().prop_map(Expr::Exists),
+        arb_cover_name().prop_map(Expr::Attr),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_cover_attrs() -> impl Strategy<Value = BTreeMap<String, AttrValue>> {
+    proptest::collection::btree_map(
+        arb_cover_name(),
+        prop_oneof![
+            (-5i64..=5).prop_map(AttrValue::Int),
+            any::<bool>().prop_map(AttrValue::Bool),
+            "[ab]".prop_map(AttrValue::Str),
+        ],
+        0..4,
+    )
+}
+
+/// A profile is "accepted" by a selector when evaluation returns
+/// `Ok(true)` — type errors reject, exactly as the bus endpoint does.
+fn accepts(e: &Expr, attrs: &BTreeMap<String, AttrValue>) -> bool {
+    collabqos::sempubsub::eval::eval_bool(e, attrs).unwrap_or(false)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ----------------------------------------------- broker covering
+
+    /// Soundness of the covering oracle on arbitrary selector pairs:
+    /// whenever `covers(a, b)` claims subsumption, every attribute map
+    /// `b` accepts must also be accepted by `a`. (The checker may
+    /// decline true subsumptions — it is incomplete — but it must
+    /// never affirm a false one: that is what makes suppression safe.)
+    #[test]
+    fn covers_is_sound_on_arbitrary_pairs(
+        a in arb_cover_expr(),
+        b in arb_cover_expr(),
+        maps in proptest::collection::vec(arb_cover_attrs(), 1..6),
+    ) {
+        if covers_expr(&a, &b) {
+            for attrs in &maps {
+                if accepts(&b, attrs) {
+                    prop_assert!(
+                        accepts(&a, attrs),
+                        "covers claimed ({}) covers ({}) but map {:?} separates them",
+                        a, b, attrs
+                    );
+                }
+            }
+        }
+    }
+
+    /// Conjunctive strengthening `b = a AND extra` is the canonical
+    /// covering the merge relies on; the checker must both certify it
+    /// (for atomic `a`) and stay sound on the maps.
+    #[test]
+    fn covers_certifies_conjunctive_strengthening(
+        a in arb_cover_expr(),
+        extra in arb_cover_expr(),
+        maps in proptest::collection::vec(arb_cover_attrs(), 1..6),
+    ) {
+        let b = Expr::And(Box::new(a.clone()), Box::new(extra));
+        if covers_expr(&a, &b) {
+            for attrs in &maps {
+                if accepts(&b, attrs) {
+                    prop_assert!(accepts(&a, attrs), "({}) vs ({}) on {:?}", a, b, attrs);
+                }
+            }
+        } else {
+            // Incompleteness is only tolerated for disjunctive `a`
+            // (the error-semantics guard); everything simpler must be
+            // certified.
+            prop_assert!(
+                matches!(a, Expr::Or(..)),
+                "checker must certify ({}) covers ({})", a, b
+            );
+        }
+    }
+
+    /// Covering is reflexive for every expression.
+    #[test]
+    fn covers_is_reflexive(e in arb_cover_expr()) {
+        prop_assert!(covers_expr(&e, &e), "({e}) must cover itself");
+    }
+
+    /// Interval chains make covering transitivity (and its strictness)
+    /// concrete: `x > lo` covers `x > lo+d1` covers `x > lo+d1+d2`,
+    /// and never the other way around.
+    #[test]
+    fn covers_is_transitive_on_interval_chains(
+        lo in -100i64..100,
+        d1 in 1i64..50,
+        d2 in 1i64..50,
+    ) {
+        let sel = |t: i64| Selector::parse(&format!("x > {t}")).unwrap();
+        let (a, b, c) = (sel(lo), sel(lo + d1), sel(lo + d1 + d2));
+        prop_assert!(collabqos::broker::covers(&a, &b));
+        prop_assert!(collabqos::broker::covers(&b, &c));
+        prop_assert!(collabqos::broker::covers(&a, &c), "transitivity");
+        prop_assert!(!collabqos::broker::covers(&b, &a), "strictly one-way");
+        prop_assert!(!collabqos::broker::covers(&c, &a), "strictly one-way");
+    }
+
+    /// Covering-based merge is union-exact: the kept subset accepts
+    /// precisely the maps the original set accepted, and the counter
+    /// accounts for every dropped selector.
+    #[test]
+    fn merge_covering_preserves_the_union(
+        exprs in proptest::collection::vec(arb_cover_expr(), 1..6),
+        maps in proptest::collection::vec(arb_cover_attrs(), 1..8),
+    ) {
+        let originals: Vec<Selector> = exprs
+            .iter()
+            .map(|e| Selector::parse(&e.to_string()).expect("printed form reparses"))
+            .collect();
+        let (kept, merged) = merge_covering(originals.clone());
+        prop_assert_eq!(kept.len() as u64 + merged, originals.len() as u64);
+        prop_assert!(!kept.is_empty());
+        for attrs in &maps {
+            let before = originals.iter().any(|s| s.matches(attrs).unwrap_or(false));
+            let after = kept.iter().any(|s| s.matches(attrs).unwrap_or(false));
+            prop_assert_eq!(
+                before, after,
+                "merge changed the union on {:?}: kept {:?}",
+                attrs,
+                kept.iter().map(|s| s.source().to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
 
     /// Printing an expression and reparsing it yields semantically
     /// identical evaluation on arbitrary attribute maps — the selector
