@@ -28,7 +28,7 @@
 //! exactly once.
 
 use crate::algebra::covers;
-use sempubsub::{AttrValue, Profile, Selector, SemanticMessage};
+use sempubsub::{AttrValue, CacheStatsHandle, MatchEngine, Profile, Selector, SemanticMessage};
 use simnet::packet::well_known;
 use simnet::{Addr, GroupId, LinkId, LinkSpec, Network, NodeId, SocketHandle, Ticks};
 use std::collections::{BTreeMap, BTreeSet};
@@ -238,6 +238,27 @@ struct Neighbor {
     link: LinkId,
 }
 
+/// Compiled counterpart of [`Advertisement::matches`], evaluated
+/// through a broker's selector cache: wildcard subscriptions match
+/// everything, an unparseable selector (`parseable == false`) forwards
+/// conservatively, and evaluation errors reject — exactly as the
+/// endpoint itself treats them.
+fn ad_matches_compiled(
+    engine: &mut MatchEngine,
+    selector: &str,
+    parseable: bool,
+    ad: &Advertisement,
+) -> bool {
+    if ad.wildcard || !parseable {
+        return true;
+    }
+    match engine.check(selector, &ad.attrs) {
+        Ok(result) => result.unwrap_or(false),
+        // Unreachable in practice: `parseable` was just established.
+        Err(_) => true,
+    }
+}
+
 /// One broker: a simnet node bridging its local domain group and the
 /// inter-broker unicast mesh.
 pub struct BrokerNode {
@@ -251,6 +272,11 @@ pub struct BrokerNode {
     remote_ads: BTreeMap<usize, Vec<Advertisement>>,
     seen: BTreeSet<(String, u64)>,
     stats: BrokerStatsHandle,
+    /// Compiled-selector cache for forwarding decisions: senders reuse
+    /// identical selector strings per stream, so each data message
+    /// costs one cache lookup instead of a parse, and each
+    /// advertisement check is a compiled evaluation.
+    engine: MatchEngine,
 }
 
 impl BrokerNode {
@@ -320,6 +346,7 @@ impl Overlay {
             remote_ads: BTreeMap::new(),
             seen: BTreeSet::new(),
             stats: BrokerStatsHandle::default(),
+            engine: MatchEngine::new(),
         });
         self.node_to_broker.insert(node, idx);
         idx
@@ -376,6 +403,11 @@ impl Overlay {
     /// Live counters of broker `i`.
     pub fn stats(&self, i: usize) -> BrokerStatsHandle {
         self.brokers[i].stats.clone()
+    }
+
+    /// Live selector-cache counters of broker `i`.
+    pub fn cache_stats(&self, i: usize) -> CacheStatsHandle {
+        self.brokers[i].engine.cache_stats()
     }
 
     /// Register a local endpoint's profile with its domain broker and
@@ -508,6 +540,7 @@ impl Overlay {
                 continue;
             };
             let key = (msg.sender.clone(), msg.seq);
+            let from = self.node_to_broker.get(&d.src_node).copied();
             let broker = &mut self.brokers[i];
             if !broker.seen.insert(key) {
                 broker
@@ -517,15 +550,11 @@ impl Overlay {
                     .fetch_add(1, Ordering::Relaxed);
                 continue;
             }
+            // Compile the selector once per message — a cache hit for
+            // every stream whose selector the broker has seen before.
             // An unparseable selector cannot be reasoned about;
             // forward conservatively (the endpoint will count it).
-            let selector = Selector::parse(&msg.selector).ok();
-            let ad_matches = |ad: &Advertisement| match &selector {
-                Some(sel) => ad.matches(sel),
-                None => true,
-            };
-            let from = self.node_to_broker.get(&d.src_node).copied();
-            let broker = &self.brokers[i];
+            let parseable = broker.engine.compile(&msg.selector).is_ok();
             let mut sends: Vec<Addr> = Vec::new();
             let mut suppressed = 0u64;
             let mut local_suppressed = 0u64;
@@ -533,7 +562,11 @@ impl Overlay {
             // over the mesh: a locally-published message already
             // reached every group member by multicast.
             if from.is_some_and(|j| j != i) {
-                if broker.local_ads.iter().any(ad_matches) {
+                if broker
+                    .local_ads
+                    .iter()
+                    .any(|ad| ad_matches_compiled(&mut broker.engine, &msg.selector, parseable, ad))
+                {
                     sends.push(Addr::multicast(broker.group, well_known::SESSION_DATA));
                 } else {
                     suppressed += 1;
@@ -545,7 +578,11 @@ impl Overlay {
                     continue;
                 }
                 let behind = broker.remote_ads.get(&n.broker);
-                if behind.is_some_and(|ads| ads.iter().any(ad_matches)) {
+                if behind.is_some_and(|ads| {
+                    ads.iter().any(|ad| {
+                        ad_matches_compiled(&mut broker.engine, &msg.selector, parseable, ad)
+                    })
+                }) {
                     sends.push(Addr::unicast(n.node, well_known::SESSION_DATA));
                 } else {
                     suppressed += 1;

@@ -174,6 +174,11 @@ pub struct BsPeer {
     /// Downlink relay log: session events delivered to wireless
     /// clients, with the modality their SIR allowed.
     pub downlink_log: Vec<DownlinkDelivery>,
+    /// Compiled matcher for downlink interpretation: the BS evaluates
+    /// every session event against *each* wireless profile, so one
+    /// engine (selector cached once, one snapshot per profile) replaces
+    /// a parse per message and a tree walk per profile.
+    pub matcher: sempubsub::MatchEngine,
 }
 
 /// The collaboration session.
@@ -347,7 +352,8 @@ impl CollaborationSession {
 
         let mut agent = SnmpAgent::new(&name, &self.cfg.community, None);
         install_host_agent(&host.shared(), &mut agent);
-        let agent_rt = AgentRuntime::bind(&mut self.net, node, agent).map_err(|e| e.to_string())?;
+        let mut agent_rt =
+            AgentRuntime::bind(&mut self.net, node, agent).map_err(|e| e.to_string())?;
 
         let mut netstate = NetworkStateInterface::bind(
             &mut self.net,
@@ -369,6 +375,9 @@ impl CollaborationSession {
         if let Some(ov) = self.overlay.as_mut() {
             ov.settle(&mut self.net);
         }
+        // The session agent serves the endpoint's compiled-selector
+        // cache counters (tassl.22.*) alongside the host metrics.
+        crate::trapwatch::install_cache_metrics(&mut agent_rt.agent, &bus.cache_stats());
 
         self.agents.push(agent_rt);
         self.clients.push(ClientRuntime {
@@ -975,14 +984,16 @@ impl CollaborationSession {
         // delivery record).
         if let Some(bs) = &mut self.base_station {
             for message in bs.bus.poll_raw(&mut self.net) {
-                let Ok(selector) = sempubsub::Selector::parse(&message.selector) else {
+                if bs.matcher.compile(&message.selector).is_err() {
                     continue;
-                };
+                }
                 for (id, profile) in &bs.wireless_profiles {
-                    let matched =
-                        sempubsub::matching::interpret(profile, &selector, &message.content)
-                            .map(|o| o.is_accepted())
-                            .unwrap_or(false);
+                    let matched = bs
+                        .matcher
+                        .interpret(profile, &message.selector, &message.content)
+                        .ok()
+                        .and_then(|r| r.ok())
+                        .is_some_and(|o| o.is_accepted());
                     if !matched {
                         continue;
                     }
@@ -1052,6 +1063,7 @@ impl CollaborationSession {
             forward_log: Vec::new(),
             wireless_profiles: std::collections::HashMap::new(),
             downlink_log: Vec::new(),
+            matcher: sempubsub::MatchEngine::new(),
         });
         Ok(())
     }

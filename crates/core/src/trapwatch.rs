@@ -297,6 +297,32 @@ pub fn install_qdisc_metrics(
         });
 }
 
+/// Expose a bus endpoint's compiled-selector cache counters as MIB
+/// scalars on `agent`: `cacheHits.0`, `cacheMisses.0`, and
+/// `cacheEvictions.0` (all Counter32, `tassl.22.*`). The handle comes
+/// from [`sempubsub::BusEndpoint::cache_stats`]; the agent samples it
+/// at query time, so GETs always see the current values.
+pub fn install_cache_metrics(agent: &mut snmp::SnmpAgent, stats: &sempubsub::CacheStatsHandle) {
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::cache_hits(), move || {
+            SnmpValue::Counter32(s.hits() as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::cache_misses(), move || {
+            SnmpValue::Counter32(s.misses() as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::cache_evictions(), move || {
+            SnmpValue::Counter32(s.evictions() as u32)
+        });
+}
+
 /// Interpret a received QoS-alert or congestion-alert trap: extract
 /// the known host metrics from its varbinds and run the engine on
 /// them. Returns `None` for traps that are neither alert kind or carry

@@ -9,11 +9,12 @@
 //! the interest), so "the group of interacting clients is determined
 //! only at run-time" with no roster synchronization (§3).
 
-use crate::matching::{interpret, MatchOutcome};
-use crate::message::SemanticMessage;
+use crate::compile::{CacheStatsHandle, MatchEngine};
+use crate::matching::MatchOutcome;
+use crate::message::{self, SemanticMessage};
 use crate::profile::Profile;
 use crate::value::AttrValue;
-use crate::{Selector, SemError};
+use crate::SemError;
 use simnet::{Addr, GroupId, Network, NodeId, Port, SocketHandle};
 use std::collections::BTreeMap;
 
@@ -39,6 +40,11 @@ pub struct BusStats {
     pub rejected: u64,
     /// Datagrams that failed to decode.
     pub malformed: u64,
+    /// Payloads that decoded fine but carried a selector that does not
+    /// parse. Distinct from `malformed` (an undecodable datagram points
+    /// at transport corruption; a bad selector points at a buggy or
+    /// hostile *sender*), so operators can tell the failure modes apart.
+    pub bad_selector: u64,
     /// Messages that existed in the session but were never delivered
     /// to this endpoint — routed away by a broker overlay before the
     /// endpoint had to decode or interpret them. Distinct from
@@ -48,6 +54,13 @@ pub struct BusStats {
 }
 
 /// One client's attachment to the semantic bus.
+///
+/// Each endpoint owns a [`MatchEngine`]: a bounded LRU of compiled
+/// selectors plus a generation-stamped snapshot of the local profile,
+/// so the per-message hot path ([`BusEndpoint::interpret_batch`]) never
+/// re-parses a selector string it has seen before and never walks the
+/// profile's `BTreeMap`. The publish path validates selectors through
+/// the same cache, warming it for loopback traffic.
 pub struct BusEndpoint {
     socket: SocketHandle,
     group: GroupId,
@@ -56,6 +69,7 @@ pub struct BusEndpoint {
     pub profile: Profile,
     seq: u64,
     stats: BusStats,
+    engine: MatchEngine,
 }
 
 impl BusEndpoint {
@@ -79,6 +93,7 @@ impl BusEndpoint {
             profile,
             seq: 0,
             stats: BusStats::default(),
+            engine: MatchEngine::new(),
         })
     }
 
@@ -96,6 +111,18 @@ impl BusEndpoint {
     /// Interpretation statistics.
     pub fn stats(&self) -> BusStats {
         self.stats
+    }
+
+    /// Live selector-cache counters (hits / misses / evictions),
+    /// shareable with an SNMP extension agent.
+    pub fn cache_stats(&self) -> CacheStatsHandle {
+        self.engine.cache_stats()
+    }
+
+    /// The endpoint's compiled matching engine (tests inspect cache
+    /// state through this).
+    pub fn engine(&self) -> &MatchEngine {
+        &self.engine
     }
 
     /// Credit `n` messages as suppressed: present in the session but
@@ -119,8 +146,10 @@ impl BusEndpoint {
         content: BTreeMap<String, AttrValue>,
         body: Vec<u8>,
     ) -> Result<u64, SemError> {
-        // Validate the selector locally before it hits the wire.
-        Selector::parse(selector)?;
+        // Validate the selector locally before it hits the wire; the
+        // compiled program lands in the cache, so a subsequent
+        // interpret of our own (or an identical) selector is a hit.
+        self.engine.compile(selector)?;
         let seq = self.seq;
         self.seq += 1;
         let msg = SemanticMessage {
@@ -169,22 +198,40 @@ impl BusEndpoint {
         content: BTreeMap<String, AttrValue>,
         events: Vec<(String, Vec<u8>)>,
     ) -> Result<Vec<u64>, SemError> {
-        Selector::parse(selector)?;
+        self.engine.compile(selector)?;
+        // Encode the fields shared by every frame exactly once instead
+        // of constructing (and cloning `content` into) a full
+        // `SemanticMessage` per event. Frame layout (see
+        // `SemanticMessage::encode`): MAGIC, sender, kind, selector,
+        // seq, content, body — so the shared parts are a prefix up to
+        // `kind` plus two reusable chunks spliced in after it.
+        let mut prefix = Vec::new();
+        prefix.extend_from_slice(message::MAGIC);
+        message::put_str16(&mut prefix, &self.profile.name);
+        let mut selector_bytes = Vec::new();
+        message::put_str16(&mut selector_bytes, selector);
+        let mut content_bytes = Vec::new();
+        content_bytes.extend_from_slice(&(content.len() as u16).to_be_bytes());
+        for (k, v) in &content {
+            message::put_str16(&mut content_bytes, k);
+            message::put_value(&mut content_bytes, v);
+        }
+        let shared = prefix.len() + selector_bytes.len() + content_bytes.len();
         let mut seqs = Vec::with_capacity(events.len());
         let mut wires = Vec::with_capacity(events.len());
         for (kind, body) in events {
             let seq = self.seq;
             self.seq += 1;
             seqs.push(seq);
-            let msg = SemanticMessage {
-                sender: self.profile.name.clone(),
-                kind,
-                selector: selector.to_string(),
-                seq,
-                content: content.clone(),
-                body,
-            };
-            wires.push(msg.encode());
+            let mut wire = Vec::with_capacity(shared + 2 + kind.len() + 8 + 4 + body.len());
+            wire.extend_from_slice(&prefix);
+            message::put_str16(&mut wire, &kind);
+            wire.extend_from_slice(&selector_bytes);
+            wire.extend_from_slice(&seq.to_be_bytes());
+            wire.extend_from_slice(&content_bytes);
+            wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            wire.extend_from_slice(&body);
+            wires.push(wire);
         }
         net.send_batch(self.socket, Addr::multicast(self.group, self.port), wires)
             .map_err(|e| SemError::Transport(e.to_string()))?;
@@ -209,6 +256,14 @@ impl BusEndpoint {
     /// local profile; returns only accepted messages. Pure CPU — needs
     /// no network access, so it is safe to call from a worker thread
     /// that owns this endpoint.
+    ///
+    /// This is the hot path: interpretation runs the compiled
+    /// [`MatchEngine`], so a selector string seen before costs one
+    /// cache lookup and one postfix-program evaluation against the
+    /// profile's slot-table snapshot — no parsing, no `BTreeMap`
+    /// walks, no per-message allocation. Outcomes and stats are
+    /// bit-identical to the tree-walk interpreter (pinned by the
+    /// differential suite in `tests/matching.rs`).
     pub fn interpret_batch(&mut self, payloads: Vec<Vec<u8>>) -> Vec<Delivery> {
         let mut out = Vec::new();
         for payload in payloads {
@@ -216,11 +271,14 @@ impl BusEndpoint {
                 self.stats.malformed += 1;
                 continue;
             };
-            let Ok(selector) = Selector::parse(&msg.selector) else {
-                self.stats.malformed += 1;
+            let Ok(result) = self
+                .engine
+                .interpret(&self.profile, &msg.selector, &msg.content)
+            else {
+                self.stats.bad_selector += 1;
                 continue;
             };
-            match interpret(&self.profile, &selector, &msg.content) {
+            match result {
                 Ok(MatchOutcome::Reject) | Err(_) => self.stats.rejected += 1,
                 Ok(outcome) => {
                     match outcome {
@@ -436,6 +494,113 @@ mod tests {
         let err = publisher.publish(&mut net, "x", "mode ==", BTreeMap::new(), vec![]);
         assert!(err.is_err());
         assert_eq!(publisher.stats().published, 0);
+    }
+
+    #[test]
+    fn publish_batch_wire_bytes_match_per_message_encoding() {
+        // The prefix-splicing fast path must emit byte-identical frames
+        // to encoding a full `SemanticMessage` per event.
+        let (mut net, group, hosts) = world(2);
+        let mut publisher =
+            BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, Profile::new("pub"))
+                .unwrap();
+        let mut gateway =
+            BusEndpoint::join(&mut net, hosts[1], SESSION_PORT, group, Profile::new("gw")).unwrap();
+        let events = vec![
+            ("image-share".to_string(), vec![1, 2, 3]),
+            ("chat".to_string(), vec![]),
+            ("whiteboard-stroke".to_string(), vec![0xFF; 32]),
+        ];
+        let seqs = publisher
+            .publish_batch(
+                &mut net,
+                "interested_in contains 'image'",
+                content_image(),
+                events.clone(),
+            )
+            .unwrap();
+        net.run_for(Ticks::from_millis(10));
+        let raw = gateway.drain_raw(&mut net);
+        assert_eq!(raw.len(), events.len());
+        for (i, payload) in raw.iter().enumerate() {
+            let expected = SemanticMessage {
+                sender: "pub".to_string(),
+                kind: events[i].0.clone(),
+                selector: "interested_in contains 'image'".to_string(),
+                seq: seqs[i],
+                content: content_image(),
+                body: events[i].1.clone(),
+            }
+            .encode();
+            assert_eq!(payload, &expected, "frame {i} diverged from codec");
+        }
+        // Golden fixture: the first frame's header bytes, spelled out,
+        // so a codec/layout change cannot slip through unnoticed.
+        let golden_head: Vec<u8> = [
+            b"SEM1".as_slice(), // magic
+            &[0x00, 0x03],
+            b"pub", // sender (str16)
+            &[0x00, 0x0B],
+            b"image-share", // kind (str16)
+            &[0x00, 0x1E],
+            b"interested_in contains 'image'", // selector
+            &[0, 0, 0, 0, 0, 0, 0, 0],         // seq 0 (u64 BE)
+            &[0x00, 0x03],                     // 3 content attributes
+        ]
+        .concat();
+        assert_eq!(&raw[0][..golden_head.len()], &golden_head[..]);
+    }
+
+    #[test]
+    fn unparsable_selector_counts_as_bad_selector_not_malformed() {
+        let (mut net, group, hosts) = world(1);
+        let mut sub =
+            BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, Profile::new("s")).unwrap();
+        // Decodes fine, but the selector does not parse.
+        let msg = SemanticMessage {
+            sender: "evil".to_string(),
+            kind: "x".to_string(),
+            selector: "mode ==".to_string(),
+            seq: 0,
+            content: BTreeMap::new(),
+            body: vec![],
+        };
+        // An undecodable datagram, for contrast.
+        let got = sub.interpret_batch(vec![msg.encode(), b"garbage".to_vec()]);
+        assert!(got.is_empty());
+        assert_eq!(sub.stats().bad_selector, 1);
+        assert_eq!(sub.stats().malformed, 1);
+        assert_eq!(sub.stats().rejected, 0);
+    }
+
+    #[test]
+    fn interpret_hits_selector_cache_on_repeats() {
+        let (mut net, group, hosts) = world(2);
+        let mut p = Profile::new("pub");
+        p.set("interested_in", AttrValue::List(vec![]));
+        let mut wants = Profile::new("sub");
+        wants.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image")]),
+        );
+        let mut publisher = BusEndpoint::join(&mut net, hosts[0], SESSION_PORT, group, p).unwrap();
+        let mut sub = BusEndpoint::join(&mut net, hosts[1], SESSION_PORT, group, wants).unwrap();
+        for _ in 0..5 {
+            publisher
+                .publish(
+                    &mut net,
+                    "image-share",
+                    "interested_in contains 'image'",
+                    content_image(),
+                    vec![],
+                )
+                .unwrap();
+        }
+        net.run_for(Ticks::from_millis(10));
+        assert_eq!(sub.poll(&mut net).len(), 5);
+        let stats = sub.cache_stats();
+        assert_eq!(stats.misses(), 1, "one compilation for five messages");
+        assert_eq!(stats.hits(), 4);
     }
 
     #[test]

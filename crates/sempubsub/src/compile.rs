@@ -1,0 +1,798 @@
+//! Compiled semantic matching: parse once, evaluate many.
+//!
+//! The tree-walk evaluator in [`crate::eval`] re-lexes, re-parses, and
+//! re-walks a `Box`-heavy AST for every received message, cloning
+//! every literal and attribute value it touches. On the datapath —
+//! [`crate::bus::BusEndpoint::interpret_batch`] per endpoint and the
+//! broker overlay's forwarding decision per hop — that work dominates
+//! per-message CPU, even though senders reuse a handful of identical
+//! selector strings per stream.
+//!
+//! This module compiles a selector into a flat postfix program over
+//! interned attribute [`Symbol`]s ([`CompiledSelector`]), snapshots a
+//! profile into a symbol-indexed slot table ([`CompiledProfile`]), and
+//! caches compiled programs in a bounded LRU keyed by selector source
+//! ([`SelectorCache`]). Evaluation is a loop over `Copy` instructions
+//! against a reusable operand stack: no recursion, no `String` hashing,
+//! no value clones, and — after the stack's high-water mark is reached
+//! — no allocation at all.
+//!
+//! Semantics are **bit-identical** to the tree walk, including
+//! short-circuit behavior (`flag and 3 == 'oops'` must not raise a
+//! type error when `flag` is false), missing-attribute falsity, and
+//! the exact `SemError::Type` messages. `And`/`Or` therefore compile
+//! to conditional jumps rather than plain postfix, so the right-hand
+//! side's code (and its potential type errors) is skipped exactly when
+//! the tree walk would skip it. The differential proptest
+//! `compiled_eval_equals_tree_eval` pins the equivalence over
+//! arbitrary expression/profile pairs, error cases included.
+
+use crate::ast::{CmpOp, Expr};
+use crate::intern::{Interner, Symbol};
+use crate::matching::MatchOutcome;
+use crate::profile::Profile;
+use crate::value::AttrValue;
+use crate::{Selector, SemError};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One instruction of a compiled selector program. Indices are into
+/// the owning [`CompiledSelector`]'s constant pool (`Const`) or
+/// attribute-reference table (`Attr`, `Exists`); jump targets are
+/// absolute program counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Push constant pool entry `i`.
+    Const(u32),
+    /// Push attribute reference `i` (resolved lazily at consumption,
+    /// so a reference that is never consumed costs nothing).
+    Attr(u32),
+    /// Push whether attribute reference `i` is present.
+    Exists(u32),
+    /// Pop, coerce to boolean, push the negation.
+    Not,
+    /// Pop, coerce to boolean, push the boolean. Emitted after the
+    /// right-hand side of `and`/`or` so the operand's type is checked
+    /// exactly when the tree walk's `eval_bool` would check it.
+    ToBool,
+    /// Pop right then left, push the comparison result (`false` when
+    /// either side is a missing attribute).
+    Cmp(CmpOp),
+    /// Short-circuit `and`: pop, coerce to boolean; when false, push
+    /// `false` and jump to the target, skipping the right-hand side.
+    AndJump(u32),
+    /// Short-circuit `or`: pop, coerce to boolean; when true, push
+    /// `true` and jump to the target.
+    OrJump(u32),
+}
+
+/// An operand-stack slot. Attribute references stay unresolved until
+/// consumed, and every variant is `Copy`, so the stack itself is a
+/// plain `Vec` that never touches the heap per evaluation.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Bool(bool),
+    Const(u32),
+    Attr(u32),
+}
+
+/// A reusable operand stack for compiled evaluation. Keep one per
+/// endpoint/broker and pass it to every evaluation: the backing buffer
+/// persists, so after the first few messages evaluation allocates
+/// nothing.
+#[derive(Debug, Default)]
+pub struct EvalStack(Vec<Slot>);
+
+/// Where attribute references resolve from during one evaluation.
+trait AttrSource {
+    fn get(&self, sym: Symbol, name: &str) -> Option<&AttrValue>;
+}
+
+impl AttrSource for CompiledProfile {
+    fn get(&self, sym: Symbol, _name: &str) -> Option<&AttrValue> {
+        self.slot(sym)
+    }
+}
+
+impl AttrSource for BTreeMap<String, AttrValue> {
+    fn get(&self, _sym: Symbol, name: &str) -> Option<&AttrValue> {
+        BTreeMap::get(self, name)
+    }
+}
+
+/// A selector compiled to a flat program over interned attributes.
+///
+/// Constant operands are materialized into the pool once at compile
+/// time (the tree walk clones each literal on every evaluation);
+/// attribute references carry both their [`Symbol`] (for slot-table
+/// evaluation against a [`CompiledProfile`]) and their name (for
+/// evaluation against an arbitrary content map).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledSelector {
+    source: String,
+    consts: Vec<AttrValue>,
+    refs: Vec<(Symbol, String)>,
+    prog: Vec<Instr>,
+}
+
+impl CompiledSelector {
+    /// Compile `expr` (with its original `source` text) against an
+    /// interner.
+    pub fn from_expr(source: &str, expr: &Expr, interner: &mut Interner) -> CompiledSelector {
+        let mut c = CompiledSelector {
+            source: source.to_string(),
+            consts: Vec::new(),
+            refs: Vec::new(),
+            prog: Vec::new(),
+        };
+        let mut ref_ids: HashMap<String, u32> = HashMap::new();
+        c.emit(expr, &mut ref_ids, interner);
+        c
+    }
+
+    /// Parse and compile selector text.
+    pub fn compile(source: &str, interner: &mut Interner) -> Result<CompiledSelector, SemError> {
+        let sel = Selector::parse(source)?;
+        Ok(CompiledSelector::from_expr(source, sel.expr(), interner))
+    }
+
+    /// The original selector text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The compiled program (exposed so tests can assert that a
+    /// recompilation after cache eviction yields identical code).
+    pub fn program(&self) -> &[Instr] {
+        &self.prog
+    }
+
+    fn attr_ref(
+        &mut self,
+        name: &str,
+        ref_ids: &mut HashMap<String, u32>,
+        interner: &mut Interner,
+    ) -> u32 {
+        if let Some(&i) = ref_ids.get(name) {
+            return i;
+        }
+        let i = self.refs.len() as u32;
+        self.refs.push((interner.intern(name), name.to_string()));
+        ref_ids.insert(name.to_string(), i);
+        i
+    }
+
+    fn emit(&mut self, expr: &Expr, ref_ids: &mut HashMap<String, u32>, interner: &mut Interner) {
+        match expr {
+            Expr::Literal(v) => {
+                let i = self.consts.len() as u32;
+                self.consts.push(v.clone());
+                self.prog.push(Instr::Const(i));
+            }
+            Expr::Attr(name) => {
+                let i = self.attr_ref(name, ref_ids, interner);
+                self.prog.push(Instr::Attr(i));
+            }
+            Expr::Exists(name) => {
+                let i = self.attr_ref(name, ref_ids, interner);
+                self.prog.push(Instr::Exists(i));
+            }
+            Expr::Not(inner) => {
+                self.emit(inner, ref_ids, interner);
+                self.prog.push(Instr::Not);
+            }
+            Expr::And(a, b) => {
+                self.emit(a, ref_ids, interner);
+                let jump = self.prog.len();
+                self.prog.push(Instr::AndJump(0));
+                self.emit(b, ref_ids, interner);
+                self.prog.push(Instr::ToBool);
+                let target = self.prog.len() as u32;
+                self.prog[jump] = Instr::AndJump(target);
+            }
+            Expr::Or(a, b) => {
+                self.emit(a, ref_ids, interner);
+                let jump = self.prog.len();
+                self.prog.push(Instr::OrJump(0));
+                self.emit(b, ref_ids, interner);
+                self.prog.push(Instr::ToBool);
+                let target = self.prog.len() as u32;
+                self.prog[jump] = Instr::OrJump(target);
+            }
+            Expr::Cmp(op, a, b) => {
+                self.emit(a, ref_ids, interner);
+                self.emit(b, ref_ids, interner);
+                self.prog.push(Instr::Cmp(*op));
+            }
+        }
+    }
+
+    /// Evaluate against a profile snapshot (symbol-indexed lookups).
+    pub fn eval_profile(
+        &self,
+        profile: &CompiledProfile,
+        stack: &mut EvalStack,
+    ) -> Result<bool, SemError> {
+        self.eval(profile, stack)
+    }
+
+    /// Evaluate against an arbitrary attribute map, e.g. a message's
+    /// content description (name-keyed lookups; everything else —
+    /// cached parse, flat program, reusable stack — is shared with the
+    /// profile path).
+    pub fn eval_map(
+        &self,
+        attrs: &BTreeMap<String, AttrValue>,
+        stack: &mut EvalStack,
+    ) -> Result<bool, SemError> {
+        self.eval(attrs, stack)
+    }
+
+    fn resolve<'a, S: AttrSource>(&'a self, src: &'a S, slot: Slot) -> Option<ResolvedRef<'a>> {
+        match slot {
+            Slot::Bool(b) => Some(ResolvedRef::Bool(b)),
+            Slot::Const(i) => Some(ResolvedRef::Val(&self.consts[i as usize])),
+            Slot::Attr(i) => {
+                let (sym, name) = &self.refs[i as usize];
+                src.get(*sym, name).map(ResolvedRef::Val)
+            }
+        }
+    }
+
+    /// Coerce a popped slot to a boolean, with the tree walk's exact
+    /// semantics: missing attributes are `false`, non-boolean values
+    /// are a type error with the same message `eval_bool` produces.
+    fn to_bool<S: AttrSource>(&self, src: &S, slot: Slot) -> Result<bool, SemError> {
+        match self.resolve(src, slot) {
+            None => Ok(false),
+            Some(ResolvedRef::Bool(b)) => Ok(b),
+            Some(ResolvedRef::Val(AttrValue::Bool(b))) => Ok(*b),
+            Some(ResolvedRef::Val(v)) => Err(SemError::Type(format!("expected boolean, got {v}"))),
+        }
+    }
+
+    fn eval<S: AttrSource>(&self, src: &S, stack: &mut EvalStack) -> Result<bool, SemError> {
+        let stack = &mut stack.0;
+        stack.clear();
+        let mut pc = 0usize;
+        while pc < self.prog.len() {
+            match self.prog[pc] {
+                Instr::Const(i) => stack.push(Slot::Const(i)),
+                Instr::Attr(i) => stack.push(Slot::Attr(i)),
+                Instr::Exists(i) => {
+                    let (sym, name) = &self.refs[i as usize];
+                    stack.push(Slot::Bool(src.get(*sym, name).is_some()));
+                }
+                Instr::Not => {
+                    let b = self.to_bool(src, stack.pop().expect("operand"))?;
+                    stack.push(Slot::Bool(!b));
+                }
+                Instr::ToBool => {
+                    let b = self.to_bool(src, stack.pop().expect("operand"))?;
+                    stack.push(Slot::Bool(b));
+                }
+                Instr::AndJump(target) => {
+                    let b = self.to_bool(src, stack.pop().expect("operand"))?;
+                    if !b {
+                        stack.push(Slot::Bool(false));
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Instr::OrJump(target) => {
+                    let b = self.to_bool(src, stack.pop().expect("operand"))?;
+                    if b {
+                        stack.push(Slot::Bool(true));
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Instr::Cmp(op) => {
+                    let right = stack.pop().expect("right operand");
+                    let left = stack.pop().expect("left operand");
+                    let result = match (self.resolve(src, left), self.resolve(src, right)) {
+                        (Some(l), Some(r)) => {
+                            let (lt, rt);
+                            let lv = match l {
+                                ResolvedRef::Val(v) => v,
+                                ResolvedRef::Bool(b) => {
+                                    lt = AttrValue::Bool(b);
+                                    &lt
+                                }
+                            };
+                            let rv = match r {
+                                ResolvedRef::Val(v) => v,
+                                ResolvedRef::Bool(b) => {
+                                    rt = AttrValue::Bool(b);
+                                    &rt
+                                }
+                            };
+                            crate::eval::compare(op, lv, rv)
+                        }
+                        // A missing attribute on either side compares
+                        // false, exactly as the tree walk's
+                        // `Operand::Missing` arm does.
+                        _ => false,
+                    };
+                    stack.push(Slot::Bool(result));
+                }
+            }
+            pc += 1;
+        }
+        let top = stack.pop().expect("program leaves one result");
+        debug_assert!(stack.is_empty(), "balanced program");
+        self.to_bool(src, top)
+    }
+}
+
+/// A resolved operand: a borrowed value or a computed boolean.
+enum ResolvedRef<'a> {
+    Val(&'a AttrValue),
+    Bool(bool),
+}
+
+/// A generation-stamped, symbol-indexed snapshot of a profile's
+/// attribute map. Evaluation indexes the slot table by [`Symbol`]
+/// instead of walking a `BTreeMap<String, _>`; the snapshot is rebuilt
+/// whenever [`Profile::version`] moves (every profile mutation bumps
+/// it from a process-wide generation counter, so a wholesale profile
+/// replacement can never alias a stale snapshot).
+#[derive(Debug, Clone)]
+pub struct CompiledProfile {
+    generation: u64,
+    slots: Vec<Option<AttrValue>>,
+}
+
+impl CompiledProfile {
+    /// Snapshot `profile` against `interner`, interning every
+    /// attribute key so symbols minted later by selector compilation
+    /// resolve against this table (an unknown symbol is simply beyond
+    /// the table and reads as missing).
+    pub fn snapshot(profile: &Profile, interner: &mut Interner) -> CompiledProfile {
+        let mut slots = vec![None; interner.len()];
+        for (k, v) in profile.attrs() {
+            let sym = interner.intern(k);
+            if sym.index() >= slots.len() {
+                slots.resize(sym.index() + 1, None);
+            }
+            slots[sym.index()] = Some(v.clone());
+        }
+        CompiledProfile {
+            generation: profile.version,
+            slots,
+        }
+    }
+
+    /// The profile version this snapshot was taken at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn slot(&self, sym: Symbol) -> Option<&AttrValue> {
+        self.slots.get(sym.index()).and_then(|s| s.as_ref())
+    }
+}
+
+/// Live selector-cache counters, shareable with SNMP instrumentation
+/// (same shape as the qdisc and broker stats handles).
+#[derive(Clone, Default, Debug)]
+pub struct CacheStatsHandle {
+    inner: Arc<CacheCounters>,
+}
+
+#[derive(Default, Debug)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStatsHandle {
+    /// Compilations served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to lex, parse, and compile (including selector
+    /// strings that failed to parse).
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+}
+
+struct CacheEntry {
+    compiled: CompiledSelector,
+    last_used: u64,
+}
+
+/// A bounded LRU of compiled selectors keyed by source text, sharing
+/// one [`Interner`] across every program it compiles. Eviction never
+/// invalidates symbols (the interner only grows), so a re-inserted
+/// selector recompiles to an identical program.
+pub struct SelectorCache {
+    interner: Interner,
+    entries: HashMap<String, CacheEntry>,
+    cap: usize,
+    tick: u64,
+    stats: CacheStatsHandle,
+}
+
+impl SelectorCache {
+    /// A cache bounded at `cap` compiled selectors (`cap >= 1`).
+    pub fn with_capacity(cap: usize) -> SelectorCache {
+        assert!(cap >= 1, "selector cache needs room for one entry");
+        SelectorCache {
+            interner: Interner::new(),
+            entries: HashMap::new(),
+            cap,
+            tick: 0,
+            stats: CacheStatsHandle::default(),
+        }
+    }
+
+    /// Compile `src`, reusing the cached program when present. Parse
+    /// errors propagate (and count as misses — the work was done).
+    pub fn compile(&mut self, src: &str) -> Result<&CompiledSelector, SemError> {
+        self.tick += 1;
+        if self.entries.contains_key(src) {
+            self.stats.inner.hits.fetch_add(1, Ordering::Relaxed);
+            let e = self.entries.get_mut(src).expect("checked above");
+            e.last_used = self.tick;
+            return Ok(&e.compiled);
+        }
+        self.stats.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = CompiledSelector::compile(src, &mut self.interner)?;
+        if self.entries.len() >= self.cap {
+            // Evict the least recently used entry; ticks are unique so
+            // the victim (and thus behavior) is deterministic.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("cap >= 1 and cache full");
+            self.entries.remove(&victim);
+            self.stats.inner.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let entry = self.entries.entry(src.to_string()).or_insert(CacheEntry {
+            compiled,
+            last_used: self.tick,
+        });
+        Ok(&entry.compiled)
+    }
+
+    /// The shared interner (snapshots must intern against it).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Peek at a cached program without touching LRU state or stats.
+    pub fn peek(&self, src: &str) -> Option<&CompiledSelector> {
+        self.entries.get(src).map(|e| &e.compiled)
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Live counters handle.
+    pub fn stats(&self) -> CacheStatsHandle {
+        self.stats.clone()
+    }
+}
+
+struct ProfileSnap {
+    generation: u64,
+    slots: CompiledProfile,
+    interest: Option<CompiledSelector>,
+}
+
+/// The compiled matching pipeline one party (endpoint, broker, base
+/// station) runs: a bounded selector cache, per-profile snapshots
+/// (keyed by profile name, invalidated by [`Profile::version`]), and a
+/// reusable evaluation stack.
+pub struct MatchEngine {
+    cache: SelectorCache,
+    profiles: HashMap<String, ProfileSnap>,
+    stack: EvalStack,
+}
+
+/// Default bound on cached selectors per engine; sessions use a
+/// handful of distinct selector strings per sender, so this is
+/// generous while still bounding a hostile selector stream.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+impl Default for MatchEngine {
+    fn default() -> Self {
+        MatchEngine::new()
+    }
+}
+
+impl MatchEngine {
+    /// An engine with the default cache capacity.
+    pub fn new() -> MatchEngine {
+        MatchEngine::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An engine bounded at `cap` cached selectors.
+    pub fn with_capacity(cap: usize) -> MatchEngine {
+        MatchEngine {
+            cache: SelectorCache::with_capacity(cap),
+            profiles: HashMap::new(),
+            stack: EvalStack::default(),
+        }
+    }
+
+    /// Compile (or re-touch) a selector, warming the cache. The
+    /// publish path calls this for validation so the interpret path
+    /// hits a warm entry.
+    pub fn compile(&mut self, selector: &str) -> Result<(), SemError> {
+        self.cache.compile(selector).map(|_| ())
+    }
+
+    /// Evaluate `selector` against an attribute map. The outer `Err`
+    /// is a selector parse failure; the inner result is the
+    /// evaluation outcome (exactly what `Selector::matches` returns).
+    pub fn check(
+        &mut self,
+        selector: &str,
+        attrs: &BTreeMap<String, AttrValue>,
+    ) -> Result<Result<bool, SemError>, SemError> {
+        let compiled = self.cache.compile(selector)?;
+        Ok(compiled.eval_map(attrs, &mut self.stack))
+    }
+
+    fn refresh_profile(&mut self, profile: &Profile) {
+        let fresh = self
+            .profiles
+            .get(&profile.name)
+            .is_some_and(|s| s.generation == profile.version);
+        if fresh {
+            return;
+        }
+        let slots = CompiledProfile::snapshot(profile, self.cache.interner_mut());
+        let interest = profile.interest().map(|sel| {
+            CompiledSelector::from_expr(sel.source(), sel.expr(), self.cache.interner_mut())
+        });
+        self.profiles.insert(
+            profile.name.clone(),
+            ProfileSnap {
+                generation: profile.version,
+                slots,
+                interest,
+            },
+        );
+    }
+
+    /// The compiled counterpart of [`crate::matching::interpret`]:
+    /// selector against the profile snapshot, then the compiled
+    /// interest against the content description, then (rarely) the
+    /// shared transform-chain search. The outer `Err` is a selector
+    /// parse failure; the inner result is what the tree-walk
+    /// `interpret` returns — bit-identical outcomes and errors.
+    pub fn interpret(
+        &mut self,
+        profile: &Profile,
+        selector: &str,
+        content: &BTreeMap<String, AttrValue>,
+    ) -> Result<Result<MatchOutcome, SemError>, SemError> {
+        self.refresh_profile(profile);
+        let compiled = self.cache.compile(selector)?;
+        let snap = self.profiles.get(&profile.name).expect("refreshed above");
+        // Step 1: are we addressed at all?
+        let addressed = match compiled.eval_profile(&snap.slots, &mut self.stack) {
+            Ok(b) => b,
+            Err(e) => return Ok(Err(e)),
+        };
+        if !addressed {
+            return Ok(Ok(MatchOutcome::Reject));
+        }
+        // No interest declared: everything addressed to us is accepted.
+        let Some(interest) = &snap.interest else {
+            return Ok(Ok(MatchOutcome::Accept));
+        };
+        // Step 2: direct interest match.
+        match interest.eval_map(content, &mut self.stack) {
+            Ok(true) => return Ok(Ok(MatchOutcome::Accept)),
+            Ok(false) => {}
+            Err(e) => return Ok(Err(e)),
+        }
+        // Step 3: cheapest transform chain — the cold path; shared
+        // verbatim with the tree-walk interpreter.
+        if profile.transforms().is_empty() {
+            return Ok(Ok(MatchOutcome::Reject));
+        }
+        let interest = profile.interest().expect("snapshot interest implies one");
+        Ok(
+            match crate::matching::search_chain(profile, content, interest) {
+                Ok(Some(steps)) => Ok(MatchOutcome::AcceptWithTransform(steps)),
+                Ok(None) => Ok(MatchOutcome::Reject),
+                Err(e) => Err(e),
+            },
+        )
+    }
+
+    /// Live cache counters (hits / misses / evictions), shareable with
+    /// an SNMP extension agent.
+    pub fn cache_stats(&self) -> CacheStatsHandle {
+        self.cache.stats()
+    }
+
+    /// The underlying selector cache (tests inspect programs and LRU
+    /// state through this).
+    pub fn cache(&self) -> &SelectorCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TransformCap;
+
+    fn attrs(pairs: &[(&str, AttrValue)]) -> BTreeMap<String, AttrValue> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn both(
+        sel: &str,
+        a: &BTreeMap<String, AttrValue>,
+    ) -> (Result<bool, SemError>, Result<bool, SemError>) {
+        let tree = Selector::parse(sel).unwrap().matches(a);
+        let mut interner = Interner::new();
+        let compiled = CompiledSelector::compile(sel, &mut interner).unwrap();
+        let mut stack = EvalStack::default();
+        (tree, compiled.eval_map(a, &mut stack))
+    }
+
+    #[test]
+    fn compiled_matches_tree_on_basics() {
+        let a = attrs(&[
+            ("media", AttrValue::str("video")),
+            ("size_mb", AttrValue::Float(1.0)),
+            ("color", AttrValue::Bool(true)),
+            (
+                "supported",
+                AttrValue::List(vec![AttrValue::str("jpeg"), AttrValue::str("mpeg2")]),
+            ),
+        ]);
+        for sel in [
+            "media == 'video'",
+            "size_mb <= 1",
+            "size_mb >= 0.5 and size_mb < 2",
+            "media != 'video'",
+            "color",
+            "not color",
+            "encoding == 'jpeg'",
+            "not (encoding == 'jpeg')",
+            "exists(encoding)",
+            "not exists(encoding)",
+            "supported contains 'jpeg'",
+            "media in ['video', 'audio']",
+            "media == 'audio' or color",
+            "true",
+            "false or (color and media == 'video')",
+        ] {
+            let (tree, compiled) = both(sel, &a);
+            assert_eq!(tree, compiled, "selector {sel}");
+        }
+    }
+
+    #[test]
+    fn compiled_matches_tree_on_errors_and_short_circuit() {
+        let a = attrs(&[
+            ("name", AttrValue::str("x")),
+            ("flag", AttrValue::Bool(false)),
+        ]);
+        for sel in [
+            "name and true",        // type error from the left side
+            "not name",             // type error inside not
+            "flag and 3 == 'oops'", // short-circuit: no error
+            "flag or name",         // error from the right side of or
+            "3",                    // bare non-boolean literal
+        ] {
+            let (tree, compiled) = both(sel, &a);
+            assert_eq!(tree, compiled, "selector {sel}");
+        }
+    }
+
+    #[test]
+    fn profile_snapshot_evaluation_matches_map_evaluation() {
+        let mut p = Profile::new("c");
+        p.set("media", AttrValue::str("video"));
+        p.set("size_mb", AttrValue::Float(1.5));
+        let mut cache = SelectorCache::with_capacity(8);
+        let snap = CompiledProfile::snapshot(&p, cache.interner_mut());
+        let mut stack = EvalStack::default();
+        for sel in [
+            "media == 'video' and size_mb < 2",
+            "exists(color)",
+            "missing == 1",
+        ] {
+            let compiled = cache.compile(sel).unwrap();
+            assert_eq!(
+                compiled.eval_profile(&snap, &mut stack),
+                compiled.eval_map(p.attrs(), &mut stack),
+                "selector {sel}"
+            );
+        }
+    }
+
+    #[test]
+    fn lru_evicts_and_counts() {
+        let mut cache = SelectorCache::with_capacity(2);
+        cache.compile("a == 1").unwrap();
+        cache.compile("b == 2").unwrap();
+        cache.compile("a == 1").unwrap(); // hit, touches recency
+        cache.compile("c == 3").unwrap(); // evicts b == 2
+        let stats = cache.stats();
+        assert_eq!(stats.hits(), 1);
+        assert_eq!(stats.misses(), 3);
+        assert_eq!(stats.evictions(), 1);
+        assert!(cache.peek("b == 2").is_none(), "LRU victim evicted");
+        assert!(cache.peek("a == 1").is_some(), "recently used survives");
+    }
+
+    #[test]
+    fn engine_interpret_agrees_with_tree_interpret() {
+        let mut p = Profile::new("client-3");
+        p.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("video")]),
+        );
+        p.set_interest("media == 'video' and encoding == 'jpeg'")
+            .unwrap();
+        p.add_transform(TransformCap::new("encoding", "mpeg2", "jpeg"));
+        let content = attrs(&[
+            ("media", AttrValue::str("video")),
+            ("encoding", AttrValue::str("mpeg2")),
+        ]);
+        let selector = "interested_in contains 'video'";
+        let tree = crate::matching::interpret(&p, &Selector::parse(selector).unwrap(), &content);
+        let mut engine = MatchEngine::new();
+        let compiled = engine.interpret(&p, selector, &content).unwrap();
+        assert_eq!(tree, compiled);
+        assert!(matches!(compiled, Ok(MatchOutcome::AcceptWithTransform(_))));
+    }
+
+    #[test]
+    fn engine_snapshot_invalidates_on_profile_mutation_and_replacement() {
+        let mut engine = MatchEngine::new();
+        let mut p = Profile::new("u");
+        p.set("mode", AttrValue::str("image"));
+        let content = BTreeMap::new();
+        let sel = "mode == 'image'";
+        assert_eq!(
+            engine.interpret(&p, sel, &content).unwrap().unwrap(),
+            MatchOutcome::Accept
+        );
+        // In-place mutation.
+        p.set("mode", AttrValue::str("text"));
+        assert_eq!(
+            engine.interpret(&p, sel, &content).unwrap().unwrap(),
+            MatchOutcome::Reject
+        );
+        // Wholesale replacement under the same name.
+        let mut q = Profile::new("u");
+        q.set("mode", AttrValue::str("image"));
+        assert_eq!(
+            engine.interpret(&q, sel, &content).unwrap().unwrap(),
+            MatchOutcome::Accept
+        );
+    }
+}

@@ -61,7 +61,9 @@ fn eval(expr: &Expr, attrs: &BTreeMap<String, AttrValue>) -> Result<Operand, Sem
     })
 }
 
-fn compare(op: CmpOp, l: &AttrValue, r: &AttrValue) -> bool {
+/// Comparison semantics, shared by the tree walk and the compiled
+/// evaluator in [`crate::compile`] so the two can never diverge.
+pub(crate) fn compare(op: CmpOp, l: &AttrValue, r: &AttrValue) -> bool {
     match op {
         CmpOp::Eq => l.sem_eq(r),
         CmpOp::Ne => !l.sem_eq(r),

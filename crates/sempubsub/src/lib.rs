@@ -43,8 +43,10 @@
 
 pub mod ast;
 pub mod bus;
+pub mod compile;
 pub mod eval;
 pub mod group;
+pub mod intern;
 pub mod lexer;
 pub mod matching;
 pub mod message;
@@ -54,6 +56,10 @@ pub mod value;
 
 pub use ast::Expr;
 pub use bus::{BusEndpoint, Delivery};
+pub use compile::{
+    CacheStatsHandle, CompiledProfile, CompiledSelector, EvalStack, MatchEngine, SelectorCache,
+};
+pub use intern::{Interner, Symbol};
 pub use matching::{MatchOutcome, TransformStep};
 pub use message::SemanticMessage;
 pub use profile::{Profile, TransformCap};

@@ -117,7 +117,10 @@ impl Ord for SearchNode {
     }
 }
 
-fn search_chain(
+/// Uniform-cost search for the cheapest transform chain. Shared with
+/// the compiled engine in [`crate::compile`]: transform search is the
+/// cold path, so both pipelines run the identical implementation.
+pub(crate) fn search_chain(
     profile: &Profile,
     content: &BTreeMap<String, AttrValue>,
     interest: &crate::Selector,

@@ -6,8 +6,10 @@ use crate::value::AttrValue;
 use crate::SemError;
 use std::collections::BTreeMap;
 
-/// Wire magic for version 1 of the semantic message codec.
-const MAGIC: &[u8; 4] = b"SEM1";
+/// Wire magic for version 1 of the semantic message codec. Shared with
+/// the batch-publish fast path in [`crate::bus`], which assembles
+/// frames field-by-field around a precomputed common prefix.
+pub(crate) const MAGIC: &[u8; 4] = b"SEM1";
 
 /// A state-based multicast message: selector + content description +
 /// opaque body.
@@ -80,14 +82,14 @@ impl SemanticMessage {
     }
 }
 
-fn put_str16(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str16(out: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     assert!(bytes.len() <= u16::MAX as usize, "string field too long");
     out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
     out.extend_from_slice(bytes);
 }
 
-fn put_value(out: &mut Vec<u8>, v: &AttrValue) {
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &AttrValue) {
     match v {
         AttrValue::Int(i) => {
             out.push(0);

@@ -9,6 +9,19 @@
 use crate::value::AttrValue;
 use crate::{Selector, SemError};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide profile generation counter. Every mutation stamps the
+/// profile with a fresh, globally unique version, so a cached snapshot
+/// (see [`crate::compile::CompiledProfile`]) can never alias a stale
+/// profile — not even when a profile is replaced wholesale by a new
+/// `Profile` value that happens to have seen the same number of
+/// mutations. Version 0 is reserved for pristine (empty) profiles.
+static PROFILE_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    PROFILE_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A declared capability to transform content along one attribute,
 /// e.g. `encoding: 'mpeg2' -> 'jpeg'` (Figure 3's Client 3) or
@@ -70,7 +83,9 @@ pub struct Profile {
     attrs: BTreeMap<String, AttrValue>,
     interest: Option<Selector>,
     transforms: Vec<TransformCap>,
-    /// Bumped on every mutation, so components can cheaply detect change.
+    /// Stamped from [`PROFILE_GENERATION`] on every mutation, so
+    /// components can cheaply detect change; globally unique across
+    /// all profiles in the process (0 = pristine).
     pub version: u64,
 }
 
@@ -91,7 +106,7 @@ impl Profile {
     /// Set (or replace) an attribute.
     pub fn set(&mut self, key: &str, value: impl Into<AttrValue>) -> &mut Self {
         self.attrs.insert(key.to_string(), value.into());
-        self.version += 1;
+        self.version = next_generation();
         self
     }
 
@@ -99,7 +114,7 @@ impl Profile {
     pub fn unset(&mut self, key: &str) -> Option<AttrValue> {
         let old = self.attrs.remove(key);
         if old.is_some() {
-            self.version += 1;
+            self.version = next_generation();
         }
         old
     }
@@ -112,14 +127,14 @@ impl Profile {
     /// Set the interest selector from source text.
     pub fn set_interest(&mut self, selector: &str) -> Result<&mut Self, SemError> {
         self.interest = Some(Selector::parse(selector)?);
-        self.version += 1;
+        self.version = next_generation();
         Ok(self)
     }
 
     /// Clear the interest (accept everything addressed to us).
     pub fn clear_interest(&mut self) {
         self.interest = None;
-        self.version += 1;
+        self.version = next_generation();
     }
 
     /// The current interest selector.
@@ -130,7 +145,7 @@ impl Profile {
     /// Declare a transformation capability.
     pub fn add_transform(&mut self, t: TransformCap) -> &mut Self {
         self.transforms.push(t);
-        self.version += 1;
+        self.version = next_generation();
         self
     }
 

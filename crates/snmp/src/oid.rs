@@ -260,6 +260,30 @@ pub mod arcs {
     pub fn broker_adverts_merged(broker: u32) -> Oid {
         self::broker().extend(&[4, broker])
     }
+
+    /// The compiled-selector cache subtree: 99999.22. Scalars, not a
+    /// table: each session agent serves its own endpoint's cache.
+    pub fn selector_cache() -> Oid {
+        tassl().child(22)
+    }
+
+    /// cacheHits.0 — selector compilations served from the endpoint's
+    /// compiled-selector cache (Counter32).
+    pub fn cache_hits() -> Oid {
+        selector_cache().extend(&[1, 0])
+    }
+
+    /// cacheMisses.0 — selector lookups that had to lex, parse, and
+    /// compile, including unparsable selectors (Counter32).
+    pub fn cache_misses() -> Oid {
+        selector_cache().extend(&[2, 0])
+    }
+
+    /// cacheEvictions.0 — compiled selectors evicted to keep the cache
+    /// within its capacity bound (Counter32).
+    pub fn cache_evictions() -> Oid {
+        selector_cache().extend(&[3, 0])
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +335,21 @@ mod tests {
         ] {
             assert!(oid.starts_with(&sub));
             assert_eq!(oid, sub.extend(&[field, 3]));
+            assert!(oid.is_encodable());
+        }
+    }
+
+    #[test]
+    fn selector_cache_scalars_sit_under_their_subtree() {
+        let sub = arcs::selector_cache();
+        assert_eq!(sub, arcs::tassl().child(22));
+        for (oid, field) in [
+            (arcs::cache_hits(), 1),
+            (arcs::cache_misses(), 2),
+            (arcs::cache_evictions(), 3),
+        ] {
+            assert!(oid.starts_with(&sub));
+            assert_eq!(oid, sub.extend(&[field, 0]));
             assert!(oid.is_encodable());
         }
     }

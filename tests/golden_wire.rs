@@ -213,6 +213,50 @@ fn snmp_broker_row_response_matches_rfc_encoding() {
     assert_eq!(Message::decode(&expected).unwrap(), msg);
 }
 
+/// `GetResponse` carrying the compiled-selector cache scalars —
+/// cacheHits.0 / cacheMisses.0 / cacheEvictions.0 (all Counter32) —
+/// exactly as a station polling the selector-cache subtree (99999.22)
+/// of a session agent sees it on the wire.
+#[test]
+fn snmp_selector_cache_row_response_matches_rfc_encoding() {
+    let msg = Message::new(
+        "public",
+        Pdu {
+            kind: PduKind::Response,
+            request_id: 11,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds: vec![
+                VarBind::bound(arcs::cache_hits(), SnmpValue::Counter32(1000)),
+                VarBind::bound(arcs::cache_misses(), SnmpValue::Counter32(64)),
+                VarBind::bound(arcs::cache_evictions(), SnmpValue::Counter32(2)),
+            ],
+        },
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x4F, // SEQUENCE, 79 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA2, 0x42, // Response PDU, 66 bytes
+        0x02, 0x01, 0x0B, // request-id = 11
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x37, // varbind list
+        0x30, 0x11, // varbind: cacheHits.0 = Counter32 1000
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x16, 0x01, 0x00, //
+        0x41, 0x02, 0x03, 0xE8, //
+        0x30, 0x10, // varbind: cacheMisses.0 = Counter32 64
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x16, 0x02, 0x00, //
+        0x41, 0x01, 0x40, //
+        0x30, 0x10, // varbind: cacheEvictions.0 = Counter32 2
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x16, 0x03, 0x00, //
+        0x41, 0x01, 0x02, //
+    ];
+    assert_eq!(msg.encode(), expected);
+    assert_eq!(Message::decode(&expected).unwrap(), msg);
+}
+
 /// An SNMPv2-Trap carrying the qosCongestionAlert notification
 /// (tassl.11) with the hostCongestionPct gauge — the ECN early-warning
 /// counterpart of the qosAlert trap above, emitted while loss is still

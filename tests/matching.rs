@@ -1,0 +1,283 @@
+//! Differential suite for the compiled matching fast path: the
+//! compiled evaluator ([`sempubsub::compile`]) must be bit-identical
+//! to the tree-walk evaluator on arbitrary expression/profile pairs —
+//! same booleans, same outcomes, and the same `Err`s — plus LRU cache
+//! behavior (a re-inserted selector recompiles to an identical
+//! program) and the malformed/bad-selector stats split.
+//!
+//! Failure messages print the offending selector and profile, so a CI
+//! failure in the `matching` job is reproducible from the log alone.
+
+use collabqos::sempubsub::ast::{CmpOp, Expr};
+use collabqos::sempubsub::compile::SelectorCache;
+use collabqos::sempubsub::eval::eval_bool;
+use collabqos::sempubsub::intern::Interner;
+use collabqos::sempubsub::matching;
+use collabqos::sempubsub::{
+    AttrValue, CompiledProfile, CompiledSelector, EvalStack, MatchEngine, Profile, Selector,
+    TransformCap,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+// ------------------------------------------------------------ strategies
+
+/// A small shared attribute alphabet so expressions, profiles, and
+/// content maps actually collide: most comparisons see a present
+/// attribute instead of degenerating to the missing-attr case.
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("media".to_string()),
+        Just("color".to_string()),
+        Just("size".to_string()),
+        Just("flag".to_string()),
+        Just("enc".to_string()),
+        Just("x".to_string()),
+    ]
+}
+
+fn arb_literal() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-10i64..10).prop_map(AttrValue::Int),
+        (-10.0f64..10.0).prop_map(|f| AttrValue::Float((f * 4.0).round() / 4.0)),
+        "[a-c]{0,2}".prop_map(AttrValue::Str),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = AttrValue> {
+    let leaf = arb_literal();
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(AttrValue::List)
+    })
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::In),
+        Just(CmpOp::Contains),
+    ]
+}
+
+/// Arbitrary selector expressions, *including* type-error shapes: bare
+/// non-boolean literals and attributes can land in boolean position
+/// (under `and` / `or` / `not`), so both evaluators' error paths are
+/// exercised — they must agree on `Err` too.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (arb_name(), arb_cmp_op(), arb_literal()).prop_map(|(attr, op, lit)| {
+            Expr::Cmp(op, Box::new(Expr::Attr(attr)), Box::new(Expr::Literal(lit)))
+        }),
+        arb_name().prop_map(Expr::Exists),
+        arb_name().prop_map(Expr::Attr),
+        arb_literal().prop_map(Expr::Literal),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), arb_cmp_op(), inner.clone()).prop_map(|(a, op, b)| Expr::Cmp(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_attrs() -> impl Strategy<Value = BTreeMap<String, AttrValue>> {
+    proptest::collection::btree_map(arb_name(), arb_value(), 0..5)
+}
+
+// ------------------------------------------------- differential: eval
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The tentpole equivalence: compiling an expression and running
+    /// the postfix program gives exactly what the tree walk gives —
+    /// `Ok(b)` for `Ok(b)`, `Err` for `Err` — on arbitrary
+    /// expression × attribute-map pairs.
+    #[test]
+    fn compiled_eval_equals_tree_eval(expr in arb_expr(), attrs in arb_attrs()) {
+        let tree = eval_bool(&expr, &attrs);
+        let mut interner = Interner::new();
+        let compiled = CompiledSelector::from_expr(&expr.to_string(), &expr, &mut interner);
+        let mut stack = EvalStack::default();
+        let fast = compiled.eval_map(&attrs, &mut stack);
+        prop_assert_eq!(
+            &tree, &fast,
+            "selector: {} / attrs: {:?}", expr, attrs
+        );
+        // Same program, same answer a second time (stack reuse is
+        // stateless between evaluations).
+        let again = compiled.eval_map(&attrs, &mut stack);
+        prop_assert_eq!(&fast, &again, "selector: {} / attrs: {:?}", expr, attrs);
+    }
+
+    /// Slot-table evaluation against a profile snapshot agrees with
+    /// name-keyed map evaluation — and with the tree walk — even when
+    /// the snapshot was taken before the selector was compiled (the
+    /// interner grows; unknown symbols read as missing).
+    #[test]
+    fn snapshot_eval_equals_map_eval(expr in arb_expr(), attrs in arb_attrs()) {
+        let mut profile = Profile::new("p");
+        for (k, v) in &attrs {
+            profile.set(k, v.clone());
+        }
+        let mut interner = Interner::new();
+        // Snapshot first, compile second: selector symbols minted after
+        // the snapshot must resolve as missing, not panic.
+        let snap = CompiledProfile::snapshot(&profile, &mut interner);
+        let compiled = CompiledSelector::from_expr(&expr.to_string(), &expr, &mut interner);
+        let mut stack = EvalStack::default();
+        let via_slots = compiled.eval_profile(&snap, &mut stack);
+        let via_map = compiled.eval_map(&attrs, &mut stack);
+        prop_assert_eq!(&via_slots, &via_map, "selector: {} / attrs: {:?}", expr, attrs);
+        prop_assert_eq!(
+            &via_slots, &eval_bool(&expr, &attrs),
+            "selector: {} / attrs: {:?}", expr, attrs
+        );
+    }
+}
+
+// -------------------------------------------- differential: interpret
+
+fn arb_transform() -> impl Strategy<Value = TransformCap> {
+    (arb_name(), arb_literal(), arb_literal(), 1u32..4)
+        .prop_map(|(attr, from, to, cost)| TransformCap::new(&attr, from, to).with_cost(cost))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Full-pipeline equivalence: `MatchEngine::interpret` (cached
+    /// compiled selector + profile snapshot + compiled interest) gives
+    /// exactly what `matching::interpret` gives — same outcome
+    /// variants, same transform chains, same `Err`s — on arbitrary
+    /// profiles (attrs, interest, transforms) and content maps.
+    #[test]
+    fn engine_interpret_equals_tree_interpret(
+        sel_expr in arb_expr(),
+        profile_attrs in arb_attrs(),
+        interest_expr in arb_expr(),
+        has_interest in any::<bool>(),
+        transforms in proptest::collection::vec(arb_transform(), 0..3),
+        content in arb_attrs(),
+    ) {
+        let selector_src = sel_expr.to_string();
+        // Both pipelines parse the same source, so Display round-trip
+        // fidelity is irrelevant; skip the rare unparsable rendering.
+        let Ok(parsed) = Selector::parse(&selector_src) else {
+            return Ok(());
+        };
+        let mut profile = Profile::new("client");
+        for (k, v) in &profile_attrs {
+            profile.set(k, v.clone());
+        }
+        if has_interest && Selector::parse(&interest_expr.to_string()).is_ok() {
+            profile.set_interest(&interest_expr.to_string()).unwrap();
+        }
+        for t in transforms {
+            profile.add_transform(t);
+        }
+        let tree = matching::interpret(&profile, &parsed, &content);
+        let mut engine = MatchEngine::new();
+        let fast = engine
+            .interpret(&profile, &selector_src, &content)
+            .expect("source just parsed");
+        prop_assert_eq!(
+            &tree, &fast,
+            "selector: {} / profile: {:?} / content: {:?}", selector_src, profile, content
+        );
+        // Second interpretation hits the selector cache and the cached
+        // snapshot; the answer must not change.
+        let warm = engine
+            .interpret(&profile, &selector_src, &content)
+            .expect("cached");
+        prop_assert_eq!(&fast, &warm, "selector: {}", selector_src);
+        // Mutating the profile invalidates the snapshot: the engine
+        // must track the tree walk across the change.
+        profile.set("media", AttrValue::str("video"));
+        let tree2 = matching::interpret(&profile, &parsed, &content);
+        let fast2 = engine
+            .interpret(&profile, &selector_src, &content)
+            .expect("cached");
+        prop_assert_eq!(
+            &tree2, &fast2,
+            "after mutation — selector: {} / profile: {:?}", selector_src, profile
+        );
+    }
+}
+
+// ------------------------------------------------------- cache behavior
+
+#[test]
+fn evicted_selector_recompiles_to_identical_program() {
+    let mut cache = SelectorCache::with_capacity(2);
+    let sel = "media == 'video' and (size < 2 or exists(enc)) and not flag";
+    let first = cache.compile(sel).unwrap().clone();
+    // Force `sel` out of the bounded cache.
+    cache.compile("x == 1").unwrap();
+    cache.compile("x == 2").unwrap();
+    assert!(
+        cache.peek(sel).is_none(),
+        "selector should have been evicted"
+    );
+    assert!(cache.stats().evictions() >= 1);
+    // Recompilation after eviction: the interner kept every symbol, so
+    // the program, constant pool, and attribute references are
+    // identical — evaluation behavior cannot drift across evictions.
+    let second = cache.compile(sel).unwrap().clone();
+    assert_eq!(first, second, "recompiled program diverged");
+    assert_eq!(first.program(), second.program());
+}
+
+#[test]
+fn eviction_preserves_evaluation_results() {
+    let mut cache = SelectorCache::with_capacity(1);
+    let mut stack = EvalStack::default();
+    let mut attrs = BTreeMap::new();
+    attrs.insert("size".to_string(), AttrValue::Int(3));
+    let before = cache
+        .compile("size >= 2")
+        .unwrap()
+        .eval_map(&attrs, &mut stack)
+        .unwrap();
+    // Thrash the single-entry cache, then come back.
+    for i in 0..5 {
+        cache.compile(&format!("size == {i}")).unwrap();
+    }
+    let after = cache
+        .compile("size >= 2")
+        .unwrap()
+        .eval_map(&attrs, &mut stack)
+        .unwrap();
+    assert_eq!(before, after);
+    // Five thrash evictions plus one for the final recompilation.
+    assert_eq!(cache.stats().evictions(), 6);
+}
+
+#[test]
+fn engine_counts_hits_misses_and_parse_failures() {
+    let mut engine = MatchEngine::new();
+    let attrs = BTreeMap::new();
+    engine.check("x == 1", &attrs).unwrap().unwrap();
+    engine.check("x == 1", &attrs).unwrap().unwrap();
+    engine.check("x == 1", &attrs).unwrap().unwrap();
+    assert!(
+        engine.check("x ==", &attrs).is_err(),
+        "parse error surfaces"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits(), 2);
+    // The unparsable selector cost real work: it counts as a miss.
+    assert_eq!(stats.misses(), 2);
+}
