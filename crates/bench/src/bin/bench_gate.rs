@@ -1,0 +1,245 @@
+//! CI bench-regression gate.
+//!
+//! Reads `BENCH <id> key=value ...` lines (the machine-readable
+//! summary every gated bench prints after its table) from stdin and
+//! compares the `msgs_per_s` value per id against a committed
+//! baseline:
+//!
+//! ```text
+//! cargo run -q --release -p bench --bin mass_session -- --quick > out.txt
+//! cargo run -q --release -p bench --bin selector_throughput -- --quick >> out.txt
+//! cargo run -q --release -p bench --bin bench_gate -- check bench_baseline.json < out.txt
+//! ```
+//!
+//! `check` exits non-zero when any benchmark fell more than 20% below
+//! its baseline (`BENCH_GATE_TOLERANCE` overrides the fraction), or
+//! when a baselined benchmark stopped reporting — a bench that
+//! silently vanishes must not pass the gate. New ids not yet in the
+//! baseline are reported but do not fail.
+//!
+//! To re-baseline after an intentional change, replace `check` with
+//! `rebaseline` in the pipeline above and commit the rewritten file.
+//! The baseline is a flat JSON object `{ "<id>": <msgs_per_s>, ... }`
+//! read and written here by hand so the workspace stays free of JSON
+//! dependencies.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::process::ExitCode;
+
+const METRIC: &str = "msgs_per_s";
+const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Extract `(id, msgs_per_s)` from every `BENCH` line in `text`.
+fn parse_bench_lines(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("BENCH ") else {
+            continue;
+        };
+        let mut tokens = rest.split_whitespace();
+        let Some(id) = tokens.next() else { continue };
+        for tok in tokens {
+            if let Some(v) = tok.strip_prefix(&format!("{METRIC}=")) {
+                if let Ok(v) = v.parse::<f64>() {
+                    out.insert(id.to_string(), v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse the flat `{ "id": number, ... }` baseline format written by
+/// [`write_baseline`]. Tolerates arbitrary whitespace; anything not of
+/// that shape is an error.
+fn parse_baseline(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("baseline is not a JSON object")?;
+    let mut out = BTreeMap::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("bad baseline entry: {entry}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted baseline key: {key}"))?;
+        let value = value
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("bad baseline value for {key}: {value}"))?;
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+fn write_baseline(values: &BTreeMap<String, f64>) -> String {
+    let mut body: Vec<String> = values
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    if body.is_empty() {
+        return "{}\n".to_string();
+    }
+    body[0].insert(0, '\n');
+    format!("{{{}\n}}\n", body.join(",\n"))
+}
+
+/// Compare `current` against `baseline`; returns human-readable
+/// failure lines (empty = gate passes).
+fn gate(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (id, base) in baseline {
+        match current.get(id) {
+            None => failures.push(format!("{id}: baselined at {base} but not reported")),
+            Some(now) if *now < base * (1.0 - tolerance) => failures.push(format!(
+                "{id}: {METRIC} {now:.0} is {:.0}% below baseline {base:.0} (tolerance {:.0}%)",
+                (1.0 - now / base) * 100.0,
+                tolerance * 100.0
+            )),
+            Some(_) => {}
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match args.as_slice() {
+        [cmd, path] if cmd == "check" || cmd == "rebaseline" => (cmd.as_str(), path.as_str()),
+        _ => {
+            eprintln!(
+                "usage: bench_gate <check|rebaseline> <baseline.json>  (BENCH lines on stdin)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut input = String::new();
+    if std::io::stdin().read_to_string(&mut input).is_err() {
+        eprintln!("bench_gate: could not read stdin");
+        return ExitCode::FAILURE;
+    }
+    let current = parse_bench_lines(&input);
+    if current.is_empty() {
+        eprintln!("bench_gate: no BENCH lines on stdin — did the benches run?");
+        return ExitCode::FAILURE;
+    }
+    if cmd == "rebaseline" {
+        if let Err(e) = std::fs::write(path, write_baseline(&current)) {
+            eprintln!("bench_gate: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench_gate: wrote {} entries to {path}", current.len());
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_gate: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tolerance = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    for id in current.keys().filter(|id| !baseline.contains_key(*id)) {
+        println!("bench_gate: note: {id} has no baseline yet (run rebaseline to add it)");
+    }
+    let failures = gate(&baseline, &current, tolerance);
+    if failures.is_empty() {
+        println!(
+            "bench_gate: {} benchmarks within {:.0}% of baseline",
+            baseline.len(),
+            tolerance * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        eprintln!("bench_gate: FAIL {f}");
+    }
+    eprintln!(
+        "bench_gate: {} regression(s); if intentional, re-baseline with:\n  \
+         cargo run -q --release -p bench --bin bench_gate -- rebaseline {path} < <bench output>",
+        failures.len()
+    );
+    ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_bench_lines_and_ignores_noise() {
+        let text = "table row | 1 | 2 |\n\
+                    BENCH mass_session.flat.1000 msgs_per_s=123456 bytes_per_client_tick=99.5\n\
+                    BENCH selector_throughput.warm.8 msgs_per_s=42\n\
+                    BENCH broken-line-without-metric other=1\n";
+        let got = parse_bench_lines(text);
+        assert_eq!(
+            got,
+            map(&[
+                ("mass_session.flat.1000", 123456.0),
+                ("selector_throughput.warm.8", 42.0)
+            ])
+        );
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let values = map(&[("a.b.1", 1234.0), ("c.d.2", 0.5)]);
+        let text = write_baseline(&values);
+        assert_eq!(parse_baseline(&text).unwrap(), values);
+        assert_eq!(parse_baseline("{}").unwrap(), map(&[]));
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"k\": nope}").is_err());
+    }
+
+    #[test]
+    fn gate_fails_only_beyond_tolerance() {
+        let baseline = map(&[("x", 100.0), ("y", 100.0), ("z", 100.0)]);
+        let current = map(&[("x", 81.0), ("y", 79.0), ("z", 250.0)]);
+        let failures = gate(&baseline, &current, 0.20);
+        assert_eq!(failures.len(), 1, "only y is past 20%: {failures:?}");
+        assert!(failures[0].starts_with("y:"));
+    }
+
+    #[test]
+    fn gate_fails_when_a_baselined_bench_vanishes() {
+        let baseline = map(&[("x", 100.0)]);
+        let failures = gate(&baseline, &map(&[("other", 5.0)]), 0.20);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("not reported"));
+    }
+
+    #[test]
+    fn new_benches_do_not_fail_the_gate() {
+        let baseline = map(&[("x", 100.0)]);
+        let current = map(&[("x", 100.0), ("brand.new", 1.0)]);
+        assert!(gate(&baseline, &current, 0.20).is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Mass-session scaling: how far the slab-allocated simnet core
+//! (dense-id tables, timing-wheel scheduler, reference-counted
+//! payloads) carries a single collaborative session.
+//!
+//! Two topologies per scale, both pumped for a fixed number of
+//! publish ticks with a fixed batch of 256-byte events per tick:
+//!
+//! * **flat** — every client on one switched star; the publisher
+//!   multicasts each batch to one group holding all `n - 1` peers.
+//!   Each event is encoded into a [`simnet::Payload`] exactly once and
+//!   every scheduled copy shares the buffer, so fan-out cost is event
+//!   scheduling, not memcpy.
+//! * **brokered** — clients split evenly across 8 broker domains, one
+//!   hub + relay per domain, hubs chained by a backbone. The domain-0
+//!   relay publishes into its own group and forwards the batch down
+//!   the relay chain; each relay republishes into its domain group —
+//!   the store-and-forward shape of the broker overlay, again sharing
+//!   one buffer per event end to end.
+//!
+//! Delivery counts come from the lock-free [`simnet::NetStatsHandle`]
+//! and are asserted against the closed-form expectation (links are
+//! lossless), so a scheduling bug cannot masquerade as a fast run.
+//!
+//! Output: a human-readable table (peak and sustained delivered
+//! msgs/s, delivered bytes per client per tick, sim time per tick)
+//! plus one machine-readable `BENCH <id> msgs_per_s=...` line per
+//! scenario for CI's bench-regression gate. `--quick` / `BENCH_QUICK=1`
+//! selects the reduced sweep CI runs per PR; the default sweep climbs
+//! 1k -> 10k -> 100k clients.
+
+use bench::{header, quick_mode, row};
+use simnet::{Addr, GroupId, LinkSpec, Network, NodeId, Payload, Port, SocketHandle};
+use std::time::Instant;
+
+const PORT: Port = Port(5004);
+const RELAY_PORT: Port = Port(9100);
+const TICKS: usize = 5;
+const BATCH: usize = 8;
+const PAYLOAD_BYTES: usize = 256;
+const DOMAINS: usize = 8;
+
+/// Switched-star edge: gigabit so serialization does not dominate the
+/// simulated second at 100k clients.
+fn edge() -> LinkSpec {
+    LinkSpec::lan().with_bandwidth_bps(1_000_000_000)
+}
+
+struct Outcome {
+    peak: f64,
+    sustained: f64,
+    bytes_per_client_tick: f64,
+    sim_ms_per_tick: f64,
+}
+
+/// One batch of distinct payloads, encoded once; every copy the
+/// network schedules shares these buffers.
+fn batch(tick: usize) -> Vec<Payload> {
+    (0..BATCH)
+        .map(|m| Payload::from(vec![(tick * BATCH + m) as u8; PAYLOAD_BYTES]))
+        .collect()
+}
+
+fn drain(net: &mut Network, sockets: &[SocketHandle]) -> u64 {
+    let mut got = 0;
+    for &s in sockets {
+        while net.recv(s).is_some() {
+            got += 1;
+        }
+    }
+    got
+}
+
+/// Flat star: one group, `n` members, publisher = member 0.
+fn run_flat(n: usize) -> Outcome {
+    let mut net = Network::new(42);
+    let hub = net.add_node("hub");
+    let group = net.new_group();
+    let mut sockets = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = net.add_node(&format!("c{i}"));
+        net.connect(node, hub, edge());
+        let s = net.bind(node, PORT).expect("bind");
+        net.join(s, group).expect("join");
+        sockets.push(s);
+    }
+    let publisher = sockets[0];
+    let stats = net.stats_handle();
+    let (mut peak, mut last_delivered, mut received) = (0.0f64, 0u64, 0u64);
+    let t0 = Instant::now();
+    let sim0 = net.now();
+    for tick in 0..TICKS {
+        let t = Instant::now();
+        net.send_batch(publisher, Addr::multicast(group, PORT), batch(tick))
+            .expect("publish");
+        net.run_to_quiescence();
+        received += drain(&mut net, &sockets);
+        let dt = t.elapsed().as_secs_f64();
+        let d = stats.delivered() - last_delivered;
+        last_delivered = stats.delivered();
+        peak = peak.max(d as f64 / dt);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let expect = (TICKS * BATCH * (n - 1)) as u64;
+    assert_eq!(stats.delivered(), expect, "flat n={n}: lossless fan-out");
+    assert_eq!(received, expect, "flat n={n}: every copy reached an inbox");
+    Outcome {
+        peak,
+        sustained: stats.delivered() as f64 / wall,
+        bytes_per_client_tick: stats.bytes_delivered() as f64 / (n * TICKS) as f64,
+        sim_ms_per_tick: (net.now() - sim0).as_millis() as f64 / TICKS as f64,
+    }
+}
+
+/// Brokered: `DOMAINS` hubs chained by a backbone, one relay + one
+/// group per domain, clients split evenly. The domain-0 relay is the
+/// publisher; each relay republishes what arrives and forwards it on.
+fn run_brokered(n: usize) -> Outcome {
+    let mut net = Network::new(42);
+    let mut hubs: Vec<NodeId> = Vec::with_capacity(DOMAINS);
+    let mut relays: Vec<SocketHandle> = Vec::with_capacity(DOMAINS);
+    let mut groups: Vec<GroupId> = Vec::with_capacity(DOMAINS);
+    for d in 0..DOMAINS {
+        let hub = net.add_node(&format!("hub{d}"));
+        if d > 0 {
+            net.connect(hubs[d - 1], hub, edge());
+        }
+        relays.push(net.bind(hub, RELAY_PORT).expect("bind relay"));
+        groups.push(net.new_group());
+        hubs.push(hub);
+    }
+    let mut sockets = Vec::with_capacity(n);
+    for i in 0..n {
+        let d = i % DOMAINS;
+        let node = net.add_node(&format!("c{i}"));
+        net.connect(node, hubs[d], edge());
+        let s = net.bind(node, PORT).expect("bind");
+        net.join(s, groups[d]).expect("join");
+        sockets.push(s);
+    }
+    let stats = net.stats_handle();
+    let (mut peak, mut last_delivered, mut received) = (0.0f64, 0u64, 0u64);
+    let t0 = Instant::now();
+    let sim0 = net.now();
+    for tick in 0..TICKS {
+        let t = Instant::now();
+        let payloads = batch(tick);
+        net.send_batch(
+            relays[0],
+            Addr::multicast(groups[0], PORT),
+            payloads.clone(),
+        )
+        .expect("publish");
+        net.send_batch(relays[0], Addr::unicast(hubs[1], RELAY_PORT), payloads)
+            .expect("forward");
+        // Store-and-forward down the relay chain: settle, republish
+        // whatever arrived, repeat until every relay has gone quiet.
+        loop {
+            net.run_to_quiescence();
+            let mut moved = false;
+            for d in 1..DOMAINS {
+                let mut arrived: Vec<Payload> = Vec::new();
+                while let Some(dgram) = net.recv(relays[d]) {
+                    arrived.push(dgram.payload);
+                }
+                if arrived.is_empty() {
+                    continue;
+                }
+                moved = true;
+                if d + 1 < DOMAINS {
+                    net.send_batch(
+                        relays[d],
+                        Addr::unicast(hubs[d + 1], RELAY_PORT),
+                        arrived.clone(),
+                    )
+                    .expect("forward");
+                }
+                net.send_batch(relays[d], Addr::multicast(groups[d], PORT), arrived)
+                    .expect("republish");
+            }
+            if !moved {
+                break;
+            }
+        }
+        received += drain(&mut net, &sockets);
+        let dt = t.elapsed().as_secs_f64();
+        let d = stats.delivered() - last_delivered;
+        last_delivered = stats.delivered();
+        peak = peak.max(d as f64 / dt);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    // Every client hears every event once; each of the DOMAINS-1 relay
+    // hops also counts as a delivery.
+    let expect = (TICKS * BATCH * (n + DOMAINS - 1)) as u64;
+    assert_eq!(stats.delivered(), expect, "brokered n={n}: lossless relay");
+    assert_eq!(
+        received,
+        (TICKS * BATCH * n) as u64,
+        "brokered n={n}: every client copy reached an inbox"
+    );
+    Outcome {
+        peak,
+        sustained: stats.delivered() as f64 / wall,
+        bytes_per_client_tick: stats.bytes_delivered() as f64 / (n * TICKS) as f64,
+        sim_ms_per_tick: (net.now() - sim0).as_millis() as f64 / TICKS as f64,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let scales: &[usize] = if quick {
+        &[200, 1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    println!(
+        "mass-session scaling — {BATCH} x {PAYLOAD_BYTES}B events per tick, {TICKS} ticks, \
+         {DOMAINS} domains when brokered\n"
+    );
+    let widths = [8, 9, 14, 14, 13, 12];
+    header(
+        &[
+            "clients",
+            "mode",
+            "peak msgs/s",
+            "sustained",
+            "B/client-tick",
+            "sim ms/tick",
+        ],
+        &widths,
+    );
+    let mut bench_lines = Vec::new();
+    for &n in scales {
+        for (mode, out) in [("flat", run_flat(n)), ("brokered", run_brokered(n))] {
+            row(
+                &[
+                    n.to_string(),
+                    mode.to_string(),
+                    format!("{:.0}", out.peak),
+                    format!("{:.0}", out.sustained),
+                    format!("{:.1}", out.bytes_per_client_tick),
+                    format!("{:.1}", out.sim_ms_per_tick),
+                ],
+                &widths,
+            );
+            bench_lines.push(format!(
+                "BENCH mass_session.{mode}.{n} msgs_per_s={:.0} bytes_per_client_tick={:.1}",
+                out.peak, out.bytes_per_client_tick
+            ));
+        }
+    }
+    println!(
+        "\npeak = best single-tick delivered rate (wall clock); sustained = whole-run rate;\n\
+         delivery counts asserted against the closed-form lossless expectation per scenario\n"
+    );
+    for line in &bench_lines {
+        println!("{line}");
+    }
+}

@@ -9,14 +9,17 @@
 //! because the cache pays off per *selector*, not per message: a small
 //! working set amortizes compilation across many messages, a working
 //! set above capacity shows the recompile floor.
+//!
+//! Besides the human-readable table, every cell is also emitted as a
+//! machine-readable line `BENCH <id> msgs_per_s=<rate>` so CI's
+//! bench-regression gate (`bench_gate`) can compare runs. Pass
+//! `--quick` (or set `BENCH_QUICK=1`) for the reduced-scale sweep CI
+//! uses per PR.
 
-use bench::{header, row, time_best};
+use bench::{header, quick_mode, row, time_best};
 use sempubsub::matching;
 use sempubsub::{AttrValue, MatchEngine, Profile, Selector};
 use std::collections::BTreeMap;
-
-const MESSAGES: usize = 40_000;
-const REPS: usize = 5;
 
 /// One profile shaped like a real session client: attributes the
 /// selectors probe, an interest filter, and a transform capability so
@@ -58,9 +61,14 @@ fn make_content() -> BTreeMap<String, AttrValue> {
 
 /// Baseline: what `interpret_batch` did before compilation — parse the
 /// selector for every message, then tree-walk the AST.
-fn run_tree(profile: &Profile, selectors: &[String], content: &BTreeMap<String, AttrValue>) -> u64 {
+fn run_tree(
+    messages: usize,
+    profile: &Profile,
+    selectors: &[String],
+    content: &BTreeMap<String, AttrValue>,
+) -> u64 {
     let mut accepted = 0u64;
-    for i in 0..MESSAGES {
+    for i in 0..messages {
         let sel = Selector::parse(&selectors[i % selectors.len()]).expect("valid selector");
         if matching::interpret(profile, &sel, content).is_ok_and(|o| o.is_accepted()) {
             accepted += 1;
@@ -72,13 +80,14 @@ fn run_tree(profile: &Profile, selectors: &[String], content: &BTreeMap<String, 
 /// Fast path: compiled programs from a bounded LRU cache, profile
 /// snapshot reused across messages, zero-realloc eval stack.
 fn run_compiled(
+    messages: usize,
     engine: &mut MatchEngine,
     profile: &Profile,
     selectors: &[String],
     content: &BTreeMap<String, AttrValue>,
 ) -> u64 {
     let mut accepted = 0u64;
-    for i in 0..MESSAGES {
+    for i in 0..messages {
         if engine
             .interpret(profile, &selectors[i % selectors.len()], content)
             .expect("valid selector")
@@ -91,8 +100,10 @@ fn run_compiled(
 }
 
 fn main() {
+    let quick = quick_mode();
+    let (messages, reps) = if quick { (8_000, 2) } else { (40_000, 5) };
     println!(
-        "selector matching throughput — {MESSAGES} messages per run, best of {REPS} (msgs/s)\n"
+        "selector matching throughput — {messages} messages per run, best of {reps} (msgs/s)\n"
     );
     let profile = make_profile();
     let content = make_content();
@@ -107,16 +118,18 @@ fn main() {
         ],
         &widths,
     );
+    let mut bench_lines = Vec::new();
     for n in [8usize, 64, 256] {
         let selectors = make_selectors(n);
 
-        let (tree_accepted, tree_s) = time_best(REPS, || run_tree(&profile, &selectors, &content));
+        let (tree_accepted, tree_s) =
+            time_best(reps, || run_tree(messages, &profile, &selectors, &content));
 
         // Cold: capacity below the working set + round-robin access is
         // the LRU worst case — every message misses and recompiles.
-        let (cold_accepted, cold_s) = time_best(REPS, || {
+        let (cold_accepted, cold_s) = time_best(reps, || {
             let mut engine = MatchEngine::with_capacity((n / 2).max(1));
-            run_compiled(&mut engine, &profile, &selectors, &content)
+            run_compiled(messages, &mut engine, &profile, &selectors, &content)
         });
 
         // Warm: capacity covers the working set; after the first lap
@@ -125,14 +138,14 @@ fn main() {
         for sel in &selectors {
             warm_engine.compile(sel).expect("valid selector");
         }
-        let (warm_accepted, warm_s) = time_best(REPS, || {
-            run_compiled(&mut warm_engine, &profile, &selectors, &content)
+        let (warm_accepted, warm_s) = time_best(reps, || {
+            run_compiled(messages, &mut warm_engine, &profile, &selectors, &content)
         });
 
         assert_eq!(tree_accepted, cold_accepted, "cold path diverged at n={n}");
         assert_eq!(tree_accepted, warm_accepted, "warm path diverged at n={n}");
 
-        let rate = |s: f64| format!("{:.0}", MESSAGES as f64 / s);
+        let rate = |s: f64| format!("{:.0}", messages as f64 / s);
         row(
             &[
                 n.to_string(),
@@ -143,9 +156,18 @@ fn main() {
             ],
             &widths,
         );
+        for (path, secs) in [("tree", tree_s), ("cold", cold_s), ("warm", warm_s)] {
+            bench_lines.push(format!(
+                "BENCH selector_throughput.{path}.{n} msgs_per_s={}",
+                rate(secs)
+            ));
+        }
     }
     println!(
         "\noutcomes identical across all three paths (accept counts asserted per row);\n\
-         warm gain = tree-walk time / compiled-warm time"
+         warm gain = tree-walk time / compiled-warm time\n"
     );
+    for line in &bench_lines {
+        println!("{line}");
+    }
 }

@@ -42,6 +42,15 @@ pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     (result.expect("reps > 0"), best)
 }
 
+/// Whether the bench was asked for its reduced-scale sweep: `--quick`
+/// on the command line or `BENCH_QUICK=1` in the environment. CI's
+/// per-PR bench-regression job runs every gated bench in this mode so
+/// the gate finishes in seconds; the full sweep stays the default for
+/// humans regenerating `bench_output.txt`.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
 /// Hardware threads available to this process (1 if unknown).
 pub fn host_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())

@@ -169,8 +169,10 @@ pub struct BsPeer {
     pub forward_log: Vec<(String, Modality)>,
     /// Semantic profiles of the attached wireless clients — "it
     /// maintains the profiles of all the wireless clients connected to
-    /// it and manages QoS on their behalf" (§1, §4.2).
-    pub wireless_profiles: std::collections::HashMap<String, Profile>,
+    /// it and manages QoS on their behalf" (§1, §4.2). Ordered map:
+    /// the downlink relay iterates it per arriving event, and relay
+    /// order must be deterministic (client-id order), not hash order.
+    pub wireless_profiles: std::collections::BTreeMap<String, Profile>,
     /// Downlink relay log: session events delivered to wireless
     /// clients, with the modality their SIR allowed.
     pub downlink_log: Vec<DownlinkDelivery>,
@@ -205,6 +207,9 @@ pub struct CollaborationSession {
     /// Per-broker `local_suppressed` totals already credited to client
     /// `BusStats` via `note_suppressed` (so pump credits only deltas).
     broker_credited: Vec<u64>,
+    /// Lock-free per-shard delivery/drop counters, one per pump worker
+    /// (sized on first pump). Readable live from any thread.
+    shard_counters: Vec<crate::shard::ShardCounters>,
 }
 
 impl CollaborationSession {
@@ -260,7 +265,15 @@ impl CollaborationSession {
             overlay,
             broker_agents,
             broker_credited,
+            shard_counters: Vec::new(),
         }
+    }
+
+    /// Per-shard delivery/drop counters for the pump pipeline — one
+    /// entry per worker shard, updated lock-free while pump runs.
+    /// Empty until the first pump. The clones share the live cells.
+    pub fn shard_counters(&self) -> Vec<crate::shard::ShardCounters> {
+        self.shard_counters.clone()
     }
 
     /// Session configuration.
@@ -867,7 +880,10 @@ impl CollaborationSession {
     /// dispatch accepted events to the client's application entities.
     /// Pure per-client CPU work (EZW decoding dominates) — touches no
     /// shared state, so the sharded engine runs it on worker threads.
-    fn apply_payloads(client: &mut ClientRuntime, payloads: Vec<Vec<u8>>) -> Vec<ViewedImage> {
+    fn apply_payloads(
+        client: &mut ClientRuntime,
+        payloads: Vec<simnet::Payload>,
+    ) -> Vec<ViewedImage> {
         let mut completed = Vec::new();
         for delivery in client.bus.interpret_batch(payloads) {
             let Some(ev) = AppEvent::decode(&delivery.message.body) else {
@@ -941,19 +957,32 @@ impl CollaborationSession {
         } else {
             self.net.run_for(d);
         }
-        let raw: Vec<Vec<Vec<u8>>> = {
+        let raw: Vec<Vec<simnet::Payload>> = {
             let net = &mut self.net;
             self.clients
                 .iter_mut()
                 .map(|c| c.bus.drain_raw(net))
                 .collect()
         };
-        let per_client = crate::shard::map_shards(
-            &mut self.clients,
-            raw,
-            self.cfg.workers,
-            |_, client, payloads| Self::apply_payloads(client, payloads),
-        );
+        let n = self.clients.len();
+        let workers = self.cfg.workers;
+        let shards = workers.clamp(1, n.max(1));
+        if self.shard_counters.len() != shards {
+            self.shard_counters
+                .resize_with(shards, crate::shard::ShardCounters::new);
+        }
+        let counters = &self.shard_counters;
+        let per_client =
+            crate::shard::map_shards(&mut self.clients, raw, workers, |i, client, payloads| {
+                let before = client.bus.stats();
+                let total = payloads.len() as u64;
+                let out = Self::apply_payloads(client, payloads);
+                let after = client.bus.stats();
+                let dropped = (after.rejected + after.malformed + after.bad_selector)
+                    - (before.rejected + before.malformed + before.bad_selector);
+                counters[crate::shard::shard_of(i, n, workers)].add(total - dropped, dropped);
+                out
+            });
         let completed: Vec<(ClientId, ViewedImage)> = per_client
             .into_iter()
             .enumerate()
@@ -1061,7 +1090,7 @@ impl CollaborationSession {
             registry: TransformerRegistry::with_defaults(),
             node,
             forward_log: Vec::new(),
-            wireless_profiles: std::collections::HashMap::new(),
+            wireless_profiles: std::collections::BTreeMap::new(),
             downlink_log: Vec::new(),
             matcher: sempubsub::MatchEngine::new(),
         });

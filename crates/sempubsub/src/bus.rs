@@ -15,7 +15,7 @@ use crate::message::{self, SemanticMessage};
 use crate::profile::Profile;
 use crate::value::AttrValue;
 use crate::SemError;
-use simnet::{Addr, GroupId, Network, NodeId, Port, SocketHandle};
+use simnet::{Addr, GroupId, Network, NodeId, Payload, Port, SocketHandle};
 use std::collections::BTreeMap;
 
 /// A message that passed local semantic interpretation.
@@ -244,7 +244,7 @@ impl BusEndpoint {
     /// a network phase (needs `&mut Network`, inherently serial) and a
     /// pure-CPU interpretation phase that a sharded session engine can
     /// run on worker threads.
-    pub fn drain_raw(&mut self, net: &mut Network) -> Vec<Vec<u8>> {
+    pub fn drain_raw(&mut self, net: &mut Network) -> Vec<Payload> {
         let mut out = Vec::new();
         while let Some(dgram) = net.recv(self.socket) {
             out.push(dgram.payload);
@@ -264,10 +264,10 @@ impl BusEndpoint {
     /// walks, no per-message allocation. Outcomes and stats are
     /// bit-identical to the tree-walk interpreter (pinned by the
     /// differential suite in `tests/matching.rs`).
-    pub fn interpret_batch(&mut self, payloads: Vec<Vec<u8>>) -> Vec<Delivery> {
+    pub fn interpret_batch<P: AsRef<[u8]>>(&mut self, payloads: Vec<P>) -> Vec<Delivery> {
         let mut out = Vec::new();
         for payload in payloads {
-            let Ok(msg) = SemanticMessage::decode(&payload) else {
+            let Ok(msg) = SemanticMessage::decode(payload.as_ref()) else {
                 self.stats.malformed += 1;
                 continue;
             };

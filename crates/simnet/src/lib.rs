@@ -3,12 +3,15 @@
 //! `simnet` is the substrate that replaces the paper's Windows-NT LAN
 //! testbed. It provides:
 //!
-//! * a microsecond-resolution simulated clock and event queue
-//!   ([`time`], [`event`]),
+//! * a microsecond-resolution simulated clock and a hierarchical
+//!   timing-wheel event queue ([`time`], [`wheel`]; the reference
+//!   ordered heap lives in [`event`]),
 //! * nodes and links with bandwidth, propagation latency, and a
 //!   Bernoulli loss model ([`topology`]),
 //! * UDP-style datagram sockets with unicast and IP-multicast-style
-//!   group addressing ([`net`]),
+//!   group addressing over slab-allocated endpoint tables ([`net`]),
+//!   carrying reference-counted zero-copy payloads ([`payload`]) so
+//!   multicast fan-out encodes once and shares the buffer,
 //! * a thin RTP/RTCP-like sequencing layer providing limited in-order
 //!   delivery for multi-packet media objects ([`rtp`]), exactly the
 //!   role of the paper's "thin layer based on the RTP-RTCP scheme"
@@ -44,15 +47,19 @@ pub mod event;
 pub mod faults;
 pub mod net;
 pub mod packet;
+pub mod payload;
 pub mod rtp;
 pub mod time;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
+pub mod wheel;
 
 pub use faults::{FaultAction, FaultModel, FaultPlan, GilbertElliott};
 pub use net::{Addr, Datagram, GroupId, Network, SocketHandle};
 pub use packet::Port;
+pub use payload::Payload;
 pub use time::{SimClock, Ticks};
 pub use topology::{LinkId, LinkSpec, NodeId};
-pub use trace::NetStats;
+pub use trace::{NetStats, NetStatsHandle};
+pub use wheel::TimingWheel;

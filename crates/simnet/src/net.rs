@@ -1,16 +1,27 @@
 //! The network simulator core: sockets, datagram transmission,
 //! multicast groups, timers, and the event loop.
+//!
+//! All hot-path state is slab-allocated and indexed by dense `u32`
+//! ids: sockets live in one `Vec`, `(node, port)` resolution goes
+//! through per-node sorted port tables, multicast groups keep explicit
+//! member lists (sorted by socket index, so fan-out order — and hence
+//! the RNG draw order of per-copy loss rolls — is identical to the
+//! historical all-sockets scan), and per-link qdisc mounts sit in a
+//! `Vec` indexed by link id. Nothing on the delivery path iterates a
+//! hash map, so iteration order can never silently reorder RNG draws
+//! between runs or builds.
 
-use crate::event::EventQueue;
 use crate::faults::{FaultAction, FaultPlan};
 use crate::packet::{Port, WirePacket, MAX_DATAGRAM};
+use crate::payload::Payload;
 use crate::time::{SimClock, Ticks};
 use crate::topology::{LinkId, LinkSpec, NodeId, Topology};
-use crate::trace::NetStats;
+use crate::trace::{NetStats, NetStatsHandle};
+use crate::wheel::TimingWheel;
 use qdisc::{EnqueueOutcome, Qdisc, QdiscConfig, QdiscStats, StatsHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Handle to a bound datagram socket.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -50,8 +61,9 @@ pub struct Datagram {
     pub src_port: Port,
     /// Address the sender targeted (unicast or the multicast group).
     pub dst: Addr,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes, shared zero-copy with every other delivered copy
+    /// of the same packet (dereferences to `[u8]`).
+    pub payload: Payload,
     /// Simulated arrival instant.
     pub arrived_at: Ticks,
     /// True when a link's AQM marked the packet Congestion Experienced
@@ -90,7 +102,9 @@ struct Socket {
     node: NodeId,
     port: Port,
     inbox: VecDeque<Datagram>,
-    groups: HashSet<GroupId>,
+    /// Groups this socket belongs to (small, sorted; the authoritative
+    /// membership lives in the per-group member lists).
+    groups: Vec<GroupId>,
     open: bool,
     /// Whether traffic sent from this socket is ECN-capable (ECT):
     /// AQM on a congested link marks it instead of dropping it.
@@ -158,20 +172,29 @@ struct LinkQdisc {
 pub struct Network {
     topo: Topology,
     clock: SimClock,
-    queue: EventQueue<NetEvent>,
+    queue: TimingWheel<NetEvent>,
     sockets: Vec<Socket>,
-    by_addr: HashMap<(NodeId, Port), SocketHandle>,
-    next_group: u32,
+    /// Per-node port tables, indexed by dense node id: each entry is a
+    /// short `(port, socket)` list sorted by port for binary search.
+    port_map: Vec<Vec<(Port, SocketHandle)>>,
+    /// Per-group member lists, indexed by dense group id; members are
+    /// kept sorted by socket index so multicast fan-out visits them in
+    /// exactly the order the historical all-sockets scan did.
+    groups: Vec<Vec<SocketHandle>>,
     rng: StdRng,
     stats: NetStats,
+    /// Lock-free shared view of the delivery/drop counters.
+    shared: NetStatsHandle,
     fired_timers: VecDeque<(Ticks, u64)>,
     /// Scripted fault actions sorted by time; `plan_next` indexes the
     /// first not-yet-applied entry.
     plan: FaultPlan,
     plan_next: usize,
-    /// Traffic-control planes keyed by link id. Never iterated —
-    /// only keyed lookups — so map order cannot affect determinism.
-    qdiscs: HashMap<u32, LinkQdisc>,
+    /// Traffic-control planes indexed by dense link id (`None` where no
+    /// plane is mounted); `qdisc_count` short-circuits the per-path
+    /// scan when nothing is mounted anywhere.
+    qdiscs: Vec<Option<LinkQdisc>>,
+    qdisc_count: usize,
 }
 
 impl Network {
@@ -181,17 +204,37 @@ impl Network {
         Network {
             topo: Topology::new(),
             clock: SimClock::new(),
-            queue: EventQueue::new(),
+            queue: TimingWheel::new(),
             sockets: Vec::new(),
-            by_addr: HashMap::new(),
-            next_group: 0,
+            port_map: Vec::new(),
+            groups: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
+            shared: NetStatsHandle::new(),
             fired_timers: VecDeque::new(),
             plan: FaultPlan::new(),
             plan_next: 0,
-            qdiscs: HashMap::new(),
+            qdiscs: Vec::new(),
+            qdisc_count: 0,
         }
+    }
+
+    /// Socket bound to `(node, port)`, if any.
+    fn socket_at(&self, node: NodeId, port: Port) -> Option<SocketHandle> {
+        let table = self.port_map.get(node.0 as usize)?;
+        table
+            .binary_search_by_key(&port, |&(p, _)| p)
+            .ok()
+            .map(|i| table[i].1)
+    }
+
+    /// The qdisc mounted on link `id`, if any.
+    fn qdisc_ref(&self, id: u32) -> Option<&LinkQdisc> {
+        self.qdiscs.get(id as usize).and_then(|q| q.as_ref())
+    }
+
+    fn qdisc_mut(&mut self, id: u32) -> Option<&mut LinkQdisc> {
+        self.qdiscs.get_mut(id as usize).and_then(|q| q.as_mut())
     }
 
     /// Mount a traffic-control plane on `link`. All traffic crossing
@@ -202,25 +245,29 @@ impl Network {
     pub fn attach_qdisc(&mut self, link: LinkId, cfg: QdiscConfig) -> StatsHandle {
         let q: Qdisc<InFlight> = Qdisc::new(cfg);
         let handle = q.shared_stats();
-        self.qdiscs.insert(
-            link.0,
-            LinkQdisc {
-                q,
-                service_at: None,
-                gen: 0,
-            },
-        );
+        let idx = link.0 as usize;
+        if idx >= self.qdiscs.len() {
+            self.qdiscs.resize_with(idx + 1, || None);
+        }
+        if self.qdiscs[idx].is_none() {
+            self.qdisc_count += 1;
+        }
+        self.qdiscs[idx] = Some(LinkQdisc {
+            q,
+            service_at: None,
+            gen: 0,
+        });
         handle
     }
 
     /// Whether `link` has a traffic-control plane mounted.
     pub fn qdisc_attached(&self, link: LinkId) -> bool {
-        self.qdiscs.contains_key(&link.0)
+        self.qdisc_ref(link.0).is_some()
     }
 
     /// Snapshot of the per-class counters of the plane on `link`.
     pub fn qdisc_stats(&self, link: LinkId) -> Option<QdiscStats> {
-        self.qdiscs.get(&link.0).map(|lq| lq.q.stats().clone())
+        self.qdisc_ref(link.0).map(|lq| lq.q.stats().clone())
     }
 
     /// Declare traffic sent from socket `s` ECN-capable (or not).
@@ -281,6 +328,13 @@ impl Network {
         &self.stats
     }
 
+    /// A lock-free shared view of the delivery/drop counters. The
+    /// handle stays live (and readable from any thread) while the
+    /// simulation runs; clones share the same atomic cells.
+    pub fn stats_handle(&self) -> NetStatsHandle {
+        self.shared.clone()
+    }
+
     /// Add a node. See [`Topology::add_node`].
     pub fn add_node(&mut self, name: &str) -> NodeId {
         self.topo.add_node(name)
@@ -308,38 +362,62 @@ impl Network {
 
     /// Bind a datagram socket on `(node, port)`.
     pub fn bind(&mut self, node: NodeId, port: Port) -> Result<SocketHandle, NetError> {
-        if self.by_addr.contains_key(&(node, port)) {
-            return Err(NetError::PortInUse(node, port));
+        let idx = node.0 as usize;
+        if idx >= self.port_map.len() {
+            self.port_map.resize_with(idx + 1, Vec::new);
         }
+        let table = &mut self.port_map[idx];
+        let slot = match table.binary_search_by_key(&port, |&(p, _)| p) {
+            Ok(_) => return Err(NetError::PortInUse(node, port)),
+            Err(i) => i,
+        };
         let h = SocketHandle(self.sockets.len() as u32);
         self.sockets.push(Socket {
             node,
             port,
             inbox: VecDeque::new(),
-            groups: HashSet::new(),
+            groups: Vec::new(),
             open: true,
             ecn: false,
         });
-        self.by_addr.insert((node, port), h);
+        table.insert(slot, (port, h));
         Ok(h)
     }
 
-    /// Close a socket, releasing its `(node, port)` binding.
+    /// Close a socket, releasing its `(node, port)` binding and its
+    /// group memberships.
     pub fn close(&mut self, s: SocketHandle) {
-        if let Some(sock) = self.sockets.get_mut(s.0 as usize) {
-            if sock.open {
-                sock.open = false;
-                self.by_addr.remove(&(sock.node, sock.port));
-                sock.inbox.clear();
-                sock.groups.clear();
+        let Some(sock) = self.sockets.get_mut(s.0 as usize) else {
+            return;
+        };
+        if !sock.open {
+            return;
+        }
+        sock.open = false;
+        sock.inbox.clear();
+        let node = sock.node;
+        let port = sock.port;
+        let groups = std::mem::take(&mut sock.groups);
+        if let Some(table) = self.port_map.get_mut(node.0 as usize) {
+            if let Ok(i) = table.binary_search_by_key(&port, |&(p, _)| p) {
+                if table[i].1 == s {
+                    table.remove(i);
+                }
+            }
+        }
+        for g in groups {
+            if let Some(members) = self.groups.get_mut(g.0 as usize) {
+                if let Ok(i) = members.binary_search_by_key(&s.0, |m| m.0) {
+                    members.remove(i);
+                }
             }
         }
     }
 
     /// Allocate a fresh multicast group id.
     pub fn new_group(&mut self) -> GroupId {
-        let g = GroupId(self.next_group);
-        self.next_group += 1;
+        let g = GroupId(self.groups.len() as u32);
+        self.groups.push(Vec::new());
         g
     }
 
@@ -349,7 +427,17 @@ impl Network {
             .sockets
             .get_mut(s.0 as usize)
             .ok_or(NetError::BadSocket)?;
-        sock.groups.insert(g);
+        if !sock.groups.contains(&g) {
+            sock.groups.push(g);
+        }
+        let idx = g.0 as usize;
+        if idx >= self.groups.len() {
+            self.groups.resize_with(idx + 1, Vec::new);
+        }
+        let members = &mut self.groups[idx];
+        if let Err(i) = members.binary_search_by_key(&s.0, |m| m.0) {
+            members.insert(i, s);
+        }
         Ok(())
     }
 
@@ -359,8 +447,34 @@ impl Network {
             .sockets
             .get_mut(s.0 as usize)
             .ok_or(NetError::BadSocket)?;
-        sock.groups.remove(&g);
+        sock.groups.retain(|&x| x != g);
+        if let Some(members) = self.groups.get_mut(g.0 as usize) {
+            if let Ok(i) = members.binary_search_by_key(&s.0, |m| m.0) {
+                members.remove(i);
+            }
+        }
         Ok(())
+    }
+
+    /// Current members of `group` bound on `dst_port`, excluding
+    /// `sender`, in ascending socket order — the multicast fan-out set.
+    fn group_targets(
+        &self,
+        group: GroupId,
+        dst_port: Port,
+        sender: SocketHandle,
+    ) -> Vec<(SocketHandle, NodeId)> {
+        let Some(members) = self.groups.get(group.0 as usize) else {
+            return Vec::new();
+        };
+        members
+            .iter()
+            .filter(|&&m| {
+                let sock = &self.sockets[m.0 as usize];
+                sock.open && sock.port == dst_port && m != sender
+            })
+            .map(|&m| (m, self.sockets[m.0 as usize].node))
+            .collect()
     }
 
     /// Node a socket is bound on.
@@ -382,7 +496,13 @@ impl Network {
     /// current member of the group bound on the destination port,
     /// except the sending socket itself (loopback disabled, as the
     /// paper's clients do not consume their own events).
-    pub fn send(&mut self, s: SocketHandle, dst: Addr, payload: Vec<u8>) -> Result<(), NetError> {
+    pub fn send(
+        &mut self,
+        s: SocketHandle,
+        dst: Addr,
+        payload: impl Into<Payload>,
+    ) -> Result<(), NetError> {
+        let payload = payload.into();
         if payload.len() > MAX_DATAGRAM {
             return Err(NetError::PayloadTooLarge(payload.len()));
         }
@@ -404,23 +524,11 @@ impl Network {
             Addr::Unicast(dst_node, dst_port) => {
                 // A datagram to an unbound port is silently discarded,
                 // like real UDP (no ICMP in this simulator).
-                let target = self.by_addr.get(&(dst_node, dst_port)).copied();
+                let target = self.socket_at(dst_node, dst_port);
                 self.transmit(&packet, dst_node, dst, target, ecn)?;
             }
             Addr::Multicast(group, dst_port) => {
-                let members: Vec<(SocketHandle, NodeId)> = self
-                    .sockets
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, sock)| {
-                        sock.open
-                            && sock.port == dst_port
-                            && sock.groups.contains(&group)
-                            && SocketHandle(*i as u32) != s
-                    })
-                    .map(|(i, sock)| (SocketHandle(i as u32), sock.node))
-                    .collect();
-                for (member, node) in members {
+                for (member, node) in self.group_targets(group, dst_port, s) {
                     self.transmit(&packet, node, dst, Some(member), ecn)?;
                 }
             }
@@ -436,12 +544,13 @@ impl Network {
     /// every payload is scheduled along it in order. Per-receiver
     /// delivery order is unchanged. Returns the number of packet copies
     /// scheduled (payloads × receivers for multicast).
-    pub fn send_batch(
+    pub fn send_batch<P: Into<Payload>>(
         &mut self,
         s: SocketHandle,
         dst: Addr,
-        payloads: Vec<Vec<u8>>,
+        payloads: Vec<P>,
     ) -> Result<usize, NetError> {
+        let payloads: Vec<Payload> = payloads.into_iter().map(Into::into).collect();
         for p in &payloads {
             if p.len() > MAX_DATAGRAM {
                 return Err(NetError::PayloadTooLarge(p.len()));
@@ -467,10 +576,10 @@ impl Network {
         let mut copies = 0;
         match dst {
             Addr::Unicast(dst_node, dst_port) => {
-                let target = self.by_addr.get(&(dst_node, dst_port)).copied();
+                let target = self.socket_at(dst_node, dst_port);
                 let path = self
                     .topo
-                    .route(src_node, dst_node)
+                    .route_cached(src_node, dst_node)
                     .ok_or(NetError::Unreachable(src_node, dst_node))?;
                 for packet in &packets {
                     self.transmit_on_path(packet, &path, dst, target, ecn);
@@ -478,22 +587,10 @@ impl Network {
                 }
             }
             Addr::Multicast(group, dst_port) => {
-                let members: Vec<(SocketHandle, NodeId)> = self
-                    .sockets
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, sock)| {
-                        sock.open
-                            && sock.port == dst_port
-                            && sock.groups.contains(&group)
-                            && SocketHandle(*i as u32) != s
-                    })
-                    .map(|(i, sock)| (SocketHandle(i as u32), sock.node))
-                    .collect();
-                for (member, node) in members {
+                for (member, node) in self.group_targets(group, dst_port, s) {
                     let path = self
                         .topo
-                        .route(src_node, node)
+                        .route_cached(src_node, node)
                         .ok_or(NetError::Unreachable(src_node, node))?;
                     for packet in &packets {
                         self.transmit_on_path(packet, &path, dst, Some(member), ecn);
@@ -516,7 +613,7 @@ impl Network {
     ) -> Result<(), NetError> {
         let path = self
             .topo
-            .route(packet.src_node, dst_node)
+            .route_cached(packet.src_node, dst_node)
             .ok_or(NetError::Unreachable(packet.src_node, dst_node))?;
         self.transmit_on_path(packet, &path, dst, target, ecn_capable);
         Ok(())
@@ -540,7 +637,7 @@ impl Network {
         target: Option<SocketHandle>,
         ecn_capable: bool,
     ) {
-        if !self.qdiscs.is_empty() && path.iter().any(|l| self.qdiscs.contains_key(&l.0)) {
+        if self.qdisc_count > 0 && path.iter().any(|l| self.qdisc_ref(l.0).is_some()) {
             let flight = InFlight {
                 packet: packet.clone(),
                 path: path.to_vec(),
@@ -559,6 +656,7 @@ impl Network {
         for link_id in path {
             if !self.traverse_link(*link_id, packet.wire_size(), &mut t, &mut duplicate) {
                 self.stats.dropped += 1;
+                self.shared.add_dropped(1);
                 return;
             }
         }
@@ -684,7 +782,7 @@ impl Network {
         let mut t = now;
         while flight.hop < flight.path.len() {
             let link_id = flight.path[flight.hop];
-            if self.qdiscs.contains_key(&link_id.0) {
+            if self.qdisc_ref(link_id.0).is_some() {
                 if t > now {
                     // The copy only reaches the qdisc at `t`; classify
                     // and enqueue it then, in arrival order.
@@ -701,6 +799,7 @@ impl Network {
                 &mut flight.duplicate,
             ) {
                 self.stats.dropped += 1;
+                self.shared.add_dropped(1);
                 return;
             }
             flight.hop += 1;
@@ -724,7 +823,7 @@ impl Network {
         };
         let wire = flight.packet.wire_size() as u32;
         let ecn = flight.ecn_capable;
-        let Some(lq) = self.qdiscs.get_mut(&link_id.0) else {
+        let Some(lq) = self.qdisc_mut(link_id.0) else {
             return;
         };
         let class = lq.q.classify(port.0);
@@ -736,6 +835,7 @@ impl Network {
             EnqueueOutcome::TailDropped(_) => {
                 self.stats.dropped += 1;
                 self.stats.qdisc_dropped += 1;
+                self.shared.add_dropped(1);
             }
         }
     }
@@ -747,7 +847,7 @@ impl Network {
     fn kick_qdisc(&mut self, link_id: LinkId) {
         let now = self.clock.now();
         let busy = self.topo.links[link_id.0 as usize].busy_until.max(now);
-        let Some(lq) = self.qdiscs.get_mut(&link_id.0) else {
+        let Some(lq) = self.qdisc_mut(link_id.0) else {
             return;
         };
         let Some(ready) = lq.q.next_ready(busy.as_micros()) else {
@@ -774,7 +874,7 @@ impl Network {
     fn service_qdisc(&mut self, link: u32, gen: u64) {
         let now = self.clock.now();
         let link_id = LinkId(link);
-        let Some(lq) = self.qdiscs.get_mut(&link) else {
+        let Some(lq) = self.qdisc_mut(link) else {
             return;
         };
         if lq.gen != gen {
@@ -786,6 +886,7 @@ impl Network {
         lq.q.publish_backlog();
         self.stats.dropped += aqm_drops;
         self.stats.qdisc_dropped += aqm_drops;
+        self.shared.add_dropped(aqm_drops);
         if let Some(rel) = out.released {
             let mut flight = rel.payload;
             if rel.ecn_marked {
@@ -813,6 +914,7 @@ impl Network {
                 }
             } else {
                 self.stats.dropped += 1;
+                self.shared.add_dropped(1);
             }
         }
         self.kick_qdisc(link_id);
@@ -861,9 +963,10 @@ impl Network {
                 NetEvent::Deliver { socket, dgram } => {
                     let sock = &mut self.sockets[socket.0 as usize];
                     if sock.open {
+                        let wire = (dgram.payload.len() + crate::packet::HEADER_OVERHEAD) as u64;
                         self.stats.delivered += 1;
-                        self.stats.bytes_delivered +=
-                            (dgram.payload.len() + crate::packet::HEADER_OVERHEAD) as u64;
+                        self.stats.bytes_delivered += wire;
+                        self.shared.add_delivered(1, wire);
                         sock.inbox.push_back(dgram);
                     }
                 }
@@ -1501,7 +1604,7 @@ mod tests {
     /// Same seed + same qdisc config ⇒ identical arrival trace.
     #[test]
     fn qdisc_runs_are_deterministic() {
-        let run = || -> Vec<(u64, Vec<u8>, bool)> {
+        let run = || -> Vec<(u64, Payload, bool)> {
             let mut net = Network::new(11);
             let a = net.add_node("a");
             let b = net.add_node("b");

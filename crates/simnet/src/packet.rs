@@ -1,5 +1,6 @@
 //! Datagram and addressing primitives.
 
+use crate::payload::Payload;
 use crate::topology::NodeId;
 use std::fmt;
 
@@ -35,15 +36,17 @@ pub const MAX_DATAGRAM: usize = 65_507;
 /// computation (IP 20 + UDP 8 bytes).
 pub const HEADER_OVERHEAD: usize = 28;
 
-/// An in-flight or delivered datagram.
+/// An in-flight or delivered datagram. The payload is reference
+/// counted, so cloning a packet (one clone per multicast receiver)
+/// shares the encoded buffer instead of copying it.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WirePacket {
     /// Originating node.
     pub src_node: NodeId,
     /// Originating port.
     pub src_port: Port,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (shared, immutable).
+    pub payload: Payload,
 }
 
 impl WirePacket {
@@ -62,7 +65,7 @@ mod tests {
         let p = WirePacket {
             src_node: NodeId(0),
             src_port: Port(9),
-            payload: vec![0u8; 100],
+            payload: vec![0u8; 100].into(),
         };
         assert_eq!(p.wire_size(), 128);
     }

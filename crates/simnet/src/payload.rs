@@ -1,0 +1,201 @@
+//! Reference-counted, immutable datagram payloads.
+//!
+//! Multicast fan-out used to clone the payload `Vec<u8>` once per
+//! receiver copy — O(members × bytes) allocation per published event.
+//! [`Payload`] wraps the bytes in an `Arc<[u8]>` so a message is
+//! encoded into one buffer exactly once and every scheduled copy,
+//! in-flight hop, and delivered [`crate::Datagram`] shares it; cloning
+//! is a reference-count bump. Payloads are immutable after creation,
+//! which is what makes the sharing sound.
+//!
+//! The type dereferences to `[u8]` and compares against vectors,
+//! slices, and byte arrays, so application code reads payload bytes
+//! exactly as it did when they were plain `Vec<u8>`s.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable shared bytes carried by a datagram.
+#[derive(Clone)]
+pub struct Payload {
+    bytes: Arc<[u8]>,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Payload {
+        Payload {
+            bytes: Arc::from(&[][..]),
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the payload has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Copy the bytes out into an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.bytes.to_vec()
+    }
+
+    /// Number of live references sharing this buffer (diagnostic; used
+    /// by tests to assert fan-out really shares rather than copies).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.bytes)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload {
+            bytes: Arc::from(v),
+        }
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Payload {
+        Payload {
+            bytes: Arc::from(v),
+        }
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Payload {
+        Payload {
+            bytes: Arc::from(&v[..]),
+        }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Payload {
+        Payload {
+            bytes: Arc::from(&v[..]),
+        }
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes: {:?})", self.len(), &self.bytes)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.bytes == other.bytes
+    }
+}
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.bytes[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.bytes[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.bytes[..] == other.as_slice()
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == &other.bytes[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.bytes[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.bytes[..] == other[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bytes() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.as_slice(), &[1, 2, 3]);
+        assert_eq!(p.to_vec(), vec![1, 2, 3]);
+        assert_eq!(p[1], 2, "indexes through Deref");
+    }
+
+    #[test]
+    fn comparisons_cover_common_shapes() {
+        let p = Payload::from(vec![9u8, 8]);
+        assert_eq!(p, vec![9u8, 8]);
+        assert_eq!(vec![9u8, 8], p);
+        assert_eq!(p, [9u8, 8]);
+        assert_eq!(p, b"\x09\x08");
+        assert_eq!(p, &[9u8, 8][..]);
+        assert_eq!(p, Payload::from(&[9u8, 8][..]));
+        assert_ne!(p, vec![9u8]);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let p = Payload::from(vec![0u8; 1024]);
+        assert_eq!(p.ref_count(), 1);
+        let copies: Vec<Payload> = (0..10).map(|_| p.clone()).collect();
+        assert_eq!(p.ref_count(), 11, "clones bump the count, not the heap");
+        assert!(copies.iter().all(|c| c.as_slice().as_ptr() == p.as_ptr()));
+    }
+
+    #[test]
+    fn empty_and_default() {
+        assert!(Payload::empty().is_empty());
+        assert_eq!(Payload::default().len(), 0);
+        assert_eq!(Payload::empty(), Vec::<u8>::new());
+    }
+}

@@ -140,6 +140,13 @@ pub(crate) struct Node {
 pub struct Topology {
     pub(crate) nodes: Vec<Node>,
     pub(crate) links: Vec<Link>,
+    /// Bumped by every mutation that can change which routes exist
+    /// (new links, link up/down, partitions). [`Topology::route_cached`]
+    /// drops its memo whenever the epoch moved, so cached paths can
+    /// never outlive the graph they were computed on.
+    epoch: u64,
+    route_cache: std::collections::HashMap<(u32, u32), Option<Vec<LinkId>>>,
+    cache_epoch: u64,
 }
 
 impl Topology {
@@ -177,6 +184,7 @@ impl Topology {
         });
         self.nodes[a.0 as usize].links.push(id);
         self.nodes[b.0 as usize].links.push(id);
+        self.epoch += 1;
         id
     }
 
@@ -219,6 +227,7 @@ impl Topology {
     /// Administratively raise or lower link `l`.
     pub fn set_link_up(&mut self, l: LinkId, up: bool) {
         self.links[l.0 as usize].up = up;
+        self.epoch += 1;
     }
 
     /// Whether link `l` is up.
@@ -234,6 +243,7 @@ impl Topology {
                 link.up = false;
             }
         }
+        self.epoch += 1;
     }
 
     /// Bring every link back up (undo flaps and partitions).
@@ -241,6 +251,7 @@ impl Topology {
         for link in &mut self.links {
             link.up = true;
         }
+        self.epoch += 1;
     }
 
     /// Total time link `l` has spent serializing packets.
@@ -271,6 +282,67 @@ impl Topology {
     /// Hop-count shortest path from `src` to `dst` as a sequence of
     /// link ids, or `None` if unreachable. Deterministic: BFS visits
     /// links in id order. Links that are down are invisible to routing.
+    /// [`Topology::route`] through a memo keyed by `(src, dst)`.
+    ///
+    /// The memo is dropped wholesale whenever the topology epoch moved
+    /// (link added, raised, lowered, partitioned, healed), so a cached
+    /// path is always the path `route` would compute right now. A miss
+    /// runs one *full* BFS from `src` and memoises the path to every
+    /// reachable node, so mass fan-out — thousands of members behind
+    /// the same hub — costs one O(V + E) sweep per source *ever* (until
+    /// the graph changes) instead of one BFS per member per batch.
+    /// That is what makes 100k-client multicast sweeps tractable.
+    pub fn route_cached(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        if self.cache_epoch != self.epoch {
+            self.route_cache.clear();
+            self.cache_epoch = self.epoch;
+        }
+        if let Some(path) = self.route_cache.get(&(src.0, dst.0)) {
+            return path.clone();
+        }
+        let n = self.nodes.len();
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[src.0 as usize] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &l in &self.nodes[u.0 as usize].links {
+                if !self.links[l.0 as usize].up {
+                    continue;
+                }
+                let v = self.peer(l, u);
+                if !visited[v.0 as usize] {
+                    visited[v.0 as usize] = true;
+                    prev[v.0 as usize] = Some((u, l));
+                    queue.push_back(v);
+                }
+            }
+        }
+        self.route_cache.insert((src.0, src.0), Some(Vec::new()));
+        for v in 0..n as u32 {
+            if v == src.0 || !visited[v as usize] {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = NodeId(v);
+            while cur != src {
+                let (p, pl) = prev[cur.0 as usize].unwrap();
+                path.push(pl);
+                cur = p;
+            }
+            path.reverse();
+            self.route_cache.insert((src.0, v), Some(path));
+        }
+        if !visited[dst.0 as usize] {
+            self.route_cache.insert((src.0, dst.0), None);
+        }
+        self.route_cache
+            .get(&(src.0, dst.0))
+            .cloned()
+            .unwrap_or(None)
+    }
+
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
         if src == dst {
             return Some(Vec::new());
@@ -423,5 +495,30 @@ mod tests {
         let l = t.connect(a, b, LinkSpec::lan());
         assert_eq!(t.peer(l, a), b);
         assert_eq!(t.peer(l, b), a);
+    }
+
+    #[test]
+    fn route_cache_tracks_link_state() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        let ab = t.connect(a, b, LinkSpec::lan());
+        let bc = t.connect(b, c, LinkSpec::lan());
+        assert_eq!(t.route_cached(a, c), Some(vec![ab, bc]));
+        assert_eq!(t.route_cached(a, c), Some(vec![ab, bc]), "memoised hit");
+        t.set_link_up(bc, false);
+        assert_eq!(t.route_cached(a, c), None, "cache dropped on link down");
+        let ac = t.connect(a, c, LinkSpec::lan());
+        assert_eq!(t.route_cached(a, c), Some(vec![ac]), "new link visible");
+        t.partition(&[c]);
+        assert_eq!(t.route_cached(a, c), None, "partition invalidates");
+        t.heal();
+        assert_eq!(t.route_cached(a, c), Some(vec![ac]), "heal invalidates");
+        assert_eq!(
+            t.route_cached(a, c),
+            t.route(a, c),
+            "cached path always matches a fresh BFS"
+        );
     }
 }

@@ -1,5 +1,14 @@
 //! Cumulative network statistics, used by tests and benches to assert
 //! on traffic behaviour without instrumenting application code.
+//!
+//! Two views exist: the plain [`NetStats`] snapshot (cheap to clone and
+//! compare — the bit-identity suites diff whole structs), and the
+//! lock-free [`NetStatsHandle`], a shared atomic view of the
+//! delivery/drop counters that stays readable from other threads (e.g.
+//! shard workers or a monitoring thread) while the simulation runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counters accumulated by a [`crate::Network`] over its lifetime.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -40,9 +49,70 @@ impl NetStats {
     }
 }
 
+/// The atomic cells behind a [`NetStatsHandle`].
+#[derive(Debug, Default)]
+struct NetStatsCells {
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    bytes_delivered: AtomicU64,
+}
+
+/// A lock-free, shareable view of a network's delivery and drop
+/// counters. Clones share the same cells; reads are `Relaxed` loads,
+/// so any thread can poll live throughput while the (single-threaded)
+/// simulation keeps running — no lock, no snapshot copy.
+#[derive(Clone, Debug, Default)]
+pub struct NetStatsHandle {
+    cells: Arc<NetStatsCells>,
+}
+
+impl NetStatsHandle {
+    /// A fresh handle with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies delivered into a socket inbox so far.
+    pub fn delivered(&self) -> u64 {
+        self.cells.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Copies dropped (loss model, FIFO caps, qdisc) so far.
+    pub fn dropped(&self) -> u64 {
+        self.cells.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes delivered so far.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.cells.bytes_delivered.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn add_delivered(&self, n: u64, bytes: u64) {
+        self.cells.delivered.fetch_add(n, Ordering::Relaxed);
+        self.cells
+            .bytes_delivered
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_dropped(&self, n: u64) {
+        self.cells.dropped.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn handle_clones_share_cells() {
+        let h = NetStatsHandle::new();
+        let h2 = h.clone();
+        h.add_delivered(3, 300);
+        h.add_dropped(1);
+        assert_eq!(h2.delivered(), 3);
+        assert_eq!(h2.bytes_delivered(), 300);
+        assert_eq!(h2.dropped(), 1);
+    }
 
     #[test]
     fn loss_rate_handles_zero() {

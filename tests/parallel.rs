@@ -122,3 +122,59 @@ fn scaling_workload_identical_across_worker_counts() {
         );
     }
 }
+
+// ------------------------------------------------ shard counters
+
+/// The lock-free per-shard counters must account for every applied
+/// payload identically at any worker count: 4 workers split the same
+/// totals across more shards, never changing the sums.
+#[test]
+fn shard_counter_totals_identical_across_worker_counts() {
+    use collabqos::prelude::*;
+
+    fn run(workers: usize) -> (u64, u64, usize) {
+        let cfg = SessionConfig {
+            seed: 61,
+            workers,
+            ..SessionConfig::default()
+        };
+        let mut session = CollaborationSession::new(cfg);
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            let mut p = Profile::new(&format!("client{i}"));
+            p.set(
+                "interested_in",
+                AttrValue::List(vec![AttrValue::str("image")]),
+            );
+            ids.push(
+                session
+                    .add_wired_client(
+                        p,
+                        InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+                        SimHost::idle(&format!("client{i}")),
+                    )
+                    .unwrap(),
+            );
+        }
+        for round in 0..2u64 {
+            let scene = synthetic_scene(32, 32, 1, 3, 61 + round);
+            session
+                .share_image(ids[0], &scene, "interested_in contains 'image'")
+                .unwrap();
+            session.pump(Ticks::from_secs(2));
+        }
+        let counters = session.shard_counters();
+        (
+            counters.iter().map(|c| c.delivered()).sum(),
+            counters.iter().map(|c| c.dropped()).sum(),
+            counters.len(),
+        )
+    }
+
+    let (d1, x1, s1) = run(1);
+    let (d4, x4, s4) = run(4);
+    assert!(d1 > 0, "the serial run applied payloads");
+    assert_eq!((d1, x1), (d4, x4), "shard totals diverged across workers");
+    assert_eq!(s1, 1, "serial run uses a single shard");
+    assert_eq!(s4, 4, "4 workers over 8 clients fill 4 shards");
+}
