@@ -611,9 +611,262 @@ pub fn run_headline_sketch(seed: u64) -> (usize, usize, f64) {
     (scene.image.byte_len(), sketch.byte_len(), sketch.ratio())
 }
 
+// ----------------------------------------------- engine comparison
+
+/// One phase of an engine-comparison scenario: the channel's true
+/// behaviour plus what the receiver reports observe (the two differ
+/// in the measurement-noise scenario).
+#[derive(Debug, Clone, Copy)]
+pub struct ComparePhase {
+    /// Per-packet delivery loss probability, percent.
+    pub true_loss_pct: f64,
+    /// Packets the link can deliver this phase; overshoot is dropped
+    /// (queue overflow) and counts as loss.
+    pub capacity: u32,
+    /// `loss_pct` the engine sees (receiver-report estimate).
+    pub observed_loss_pct: f64,
+    /// `congestion_pct` the engine sees (ECN echo fraction).
+    pub observed_congestion_pct: f64,
+}
+
+/// A named phase sequence for the engine head-to-head.
+pub struct CompareScenario {
+    /// Scenario name (appears in the EXPERIMENTS.md table and BENCH
+    /// lines).
+    pub name: &'static str,
+    /// The phase sequence.
+    pub phases: Vec<ComparePhase>,
+}
+
+/// The three head-to-head scenarios, mirroring the chaos suite's
+/// fault archetypes:
+///
+/// * `burst_loss` — a Gilbert–Elliott-style burst: sustained ~20%
+///   exogenous loss with ample capacity; reported loss tracks truth.
+/// * `ecn_flood` — an AQM bottleneck: capacity collapses to six
+///   packets/phase and the ECN echo fraction reports it while raw
+///   loss stays near zero until the budget overshoots.
+/// * `noisy_spike` — a clean link with glitchy receiver reports that
+///   oscillate around the threshold engine's 30% text band while the
+///   ECN echo stays clean; true loss is ~1%.
+pub fn comparison_scenarios() -> Vec<CompareScenario> {
+    let phase = |true_loss: f64, capacity: u32, obs_loss: f64, obs_cong: f64| ComparePhase {
+        true_loss_pct: true_loss,
+        capacity,
+        observed_loss_pct: obs_loss,
+        observed_congestion_pct: obs_cong,
+    };
+    let clean = phase(1.0, 32, 1.0, 0.0);
+    let mut burst = vec![clean; 12];
+    for p in burst.iter_mut().take(9).skip(3) {
+        *p = phase(20.0, 32, 20.0, 0.0);
+    }
+    let mut flood = vec![clean; 12];
+    for p in flood.iter_mut().take(9).skip(3) {
+        *p = phase(0.0, 6, 0.5, 35.0);
+    }
+    let mut spike = vec![clean; 12];
+    for (p, obs) in spike
+        .iter_mut()
+        .take(9)
+        .skip(3)
+        .zip([33.0, 29.0, 35.0, 31.0, 33.0, 29.0])
+    {
+        *p = phase(1.0, 32, obs, 0.0);
+    }
+    vec![
+        CompareScenario {
+            name: "burst_loss",
+            phases: burst,
+        },
+        CompareScenario {
+            name: "ecn_flood",
+            phases: flood,
+        },
+        CompareScenario {
+            name: "noisy_spike",
+            phases: spike,
+        },
+    ]
+}
+
+/// Delivered-utility score of one engine over one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineScore {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Engine name ([`crate::policy::AdaptationPolicy::name`]).
+    pub engine: &'static str,
+    /// Image packets offered to the link across all phases.
+    pub sent: u64,
+    /// Packets that survived loss and the capacity cap.
+    pub delivered: u64,
+    /// Packets lost (exogenous loss + capacity overshoot).
+    pub lost: u64,
+    /// Phases decided below [`crate::ModalityChoice::FullImage`].
+    pub downgrades: u32,
+    /// Total delivered utility (see [`score_engine`]).
+    pub utility: f64,
+}
+
+/// How many delivered packets each modality can actually use: the
+/// full progressive stream wants all 16, a sketch is ~4 packets'
+/// worth, the text description one.
+fn modality_need(m: crate::ModalityChoice) -> u32 {
+    match m {
+        crate::ModalityChoice::FullImage => 16,
+        crate::ModalityChoice::Sketch => 4,
+        crate::ModalityChoice::Text => 1,
+        crate::ModalityChoice::None => 0,
+    }
+}
+
+/// Per-useful-packet quality weight of each modality.
+fn modality_weight(m: crate::ModalityChoice) -> f64 {
+    match m {
+        crate::ModalityChoice::FullImage => 1.0,
+        crate::ModalityChoice::Sketch => 0.9,
+        crate::ModalityChoice::Text => 0.8,
+        crate::ModalityChoice::None => 0.0,
+    }
+}
+
+/// Run one engine through one scenario and score delivered utility.
+///
+/// Per phase the engine sees the observed state, its decision's
+/// `max_packets` go onto the link, and the phase scores
+///
+/// ```text
+/// weight(modality) · min(delivered, need(modality))
+///     − 0.1 · sent − 1.0 · lost
+/// ```
+///
+/// — accepted packets weighted by modality (delivered packets beyond
+/// what the modality can render are worthless), a per-packet send
+/// cost (shared-channel bandwidth), and a penalty per lost packet
+/// (retransmission pressure and decode stalls). Per-packet loss draws
+/// come from a [`rand::rngs::StdRng`] seeded per engine/scenario, so
+/// scores are deterministic and independent of evaluation order.
+pub fn score_engine(
+    engine: &dyn crate::AdaptationPolicy,
+    scenario: &CompareScenario,
+    seed: u64,
+) -> EngineScore {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let mut stream_seed = seed;
+    for b in engine.name().bytes().chain(scenario.name.bytes()) {
+        stream_seed = stream_seed
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(b as u64);
+    }
+    let mut rng = StdRng::seed_from_u64(stream_seed);
+
+    let mut score = EngineScore {
+        scenario: scenario.name,
+        engine: engine.name(),
+        sent: 0,
+        delivered: 0,
+        lost: 0,
+        downgrades: 0,
+        utility: 0.0,
+    };
+    for phase in &scenario.phases {
+        let mut state = std::collections::BTreeMap::new();
+        state.insert("loss_pct".to_string(), phase.observed_loss_pct);
+        state.insert("congestion_pct".to_string(), phase.observed_congestion_pct);
+        let decision = engine.decide(&state);
+        if decision.modality < crate::ModalityChoice::FullImage {
+            score.downgrades += 1;
+        }
+        let sent = decision.max_packets;
+        let mut delivered = 0u32;
+        for _ in 0..sent {
+            let survives = rng.random::<f64>() * 100.0 >= phase.true_loss_pct;
+            if survives && delivered < phase.capacity {
+                delivered += 1;
+            }
+        }
+        let lost = sent - delivered;
+        let useful = delivered.min(modality_need(decision.modality));
+        score.sent += sent as u64;
+        score.delivered += delivered as u64;
+        score.lost += lost as u64;
+        score.utility +=
+            modality_weight(decision.modality) * useful as f64 - 0.1 * sent as f64 - lost as f64;
+    }
+    score
+}
+
+/// The full head-to-head: every engine through every scenario.
+/// Scores group by scenario in [`comparison_scenarios`] order, each
+/// scenario's rows in [`crate::EngineChoice::all`] order.
+pub fn run_policy_comparison(seed: u64) -> Vec<EngineScore> {
+    let mut scores = Vec::new();
+    for scenario in comparison_scenarios() {
+        for choice in crate::EngineChoice::all() {
+            let engine = choice.build(default_comparison_policies(), QosContract::default());
+            scores.push(score_engine(engine.as_ref(), &scenario, seed));
+        }
+    }
+    scores
+}
+
+/// The threshold engine's policy set for the comparison: the two
+/// measurement-driven bands the scenarios exercise.
+pub fn default_comparison_policies() -> PolicyDb {
+    let mut db = PolicyDb::loss_policy();
+    db.merge(PolicyDb::congestion_policy());
+    db
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn policy_comparison_is_deterministic() {
+        let a = run_policy_comparison(7);
+        let b = run_policy_comparison(7);
+        assert_eq!(a, b, "same seed, same table");
+        assert_eq!(a.len(), 9, "3 scenarios x 3 engines");
+    }
+
+    #[test]
+    fn each_new_engine_beats_threshold_somewhere() {
+        let scores = run_policy_comparison(7);
+        let util = |scenario: &str, engine: &str| {
+            scores
+                .iter()
+                .find(|s| s.scenario == scenario && s.engine == engine)
+                .unwrap_or_else(|| panic!("missing {scenario}/{engine}"))
+                .utility
+        };
+        let table: Vec<String> = scores
+            .iter()
+            .map(|s| format!("{}/{}: {:.1}", s.scenario, s.engine, s.utility))
+            .collect();
+        // The fuzzy controller's coupled budget+modality cuts win
+        // under sustained degradation; the Bayesian posterior shrugs
+        // off the glitchy loss reports. Pinned here so the
+        // EXPERIMENTS.md table cannot silently rot.
+        assert!(
+            util("burst_loss", "fuzzy") > util("burst_loss", "threshold"),
+            "fuzzy should win burst_loss: {table:?}"
+        );
+        assert!(
+            util("ecn_flood", "fuzzy") > util("ecn_flood", "threshold"),
+            "fuzzy should win ecn_flood: {table:?}"
+        );
+        assert!(
+            util("noisy_spike", "bayes") > util("noisy_spike", "threshold"),
+            "bayes should win noisy_spike: {table:?}"
+        );
+        assert!(
+            util("ecn_flood", "bayes") > util("ecn_flood", "threshold"),
+            "bayes should win ecn_flood: {table:?}"
+        );
+    }
 
     #[test]
     fn fig6_shape_matches_paper() {

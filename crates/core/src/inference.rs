@@ -13,7 +13,7 @@
 //! modality ceiling applies, and what resolution scale to use.
 
 use crate::contract::{QosContract, Violation};
-use crate::policy::{state_to_attrs, AdaptationAction, PolicyDb};
+use crate::policy::{state_to_attrs, AdaptationAction, AdaptationPolicy, PolicyDb};
 use std::collections::BTreeMap;
 
 /// Modality ladder, lowest fidelity first. Mirrors
@@ -117,6 +117,20 @@ impl InferenceEngine {
     }
 }
 
+/// The threshold engine is the canonical [`AdaptationPolicy`]: the
+/// trait method delegates to the inherent [`InferenceEngine::decide`]
+/// unchanged, so trait-boxed decisions are bit-identical to direct
+/// calls (pinned by `tests/policy_engines.rs`).
+impl AdaptationPolicy for InferenceEngine {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn decide(&self, state: &BTreeMap<String, f64>) -> AdaptationDecision {
+        InferenceEngine::decide(self, state)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +221,69 @@ mod tests {
             .unwrap();
         let e = InferenceEngine::new(db, QosContract::default());
         assert_eq!(e.decide(&state(&[])).resolution, 0.5);
+    }
+
+    /// The conservative-merge rule ("minimum packets, lowest
+    /// modality") leans on `ModalityChoice`'s derived `Ord`, which in
+    /// turn leans on variant declaration order. Pin the full ladder so
+    /// a reorder can't silently flip merges.
+    #[test]
+    fn modality_ladder_is_none_text_sketch_fullimage() {
+        use ModalityChoice::*;
+        assert!(None < Text);
+        assert!(Text < Sketch);
+        assert!(Sketch < FullImage);
+        let mut ladder = [FullImage, None, Sketch, Text];
+        ladder.sort();
+        assert_eq!(ladder, [None, Text, Sketch, FullImage]);
+        assert_eq!(FullImage.min(Sketch), Sketch);
+        assert_eq!(Text.min(None), None);
+    }
+
+    /// Conflicting modality caps must merge to the lowest rung, never
+    /// the highest or the latest-firing rule.
+    #[test]
+    fn conflicting_modality_caps_take_lowest() {
+        let mut db = PolicyDb::new();
+        db.add_rule(
+            "cap-sketch",
+            0,
+            "true",
+            AdaptationAction::CapModality(ModalityChoice::Sketch),
+        )
+        .unwrap();
+        db.add_rule(
+            "cap-text",
+            1,
+            "true",
+            AdaptationAction::CapModality(ModalityChoice::Text),
+        )
+        .unwrap();
+        db.add_rule(
+            "cap-full",
+            2,
+            "true",
+            AdaptationAction::CapModality(ModalityChoice::FullImage),
+        )
+        .unwrap();
+        let e = InferenceEngine::new(db, QosContract::default());
+        let d = e.decide(&state(&[]));
+        assert_eq!(d.modality, ModalityChoice::Text, "lowest cap wins");
+        assert_eq!(d.max_packets, 16, "packets untouched by modality caps");
+        assert_eq!(d.fired_rules, vec!["cap-sketch", "cap-text", "cap-full"]);
+    }
+
+    /// Trait-boxed dispatch goes through the same inherent method.
+    #[test]
+    fn trait_object_decides_identically() {
+        use crate::policy::AdaptationPolicy;
+        let e = engine();
+        let boxed: Box<dyn AdaptationPolicy> = Box::new(engine());
+        assert_eq!(boxed.name(), "threshold");
+        for faults in [10.0, 44.0, 58.0, 86.0, 97.0] {
+            let s = state(&[("page_faults", faults)]);
+            assert_eq!(e.decide(&s), boxed.decide(&s), "at {faults}");
+        }
     }
 
     #[test]

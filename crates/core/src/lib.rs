@@ -24,6 +24,9 @@
 //! * [`inference`] — the inference engine: fuses client profile and
 //!   system state into concrete adaptation decisions (packet budget,
 //!   modality, resolution),
+//! * [`engines`] — alternative adaptation engines (fuzzy controller,
+//!   discrete Bayesian network) behind the
+//!   [`AdaptationPolicy`](policy::AdaptationPolicy) trait,
 //! * [`netstate`] — the network state interface: SNMP-backed sampling
 //!   of CPU load, page faults, memory, bandwidth,
 //! * [`transformer`] — the information transformer registry
@@ -46,6 +49,7 @@ pub mod apps;
 pub mod baseline;
 pub mod concurrency;
 pub mod contract;
+pub mod engines;
 pub mod events;
 pub mod experiments;
 pub mod hysteresis;
@@ -60,6 +64,7 @@ pub mod transformer;
 pub mod trapwatch;
 
 pub use contract::{Constraint, QosContract, Violation};
+pub use engines::{BayesEngine, EngineChoice, FuzzyEngine};
 pub use inference::{AdaptationDecision, InferenceEngine, ModalityChoice};
-pub use policy::{AdaptationAction, PolicyDb, PolicyRule};
+pub use policy::{AdaptationAction, AdaptationPolicy, PolicyDb, PolicyRule};
 pub use session::{CollaborationSession, SessionConfig};

@@ -11,6 +11,39 @@
 use sempubsub::{AttrValue, Selector, SemError};
 use std::collections::BTreeMap;
 
+/// A pluggable adaptation strategy.
+///
+/// Maps the observed numeric state — `loss_pct`, `congestion_pct`,
+/// `sir_db`, `cpu_load`, `page_faults`, … — to an
+/// [`AdaptationDecision`](crate::inference::AdaptationDecision).
+/// The §5.2 threshold engine
+/// ([`InferenceEngine`](crate::inference::InferenceEngine)) is the
+/// canonical implementor; the [`engines`](crate::engines) module adds
+/// a fuzzy controller and a discrete Bayesian network behind the same
+/// interface. Implementations must be deterministic pure functions of
+/// `state` so sharded sessions stay bit-identical across worker
+/// counts.
+pub trait AdaptationPolicy: Send + Sync {
+    /// Short stable identifier (`"threshold"`, `"fuzzy"`, `"bayes"`)
+    /// used in logs, BENCH lines, and chaos failure messages.
+    fn name(&self) -> &'static str;
+
+    /// Decide adaptations for the observed numeric state.
+    fn decide(&self, state: &BTreeMap<String, f64>) -> crate::inference::AdaptationDecision;
+}
+
+/// Boxed engines are engines too, so `Box<dyn AdaptationPolicy>` can
+/// flow through APIs that take `impl AdaptationPolicy`.
+impl<P: AdaptationPolicy + ?Sized> AdaptationPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn decide(&self, state: &BTreeMap<String, f64>) -> crate::inference::AdaptationDecision {
+        (**self).decide(state)
+    }
+}
+
 /// An adaptation a rule can demand.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AdaptationAction {

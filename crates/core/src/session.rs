@@ -11,9 +11,12 @@
 
 use crate::apps::{ChatArea, ImageViewer, ViewedImage, Whiteboard};
 use crate::concurrency::{LamportClock, LockManager};
+use crate::contract::QosContract;
+use crate::engines::EngineChoice;
 use crate::events::AppEvent;
-use crate::inference::{AdaptationDecision, InferenceEngine};
+use crate::inference::AdaptationDecision;
 use crate::netstate::NetworkStateInterface;
+use crate::policy::{AdaptationPolicy, PolicyDb};
 use crate::probe::{EchoResponder, LatencyProbe};
 use crate::state_repo::{ObjectState, StateRepository};
 use crate::transformer::{MediaKind, MediaObject, TransformerRegistry};
@@ -72,6 +75,13 @@ pub struct SessionConfig {
     /// links take the configured `link`/`fault`, and each broker
     /// serves `tassl.21.*` MIB rows through its own agent.
     pub domains: Option<usize>,
+    /// Which adaptation engine
+    /// [`CollaborationSession::add_adaptive_client`] builds per
+    /// client: the paper's threshold bands (default), the fuzzy
+    /// controller, or the Bayesian network. Clients added through
+    /// [`CollaborationSession::add_wired_client`] carry whatever
+    /// engine the caller constructed and ignore this setting.
+    pub engine: EngineChoice,
 }
 
 impl Default for SessionConfig {
@@ -87,6 +97,7 @@ impl Default for SessionConfig {
             community: "public".to_string(),
             workers: 1,
             domains: None,
+            engine: EngineChoice::Threshold,
         }
     }
 }
@@ -106,8 +117,9 @@ pub struct ClientRuntime {
     pub host: SimHost,
     /// SNMP-backed system/network state sampler.
     pub netstate: NetworkStateInterface,
-    /// The inference engine.
-    pub engine: InferenceEngine,
+    /// The adaptation engine (threshold, fuzzy, or Bayesian — any
+    /// [`AdaptationPolicy`]).
+    pub engine: Box<dyn AdaptationPolicy>,
     /// Image viewer application entity.
     pub viewer: ImageViewer,
     /// Chat area application entity.
@@ -314,7 +326,7 @@ impl CollaborationSession {
     pub fn add_wired_client(
         &mut self,
         profile: Profile,
-        engine: InferenceEngine,
+        engine: impl AdaptationPolicy + 'static,
         host: SimHost,
     ) -> Result<ClientId, String> {
         let domain = match self.cfg.domains {
@@ -322,6 +334,21 @@ impl CollaborationSession {
             None => 0,
         };
         self.add_wired_client_in_domain(profile, engine, host, domain)
+    }
+
+    /// Add a wired client whose engine is built from
+    /// [`SessionConfig::engine`]: the threshold engine consumes the
+    /// given policy database, while the fuzzy and Bayesian engines
+    /// use their built-in knowledge plus the contract.
+    pub fn add_adaptive_client(
+        &mut self,
+        profile: Profile,
+        policies: PolicyDb,
+        contract: QosContract,
+        host: SimHost,
+    ) -> Result<ClientId, String> {
+        let engine = self.cfg.engine.build(policies, contract);
+        self.add_wired_client(profile, engine, host)
     }
 
     /// Add a wired client to an explicit broker domain. In flat mode
@@ -334,7 +361,7 @@ impl CollaborationSession {
     pub fn add_wired_client_in_domain(
         &mut self,
         profile: Profile,
-        engine: InferenceEngine,
+        engine: impl AdaptationPolicy + 'static,
         host: SimHost,
         domain: usize,
     ) -> Result<ClientId, String> {
@@ -399,7 +426,7 @@ impl CollaborationSession {
             bus,
             host,
             netstate,
-            engine,
+            engine: Box::new(engine),
             viewer: ImageViewer::new(16),
             chat: ChatArea::default(),
             whiteboard: Whiteboard::default(),
@@ -1255,6 +1282,7 @@ impl CollaborationSession {
 mod tests {
     use super::*;
     use crate::contract::QosContract;
+    use crate::inference::InferenceEngine;
     use crate::policy::PolicyDb;
     use media::image::synthetic_scene;
     use sysmon::HostState;

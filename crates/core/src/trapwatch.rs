@@ -9,7 +9,8 @@
 //! inference engine react to the trap payload directly — adaptation
 //! latency becomes one one-way message instead of a poll interval.
 
-use crate::inference::{AdaptationDecision, InferenceEngine};
+use crate::inference::AdaptationDecision;
+use crate::policy::AdaptationPolicy;
 use simnet::Network;
 use snmp::oid::{arcs, Oid};
 use snmp::pdu::{Message, VarBind};
@@ -327,7 +328,10 @@ pub fn install_cache_metrics(agent: &mut snmp::SnmpAgent, stats: &sempubsub::Cac
 /// the known host metrics from its varbinds and run the engine on
 /// them. Returns `None` for traps that are neither alert kind or carry
 /// no known metric.
-pub fn decision_from_trap(engine: &InferenceEngine, trap: &Message) -> Option<AdaptationDecision> {
+pub fn decision_from_trap(
+    engine: &dyn AdaptationPolicy,
+    trap: &Message,
+) -> Option<AdaptationDecision> {
     // varbind[1] is snmpTrapOID.0 per the SNMPv2 trap layout.
     let trap_oid = trap.pdu.varbinds.get(1)?;
     let known = trap_oid.value == SnmpValue::Oid(qos_alert_trap_oid())
@@ -364,6 +368,7 @@ pub fn decision_from_trap(engine: &InferenceEngine, trap: &Message) -> Option<Ad
 mod tests {
     use super::*;
     use crate::contract::QosContract;
+    use crate::inference::InferenceEngine;
     use crate::policy::PolicyDb;
     use simnet::{LinkSpec, Ticks};
     use snmp::transport::TrapSink;

@@ -13,6 +13,10 @@
 //!    CoDel). Side-by-side timelines show the unshaped run losing
 //!    media packets and downgrading *after* the damage, while the
 //!    shaped run is warned by ECN marks and downgrades with zero loss.
+//! 3. **One trace, three engines** — the unshaped run's observed
+//!    (loss, CE) phases replayed through every [`AdaptationPolicy`]
+//!    implementation: the paper's threshold bands, the fuzzy
+//!    controller, and the Bayesian engine, side by side.
 //!
 //! ```sh
 //! cargo run --example degrading_network
@@ -28,7 +32,9 @@ use std::collections::BTreeMap;
 fn main() {
     bandwidth_collapse_demo();
     println!();
-    traffic_control_demo();
+    let (unshaped, _shaped) = traffic_control_demo();
+    println!();
+    engine_comparison_demo(&unshaped);
 }
 
 // ---------------------------------------------- act 1: bandwidth collapse
@@ -223,7 +229,7 @@ fn run_bottleneck(shaped: bool) -> Vec<PhaseRow> {
     rows
 }
 
-fn traffic_control_demo() {
+fn traffic_control_demo() -> (Vec<PhaseRow>, Vec<PhaseRow>) {
     println!("act 2: same offered load, without and with the traffic-control plane");
     println!("(media ~0.85 Mb/s on a 1 Mb/s link; bulk flood during phases 2-5)\n");
     let unshaped = run_bottleneck(false);
@@ -256,4 +262,42 @@ fn traffic_control_demo() {
         "shaped:   {:.1}% lost — ECN marks warned the policy while the queue was still building",
         s_last.loss_pct
     );
+    (unshaped, shaped)
+}
+
+// --------------------------------------- act 3: one trace, three engines
+
+/// Replay the unshaped run's observed per-phase state through each
+/// adaptation engine. Same evidence, three readings: the threshold
+/// bands step, the fuzzy controller glides its packet budget, and the
+/// Bayesian engine tempers a lone noisy metric against the others.
+fn engine_comparison_demo(rows: &[PhaseRow]) {
+    println!("act 3: the unshaped trace decided by all three engines");
+    println!("(modality/packet-budget per phase; engines see identical state)\n");
+    let mut db = PolicyDb::loss_policy();
+    db.merge(PolicyDb::congestion_policy());
+    let engines: Vec<Box<dyn AdaptationPolicy>> = EngineChoice::all()
+        .iter()
+        .map(|c| c.build(db.clone(), QosContract::default()))
+        .collect();
+    println!(
+        "{:<6} {:>6} {:>5} | {:>12} | {:>12} | {:>12}",
+        "phase", "loss%", "ce%", "threshold", "fuzzy", "bayes"
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let mut state = BTreeMap::new();
+        state.insert("loss_pct".to_string(), row.loss_pct);
+        state.insert("congestion_pct".to_string(), row.congestion_pct);
+        let cells: Vec<String> = engines
+            .iter()
+            .map(|e| {
+                let d = e.decide(&state);
+                format!("{:?}/{}", d.modality, d.max_packets)
+            })
+            .collect();
+        println!(
+            "{i:<6} {:>6.1} {:>5.1} | {:>12} | {:>12} | {:>12}",
+            row.loss_pct, row.congestion_pct, cells[0], cells[1], cells[2]
+        );
+    }
 }

@@ -69,9 +69,10 @@ pub mod prelude {
     pub use broker::{Advertisement, BrokerStatsHandle, Overlay};
     pub use cqos_core::apps::{ImageViewer, ViewedImage};
     pub use cqos_core::contract::{Constraint, QosContract};
+    pub use cqos_core::engines::{BayesEngine, EngineChoice, FuzzyEngine};
     pub use cqos_core::experiments;
     pub use cqos_core::inference::{AdaptationDecision, InferenceEngine, ModalityChoice};
-    pub use cqos_core::policy::{AdaptationAction, PolicyDb};
+    pub use cqos_core::policy::{AdaptationAction, AdaptationPolicy, PolicyDb};
     pub use cqos_core::session::{CollaborationSession, SessionConfig};
     pub use cqos_core::transformer::{MediaKind, MediaObject, TransformerRegistry};
     pub use media::image::{synthetic_scene, Scene};

@@ -573,6 +573,358 @@ fn run_session_under_plan(
     rows
 }
 
+// ------------------------------------------------- engine head-to-head
+
+/// Engines under test for the head-to-head scenarios. `CHAOS_ENGINE`
+/// narrows the set to one engine (the soak workflow runs each engine
+/// in its own pass); unset runs all three.
+fn engines_under_test() -> Vec<EngineChoice> {
+    match std::env::var("CHAOS_ENGINE") {
+        Ok(name) => {
+            let choice = EngineChoice::parse(&name)
+                .unwrap_or_else(|| panic!("CHAOS_ENGINE={name} is not an engine"));
+            vec![choice]
+        }
+        Err(_) => EngineChoice::all().to_vec(),
+    }
+}
+
+/// The head-to-head policy mix: loss + ECN congestion bands, the same
+/// databases every engine sees in `experiments::run_policy_comparison`.
+fn head_to_head_engine(choice: EngineChoice) -> Box<dyn AdaptationPolicy> {
+    let mut db = PolicyDb::loss_policy();
+    db.merge(PolicyDb::congestion_policy());
+    choice.build(db, QosContract::default())
+}
+
+/// One observation window of a degrading stream, as an engine input.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    loss_pct: f64,
+    congestion_pct: f64,
+}
+
+impl Window {
+    fn state(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut s = std::collections::BTreeMap::new();
+        s.insert("loss_pct".to_string(), self.loss_pct);
+        s.insert("congestion_pct".to_string(), self.congestion_pct);
+        s
+    }
+}
+
+/// Stream plain datagrams over the single faulty link and measure loss
+/// per window. The plan degrades the link after `lead` clean windows
+/// and heals it `burst` windows later; each window sends
+/// `per_window` packets at 2 ms spacing with a 20 ms settle so no
+/// packet bleeds across a window boundary.
+fn observe_loss_windows(seed: u64, lead: usize, burst: usize, tail: usize) -> Vec<Window> {
+    const PER_WINDOW: u64 = 50;
+    let window_us: u64 = PER_WINDOW * 2_000 + 20_000;
+    let mut net = Network::new(seed);
+    let src = net.add_node("sender");
+    let dst = net.add_node("receiver");
+    net.connect(src, dst, LinkSpec::wireless().with_loss(0.0));
+    net.set_fault_plan(
+        FaultPlan::new()
+            .at(
+                Ticks::from_micros(lead as u64 * window_us),
+                FaultAction::SetFault(LinkId(0), heavy_burst()),
+            )
+            .at(
+                Ticks::from_micros((lead + burst) as u64 * window_us),
+                FaultAction::ClearFault(LinkId(0)),
+            ),
+    );
+    let tx = net.bind(src, MEDIA_PORT).unwrap();
+    let rx = net.bind(dst, MEDIA_PORT).unwrap();
+
+    let mut windows = Vec::new();
+    for _ in 0..(lead + burst + tail) {
+        for pkt in 0..PER_WINDOW {
+            let _ = net.send(
+                tx,
+                Addr::unicast(dst, MEDIA_PORT),
+                pkt.to_be_bytes().to_vec(),
+            );
+            net.run_for(Ticks::from_micros(2_000));
+        }
+        net.run_for(Ticks::from_micros(20_000));
+        let got = drain_socket(&mut net, rx).len() as f64;
+        windows.push(Window {
+            loss_pct: 100.0 * (PER_WINDOW as f64 - got) / PER_WINDOW as f64,
+            congestion_pct: 0.0,
+        });
+    }
+    windows
+}
+
+/// Gilbert–Elliott head-to-head: every engine must push modality below
+/// `FullImage` on any window whose measured loss reaches the heavy
+/// band (≥ 10%), and must restore `FullImage` once the link heals.
+/// The burst model and seed make the windows; the engines only read
+/// them, so one network run serves all three.
+#[test]
+fn ge_burst_head_to_head_downgrades_and_recovers() {
+    let seed = chaos_seed(8008);
+    let (lead, burst, tail) = (3, 12, 3);
+    let windows = observe_loss_windows(seed, lead, burst, tail);
+    let ctx = format!(
+        "GE burst head-to-head, seed {seed}, windows: {:?}",
+        windows.iter().map(|w| w.loss_pct).collect::<Vec<_>>()
+    );
+
+    let heavy: Vec<usize> = (0..windows.len())
+        .filter(|&i| windows[i].loss_pct >= 10.0)
+        .collect();
+    assert!(
+        heavy.len() >= 2,
+        "burst model barely bit: only {} heavy windows\n{ctx}",
+        heavy.len()
+    );
+    for w in &windows[lead + burst..] {
+        assert!(w.loss_pct < 2.0, "healed link still lossy\n{ctx}");
+    }
+
+    for choice in engines_under_test() {
+        let engine = head_to_head_engine(choice);
+        for &i in &heavy {
+            let d = engine.decide(&windows[i].state());
+            assert!(
+                d.modality < ModalityChoice::FullImage,
+                "engine `{}` held FullImage at window {i} ({:.1}% loss): {d:?}\n{ctx}",
+                engine.name(),
+                windows[i].loss_pct
+            );
+        }
+        let healed = engine.decide(&windows[windows.len() - 1].state());
+        assert_eq!(
+            healed.modality,
+            ModalityChoice::FullImage,
+            "engine `{}` failed to recover after heal: {healed:?}\n{ctx}",
+            engine.name()
+        );
+    }
+}
+
+/// Drive the ECN-flood scenario once (the qdisc topology of
+/// `ecn_congestion_downgrades_modality_with_zero_loss`, windowed) and
+/// return per-window observations: CE-mark percentage plus loss.
+fn observe_ecn_windows(seed: u64) -> Vec<Window> {
+    use collabqos::simnet::qdisc::QdiscConfig;
+
+    let mut net = Network::new(seed);
+    let src = net.add_node("sender");
+    let dst = net.add_node("receiver");
+    let link = net.connect(src, dst, LinkSpec::lan());
+    let mut cfg = QdiscConfig::for_rate(1_000_000);
+    cfg.codel_target_us = 2_000;
+    cfg.codel_interval_us = 10_000;
+    cfg.class_map
+        .assign(9000, collabqos::simnet::qdisc::TrafficClass::BulkMedia);
+    net.attach_qdisc(link, cfg);
+
+    let tx_media = net.bind(src, MEDIA_PORT).unwrap();
+    let rx_media = net.bind(dst, MEDIA_PORT).unwrap();
+    let tx_noise = net.bind(src, Port(9000)).unwrap();
+    net.bind(dst, Port(9000)).unwrap();
+    net.set_ecn(tx_media, true);
+    net.set_ecn(tx_noise, true);
+
+    let mut windows = Vec::new();
+    let mut sent_in_window = 0u32;
+    let mut got = 0u32;
+    let mut marked = 0u32;
+    for step in 0..600u32 {
+        // Same 182-byte wire size as the original ECN scenario's
+        // RTP-wrapped media (and as the flood): a shaper-blocked head
+        // forfeits its DRR visit, so only same-size competition
+        // exercises the quanta and backlogs the media class.
+        net.send(tx_media, Addr::unicast(dst, MEDIA_PORT), vec![0u8; 182])
+            .unwrap();
+        sent_in_window += 1;
+        if (200..400).contains(&step) {
+            for _ in 0..5 {
+                let _ = net.send(tx_noise, Addr::unicast(dst, Port(9000)), vec![0u8; 182]);
+            }
+        }
+        net.run_for(Ticks::from_millis(2));
+        while let Some(d) = net.recv(rx_media) {
+            got += 1;
+            if d.ecn_ce {
+                marked += 1;
+            }
+        }
+        if (step + 1) % 60 == 0 {
+            net.run_to_quiescence();
+            while let Some(d) = net.recv(rx_media) {
+                got += 1;
+                if d.ecn_ce {
+                    marked += 1;
+                }
+            }
+            windows.push(Window {
+                loss_pct: 100.0 * f64::from(sent_in_window - got.min(sent_in_window))
+                    / f64::from(sent_in_window),
+                congestion_pct: 100.0 * f64::from(marked) / f64::from(got.max(1)),
+            });
+            sent_in_window = 0;
+            got = 0;
+            marked = 0;
+        }
+    }
+    windows
+}
+
+/// ECN-flood head-to-head: during flood windows (CE ≥ 5%) every engine
+/// must decide something strictly more conservative than its own
+/// clean-window decision — a smaller packet budget or a lower modality
+/// (the Bayesian engine, corroborated by zero loss, trims the budget
+/// while holding modality; the threshold and fuzzy engines cap
+/// modality too). After the flood drains, every engine returns to its
+/// clean decision.
+#[test]
+fn ecn_flood_head_to_head_trims_before_loss() {
+    let seed = chaos_seed(9009);
+    let windows = observe_ecn_windows(seed);
+    let ctx = format!(
+        "ECN flood head-to-head, seed {seed}, windows (loss, ce): {:?}",
+        windows
+            .iter()
+            .map(|w| (w.loss_pct, w.congestion_pct))
+            .collect::<Vec<_>>()
+    );
+
+    let congested: Vec<usize> = (0..windows.len())
+        .filter(|&i| windows[i].congestion_pct >= 5.0)
+        .collect();
+    assert!(congested.len() >= 2, "flood left no CE footprint\n{ctx}");
+    let last = windows.len() - 1;
+    assert!(
+        windows[last].congestion_pct < 5.0,
+        "flood never drained\n{ctx}"
+    );
+
+    let clean_window = Window {
+        loss_pct: 0.0,
+        congestion_pct: 0.0,
+    };
+    for choice in engines_under_test() {
+        let engine = head_to_head_engine(choice);
+        let clean = engine.decide(&clean_window.state());
+        for &i in &congested {
+            let d = engine.decide(&windows[i].state());
+            assert!(
+                d.max_packets < clean.max_packets || d.modality < clean.modality,
+                "engine `{}` did not trim at window {i} ({:.1}% CE): {d:?} vs clean {clean:?}\n{ctx}",
+                engine.name(),
+                windows[i].congestion_pct
+            );
+        }
+        let drained = engine.decide(&windows[last].state());
+        assert_eq!(
+            (drained.max_packets, drained.modality),
+            (clean.max_packets, clean.modality),
+            "engine `{}` failed to recover after drain\n{ctx}",
+            engine.name()
+        );
+    }
+}
+
+/// Full-session chaos per engine: viewers built through
+/// `SessionConfig::engine` + `add_adaptive_client`, adapted each round
+/// while a scripted plan degrades a viewer link. Decision and delivery
+/// traces must be bit-identical for 1 and 4 workers for every engine —
+/// `adapt_all` shards the engine `decide` calls across workers.
+fn run_adaptive_session_under_plan(
+    workers: usize,
+    seed: u64,
+    plan: &FaultPlan,
+    choice: EngineChoice,
+) -> Vec<String> {
+    let cfg = SessionConfig {
+        seed,
+        workers,
+        engine: choice,
+        ..SessionConfig::default()
+    };
+    let mut session = CollaborationSession::new(cfg);
+    let mut profile = Profile::new("publisher");
+    profile.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("image")]),
+    );
+    let mut db = PolicyDb::loss_policy();
+    db.merge(PolicyDb::congestion_policy());
+    let publisher = session
+        .add_adaptive_client(
+            profile.clone(),
+            db.clone(),
+            QosContract::default(),
+            SimHost::idle("publisher"),
+        )
+        .unwrap();
+    for i in 0..3 {
+        let mut p = Profile::new(&format!("viewer{i}"));
+        p.set(
+            "interested_in",
+            AttrValue::List(vec![AttrValue::str("image")]),
+        );
+        session
+            .add_adaptive_client(
+                p,
+                db.clone(),
+                QosContract::default(),
+                SimHost::idle(&format!("viewer{i}")),
+            )
+            .unwrap();
+    }
+    session.net.set_fault_plan(plan.clone());
+    let mut rows = Vec::new();
+    for round in 0..3u64 {
+        for d in session.adapt_all() {
+            rows.push(format!("{d:?}"));
+        }
+        let scene = synthetic_scene(64, 64, 1, 3, seed.wrapping_add(round));
+        session
+            .share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        for (cid, viewed) in session.pump(Ticks::from_secs(2)) {
+            rows.push(format!(
+                "{cid} {} {} {:.4}",
+                viewed.object_id, viewed.packets_accepted, viewed.bpp
+            ));
+        }
+    }
+    rows
+}
+
+#[test]
+fn engine_sessions_identical_across_worker_counts() {
+    let plan = FaultPlan::new()
+        .at(
+            Ticks::from_millis(5),
+            FaultAction::SetFault(LinkId(1), heavy_burst()),
+        )
+        .at(Ticks::from_millis(400), FaultAction::ClearFault(LinkId(1)));
+    let seed = chaos_seed(1111);
+    for choice in engines_under_test() {
+        let serial = run_adaptive_session_under_plan(1, seed, &plan, choice);
+        assert!(
+            !serial.is_empty(),
+            "engine `{}`: no deliveries completed; seed {seed}",
+            choice.name()
+        );
+        let sharded = run_adaptive_session_under_plan(4, seed, &plan, choice);
+        assert_eq!(
+            sharded,
+            serial,
+            "engine `{}` trace diverged across worker counts; seed {seed}, plan:\n{plan}",
+            choice.name()
+        );
+    }
+}
+
 #[test]
 fn session_chaos_trace_identical_across_worker_counts() {
     // Client links are created in join order: publisher = LinkId(0),

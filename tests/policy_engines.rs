@@ -1,0 +1,350 @@
+//! Differential and invariant suite for the pluggable adaptation
+//! engines.
+//!
+//! The tentpole pin: the threshold engine behind the
+//! [`AdaptationPolicy`] trait must produce decisions *bit-identical*
+//! to the inherent pre-refactor `InferenceEngine::decide` across
+//! arbitrary state maps, policy databases, and contracts. Alongside
+//! it, the structural invariants of the two new engines: fuzzy
+//! membership grades stay in [0, 1] with full rule coverage and a
+//! monotone defuzzified budget; Bayesian posteriors normalize and the
+//! MAP decision survives evidence-order shuffling.
+//!
+//! Failure messages print the state map and both decisions, so a CI
+//! failure in the `policy` job is reproducible from the log alone.
+
+use collabqos::core::engines::fuzzy::Trapezoid;
+use collabqos::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+// ------------------------------------------------------------ strategies
+
+/// The metric alphabet: every name the engines know, plus strangers
+/// so unknown-attribute paths stay exercised.
+fn arb_metric() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("loss_pct".to_string()),
+        Just("congestion_pct".to_string()),
+        Just("cpu_load".to_string()),
+        Just("page_faults".to_string()),
+        Just("sir_db".to_string()),
+        Just("bandwidth_bps".to_string()),
+        Just("latency_us".to_string()),
+        Just("mem_avail_kb".to_string()),
+        Just("mystery".to_string()),
+    ]
+}
+
+/// Metric values concentrated where the band edges live, with the
+/// occasional pathological draw.
+fn arb_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-5.0f64..120.0).prop_map(|v| (v * 2.0).round() / 2.0),
+        (-5.0f64..120.0).prop_map(|v| (v * 2.0).round() / 2.0),
+        (-5.0f64..120.0).prop_map(|v| (v * 2.0).round() / 2.0),
+        (-50_000.0f64..1_000_000.0).prop_map(|v| v),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+    ]
+}
+
+/// `Option`-ized strategy (the shim has no `proptest::option`).
+fn opt<S: Strategy<Value = f64> + 'static>(s: S) -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![Just(None), s.prop_map(Some)]
+}
+
+fn arb_state() -> impl Strategy<Value = BTreeMap<String, f64>> {
+    proptest::collection::btree_map(arb_metric(), arb_value(), 0..6)
+}
+
+/// Any subset of the canonical policy databases, merged — 64
+/// different rule mixtures including the empty database.
+fn arb_policies() -> impl Strategy<Value = u8> {
+    0u8..64
+}
+
+fn build_policies(mask: u8) -> PolicyDb {
+    let all: [fn() -> PolicyDb; 6] = [
+        PolicyDb::loss_policy,
+        PolicyDb::congestion_policy,
+        PolicyDb::paper_page_fault_policy,
+        PolicyDb::paper_cpu_load_policy,
+        PolicyDb::bandwidth_modality_policy,
+        PolicyDb::latency_policy,
+    ];
+    let mut db = PolicyDb::new();
+    for (i, make) in all.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            db.merge(make());
+        }
+    }
+    db
+}
+
+fn arb_contract() -> impl Strategy<Value = QosContract> {
+    proptest::collection::vec((arb_metric(), -10.0f64..110.0, 0.0f64..50.0), 0..4).prop_map(
+        |specs| {
+            let mut contract = QosContract::new("prop");
+            for (i, (metric, lo, width)) in specs.into_iter().enumerate() {
+                let c = match i % 3 {
+                    0 => Constraint::at_most(&metric, lo + width),
+                    1 => Constraint::at_least(&metric, lo),
+                    _ => Constraint::between(&metric, lo, lo + width),
+                };
+                contract = contract.with(c);
+            }
+            contract
+        },
+    )
+}
+
+// ------------------------------------- differential: trait == inherent
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The tentpole equivalence: boxing the threshold engine behind
+    /// `dyn AdaptationPolicy` changes nothing — same packets, same
+    /// modality, same resolution, same fired rules, same violations,
+    /// bit for bit, on arbitrary policies × contracts × states.
+    #[test]
+    fn trait_boxed_threshold_is_bit_identical(
+        mask in arb_policies(),
+        contract in arb_contract(),
+        state in arb_state(),
+        default_packets in 0u32..=32,
+    ) {
+        let mut inherent = InferenceEngine::new(build_policies(mask), contract);
+        inherent.default_packets = default_packets;
+        let boxed: Box<dyn AdaptationPolicy> = Box::new(inherent.clone());
+
+        let direct = inherent.decide(&state);
+        let via_trait = boxed.decide(&state);
+        // Compare the rendered decisions: `AdaptationDecision`'s derived
+        // `PartialEq` says NaN != NaN, but a NaN observed in a violation
+        // must still count as the *same* decision on both paths.
+        prop_assert_eq!(
+            format!("{:?}", direct), format!("{:?}", via_trait),
+            "policy mask {:#08b} / state: {:?}\n inherent: {:?}\n trait:    {:?}",
+            mask, state, direct, via_trait
+        );
+    }
+
+    /// The trait's decide must be a pure function: deciding twice on
+    /// the same state gives the same bits for every engine.
+    #[test]
+    fn engines_are_pure_functions(state in arb_state()) {
+        for choice in EngineChoice::all() {
+            let engine = choice.build(build_policies(0b111111), QosContract::default());
+            let first = engine.decide(&state);
+            let second = engine.decide(&state);
+            prop_assert_eq!(
+                format!("{:?}", first), format!("{:?}", second),
+                "engine {} unstable on state {:?}", choice.name(), state
+            );
+        }
+    }
+}
+
+// --------------------------------------------- fuzzy engine invariants
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Membership grades are probabilities: in [0, 1] for any input,
+    /// including values far outside the universe.
+    #[test]
+    fn fuzzy_grades_stay_in_unit_interval(
+        value in prop_oneof![
+            (-200.0f64..200.0).prop_map(|v| v),
+            (-200.0f64..200.0).prop_map(|v| v),
+            (-200.0f64..200.0).prop_map(|v| v),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+        ],
+    ) {
+        for metric in ["loss_pct", "congestion_pct", "cpu_load", "page_faults", "sir_db"] {
+            let grades = FuzzyEngine::memberships(metric, value)
+                .expect("known metric");
+            for (i, g) in grades.iter().enumerate() {
+                prop_assert!(
+                    (0.0..=1.0).contains(g),
+                    "{metric} set {i} grade {g} at {value}"
+                );
+            }
+        }
+        // Raw trapezoid grades obey the same bound.
+        let t = Trapezoid::new(2.0, 5.0, 9.0, 14.0);
+        prop_assert!((0.0..=1.0).contains(&t.grade(value)));
+    }
+
+    /// For any finite in-range observation of a known metric, at
+    /// least one rule fires: the three sets cover every universe.
+    #[test]
+    fn fuzzy_rule_base_covers_every_input(
+        loss in 0.0f64..=100.0,
+        sir in -30.0f64..=40.0,
+    ) {
+        let engine = FuzzyEngine::new(QosContract::default());
+        let mut state = BTreeMap::new();
+        state.insert("loss_pct".to_string(), loss);
+        state.insert("sir_db".to_string(), sir);
+        let d = engine.decide(&state);
+        prop_assert!(
+            d.fired_rules.iter().any(|r| r.starts_with("fuzzy:loss_pct")),
+            "no loss rule fired at {loss}: {:?}", d.fired_rules
+        );
+        prop_assert!(
+            d.fired_rules.iter().any(|r| r.starts_with("fuzzy:sir_db")),
+            "no sir rule fired at {sir}: {:?}", d.fired_rules
+        );
+    }
+
+    /// The defuzzified packet budget never rises as `loss_pct` or
+    /// `congestion_pct` worsen, whatever else is in the state.
+    #[test]
+    fn fuzzy_budget_monotone_in_loss_and_congestion(
+        base in 0.0f64..=100.0,
+        bump in 0.0f64..=100.0,
+        other in 0.0f64..=100.0,
+        cpu in opt(0.0f64..=100.0),
+    ) {
+        let engine = FuzzyEngine::new(QosContract::default());
+        let (lo, hi) = (base.min(base + bump), (base + bump).min(100.0));
+        for (swept, fixed) in [("loss_pct", "congestion_pct"), ("congestion_pct", "loss_pct")] {
+            let decide_at = |x: f64| {
+                let mut state = BTreeMap::new();
+                state.insert(swept.to_string(), x);
+                state.insert(fixed.to_string(), other);
+                if let Some(c) = cpu {
+                    state.insert("cpu_load".to_string(), c);
+                }
+                engine.decide(&state)
+            };
+            let better = decide_at(lo);
+            let worse = decide_at(hi);
+            prop_assert!(
+                worse.max_packets <= better.max_packets,
+                "{swept}: budget rose {} -> {} as {swept} went {lo} -> {hi} \
+                 (fixed {fixed}={other}, cpu={cpu:?})\n better: {better:?}\n worse: {worse:?}",
+                better.max_packets, worse.max_packets
+            );
+        }
+    }
+}
+
+// ------------------------------------------ Bayesian engine invariants
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Posteriors are distributions: entries in [0, 1] summing to 1
+    /// within 1e-9, for any usable evidence combination.
+    #[test]
+    fn bayes_posterior_normalizes(
+        loss in opt(0.0f64..=100.0),
+        cong in opt(0.0f64..=100.0),
+        cpu in opt(0.0f64..=100.0),
+        sir in opt(-40.0f64..=40.0),
+    ) {
+        let mut evidence: Vec<(&str, f64)> = Vec::new();
+        if let Some(v) = loss { evidence.push(("loss_pct", v)); }
+        if let Some(v) = cong { evidence.push(("congestion_pct", v)); }
+        if let Some(v) = cpu { evidence.push(("cpu_load", v)); }
+        if let Some(v) = sir { evidence.push(("sir_db", v)); }
+        let Some(posterior) = BayesEngine::posterior(&evidence) else {
+            prop_assert!(evidence.is_empty());
+            return Ok(());
+        };
+        let sum: f64 = posterior.iter().sum();
+        prop_assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "posterior {posterior:?} sums to {sum} for {evidence:?}"
+        );
+        for p in posterior {
+            prop_assert!((0.0..=1.0).contains(&p), "entry {p} in {posterior:?}");
+        }
+    }
+
+    /// The MAP decision (and the whole posterior) is bit-stable under
+    /// evidence-order shuffling.
+    #[test]
+    fn bayes_map_is_permutation_stable(
+        loss in 0.0f64..=100.0,
+        cong in 0.0f64..=100.0,
+        cpu in 0.0f64..=100.0,
+        pf in 0.0f64..=100.0,
+        sir in -40.0f64..=40.0,
+        shuffle_seed in 0u64..1024,
+    ) {
+        let mut evidence = vec![
+            ("loss_pct", loss),
+            ("congestion_pct", cong),
+            ("cpu_load", cpu),
+            ("page_faults", pf),
+            ("sir_db", sir),
+        ];
+        let canonical = BayesEngine::posterior(&evidence).expect("evidence present");
+        let canonical_map = BayesEngine::map_quality(&canonical);
+
+        // Fisher–Yates with a seeded generator: a different visit
+        // order every case, the same answer every time.
+        shuffle(&mut evidence, shuffle_seed);
+        let shuffled = BayesEngine::posterior(&evidence).expect("evidence present");
+        prop_assert_eq!(
+            canonical, shuffled,
+            "posterior changed under shuffle seed {} on {:?}", shuffle_seed, evidence
+        );
+        prop_assert_eq!(BayesEngine::map_quality(&shuffled), canonical_map);
+    }
+}
+
+/// Seeded Fisher–Yates over a slice (splitmix64 stream), so the
+/// permutation test explores a different evidence order per case.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+// --------------------------------------------------- unit-level pins
+
+/// The modality ladder ordering the conservative merge relies on,
+/// pinned from outside the crate as well.
+#[test]
+fn modality_ladder_pinned() {
+    assert!(ModalityChoice::None < ModalityChoice::Text);
+    assert!(ModalityChoice::Text < ModalityChoice::Sketch);
+    assert!(ModalityChoice::Sketch < ModalityChoice::FullImage);
+}
+
+/// All three engines agree on a calm state: no reason to constrain.
+#[test]
+fn engines_agree_on_calm_state() {
+    let mut state = BTreeMap::new();
+    state.insert("loss_pct".to_string(), 0.5);
+    state.insert("congestion_pct".to_string(), 1.0);
+    for choice in EngineChoice::all() {
+        let engine = choice.build(PolicyDb::loss_policy(), QosContract::default());
+        let d = engine.decide(&state);
+        assert_eq!(
+            d.modality,
+            ModalityChoice::FullImage,
+            "{} downgraded a calm state: {:?}",
+            choice.name(),
+            d
+        );
+        assert!(d.max_packets >= 14, "{}: {:?}", choice.name(), d);
+    }
+}
