@@ -28,6 +28,7 @@
 //! exactly once.
 
 use crate::algebra::covers;
+use dtn::{Bundle, CustodyStore, Frame, StoreConfig, StoreStatsHandle};
 use sempubsub::{AttrValue, CacheStatsHandle, MatchEngine, Profile, Selector, SemanticMessage};
 use simnet::packet::well_known;
 use simnet::{Addr, GroupId, LinkId, LinkSpec, Network, NodeId, SocketHandle, Ticks};
@@ -277,6 +278,10 @@ pub struct BrokerNode {
     /// costs one cache lookup instead of a parse, and each
     /// advertisement check is a compiled evaluation.
     engine: MatchEngine,
+    /// Disruption-tolerant custody store, when the overlay runs with
+    /// custody enabled. `None` keeps every code path bit-identical to
+    /// an overlay built before the store existed.
+    store: Option<CustodyStore>,
 }
 
 impl BrokerNode {
@@ -311,6 +316,8 @@ pub struct Overlay {
     brokers: Vec<BrokerNode>,
     node_to_broker: BTreeMap<NodeId, usize>,
     next_generation: u64,
+    /// Store policy applied to brokers when custody is enabled.
+    custody: Option<StoreConfig>,
 }
 
 impl Overlay {
@@ -347,6 +354,7 @@ impl Overlay {
             seen: BTreeSet::new(),
             stats: BrokerStatsHandle::default(),
             engine: MatchEngine::new(),
+            store: self.custody.map(CustodyStore::new),
         });
         self.node_to_broker.insert(node, idx);
         idx
@@ -410,6 +418,38 @@ impl Overlay {
         self.brokers[i].engine.cache_stats()
     }
 
+    /// Attach a disruption-tolerant custody store to every broker
+    /// (present and future) under `cfg`'s quotas. Messages addressed
+    /// to a currently unreachable neighbor are then stored and drained
+    /// after heal instead of being dropped.
+    pub fn enable_custody(&mut self, cfg: StoreConfig) {
+        self.custody = Some(cfg);
+        for b in &mut self.brokers {
+            if b.store.is_none() {
+                b.store = Some(CustodyStore::new(cfg));
+            }
+        }
+    }
+
+    /// Replace broker `i`'s store with a fresh one under `cfg` — a
+    /// per-broker quota override (e.g. a constrained edge broker).
+    /// Requires custody to be enabled overlay-wide first.
+    pub fn set_store_config(&mut self, i: usize, cfg: StoreConfig) {
+        assert!(self.custody.is_some(), "enable_custody first");
+        self.brokers[i].store = Some(CustodyStore::new(cfg));
+    }
+
+    /// Broker `i`'s custody store, if custody is enabled.
+    pub fn custody_store(&self, i: usize) -> Option<&CustodyStore> {
+        self.brokers[i].store.as_ref()
+    }
+
+    /// Live custody-store counters of broker `i`, if custody is
+    /// enabled.
+    pub fn store_stats(&self, i: usize) -> Option<StoreStatsHandle> {
+        self.brokers[i].store.as_ref().map(|s| s.stats())
+    }
+
     /// Register a local endpoint's profile with its domain broker and
     /// flood the resulting advertisement. Re-registering the same
     /// profile name replaces the old advertisement (new generation),
@@ -441,9 +481,47 @@ impl Overlay {
     /// Re-flood every broker's export toward all neighbors — the
     /// periodic refresh a long-lived deployment would run on a timer,
     /// and the recovery path after an inter-broker link heals.
+    ///
+    /// Before flooding, each broker drops advertisements whose
+    /// generation is older than the latest it holds for the same
+    /// origin: when a client re-registers in another domain, the stale
+    /// entry learned over the old interface would otherwise keep
+    /// attracting that client's traffic toward its former domain
+    /// forever (nothing ever replaced it per-interface).
     pub fn readvertise(&mut self, net: &mut Network) {
         for i in 0..self.brokers.len() {
+            self.prune_stale_ads(i);
             self.flood_export(net, i);
+        }
+    }
+
+    /// Drop broker `i`'s advertisements that are strictly older than
+    /// the newest generation it has seen for the same origin on any
+    /// interface (local registration included).
+    fn prune_stale_ads(&mut self, i: usize) {
+        let broker = &mut self.brokers[i];
+        let mut latest: BTreeMap<String, u64> = BTreeMap::new();
+        for ad in broker
+            .local_ads
+            .iter()
+            .chain(broker.remote_ads.values().flatten())
+        {
+            let e = latest.entry(ad.origin.clone()).or_insert(ad.generation);
+            if ad.generation > *e {
+                *e = ad.generation;
+            }
+        }
+        let fresh = |ad: &Advertisement| ad.generation >= latest[&ad.origin];
+        let before =
+            broker.local_ads.len() + broker.remote_ads.values().map(Vec::len).sum::<usize>();
+        broker.local_ads.retain(|ad| fresh(ad));
+        for set in broker.remote_ads.values_mut() {
+            set.retain(|ad| fresh(ad));
+        }
+        let after =
+            broker.local_ads.len() + broker.remote_ads.values().map(Vec::len).sum::<usize>();
+        if after != before {
+            broker.update_table_gauge();
         }
     }
 
@@ -476,10 +554,72 @@ impl Overlay {
     }
 
     /// Drain and handle everything that arrived at broker `i`
-    /// (advertisements first, then data). Returns the number of
-    /// datagrams handled, for convergence detection.
+    /// (custody drain first so stored bundles enter link FIFOs ahead
+    /// of fresh traffic, then advertisements, then data). Returns the
+    /// number of datagrams handled or custody frames sent, for
+    /// convergence detection.
     pub fn process(&mut self, net: &mut Network, i: usize) -> usize {
-        self.process_ctrl(net, i) + self.process_data(net, i)
+        self.custody_service(net, i) + self.process_ctrl(net, i) + self.process_data(net, i)
+    }
+
+    /// Expire broker `i`'s stored bundles and offer custody of the
+    /// survivors to every neighbor that became reachable again, in
+    /// arrival (= source-sequence) order. The bundles stay stored and
+    /// in-flight until the neighbor's accept signal releases them —
+    /// exactly one broker owns each undelivered bundle throughout.
+    fn custody_service(&mut self, net: &mut Network, i: usize) -> usize {
+        if self.brokers[i].store.is_none() {
+            return 0;
+        }
+        let now = net.now();
+        let (node, ctrl) = (self.brokers[i].node, self.brokers[i].ctrl);
+        let neighbors: Vec<(usize, NodeId)> = self.brokers[i]
+            .neighbors
+            .iter()
+            .map(|n| (n.broker, n.node))
+            .collect();
+        {
+            let store = self.brokers[i].store.as_mut().expect("checked above");
+            store.expire(now);
+            if store.is_empty() {
+                return 0;
+            }
+        }
+        let mut sent = 0;
+        for (nb, nnode) in neighbors {
+            let waiting = self.brokers[i]
+                .store
+                .as_ref()
+                .is_some_and(|s| s.has_for(nb as u32));
+            if !waiting || !net.reachable(node, nnode) {
+                continue;
+            }
+            let due = self.brokers[i]
+                .store
+                .as_mut()
+                .expect("checked above")
+                .due_for(nb as u32, now);
+            for b in due {
+                let ok = net
+                    .send(
+                        ctrl,
+                        Addr::unicast(nnode, well_known::SESSION_CTRL),
+                        b.encode(),
+                    )
+                    .is_ok();
+                if ok {
+                    sent += 1;
+                } else {
+                    // Raced a topology change: re-offer next round.
+                    self.brokers[i]
+                        .store
+                        .as_mut()
+                        .expect("checked above")
+                        .refuse(&b.source, b.seq);
+                }
+            }
+        }
+        sent
     }
 
     fn process_ctrl(&mut self, net: &mut Network, i: usize) -> usize {
@@ -491,6 +631,13 @@ impl Overlay {
         let handled = arrivals.len();
         let mut changed = false;
         for d in arrivals {
+            // Custody frames share the control port with
+            // advertisements; they open with their own magic, so
+            // either codec rejects the other's frames.
+            if let Some(frame) = Frame::decode(&d.payload) {
+                self.handle_custody_frame(net, i, d.src_node, frame);
+                continue;
+            }
             let Ok(msg) = SemanticMessage::decode(&d.payload) else {
                 continue;
             };
@@ -528,6 +675,153 @@ impl Overlay {
         handled
     }
 
+    /// React to one custody frame at broker `i` from `src_node`.
+    fn handle_custody_frame(&mut self, net: &mut Network, i: usize, src_node: NodeId, f: Frame) {
+        // Custody frames are only meaningful from neighbor brokers.
+        let Some(&from) = self.node_to_broker.get(&src_node) else {
+            return;
+        };
+        match f {
+            Frame::Accept { source, seq } => {
+                if let Some(store) = self.brokers[i].store.as_mut() {
+                    if store.release(&source, seq) {
+                        store.stats().note_custody_transfer();
+                    }
+                }
+            }
+            Frame::Refuse { source, seq } => {
+                if let Some(store) = self.brokers[i].store.as_mut() {
+                    store.refuse(&source, seq);
+                    store.stats().note_custody_refused();
+                }
+            }
+            Frame::Bundle(b) => self.handle_bundle(net, i, from, b),
+        }
+    }
+
+    /// A custody-transfer offer arrived: take custody (store copies
+    /// for any still-unreachable targets, deliver the rest through the
+    /// normal forward path) and send accept, or refuse so the upstream
+    /// broker keeps ownership.
+    fn handle_bundle(&mut self, net: &mut Network, i: usize, from: usize, b: Bundle) {
+        let now = net.now();
+        let from_node = self.brokers[from].node;
+        let ctrl = self.brokers[i].ctrl;
+        let signal = |net: &mut Network, wire: Vec<u8>| {
+            let _ = net.send(
+                ctrl,
+                Addr::unicast(from_node, well_known::SESSION_CTRL),
+                wire,
+            );
+        };
+        // A broker without a store cannot take custody.
+        if self.brokers[i].store.is_none() {
+            signal(net, Frame::encode_refuse(&b.source, b.seq));
+            return;
+        }
+        let key = (b.source.clone(), b.seq);
+        if self.brokers[i].seen.contains(&key) {
+            // Already forwarded this dedup id (e.g. the message got
+            // through on another path before the partition): accept so
+            // the upstream custodian releases, deliver nothing.
+            self.brokers[i]
+                .stats
+                .inner
+                .dedup_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            signal(net, Frame::encode_accept(&b.source, b.seq));
+            return;
+        }
+        if b.expired(now) {
+            // Expired in transit: take it off the network.
+            if let Some(store) = self.brokers[i].store.as_ref() {
+                store.stats().note_expired();
+            }
+            signal(net, Frame::encode_accept(&b.source, b.seq));
+            return;
+        }
+        let Ok(msg) = SemanticMessage::decode(&b.payload) else {
+            // Poison payload can never be delivered; accept and drop.
+            signal(net, Frame::encode_accept(&b.source, b.seq));
+            return;
+        };
+        // Forward targets, exactly as process_data computes them.
+        let reach: Vec<bool> = {
+            let node = self.brokers[i].node;
+            let neigh: Vec<NodeId> = self.brokers[i].neighbors.iter().map(|n| n.node).collect();
+            neigh
+                .into_iter()
+                .map(|nn| net.reachable(node, nn))
+                .collect()
+        };
+        let broker = &mut self.brokers[i];
+        let parseable = broker.engine.compile(&msg.selector).is_ok();
+        let deliver_local = broker
+            .local_ads
+            .iter()
+            .any(|ad| ad_matches_compiled(&mut broker.engine, &msg.selector, parseable, ad));
+        let mut sends: Vec<Addr> = Vec::new();
+        let mut suppressed = 0u64;
+        let mut onward: Vec<Bundle> = Vec::new();
+        if deliver_local {
+            sends.push(Addr::multicast(broker.group, well_known::SESSION_DATA));
+        } else {
+            suppressed += 1;
+        }
+        for (k, n) in broker.neighbors.iter().enumerate() {
+            if n.broker == from {
+                continue;
+            }
+            let behind = broker.remote_ads.get(&n.broker);
+            let matches = behind.is_some_and(|ads| {
+                ads.iter()
+                    .any(|ad| ad_matches_compiled(&mut broker.engine, &msg.selector, parseable, ad))
+            });
+            if !matches {
+                suppressed += 1;
+            } else if reach[k] {
+                sends.push(Addr::unicast(n.node, well_known::SESSION_DATA));
+            } else {
+                // Still partitioned further downstream: custody must
+                // continue hop-by-hop from here.
+                onward.push(Bundle {
+                    dst_domain: n.broker as u32,
+                    ..b.clone()
+                });
+            }
+        }
+        let store = broker.store.as_mut().expect("checked above");
+        if !store.try_insert_all(onward, now) {
+            // Quota would be exceeded: the upstream broker keeps
+            // custody and retries later.
+            signal(net, Frame::encode_refuse(&b.source, b.seq));
+            return;
+        }
+        broker.seen.insert(key);
+        broker
+            .stats
+            .inner
+            .forwarded
+            .fetch_add(sends.len() as u64, Ordering::Relaxed);
+        broker
+            .stats
+            .inner
+            .suppressed
+            .fetch_add(suppressed, Ordering::Relaxed);
+        if !deliver_local {
+            broker
+                .stats
+                .inner
+                .local_suppressed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let data = broker.data;
+        signal(net, Frame::encode_accept(&b.source, b.seq));
+        for addr in sends {
+            let _ = net.send(data, addr, b.payload.clone());
+        }
+    }
+
     fn process_data(&mut self, net: &mut Network, i: usize) -> usize {
         let data = self.brokers[i].data;
         let mut arrivals = Vec::new();
@@ -541,6 +835,21 @@ impl Overlay {
             };
             let key = (msg.sender.clone(), msg.seq);
             let from = self.node_to_broker.get(&d.src_node).copied();
+            // With custody enabled, probe neighbor reachability up
+            // front (route_cached needs the network mutably); disabled
+            // overlays skip this entirely and stay bit-identical.
+            let custody_on = self.brokers[i].store.is_some();
+            let reach: Vec<bool> = if custody_on {
+                let node = self.brokers[i].node;
+                let neigh: Vec<NodeId> = self.brokers[i].neighbors.iter().map(|n| n.node).collect();
+                neigh
+                    .into_iter()
+                    .map(|nn| net.reachable(node, nn))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let now = net.now();
             let broker = &mut self.brokers[i];
             if !broker.seen.insert(key) {
                 broker
@@ -573,19 +882,41 @@ impl Overlay {
                     local_suppressed += 1;
                 }
             }
-            for n in &broker.neighbors {
+            let mut stored: Vec<Bundle> = Vec::new();
+            for (k, n) in broker.neighbors.iter().enumerate() {
                 if Some(n.broker) == from {
                     continue;
                 }
                 let behind = broker.remote_ads.get(&n.broker);
-                if behind.is_some_and(|ads| {
+                let matches = behind.is_some_and(|ads| {
                     ads.iter().any(|ad| {
                         ad_matches_compiled(&mut broker.engine, &msg.selector, parseable, ad)
                     })
-                }) {
+                });
+                if !matches {
+                    suppressed += 1;
+                } else if !custody_on || reach[k] {
                     sends.push(Addr::unicast(n.node, well_known::SESSION_DATA));
                 } else {
-                    suppressed += 1;
+                    // The matching neighbor is unreachable: take the
+                    // message into custody instead of black-holing it.
+                    let lifetime = broker.store.as_ref().expect("custody_on").config().lifetime;
+                    stored.push(Bundle {
+                        source: msg.sender.clone(),
+                        seq: msg.seq,
+                        src_domain: i as u32,
+                        dst_domain: n.broker as u32,
+                        created_at: now,
+                        lifetime,
+                        custody: true,
+                        payload: d.payload.to_vec(),
+                    });
+                }
+            }
+            if !stored.is_empty() {
+                let store = broker.store.as_mut().expect("custody_on");
+                for bundle in stored {
+                    store.insert(bundle, now);
                 }
             }
             broker
@@ -882,6 +1213,129 @@ mod tests {
         assert_eq!(merged, 1, "wildcard subsumes everything");
         assert_eq!(kept.len(), 1);
         assert!(kept[0].wildcard);
+    }
+
+    #[test]
+    fn readvertise_prunes_stale_generations() {
+        // Client "client-0" starts in domain 0, then moves to domain 2
+        // and re-registers (higher generation). Broker 1 now holds the
+        // stale generation behind interface 0 and the fresh one behind
+        // interface 2: nothing per-interface ever replaces the stale
+        // entry, so until readvertise() prunes it, traffic for the
+        // mover keeps flowing toward its former domain.
+        let mut net = Network::new(15);
+        let (mut overlay, _eps) = chain(&mut net, &["image", "none", "none"]);
+        let moved = interested_profile("client-0", "image");
+        overlay.register_local(&mut net, 2, &moved);
+        overlay.settle(&mut net);
+
+        let stale_gen = |ov: &Overlay| {
+            ov.brokers[1]
+                .remote_ads
+                .get(&0)
+                .map(|ads| ads.iter().filter(|a| a.origin == "client-0").count())
+                .unwrap_or(0)
+        };
+        let fresh_gen = |ov: &Overlay| {
+            ov.brokers[1]
+                .remote_ads
+                .get(&2)
+                .map(|ads| ads.iter().filter(|a| a.origin == "client-0").count())
+                .unwrap_or(0)
+        };
+        assert_eq!(stale_gen(&overlay), 1, "stale entry present before fix");
+        assert_eq!(fresh_gen(&overlay), 1);
+        let table_before = overlay.stats(1).table_size();
+
+        overlay.readvertise(&mut net);
+        overlay.settle(&mut net);
+
+        assert_eq!(stale_gen(&overlay), 0, "stale generation pruned");
+        assert_eq!(fresh_gen(&overlay), 1, "latest generation kept");
+        assert!(overlay.stats(1).table_size() < table_before);
+        // Broker 0's own local registration of the mover is stale too.
+        assert!(
+            overlay.brokers[0]
+                .local_ads
+                .iter()
+                .all(|a| a.origin != "client-0"),
+            "stale local registration pruned at the former home broker"
+        );
+    }
+
+    #[test]
+    fn custody_stores_and_drains_across_link_flap() {
+        let mut net = Network::new(16);
+        let mut overlay = Overlay::new();
+        overlay.enable_custody(dtn::StoreConfig::default());
+        let (ov, mut eps) = {
+            // chain() builds its own overlay; inline the same shape
+            // with custody enabled from the start.
+            for i in 0..2 {
+                overlay.add_broker(&mut net, &format!("broker-{i}"));
+            }
+            overlay.connect(&mut net, 0, 1, LinkSpec::lan());
+            let mut endpoints = Vec::new();
+            for (i, topic) in ["none", "image"].iter().enumerate() {
+                let host = net.add_node(&format!("host-{i}"));
+                net.connect(host, overlay.node(i), LinkSpec::lan());
+                let profile = interested_profile(&format!("client-{i}"), topic);
+                overlay.register_local(&mut net, i, &profile);
+                endpoints.push(
+                    BusEndpoint::join(
+                        &mut net,
+                        host,
+                        well_known::SESSION_DATA,
+                        overlay.group(i),
+                        profile,
+                    )
+                    .unwrap(),
+                );
+            }
+            overlay.settle(&mut net);
+            (&mut overlay, endpoints)
+        };
+        let link = ov.link_between(0, 1).unwrap();
+        net.topology_mut().set_link_up(link, false);
+        for body in 0..3u8 {
+            eps[0]
+                .publish(
+                    &mut net,
+                    "image-share",
+                    "interested_in contains 'image'",
+                    image_content(),
+                    vec![body],
+                )
+                .unwrap();
+        }
+        ov.pump(&mut net, Ticks::from_millis(100));
+        assert!(eps[1].poll(&mut net).is_empty(), "partitioned");
+        let stats = ov.store_stats(0).unwrap();
+        assert_eq!(stats.stored_bundles(), 3, "custody taken at the edge");
+        assert!(stats.stored_bytes() > 0);
+
+        net.topology_mut().set_link_up(link, true);
+        ov.pump(&mut net, Ticks::from_millis(200));
+        let got = eps[1].poll(&mut net);
+        assert_eq!(got.len(), 3, "every stored message delivered");
+        let bodies: Vec<u8> = got.iter().map(|a| a.message.body[0]).collect();
+        assert_eq!(bodies, vec![0, 1, 2], "source-sequence order");
+        assert_eq!(stats.stored_bundles(), 0, "custody released");
+        assert_eq!(stats.custody_transfers(), 3);
+
+        // Republish after heal: the normal path, nothing re-stored.
+        eps[0]
+            .publish(
+                &mut net,
+                "image-share",
+                "interested_in contains 'image'",
+                image_content(),
+                vec![9],
+            )
+            .unwrap();
+        ov.pump(&mut net, Ticks::from_millis(100));
+        assert_eq!(eps[1].poll(&mut net).len(), 1);
+        assert_eq!(stats.stored_bundles(), 0);
     }
 
     #[test]

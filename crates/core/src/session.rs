@@ -75,6 +75,15 @@ pub struct SessionConfig {
     /// links take the configured `link`/`fault`, and each broker
     /// serves `tassl.21.*` MIB rows through its own agent.
     pub domains: Option<usize>,
+    /// Disruption-tolerant custody: `Some(cfg)` attaches a bounded
+    /// custody store to every broker (brokered mode only). Messages
+    /// addressed to a partitioned neighbor domain are stored as
+    /// bundles and drained in order after heal instead of dropped;
+    /// each broker serves `tassl.23.*` store rows and arms a
+    /// `qosStoreAlert` trap at the quota high watermark. `None` (the
+    /// default) is bit-identical to a session built before the store
+    /// existed.
+    pub custody: Option<dtn::StoreConfig>,
     /// Which adaptation engine
     /// [`CollaborationSession::add_adaptive_client`] builds per
     /// client: the paper's threshold bands (default), the fuzzy
@@ -97,6 +106,7 @@ impl Default for SessionConfig {
             community: "public".to_string(),
             workers: 1,
             domains: None,
+            custody: None,
             engine: EngineChoice::Threshold,
         }
     }
@@ -219,6 +229,9 @@ pub struct CollaborationSession {
     /// Per-broker `local_suppressed` totals already credited to client
     /// `BusStats` via `note_suppressed` (so pump credits only deltas).
     broker_credited: Vec<u64>,
+    /// One custody-store high-watermark watcher per broker, when
+    /// `SessionConfig::custody` is set.
+    store_watchers: Vec<crate::trapwatch::StoreWatcher>,
     /// Lock-free per-shard delivery/drop counters, one per pump worker
     /// (sized on first pump). Readable live from any thread.
     shard_counters: Vec<crate::shard::ShardCounters>,
@@ -238,9 +251,13 @@ impl CollaborationSession {
         let mut overlay = None;
         let mut broker_agents = Vec::new();
         let mut broker_credited = Vec::new();
+        let mut store_watchers = Vec::new();
         if let Some(n) = cfg.domains {
             assert!(n > 0, "brokered session needs at least one domain");
             let mut ov = broker::Overlay::new();
+            if let Some(store_cfg) = cfg.custody {
+                ov.enable_custody(store_cfg);
+            }
             for i in 0..n {
                 let name = format!("broker-{i}");
                 let b = ov.add_broker(&mut net, &name);
@@ -252,6 +269,14 @@ impl CollaborationSession {
                 }
                 let mut agent = SnmpAgent::new(&name, &cfg.community, None);
                 broker::install_broker_metrics(&mut agent, i as u32, &ov.stats(b));
+                if let (Some(store_cfg), Some(stats)) = (cfg.custody, ov.store_stats(b)) {
+                    dtn::install_store_metrics(&mut agent, i as u32, &stats);
+                    store_watchers.push(crate::trapwatch::StoreWatcher::new(
+                        i as u32,
+                        stats,
+                        store_cfg.high_watermark_bytes(),
+                    ));
+                }
                 let rt = AgentRuntime::bind(&mut net, ov.node(b), agent)
                     .expect("fresh broker node binds its agent port");
                 broker_agents.push(rt);
@@ -277,6 +302,7 @@ impl CollaborationSession {
             overlay,
             broker_agents,
             broker_credited,
+            store_watchers,
             shard_counters: Vec::new(),
         }
     }
@@ -509,6 +535,31 @@ impl CollaborationSession {
         self.broker_agents
             .get_mut(i)
             .and_then(|rt| rt.agent.mib_mut().get(oid))
+    }
+
+    /// Live custody-store counters of broker `i`, when
+    /// [`SessionConfig::custody`] is set.
+    pub fn store_stats(&self, i: usize) -> Option<dtn::StoreStatsHandle> {
+        self.overlay.as_ref().and_then(|ov| ov.store_stats(i))
+    }
+
+    /// Evaluate every broker's custody-store high-watermark watch and
+    /// emit `qosStoreAlert` traps to `sink_node` for brokers whose
+    /// stored bytes just crossed the configured threshold. Returns the
+    /// number of traps sent. Edge-triggered: a broker re-alerts only
+    /// after its store drains back below the watermark.
+    pub fn service_store_alerts(&mut self, sink_node: simnet::NodeId) -> usize {
+        let mut sent = 0;
+        for (w, rt) in self
+            .store_watchers
+            .iter_mut()
+            .zip(self.broker_agents.iter_mut())
+        {
+            if w.service(&mut self.net, rt, sink_node) {
+                sent += 1;
+            }
+        }
+        sent
     }
 
     /// Add a network element (router/switch with a standard agent) to

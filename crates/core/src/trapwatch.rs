@@ -32,6 +32,14 @@ pub fn qos_congestion_alert_trap_oid() -> Oid {
     arcs::tassl().child(11)
 }
 
+/// Trap OID for a custody-store alert from a federated broker
+/// (tasslQosStoreAlert = 1.3.6.1.4.1.99999.12): stored bytes crossed
+/// the quota high watermark — the partition is outlasting the store's
+/// capacity and eviction of unexpired bundles is imminent.
+pub fn qos_store_alert_trap_oid() -> Oid {
+    arcs::tassl().child(12)
+}
+
 /// Crossing direction that arms a watch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -255,6 +263,67 @@ impl CongestionWatcher {
                 vec![VarBind::bound(
                     arcs::host_congestion(),
                     SnmpValue::Gauge32(congestion_pct.round().max(0.0) as u32),
+                )],
+            );
+            self.traps_sent += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Watches a broker's custody store and emits a `qosStoreAlert` trap
+/// when stored bytes rise to the quota high watermark.
+///
+/// The disruption-tolerant store absorbs traffic for as long as a
+/// partition lasts; this watcher is how the management station learns
+/// the partition is outlasting the buffer *before* deterministic
+/// eviction starts discarding unexpired bundles. Edge-triggered like
+/// every other watch: one trap per crossing, re-armed when the store
+/// drains back below the watermark.
+pub struct StoreWatcher {
+    broker: u32,
+    stats: dtn::StoreStatsHandle,
+    watch: Watch,
+    /// Traps emitted so far.
+    pub traps_sent: u64,
+}
+
+impl StoreWatcher {
+    /// Watch broker `broker`'s store, firing when `stats` reports
+    /// stored bytes at or above `threshold_bytes` (typically
+    /// [`dtn::StoreConfig::high_watermark_bytes`]).
+    pub fn new(broker: u32, stats: dtn::StoreStatsHandle, threshold_bytes: u64) -> StoreWatcher {
+        StoreWatcher {
+            broker,
+            stats,
+            watch: Watch::rising(
+                "store_bytes",
+                arcs::store_bytes(broker),
+                threshold_bytes as f64,
+            ),
+            traps_sent: 0,
+        }
+    }
+
+    /// Check the live gauge; emit a trap towards `sink_node` on a
+    /// fresh crossing. Returns true when a trap was sent.
+    pub fn service(
+        &mut self,
+        net: &mut Network,
+        agent_rt: &mut AgentRuntime,
+        sink_node: simnet::NodeId,
+    ) -> bool {
+        let bytes = self.stats.stored_bytes();
+        if self.watch.evaluate(bytes as f64) {
+            agent_rt.send_trap(
+                net,
+                sink_node,
+                qos_store_alert_trap_oid(),
+                vec![VarBind::bound(
+                    arcs::store_bytes(self.broker),
+                    SnmpValue::Gauge32(bytes.min(u32::MAX as u64) as u32),
                 )],
             );
             self.traps_sent += 1;
@@ -597,5 +666,78 @@ mod tests {
         assert!(!w.evaluate(128.0), "still below: no re-fire");
         assert!(!w.evaluate(2048.0), "recovery alone does not fire");
         assert!(w.evaluate(100.0), "re-armed after recovery");
+    }
+
+    #[test]
+    fn store_watcher_alerts_on_watermark_and_rearms() {
+        use dtn::{Bundle, CustodyStore, StoreConfig};
+
+        let (mut net, mut rt, mut sink, _host, station) = world();
+        let cfg = StoreConfig {
+            max_bytes: 4096,
+            max_bundles: 64,
+            lifetime: Ticks::from_secs(60),
+            high_watermark_pct: 50,
+            ..StoreConfig::default()
+        };
+        let mut store = CustodyStore::new(cfg);
+        let mut watcher = StoreWatcher::new(0, store.stats(), cfg.high_watermark_bytes());
+
+        // Empty store: below the watermark, no trap.
+        assert!(!watcher.service(&mut net, &mut rt, station));
+
+        // Fill past 50% of the byte quota.
+        let now = net.now();
+        let mut seq = 0;
+        while store.bytes() < cfg.high_watermark_bytes() {
+            let b = Bundle {
+                source: "client-0".into(),
+                seq,
+                src_domain: 0,
+                dst_domain: 1,
+                created_at: now,
+                lifetime: cfg.lifetime,
+                custody: true,
+                payload: vec![0u8; 400],
+            };
+            assert!(store.insert(b, now).stored);
+            seq += 1;
+        }
+        assert!(watcher.service(&mut net, &mut rt, station));
+        assert!(
+            !watcher.service(&mut net, &mut rt, station),
+            "edge-triggered: one trap per crossing"
+        );
+
+        // Drain the store (partition healed), then re-fill: re-armed.
+        for b in store.due_for(1, now) {
+            store.release(&b.source, b.seq);
+        }
+        assert_eq!(store.bytes(), 0);
+        assert!(!watcher.service(&mut net, &mut rt, station));
+        while store.bytes() < cfg.high_watermark_bytes() {
+            let b = Bundle {
+                source: "client-0".into(),
+                seq,
+                src_domain: 0,
+                dst_domain: 1,
+                created_at: now,
+                lifetime: cfg.lifetime,
+                custody: true,
+                payload: vec![0u8; 400],
+            };
+            assert!(store.insert(b, now).stored);
+            seq += 1;
+        }
+        assert!(watcher.service(&mut net, &mut rt, station), "re-armed");
+        assert_eq!(watcher.traps_sent, 2);
+
+        net.run_for(Ticks::from_millis(5));
+        assert_eq!(sink.service(&mut net), 2, "sink receives both alerts");
+        // Second varbind of a v2 trap is snmpTrapOID.0.
+        assert_eq!(
+            sink.traps[0].pdu.varbinds[1].value,
+            snmp::SnmpValue::Oid(qos_store_alert_trap_oid())
+        );
     }
 }

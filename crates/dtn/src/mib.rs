@@ -1,0 +1,79 @@
+//! SNMP instrumentation of the custody store: per-broker rows under
+//! `tassl.23.*`, served by the same embedded extension agent the
+//! brokers already run for their `tassl.21` overlay rows.
+
+use crate::store::StoreStatsHandle;
+use snmp::oid::arcs;
+use snmp::SnmpValue;
+
+/// Register broker `index`'s live store counters on an agent:
+/// `storedBundles.{index}` and `storedBytes.{index}` (Gauge32),
+/// `custodyTransfers.{index}`, `storeExpired.{index}` and
+/// `storeEvicted.{index}` (Counter32) — mirroring the broker overlay
+/// metric rows.
+pub fn install_store_metrics(agent: &mut snmp::SnmpAgent, index: u32, stats: &StoreStatsHandle) {
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::store_bundles(index), move || {
+            SnmpValue::Gauge32(s.stored_bundles().min(u32::MAX as u64) as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::store_bytes(index), move || {
+            SnmpValue::Gauge32(s.stored_bytes().min(u32::MAX as u64) as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::store_custody_transfers(index), move || {
+            SnmpValue::Counter32(s.custody_transfers() as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::store_expired(index), move || {
+            SnmpValue::Counter32(s.expired() as u32)
+        });
+    let s = stats.clone();
+    agent
+        .mib_mut()
+        .register_computed(arcs::store_evicted(index), move || {
+            SnmpValue::Counter32(s.evicted() as u32)
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snmp::SnmpAgent;
+
+    #[test]
+    fn rows_serve_live_counters() {
+        let stats = StoreStatsHandle::default();
+        let mut agent = SnmpAgent::new("broker-0", "public", None);
+        install_store_metrics(&mut agent, 0, &stats);
+        stats.note_custody_transfer();
+        assert_eq!(
+            agent.mib_mut().get(&arcs::store_bundles(0)),
+            Some(SnmpValue::Gauge32(0))
+        );
+        assert_eq!(
+            agent.mib_mut().get(&arcs::store_bytes(0)),
+            Some(SnmpValue::Gauge32(0))
+        );
+        assert_eq!(
+            agent.mib_mut().get(&arcs::store_custody_transfers(0)),
+            Some(SnmpValue::Counter32(1))
+        );
+        assert_eq!(
+            agent.mib_mut().get(&arcs::store_expired(0)),
+            Some(SnmpValue::Counter32(0))
+        );
+        assert_eq!(
+            agent.mib_mut().get(&arcs::store_evicted(0)),
+            Some(SnmpValue::Counter32(0))
+        );
+    }
+}

@@ -323,6 +323,15 @@ impl Network {
         &mut self.topo
     }
 
+    /// Whether a route currently exists from `a` to `b`. A `send`
+    /// between the pair would not fail with
+    /// [`NetError::Unreachable`] right now; it goes through the same
+    /// [`Topology::route_cached`] memo the data path uses, so probing
+    /// is cheap between topology changes.
+    pub fn reachable(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.topo.reachable(a, b)
+    }
+
     /// Cumulative traffic statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats

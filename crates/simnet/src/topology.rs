@@ -193,6 +193,21 @@ impl Topology {
         self.nodes.len()
     }
 
+    /// Monotone counter bumped by every mutation that can change which
+    /// routes exist (new links, link up/down, partitions, heals).
+    /// Callers that cache reachability decisions can compare epochs to
+    /// learn whether the graph moved under them.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a path currently exists from `src` to `dst`. Shares the
+    /// [`Topology::route_cached`] memo, so repeated probes between
+    /// topology mutations cost one lookup each.
+    pub fn reachable(&mut self, src: NodeId, dst: NodeId) -> bool {
+        self.route_cached(src, dst).is_some()
+    }
+
     /// Number of links.
     pub fn link_count(&self) -> usize {
         self.links.len()

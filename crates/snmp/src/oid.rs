@@ -261,6 +261,43 @@ pub mod arcs {
         self::broker().extend(&[4, broker])
     }
 
+    /// The custody-store (DTN federation) subtree: 99999.23. One row
+    /// per broker, like the 99999.21 overlay table.
+    pub fn dtn_store() -> Oid {
+        tassl().child(23)
+    }
+
+    /// storedBundles.{broker} — bundles currently held in the broker's
+    /// custody store (Gauge32).
+    pub fn store_bundles(broker: u32) -> Oid {
+        dtn_store().extend(&[1, broker])
+    }
+
+    /// storedBytes.{broker} — wire bytes currently held in the
+    /// broker's custody store (Gauge32).
+    pub fn store_bytes(broker: u32) -> Oid {
+        dtn_store().extend(&[2, broker])
+    }
+
+    /// custodyTransfers.{broker} — cumulative bundles this broker
+    /// handed off to a downstream custodian, acknowledged by a
+    /// custody-accepted signal (Counter32).
+    pub fn store_custody_transfers(broker: u32) -> Oid {
+        dtn_store().extend(&[3, broker])
+    }
+
+    /// storeExpired.{broker} — cumulative bundles dropped because
+    /// their lifetime elapsed before delivery (Counter32).
+    pub fn store_expired(broker: u32) -> Oid {
+        dtn_store().extend(&[4, broker])
+    }
+
+    /// storeEvicted.{broker} — cumulative unexpired bundles evicted to
+    /// keep the store within its byte/count quota (Counter32).
+    pub fn store_evicted(broker: u32) -> Oid {
+        dtn_store().extend(&[5, broker])
+    }
+
     /// The compiled-selector cache subtree: 99999.22. Scalars, not a
     /// table: each session agent serves its own endpoint's cache.
     pub fn selector_cache() -> Oid {

@@ -6,6 +6,11 @@
 //! site-local chatter never crosses the WAN while cross-site imagery
 //! still reaches exactly the interested endpoints.
 //!
+//! Act two cuts the WAN link to the clinic mid-collaboration: with
+//! the custody store enabled, the surgeon's follow-up notes park at
+//! the partition edge instead of vanishing, and drain to the
+//! radiologist — exactly once, in order — when the link heals.
+//!
 //! ```sh
 //! cargo run --example federated_domains
 //! ```
@@ -26,6 +31,12 @@ fn main() {
     // (clinic). Clients are attached to an explicit domain.
     let mut session = CollaborationSession::new(SessionConfig {
         domains: Some(3),
+        // Every broker carries a bounded custody store, so a WAN
+        // outage parks cross-site traffic instead of dropping it.
+        custody: Some(StoreConfig {
+            retry_after: Ticks::from_millis(10),
+            ..StoreConfig::default()
+        }),
         ..SessionConfig::default()
     });
     let engine = || InferenceEngine::new(PolicyDb::new(), QosContract::default());
@@ -97,4 +108,44 @@ fn main() {
         100.0 * sup as f64 / (sup + fwd).max(1) as f64
     );
     println!("flat multicast would have flooded every message to all five sites");
+
+    // Act two: the WAN link to the clinic goes down mid-consult. The
+    // surgeon keeps annotating the scan; with the link dead, broker 1
+    // (the partition edge) takes custody of each note and parks it in
+    // its bounded store rather than dropping it at the boundary.
+    let wan = session.inter_broker_link(1, 2).unwrap();
+    session.net.topology_mut().set_link_up(wan, false);
+    for i in 0..4 {
+        session
+            .share_chat(
+                surgeon,
+                &format!("scan note {i}: see slice {}", 12 + i),
+                "interested_in contains 'imagery'",
+            )
+            .unwrap();
+    }
+    session.pump(Ticks::from_millis(150));
+    let parked = session.store_stats(1).unwrap();
+    println!(
+        "\nWAN outage (command post <-> clinic): {} notes parked at broker 1 \
+         ({} bytes in custody), radiologist received {}",
+        parked.stored_bundles(),
+        parked.stored_bytes(),
+        session.client(radiologist).chat.log.len(),
+    );
+
+    // Heal: the store drains through the normal selector-covering
+    // path with duplicate suppression — exactly once, in order.
+    session.net.topology_mut().set_link_up(wan, true);
+    session.pump(Ticks::from_millis(300));
+    let drained = session.store_stats(1).unwrap();
+    println!(
+        "link healed: broker 1 store drained to {} bundles after {} custody \
+         transfers; radiologist's log:",
+        drained.stored_bundles(),
+        drained.custody_transfers(),
+    );
+    for (_, line) in &session.client(radiologist).chat.log {
+        println!("  {line}");
+    }
 }

@@ -57,6 +57,7 @@
 
 pub use broker;
 pub use cqos_core as core;
+pub use dtn;
 pub use media;
 pub use sempubsub;
 pub use simnet;
@@ -75,6 +76,7 @@ pub mod prelude {
     pub use cqos_core::policy::{AdaptationAction, AdaptationPolicy, PolicyDb};
     pub use cqos_core::session::{CollaborationSession, SessionConfig};
     pub use cqos_core::transformer::{MediaKind, MediaObject, TransformerRegistry};
+    pub use dtn::{Bundle, CustodyStore, StoreConfig, StoreStatsHandle};
     pub use media::image::{synthetic_scene, Scene};
     pub use media::Image;
     pub use sempubsub::{AttrValue, Profile, Selector, TransformCap};

@@ -925,6 +925,146 @@ fn engine_sessions_identical_across_worker_counts() {
     }
 }
 
+// ------------------------------------------------- custody federation
+
+/// Drive a 2-domain custody-enabled session through a scripted
+/// inter-broker partition: publish `burst` chat lines while the link
+/// is down, then heal and drain. Returns the texter's chat trace plus
+/// the custody counters that describe what the store did.
+fn run_custody_session_under_plan(
+    workers: usize,
+    seed: u64,
+    lifetime: Ticks,
+    heal_after: Ticks,
+    burst: usize,
+) -> (Vec<String>, u64, u64, u64, String) {
+    use collabqos::dtn::StoreConfig;
+
+    let mut session = CollaborationSession::new(SessionConfig {
+        seed,
+        workers,
+        domains: Some(2),
+        custody: Some(StoreConfig {
+            lifetime,
+            retry_after: Ticks::from_millis(10),
+            ..StoreConfig::default()
+        }),
+        ..SessionConfig::default()
+    });
+    let mut profile = Profile::new("publisher");
+    profile.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("image")]),
+    );
+    let publisher = session
+        .add_wired_client_in_domain(
+            profile,
+            InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+            SimHost::idle("publisher"),
+            0,
+        )
+        .unwrap();
+    let mut p = Profile::new("texter");
+    p.set(
+        "interested_in",
+        AttrValue::List(vec![AttrValue::str("text")]),
+    );
+    let texter = session
+        .add_wired_client_in_domain(
+            p,
+            InferenceEngine::new(PolicyDb::new(), QosContract::default()),
+            SimHost::idle("texter"),
+            1,
+        )
+        .unwrap();
+
+    let link = session.inter_broker_link(0, 1).unwrap();
+    let t0 = session.net.now();
+    let plan = FaultPlan::new()
+        .at(t0 + Ticks::from_millis(2), FaultAction::LinkDown(link))
+        .at(t0 + heal_after, FaultAction::LinkUp(link));
+    let ctx = format!("seed {seed}, workers {workers}, fault plan:\n{plan}");
+    session.net.set_fault_plan(plan);
+
+    // Into the outage, then the burst: every line is wrapped as a
+    // bundle and parked in broker 0's custody store.
+    session.pump(Ticks::from_millis(5));
+    for k in 0..burst {
+        session
+            .share_chat(
+                publisher,
+                &format!("line {k}"),
+                "interested_in contains 'text'",
+            )
+            .unwrap();
+    }
+    // Pump across the heal (and, in the expiry scenario, far past
+    // every bundle's deadline) so the store fully drains or expires.
+    session.pump(heal_after + Ticks::from_millis(200));
+    let stats = session.store_stats(0).unwrap();
+    (
+        session
+            .client(texter)
+            .chat
+            .log
+            .iter()
+            .map(|(_, line)| line.clone())
+            .collect(),
+        stats.stored_bundles(),
+        stats.custody_transfers(),
+        stats.expired(),
+        ctx,
+    )
+}
+
+/// Acceptance: partition + publish burst + heal delivers every
+/// non-expired message exactly once, in publish order — and the whole
+/// trace is bit-identical between 1 and 4 workers.
+#[test]
+fn custody_partition_burst_heal_delivers_exactly_once_in_order() {
+    let seed = chaos_seed(1212);
+    let lifetime = Ticks::from_secs(30);
+    let heal_after = Ticks::from_millis(100);
+    let (log, stored, transfers, expired, ctx) =
+        run_custody_session_under_plan(1, seed, lifetime, heal_after, 6);
+    assert_eq!(
+        log,
+        (0..6).map(|k| format!("line {k}")).collect::<Vec<_>>(),
+        "every line delivered exactly once, in order, after the heal\n{ctx}"
+    );
+    assert_eq!(stored, 0, "store drained\n{ctx}");
+    assert_eq!(transfers, 6, "each bundle released exactly once\n{ctx}");
+    assert_eq!(expired, 0, "nothing expired under a 30 s lifetime\n{ctx}");
+
+    let sharded = run_custody_session_under_plan(4, seed, lifetime, heal_after, 6);
+    assert_eq!(
+        (&sharded.0, sharded.1, sharded.2, sharded.3),
+        (&log, stored, transfers, expired),
+        "custody trace diverged across worker counts\n{ctx}"
+    );
+}
+
+/// Lifetime expiry: when the partition outlasts every bundle's
+/// lifetime, the store expires them in place — nothing is delivered
+/// after the heal, nothing is duplicated, and the expiry counter
+/// accounts for the whole burst.
+#[test]
+fn custody_lifetime_expiry_drops_the_burst_cleanly() {
+    let seed = chaos_seed(1313);
+    let lifetime = Ticks::from_millis(20);
+    let heal_after = Ticks::from_millis(300);
+    let (log, stored, transfers, expired, ctx) =
+        run_custody_session_under_plan(1, seed, lifetime, heal_after, 4);
+    assert_eq!(
+        log,
+        Vec::<String>::new(),
+        "expired bundles must never be delivered\n{ctx}"
+    );
+    assert_eq!(stored, 0, "expired bundles leave the store\n{ctx}");
+    assert_eq!(transfers, 0, "{ctx}");
+    assert_eq!(expired, 4, "the whole burst expired in custody\n{ctx}");
+}
+
 #[test]
 fn session_chaos_trace_identical_across_worker_counts() {
     // Client links are created in join order: publisher = LinkId(0),

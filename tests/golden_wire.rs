@@ -304,6 +304,106 @@ fn snmp_qos_congestion_alert_trap_matches_rfc_encoding() {
     assert_eq!(msg.pdu.varbinds[2].name, arcs::host_congestion());
 }
 
+/// `GetResponse` carrying the custody store's per-broker MIB row for
+/// broker 0 — storedBundles.0 / storedBytes.0 (Gauge32) plus the
+/// custodyTransfers / expired / evicted counters — exactly as a
+/// station polling the DTN store subtree (99999.23) of a broker agent
+/// sees it on the wire.
+#[test]
+fn snmp_store_row_response_matches_rfc_encoding() {
+    let msg = Message::new(
+        "public",
+        Pdu {
+            kind: PduKind::Response,
+            request_id: 13,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds: vec![
+                VarBind::bound(arcs::store_bundles(0), SnmpValue::Gauge32(3)),
+                VarBind::bound(arcs::store_bytes(0), SnmpValue::Gauge32(450)),
+                VarBind::bound(arcs::store_custody_transfers(0), SnmpValue::Counter32(3)),
+                VarBind::bound(arcs::store_expired(0), SnmpValue::Counter32(1)),
+                VarBind::bound(arcs::store_evicted(0), SnmpValue::Counter32(0)),
+            ],
+        },
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x73, // SEQUENCE, 115 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA2, 0x66, // Response PDU, 102 bytes
+        0x02, 0x01, 0x0D, // request-id = 13
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x5B, // varbind list
+        0x30, 0x10, // varbind: storedBundles.0 = Gauge32 3
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x17, 0x01, 0x00, //
+        0x42, 0x01, 0x03, //
+        0x30, 0x11, // varbind: storedBytes.0 = Gauge32 450
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x17, 0x02, 0x00, //
+        0x42, 0x02, 0x01, 0xC2, //
+        0x30, 0x10, // varbind: custodyTransfers.0 = Counter32 3
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x17, 0x03, 0x00, //
+        0x41, 0x01, 0x03, //
+        0x30, 0x10, // varbind: storeExpired.0 = Counter32 1
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x17, 0x04, 0x00, //
+        0x41, 0x01, 0x01, //
+        0x30, 0x10, // varbind: storeEvicted.0 = Counter32 0
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x17, 0x05, 0x00, //
+        0x41, 0x01, 0x00, //
+    ];
+    assert_eq!(msg.encode(), expected);
+    assert_eq!(Message::decode(&expected).unwrap(), msg);
+}
+
+/// An SNMPv2-Trap carrying the qosStoreAlert notification (tassl.12)
+/// with the storedBytes gauge — emitted by a broker whose custody
+/// store crossed its high-watermark during a partition, warning the
+/// station *before* deterministic eviction starts discarding
+/// unexpired bundles.
+#[test]
+fn snmp_qos_store_alert_trap_matches_rfc_encoding() {
+    let mut agent = SnmpAgent::new("broker-0", "public", None);
+    let raw = agent.build_trap(
+        1234,
+        arcs::tassl().child(12), // qosStoreAlert notification OID
+        vec![VarBind::bound(
+            arcs::store_bytes(0),
+            SnmpValue::Gauge32(450),
+        )],
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x54, // SEQUENCE, 84 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA7, 0x47, // SNMPv2-Trap PDU, 71 bytes
+        0x02, 0x01, 0x00, // request-id = 0
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x3C, // varbind list
+        0x30, 0x0E, // varbind: sysUpTime.0 = TimeTicks 1234
+        0x06, 0x08, 0x2B, 0x06, 0x01, 0x02, 0x01, 0x01, 0x03, 0x00, //
+        0x43, 0x02, 0x04, 0xD2, //
+        0x30, 0x17, // varbind: snmpTrapOID.0 = qosStoreAlert
+        0x06, 0x0A, 0x2B, 0x06, 0x01, 0x06, 0x03, 0x01, 0x01, 0x04, 0x01, 0x00, //
+        0x06, 0x09, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x0C, //
+        0x30, 0x11, // varbind: storedBytes.0 = Gauge32 450
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x17, 0x02, 0x00, //
+        0x42, 0x02, 0x01, 0xC2, //
+    ];
+    assert_eq!(raw, expected);
+    // The golden bytes decode to a well-formed trap.
+    let msg = Message::decode(&expected).unwrap();
+    assert_eq!(msg.pdu.kind, PduKind::TrapV2);
+    assert_eq!(msg.pdu.varbinds.len(), 3);
+    assert_eq!(
+        msg.pdu.varbinds[1].value,
+        SnmpValue::Oid(arcs::tassl().child(12))
+    );
+    assert_eq!(msg.pdu.varbinds[2].name, arcs::store_bytes(0));
+}
+
 /// The 1.3.6.1 prefix must pack to the classic 0x2B first byte.
 #[test]
 fn snmp_oid_prefix_byte() {
