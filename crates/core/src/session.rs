@@ -232,6 +232,10 @@ pub struct CollaborationSession {
     /// One custody-store high-watermark watcher per broker, when
     /// `SessionConfig::custody` is set.
     store_watchers: Vec<crate::trapwatch::StoreWatcher>,
+    /// One plan-ceiling watcher per subscriber leaf of each mounted
+    /// shaping tree, paired with the client whose extension agent
+    /// emits the trap.
+    plan_watchers: Vec<(ClientId, crate::trapwatch::PlanWatcher)>,
     /// Lock-free per-shard delivery/drop counters, one per pump worker
     /// (sized on first pump). Readable live from any thread.
     shard_counters: Vec<crate::shard::ShardCounters>,
@@ -303,6 +307,7 @@ impl CollaborationSession {
             broker_agents,
             broker_credited,
             store_watchers,
+            plan_watchers: Vec::new(),
             shard_counters: Vec::new(),
         }
     }
@@ -488,6 +493,31 @@ impl CollaborationSession {
         handle
     }
 
+    /// Mount a hierarchical shaping tree (HTB-style borrowing,
+    /// per-subscriber CoDel, rate-plan enforcement) on a client's
+    /// access link — in flat mode that link carries every outbound
+    /// flow of the client, so the tree models a shared ISP uplink with
+    /// one leaf per destination. Exposes the per-node counters as
+    /// `tassl.24.*` table rows through the client's SNMP extension
+    /// agent and arms one `qosPlanAlert` watcher (95% ceiling
+    /// utilisation) per subscriber leaf; service them with
+    /// [`CollaborationSession::service_plan_alerts`]. Returns the
+    /// stats handle for direct inspection. Sessions without a tree
+    /// behave bit-identically to before the tree existed.
+    pub fn attach_tree(&mut self, id: ClientId, spec: htb::TreeSpec) -> htb::TreeStatsHandle {
+        let subscribers = spec.subscriber_nodes();
+        let link = self.clients[id].link;
+        let handle = self.net.attach_tree(link, spec);
+        crate::trapwatch::install_tree_metrics(&mut self.agents[id].agent, &handle);
+        for (node, _dst) in subscribers {
+            self.plan_watchers.push((
+                id,
+                crate::trapwatch::PlanWatcher::new(node as u32, handle.clone(), 95.0),
+            ));
+        }
+        handle
+    }
+
     // ------------------------------------------------------- brokered
 
     /// The broker overlay, in brokered mode.
@@ -556,6 +586,21 @@ impl CollaborationSession {
             .zip(self.broker_agents.iter_mut())
         {
             if w.service(&mut self.net, rt, sink_node) {
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    /// Measure every subscriber leaf's ceiling utilisation over the
+    /// window since the previous call and emit `qosPlanAlert` traps to
+    /// `sink_node` for leaves that just crossed sustained saturation.
+    /// Returns the number of traps sent. Edge-triggered: a leaf
+    /// re-alerts only after a window back below the threshold.
+    pub fn service_plan_alerts(&mut self, sink_node: simnet::NodeId) -> usize {
+        let mut sent = 0;
+        for (id, w) in self.plan_watchers.iter_mut() {
+            if w.service(&mut self.net, &mut self.agents[*id], sink_node) {
                 sent += 1;
             }
         }

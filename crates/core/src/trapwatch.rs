@@ -40,6 +40,14 @@ pub fn qos_store_alert_trap_oid() -> Oid {
     arcs::tassl().child(12)
 }
 
+/// Trap OID for a rate-plan alert from the hierarchical shaping tree
+/// (tasslQosPlanAlert = 1.3.6.1.4.1.99999.13): a subscriber leaf has
+/// been saturating its plan ceiling over a sustained window — the
+/// subscriber is paying for less capacity than they are trying to use.
+pub fn qos_plan_alert_trap_oid() -> Oid {
+    arcs::tassl().child(13)
+}
+
 /// Crossing direction that arms a watch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -334,6 +342,88 @@ impl StoreWatcher {
     }
 }
 
+/// Watches one subscriber leaf of a hierarchical shaping tree and
+/// emits a `qosPlanAlert` trap when the leaf's measured throughput
+/// saturates its plan ceiling over a sustained window.
+///
+/// Utilisation is computed from deltas of the leaf's `bits_sent`
+/// counter between consecutive [`PlanWatcher::service`] calls, so the
+/// polling cadence *is* the averaging window: call it once per
+/// reporting interval. Edge-triggered like every other watch — one
+/// trap per crossing, re-armed when utilisation falls back below the
+/// threshold.
+pub struct PlanWatcher {
+    node: u32,
+    stats: htb::TreeStatsHandle,
+    watch: Watch,
+    last_bits: u64,
+    last_us: u64,
+    /// Traps emitted so far.
+    pub traps_sent: u64,
+}
+
+impl PlanWatcher {
+    /// Watch tree node `node` (a subscriber leaf index into `stats`),
+    /// firing when its windowed ceiling utilisation rises to or above
+    /// `threshold_pct` percent.
+    pub fn new(node: u32, stats: htb::TreeStatsHandle, threshold_pct: f64) -> PlanWatcher {
+        PlanWatcher {
+            node,
+            stats,
+            watch: Watch::rising("congestion_pct", arcs::htb_node_util(node), threshold_pct),
+            last_bits: 0,
+            last_us: 0,
+            traps_sent: 0,
+        }
+    }
+
+    /// The tree node this watcher observes.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Ceiling utilisation (percent) over the window ending at `now_us`
+    /// and starting at the previous call; advances the window.
+    fn utilization_pct(&mut self, now_us: u64) -> f64 {
+        let bits = self.stats.bits_sent(self.node as usize);
+        let delta_bits = bits.saturating_sub(self.last_bits);
+        let dt_us = now_us.saturating_sub(self.last_us);
+        self.last_bits = bits;
+        self.last_us = now_us;
+        let ceil = self.stats.ceil_bps(self.node as usize);
+        if dt_us == 0 || ceil == 0 {
+            return 0.0;
+        }
+        delta_bits as f64 * 1e6 * 100.0 / (ceil as f64 * dt_us as f64)
+    }
+
+    /// Measure the window ending now; emit a trap towards `sink_node`
+    /// on a fresh crossing. Returns true when a trap was sent.
+    pub fn service(
+        &mut self,
+        net: &mut Network,
+        agent_rt: &mut AgentRuntime,
+        sink_node: simnet::NodeId,
+    ) -> bool {
+        let pct = self.utilization_pct(net.now().as_micros());
+        if self.watch.evaluate(pct) {
+            agent_rt.send_trap(
+                net,
+                sink_node,
+                qos_plan_alert_trap_oid(),
+                vec![VarBind::bound(
+                    arcs::htb_node_util(self.node),
+                    SnmpValue::Gauge32(pct.round().clamp(0.0, u32::MAX as f64) as u32),
+                )],
+            );
+            self.traps_sent += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Expose a mounted traffic-control plane's live counters as MIB
 /// variables on `agent`: `qdiscBacklog.{link}` (Gauge32, queued
 /// bytes), `qdiscDrops.{link}` (Counter32, tail + AQM drops) and
@@ -365,6 +455,57 @@ pub fn install_qdisc_metrics(
         .register_computed(arcs::qdisc_ecn_marks(link.0), move || {
             SnmpValue::Counter32(s.ecn_marks.load(Ordering::Relaxed) as u32)
         });
+}
+
+/// Expose a mounted shaping tree's per-node counters as MIB table rows
+/// on `agent` (`tassl.24.<col>.<node>`): `htbNodeRate` / `htbNodeCeil`
+/// (Gauge32, kbit/s so multi-gigabit uplinks fit, ifHighSpeed-style),
+/// `htbNodeBacklog` (Gauge32, queued bytes in the subtree),
+/// `htbNodeDrops`, `htbNodeEcnMarks` and `htbNodeBorrowedBits`
+/// (Counter32). The handle comes from
+/// [`simnet::Network::attach_tree`]; the agent samples it at query
+/// time, so GETs always see the current values.
+pub fn install_tree_metrics(agent: &mut snmp::SnmpAgent, stats: &htb::TreeStatsHandle) {
+    let gauge = |v: u64| SnmpValue::Gauge32(v.min(u32::MAX as u64) as u32);
+    for node in 0..stats.node_count() {
+        let n = node as u32;
+        let s = stats.clone();
+        agent
+            .mib_mut()
+            .register_computed(arcs::htb_node_rate(n), move || {
+                gauge(s.rate_bps(node) / 1_000)
+            });
+        let s = stats.clone();
+        agent
+            .mib_mut()
+            .register_computed(arcs::htb_node_ceil(n), move || {
+                gauge(s.ceil_bps(node) / 1_000)
+            });
+        let s = stats.clone();
+        agent
+            .mib_mut()
+            .register_computed(arcs::htb_node_backlog(n), move || {
+                gauge(s.backlog_bytes(node))
+            });
+        let s = stats.clone();
+        agent
+            .mib_mut()
+            .register_computed(arcs::htb_node_drops(n), move || {
+                SnmpValue::Counter32(s.drops(node) as u32)
+            });
+        let s = stats.clone();
+        agent
+            .mib_mut()
+            .register_computed(arcs::htb_node_ecn_marks(n), move || {
+                SnmpValue::Counter32(s.ecn_marks(node) as u32)
+            });
+        let s = stats.clone();
+        agent
+            .mib_mut()
+            .register_computed(arcs::htb_node_borrowed_bits(n), move || {
+                SnmpValue::Counter32(s.borrowed_bits(node) as u32)
+            });
+    }
 }
 
 /// Expose a bus endpoint's compiled-selector cache counters as MIB
@@ -404,7 +545,8 @@ pub fn decision_from_trap(
     // varbind[1] is snmpTrapOID.0 per the SNMPv2 trap layout.
     let trap_oid = trap.pdu.varbinds.get(1)?;
     let known = trap_oid.value == SnmpValue::Oid(qos_alert_trap_oid())
-        || trap_oid.value == SnmpValue::Oid(qos_congestion_alert_trap_oid());
+        || trap_oid.value == SnmpValue::Oid(qos_congestion_alert_trap_oid())
+        || trap_oid.value == SnmpValue::Oid(qos_plan_alert_trap_oid());
     if !known {
         return None;
     }
@@ -419,6 +561,10 @@ pub fn decision_from_trap(
         } else if vb.name == arcs::host_rtp_loss() {
             "loss_pct"
         } else if vb.name == arcs::host_congestion() {
+            "congestion_pct"
+        } else if vb.name.starts_with(&arcs::htb().child(7)) {
+            // htbNodeUtil.<node>: plan-ceiling saturation feeds the
+            // same congestion band as ECN-echo marking.
             "congestion_pct"
         } else {
             continue;
@@ -656,6 +802,148 @@ mod tests {
             .get_f64(&mut net, &mut refs, a, &arcs::qdisc_backlog(link.0))
             .unwrap();
         assert_eq!(drained, 0.0, "backlog gauge follows the live queue");
+    }
+
+    /// Shared-uplink world for the shaping-tree tests: a core node
+    /// whose access link carries one bronze subscriber (1M assured /
+    /// 2M ceiling), plus a management station off to the side.
+    /// Returns `(net, stats, rt, sink, station, core, sub)`; the
+    /// subscriber leaf is node 3 (0 root, 1 default, 2 site, 3 sub).
+    fn tree_world() -> (
+        Network,
+        htb::TreeStatsHandle,
+        AgentRuntime,
+        TrapSink,
+        simnet::NodeId,
+        simnet::NodeId,
+        simnet::NodeId,
+    ) {
+        let mut net = Network::new(21);
+        let core = net.add_node("core");
+        let sub = net.add_node("sub");
+        let station = net.add_node("station");
+        let uplink = net.connect(core, sub, LinkSpec::lan());
+        net.connect(core, station, LinkSpec::lan());
+
+        let mut spec = htb::TreeSpec::new(8_000_000);
+        let site = spec.add_site("site", 8_000_000, 8_000_000);
+        let plan = htb::RatePlan::new("bronze", 1_000_000, 2_000_000);
+        spec.add_subscriber(site, "sub", &plan, sub.0);
+        let stats = net.attach_tree(uplink, spec);
+
+        let mut agent = SnmpAgent::new("core", "public", None);
+        install_tree_metrics(&mut agent, &stats);
+        let rt = AgentRuntime::bind(&mut net, core, agent).unwrap();
+        let sink = TrapSink::bind(&mut net, station).unwrap();
+        (net, stats, rt, sink, station, core, sub)
+    }
+
+    /// Saturate the bronze leaf's ceiling from `core` towards `sub`
+    /// for `ms` milliseconds of simulated time.
+    fn saturate(net: &mut Network, core: simnet::NodeId, sub: simnet::NodeId, port: u16, ms: u64) {
+        use simnet::{Addr, Port};
+        let src = net.bind(core, Port(port)).unwrap();
+        let _dst = net.bind(sub, Port(port)).unwrap();
+        for _ in 0..120 {
+            net.send(src, Addr::unicast(sub, Port(port)), vec![0u8; 1_000])
+                .unwrap();
+        }
+        net.run_for(Ticks::from_millis(ms));
+    }
+
+    #[test]
+    fn plan_alert_fires_on_sustained_ceiling_saturation() {
+        let (mut net, stats, mut rt, mut sink, station, core, sub) = tree_world();
+        let mut watcher = PlanWatcher::new(3, stats, 95.0);
+        assert_eq!(watcher.node(), 3);
+
+        // Idle window: utilisation zero, nothing fires.
+        net.run_for(Ticks::from_millis(10));
+        assert!(!watcher.service(&mut net, &mut rt, station));
+
+        // 120 kB offered against a 2 Mbit/s ceiling saturates the
+        // leaf for the whole 100 ms window.
+        saturate(&mut net, core, sub, 7100, 100);
+        assert!(watcher.service(&mut net, &mut rt, station));
+        assert!(
+            !watcher.service(&mut net, &mut rt, station),
+            "edge-triggered: the crossing already fired"
+        );
+
+        // Let the backlog drain and the subscriber go quiet: the next
+        // window is far below threshold, which re-arms the watch.
+        net.run_to_quiescence();
+        net.run_for(Ticks::from_millis(500));
+        assert!(!watcher.service(&mut net, &mut rt, station));
+        saturate(&mut net, core, sub, 7101, 100);
+        assert!(watcher.service(&mut net, &mut rt, station), "re-armed");
+        assert_eq!(watcher.traps_sent, 2);
+
+        net.run_for(Ticks::from_millis(5));
+        assert_eq!(sink.service(&mut net), 2);
+        assert_eq!(
+            sink.traps[0].pdu.varbinds[1].value,
+            SnmpValue::Oid(qos_plan_alert_trap_oid())
+        );
+        // The saturation trap feeds the existing congestion band: a
+        // leaf pinned at its ceiling downgrades modality exactly like
+        // heavy ECN-echo marking would.
+        let engine = InferenceEngine::new(PolicyDb::congestion_policy(), QosContract::default());
+        let decision = decision_from_trap(&engine, &sink.traps[0]).expect("plan alert");
+        assert_eq!(
+            decision.modality,
+            crate::inference::ModalityChoice::Text,
+            "~100% ceiling utilisation lands in the heaviest congestion band"
+        );
+    }
+
+    #[test]
+    fn tree_rows_visible_over_snmp() {
+        use simnet::Port;
+        use snmp::manager::SnmpManager;
+
+        let (mut net, _stats, mut rt, _sink, _station, core, sub) = tree_world();
+        saturate(&mut net, core, sub, 7100, 400);
+        net.run_to_quiescence();
+
+        let mgr_node = net.add_node("mgr");
+        net.connect(mgr_node, core, LinkSpec::lan());
+        let mut mgr = SnmpManager::bind(&mut net, mgr_node, Port(30010), "public").unwrap();
+        let mut refs: Vec<&mut AgentRuntime> = vec![&mut rt];
+        let get = |mgr: &mut SnmpManager,
+                   net: &mut Network,
+                   refs: &mut Vec<&mut AgentRuntime>,
+                   oid: &Oid| { mgr.get_f64(net, refs, core, oid).unwrap() };
+
+        // Static plan columns, in kbit/s (ifHighSpeed-style).
+        assert_eq!(
+            get(&mut mgr, &mut net, &mut refs, &arcs::htb_node_rate(3)),
+            1_000.0
+        );
+        assert_eq!(
+            get(&mut mgr, &mut net, &mut refs, &arcs::htb_node_ceil(3)),
+            2_000.0
+        );
+        assert_eq!(
+            get(&mut mgr, &mut net, &mut refs, &arcs::htb_node_ceil(0)),
+            8_000.0
+        );
+
+        // 120 kB at 1 Mbit/s assured takes ~960 ms; the run was capped
+        // at 400 ms, so the second half rode on borrowed site tokens
+        // and the ledger says so over SNMP.
+        let borrowed = get(
+            &mut mgr,
+            &mut net,
+            &mut refs,
+            &arcs::htb_node_borrowed_bits(3),
+        );
+        assert!(borrowed > 0.0, "sustained over-assured sending borrows");
+        // Drained queue: the backlog gauge follows the live tree.
+        assert_eq!(
+            get(&mut mgr, &mut net, &mut refs, &arcs::htb_node_backlog(0)),
+            0.0
+        );
     }
 
     #[test]

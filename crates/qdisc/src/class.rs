@@ -84,16 +84,23 @@ impl ClassMap {
         }
     }
 
+    /// Start building a map with `default` as the fall-through class.
+    pub fn builder(default: TrafficClass) -> ClassMapBuilder {
+        ClassMapBuilder {
+            map: ClassMap::new(default),
+        }
+    }
+
     /// The collabqos defaults: SNMP (161/162) and RTCP feedback (5005)
     /// are `Control`, RTP media (5004) is `InteractiveMedia`, everything
     /// else is `Background`.
     pub fn collabqos_default() -> Self {
-        let mut m = ClassMap::new(TrafficClass::Background);
-        m.assign(161, TrafficClass::Control);
-        m.assign(162, TrafficClass::Control);
-        m.assign(5005, TrafficClass::Control);
-        m.assign(5004, TrafficClass::InteractiveMedia);
-        m
+        ClassMap::builder(TrafficClass::Background)
+            .route(161, TrafficClass::Control)
+            .route(162, TrafficClass::Control)
+            .route(5005, TrafficClass::Control)
+            .route(5004, TrafficClass::InteractiveMedia)
+            .build()
     }
 
     /// Route `port` to `class`, replacing any existing rule for it.
@@ -112,6 +119,37 @@ impl ClassMap {
             .find(|(p, _)| *p == port)
             .map(|(_, c)| *c)
             .unwrap_or(self.default)
+    }
+
+    /// The configured port rules, in insertion order.
+    pub fn rules(&self) -> &[(u16, TrafficClass)] {
+        &self.rules
+    }
+
+    /// The fall-through class for unmatched ports.
+    pub fn default_class(&self) -> TrafficClass {
+        self.default
+    }
+}
+
+/// Chainable constructor for a [`ClassMap`], so deployments can declare
+/// their port plan in one expression and hand the same map to every
+/// per-link qdisc and shaping-tree leaf classifier.
+#[derive(Clone, Debug)]
+pub struct ClassMapBuilder {
+    map: ClassMap,
+}
+
+impl ClassMapBuilder {
+    /// Route `port` to `class` (replacing any earlier rule for it).
+    pub fn route(mut self, port: u16, class: TrafficClass) -> Self {
+        self.map.assign(port, class);
+        self
+    }
+
+    /// Finish, yielding the configured map.
+    pub fn build(self) -> ClassMap {
+        self.map
     }
 }
 
@@ -142,5 +180,34 @@ mod tests {
         m.assign(5004, TrafficClass::BulkMedia);
         assert_eq!(m.classify(5004), TrafficClass::BulkMedia);
         assert_eq!(m.rules.iter().filter(|(p, _)| *p == 5004).count(), 1);
+    }
+
+    #[test]
+    fn builder_matches_imperative_construction() {
+        let built = ClassMap::builder(TrafficClass::Background)
+            .route(161, TrafficClass::Control)
+            .route(162, TrafficClass::Control)
+            .route(5005, TrafficClass::Control)
+            .route(5004, TrafficClass::InteractiveMedia)
+            .build();
+        let mut assigned = ClassMap::new(TrafficClass::Background);
+        assigned.assign(161, TrafficClass::Control);
+        assigned.assign(162, TrafficClass::Control);
+        assigned.assign(5005, TrafficClass::Control);
+        assigned.assign(5004, TrafficClass::InteractiveMedia);
+        assert_eq!(built, assigned);
+        assert_eq!(built, ClassMap::collabqos_default(), "defaults unchanged");
+        assert_eq!(built.rules().len(), 4);
+        assert_eq!(built.default_class(), TrafficClass::Background);
+    }
+
+    #[test]
+    fn builder_last_route_wins() {
+        let m = ClassMap::builder(TrafficClass::Background)
+            .route(8080, TrafficClass::BulkMedia)
+            .route(8080, TrafficClass::Control)
+            .build();
+        assert_eq!(m.classify(8080), TrafficClass::Control);
+        assert_eq!(m.rules().len(), 1, "replacement, not duplication");
     }
 }

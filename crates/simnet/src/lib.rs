@@ -41,6 +41,7 @@
 //! assert_eq!(dgram.payload, b"hello");
 //! ```
 
+pub use htb;
 pub use qdisc;
 
 pub mod event;

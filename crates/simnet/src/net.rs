@@ -18,6 +18,7 @@ use crate::time::{SimClock, Ticks};
 use crate::topology::{LinkId, LinkSpec, NodeId, Topology};
 use crate::trace::{NetStats, NetStatsHandle};
 use crate::wheel::TimingWheel;
+use htb::{ShapingTree, TreeSpec, TreeStatsHandle};
 use qdisc::{EnqueueOutcome, Qdisc, QdiscConfig, QdiscStats, StatsHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -152,11 +153,27 @@ enum NetEvent {
         link: u32,
         gen: u64,
     },
+    /// Serve one packet from the shaping tree on `link`. `gen`
+    /// invalidates events superseded by an earlier reschedule.
+    TreeService {
+        link: u32,
+        gen: u64,
+    },
 }
 
 /// A mounted traffic-control plane plus its service scheduling state.
 struct LinkQdisc {
     q: Qdisc<InFlight>,
+    /// Instant of the currently scheduled service event, if any.
+    service_at: Option<Ticks>,
+    /// Generation of the live service event; stale events are ignored.
+    gen: u64,
+}
+
+/// A mounted hierarchical shaping tree plus its service scheduling
+/// state (the tree-shaped analogue of [`LinkQdisc`]).
+struct LinkTree {
+    tree: ShapingTree<InFlight>,
     /// Instant of the currently scheduled service event, if any.
     service_at: Option<Ticks>,
     /// Generation of the live service event; stale events are ignored.
@@ -195,6 +212,11 @@ pub struct Network {
     /// scan when nothing is mounted anywhere.
     qdiscs: Vec<Option<LinkQdisc>>,
     qdisc_count: usize,
+    /// Hierarchical shaping trees indexed by dense link id (`None`
+    /// where none is mounted); `tree_count` short-circuits the
+    /// per-path scan exactly like `qdisc_count`.
+    trees: Vec<Option<LinkTree>>,
+    tree_count: usize,
 }
 
 impl Network {
@@ -216,6 +238,8 @@ impl Network {
             plan_next: 0,
             qdiscs: Vec::new(),
             qdisc_count: 0,
+            trees: Vec::new(),
+            tree_count: 0,
         }
     }
 
@@ -243,6 +267,10 @@ impl Network {
     /// FIFO model bit-for-bit. Returns a handle to the plane's live
     /// aggregate counters (for SNMP instrumentation).
     pub fn attach_qdisc(&mut self, link: LinkId, cfg: QdiscConfig) -> StatsHandle {
+        assert!(
+            self.tree_ref(link.0).is_none(),
+            "link already has a shaping tree mounted"
+        );
         let q: Qdisc<InFlight> = Qdisc::new(cfg);
         let handle = q.shared_stats();
         let idx = link.0 as usize;
@@ -268,6 +296,50 @@ impl Network {
     /// Snapshot of the per-class counters of the plane on `link`.
     pub fn qdisc_stats(&self, link: LinkId) -> Option<QdiscStats> {
         self.qdisc_ref(link.0).map(|lq| lq.q.stats().clone())
+    }
+
+    /// The shaping tree mounted on link `id`, if any.
+    fn tree_ref(&self, id: u32) -> Option<&LinkTree> {
+        self.trees.get(id as usize).and_then(|t| t.as_ref())
+    }
+
+    fn tree_mut(&mut self, id: u32) -> Option<&mut LinkTree> {
+        self.trees.get_mut(id as usize).and_then(|t| t.as_mut())
+    }
+
+    /// Mount a hierarchical shaping tree on `link`. All traffic
+    /// crossing the link is then routed to the subscriber leaf bound
+    /// to its destination node (or the default leaf), shaped by the
+    /// HTB borrowing hierarchy, and subject to that leaf's own CoDel
+    /// AQM. Links without a tree keep the plain analytic FIFO model
+    /// bit-for-bit. A link carries either a qdisc or a tree, never
+    /// both. Returns a handle to the tree's live per-node counters
+    /// (for SNMP instrumentation).
+    pub fn attach_tree(&mut self, link: LinkId, spec: TreeSpec) -> TreeStatsHandle {
+        assert!(
+            self.qdisc_ref(link.0).is_none(),
+            "link already has a qdisc mounted"
+        );
+        let tree: ShapingTree<InFlight> = ShapingTree::new(spec);
+        let handle = tree.shared_stats();
+        let idx = link.0 as usize;
+        if idx >= self.trees.len() {
+            self.trees.resize_with(idx + 1, || None);
+        }
+        if self.trees[idx].is_none() {
+            self.tree_count += 1;
+        }
+        self.trees[idx] = Some(LinkTree {
+            tree,
+            service_at: None,
+            gen: 0,
+        });
+        handle
+    }
+
+    /// Whether `link` has a shaping tree mounted.
+    pub fn tree_attached(&self, link: LinkId) -> bool {
+        self.tree_ref(link.0).is_some()
     }
 
     /// Declare traffic sent from socket `s` ECN-capable (or not).
@@ -646,7 +718,11 @@ impl Network {
         target: Option<SocketHandle>,
         ecn_capable: bool,
     ) {
-        if self.qdisc_count > 0 && path.iter().any(|l| self.qdisc_ref(l.0).is_some()) {
+        if (self.qdisc_count > 0 || self.tree_count > 0)
+            && path
+                .iter()
+                .any(|l| self.qdisc_ref(l.0).is_some() || self.tree_ref(l.0).is_some())
+        {
             let flight = InFlight {
                 packet: packet.clone(),
                 path: path.to_vec(),
@@ -791,13 +867,17 @@ impl Network {
         let mut t = now;
         while flight.hop < flight.path.len() {
             let link_id = flight.path[flight.hop];
-            if self.qdisc_ref(link_id.0).is_some() {
+            let queued_here =
+                self.qdisc_ref(link_id.0).is_some() || self.tree_ref(link_id.0).is_some();
+            if queued_here {
                 if t > now {
-                    // The copy only reaches the qdisc at `t`; classify
+                    // The copy only reaches the plane at `t`; classify
                     // and enqueue it then, in arrival order.
                     self.queue.schedule(t, NetEvent::Hop { flight });
-                } else {
+                } else if self.qdisc_ref(link_id.0).is_some() {
                     self.qdisc_enqueue(link_id, flight);
+                } else {
+                    self.tree_enqueue(link_id, flight);
                 }
                 return;
             }
@@ -847,6 +927,123 @@ impl Network {
                 self.shared.add_dropped(1);
             }
         }
+    }
+
+    /// Route an arriving copy to its subscriber leaf in the shaping
+    /// tree on `link_id` and (re)schedule service. The leaf is chosen
+    /// by the copy's *final destination node* — for multicast
+    /// fan-out, the member socket's node — so each subscriber's
+    /// traffic meets its own plan and AQM regardless of addressing.
+    fn tree_enqueue(&mut self, link_id: LinkId, flight: InFlight) {
+        let now = self.clock.now();
+        let port = match flight.dst {
+            Addr::Unicast(_, p) | Addr::Multicast(_, p) => p,
+        };
+        let dst_node = match flight.target {
+            Some(s) => self.sockets[s.0 as usize].node.0,
+            None => match flight.dst {
+                Addr::Unicast(n, _) => n.0,
+                // Unresolvable destination: the copy cannot be
+                // delivered anyway; let it ride the default leaf.
+                Addr::Multicast(_, _) => u32::MAX,
+            },
+        };
+        let wire = flight.packet.wire_size() as u32;
+        let ecn = flight.ecn_capable;
+        let Some(lt) = self.tree_mut(link_id.0) else {
+            return;
+        };
+        match lt
+            .tree
+            .enqueue(now.as_micros(), dst_node, port.0, wire, ecn, flight)
+        {
+            EnqueueOutcome::Queued => {
+                self.kick_tree(link_id);
+            }
+            EnqueueOutcome::TailDropped(_) => {
+                self.stats.dropped += 1;
+                self.stats.qdisc_dropped += 1;
+                self.shared.add_dropped(1);
+            }
+        }
+    }
+
+    /// Ensure a service event is pending for the tree on `link_id` at
+    /// the earliest instant some leaf's head packet is eligible and
+    /// the line is idle (the tree-shaped analogue of `kick_qdisc`).
+    fn kick_tree(&mut self, link_id: LinkId) {
+        let now = self.clock.now();
+        let busy = self.topo.links[link_id.0 as usize].busy_until.max(now);
+        let Some(lt) = self.tree_mut(link_id.0) else {
+            return;
+        };
+        let Some(ready) = lt.tree.next_ready(busy.as_micros()) else {
+            return;
+        };
+        let at = Ticks::from_micros(ready);
+        if lt.service_at.is_none_or(|s| at < s) {
+            lt.gen += 1;
+            lt.service_at = Some(at);
+            let gen = lt.gen;
+            self.queue.schedule(
+                at,
+                NetEvent::TreeService {
+                    link: link_id.0,
+                    gen,
+                },
+            );
+        }
+    }
+
+    /// Serve at most one packet from the shaping tree on `link`,
+    /// putting it on the wire and resuming its path walk, then
+    /// reschedule service for whatever remains queued.
+    fn service_tree(&mut self, link: u32, gen: u64) {
+        let now = self.clock.now();
+        let link_id = LinkId(link);
+        let Some(lt) = self.tree_mut(link) else {
+            return;
+        };
+        if lt.gen != gen {
+            return;
+        }
+        lt.service_at = None;
+        let out = lt.tree.dequeue(now.as_micros());
+        let aqm_drops = out.aqm_dropped.len() as u64;
+        self.stats.dropped += aqm_drops;
+        self.stats.qdisc_dropped += aqm_drops;
+        self.shared.add_dropped(aqm_drops);
+        if let Some(rel) = out.released {
+            let mut flight = rel.payload;
+            if rel.ecn_marked {
+                self.stats.ecn_marked += 1;
+                flight.ce = true;
+            }
+            let link_ref = &mut self.topo.links[link as usize];
+            let ser = link_ref.spec.serialization_time(flight.packet.wire_size());
+            link_ref.busy_until = now + ser;
+            link_ref.busy_accum += ser;
+            let mut t = now + ser + link_ref.spec.latency;
+            if self.roll_link_loss(link_id, &mut t, &mut flight.duplicate) {
+                flight.hop += 1;
+                if flight.hop < flight.path.len() {
+                    self.queue.schedule(t, NetEvent::Hop { flight });
+                } else {
+                    self.deliver(
+                        &flight.packet,
+                        flight.dst,
+                        flight.target,
+                        t,
+                        flight.ce,
+                        flight.duplicate,
+                    );
+                }
+            } else {
+                self.stats.dropped += 1;
+                self.shared.add_dropped(1);
+            }
+        }
+        self.kick_tree(link_id);
     }
 
     /// Ensure a service event is pending for the qdisc on `link_id` at
@@ -984,6 +1181,7 @@ impl Network {
                 }
                 NetEvent::Hop { flight } => self.advance_flight(flight),
                 NetEvent::QdiscService { link, gen } => self.service_qdisc(link, gen),
+                NetEvent::TreeService { link, gen } => self.service_tree(link, gen),
             }
         }
         self.clock.advance_to(deadline);
@@ -1608,6 +1806,162 @@ mod tests {
         assert_eq!(not_mark_stat, 0);
         assert!(not_drops > 0, "same overload drops non-ECT traffic");
         assert!(not_total < 60);
+    }
+
+    // ------------------------------------------------- shaping tree
+
+    use htb::{RatePlan, TreeSpec};
+
+    /// A hub topology: one core node behind the shared uplink, two
+    /// subscriber nodes behind a switch. Mounting the tree on the
+    /// core→switch uplink shapes per-destination traffic.
+    fn tree_world() -> (Network, NodeId, Vec<NodeId>, LinkId) {
+        let mut net = Network::new(12);
+        let core = net.add_node("core");
+        let sw = net.add_node("switch");
+        let uplink = net.connect(core, sw, LinkSpec::lan());
+        let subs: Vec<NodeId> = (0..2)
+            .map(|i| {
+                let n = net.add_node(&format!("sub-{i}"));
+                net.connect(sw, n, LinkSpec::lan());
+                n
+            })
+            .collect();
+        (net, core, subs, uplink)
+    }
+
+    /// Each subscriber's ceiling paces its own flow: a bronze plan is
+    /// held to its ceiling while a gold neighbour on the same uplink
+    /// runs faster.
+    #[test]
+    fn tree_enforces_per_subscriber_ceilings() {
+        let (mut net, core, subs, uplink) = tree_world();
+        let mut spec = TreeSpec::new(80_000_000);
+        let ap = spec.add_ap(htb::ROOT, "ap", 80_000_000, 80_000_000);
+        let gold = RatePlan::new("gold", 16_000_000, 40_000_000);
+        let bronze = RatePlan::new("bronze", 2_000_000, 4_000_000);
+        spec.add_subscriber(ap, "gold", &gold, subs[0].0);
+        spec.add_subscriber(ap, "bronze", &bronze, subs[1].0);
+        let stats = net.attach_tree(uplink, spec);
+        assert!(net.tree_attached(uplink));
+        let sa = net.bind(core, Port(1)).unwrap();
+        let s0 = net.bind(subs[0], Port(5004)).unwrap();
+        let s1 = net.bind(subs[1], Port(5004)).unwrap();
+        net.set_ecn(sa, true);
+        for _ in 0..200 {
+            net.send(sa, Addr::unicast(subs[0], Port(5004)), vec![0u8; 1000])
+                .unwrap();
+            net.send(sa, Addr::unicast(subs[1], Port(5004)), vec![0u8; 1000])
+                .unwrap();
+            net.run_for(Ticks::from_micros(500));
+        }
+        let elapsed_us = 200u64 * 500;
+        // Node layout: 0 root, 1 default, 2 ap, 3 gold, 4 bronze.
+        let bronze_bits = stats.bits_sent(4);
+        let gold_bits = stats.bits_sent(3);
+        let bronze_cap = 4_000_000 * elapsed_us / 1_000_000 + 3_000 * 8;
+        assert!(
+            bronze_bits <= bronze_cap,
+            "bronze {bronze_bits} bits exceeds ceiling cap {bronze_cap}"
+        );
+        assert!(
+            gold_bits > bronze_bits,
+            "gold ({gold_bits}) should outrun bronze ({bronze_bits})"
+        );
+        net.run_to_quiescence();
+        let mut g = 0;
+        while net.recv(s0).is_some() {
+            g += 1;
+        }
+        let mut b = 0;
+        while net.recv(s1).is_some() {
+            b += 1;
+        }
+        assert!(g + b > 0, "traffic flows through the tree");
+    }
+
+    /// ECN-capable traffic through one congested subscriber leaf
+    /// arrives CE-marked; the idle neighbour's leaf stays clean.
+    #[test]
+    fn tree_marks_congested_subscriber_only() {
+        let (mut net, core, subs, uplink) = tree_world();
+        let mut spec = TreeSpec::new(80_000_000);
+        let plan = RatePlan::new("slow", 800_000, 800_000); // 0.1 B/µs
+        spec.add_subscriber(htb::ROOT, "hot", &plan, subs[0].0);
+        spec.add_subscriber(htb::ROOT, "idle", &plan, subs[1].0);
+        let spec = spec.with_codel(5_000, 20_000);
+        let stats = net.attach_tree(uplink, spec);
+        let sa = net.bind(core, Port(1)).unwrap();
+        let s0 = net.bind(subs[0], Port(5004)).unwrap();
+        let s1 = net.bind(subs[1], Port(5004)).unwrap();
+        net.set_ecn(sa, true);
+        // Overload subscriber 0 only; one late packet to subscriber 1.
+        for _ in 0..60 {
+            net.send(sa, Addr::unicast(subs[0], Port(5004)), vec![0u8; 500])
+                .unwrap();
+            net.run_for(Ticks::from_millis(2));
+        }
+        net.send(sa, Addr::unicast(subs[1], Port(5004)), vec![0u8; 500])
+            .unwrap();
+        net.run_for(Ticks::from_secs(5));
+        let mut hot_total = 0;
+        let mut hot_marked = 0;
+        while let Some(d) = net.recv(s0) {
+            hot_total += 1;
+            if d.ecn_ce {
+                hot_marked += 1;
+            }
+        }
+        assert_eq!(hot_total, 60, "ECT flow is marked, never dropped");
+        assert!(hot_marked > 0, "sustained overload must mark");
+        let d = net.recv(s1).expect("idle subscriber's packet arrives");
+        assert!(!d.ecn_ce, "fresh leaf has no CoDel state to mark with");
+        assert_eq!(stats.ecn_marks(2), hot_marked as u64);
+        assert_eq!(stats.ecn_marks(3), 0);
+        assert_eq!(net.stats().qdisc_dropped, 0);
+    }
+
+    /// Same seed + same tree spec ⇒ identical arrival trace, loss
+    /// rolls included.
+    #[test]
+    fn tree_runs_are_deterministic() {
+        let run = || -> Vec<(u64, Payload, bool)> {
+            let mut net = Network::new(13);
+            let a = net.add_node("a");
+            let b = net.add_node("b");
+            let link = net.connect(a, b, LinkSpec::wireless()); // has loss
+            let mut spec = TreeSpec::new(1_000_000);
+            let plan = RatePlan::new("only", 500_000, 800_000);
+            spec.add_subscriber(htb::ROOT, "b", &plan, b.0);
+            net.attach_tree(link, spec);
+            let sa = net.bind(a, Port(5004)).unwrap();
+            let sb = net.bind(b, Port(5004)).unwrap();
+            net.set_ecn(sa, true);
+            for n in 0..40u8 {
+                net.send(sa, Addr::unicast(b, Port(5004)), vec![n; 200])
+                    .unwrap();
+                net.run_for(Ticks::from_millis(2));
+            }
+            net.run_to_quiescence();
+            let mut out = Vec::new();
+            while let Some(d) = net.recv(sb) {
+                out.push((d.arrived_at.as_micros(), d.payload, d.ecn_ce));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// A link carries a qdisc or a tree, never both.
+    #[test]
+    #[should_panic(expected = "already has a qdisc")]
+    fn tree_and_qdisc_are_mutually_exclusive() {
+        let mut net = Network::new(14);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let link = net.connect(a, b, LinkSpec::lan());
+        net.attach_qdisc(link, QdiscConfig::for_rate(1_000_000));
+        net.attach_tree(link, TreeSpec::new(1_000_000));
     }
 
     /// Same seed + same qdisc config ⇒ identical arrival trace.

@@ -298,6 +298,61 @@ pub mod arcs {
         dtn_store().extend(&[5, broker])
     }
 
+    /// The hierarchical shaping-tree (HTB) subtree: 99999.24. One row
+    /// per tree node, indexed by the node's position in the compiled
+    /// `htb::TreeSpec` — 0 is the root uplink, 1 the default leaf.
+    pub fn htb() -> Oid {
+        tassl().child(24)
+    }
+
+    /// htbNodeRate.{node} — assured (committed) rate of the tree node,
+    /// kilobits per second (Gauge32; kbit/s so multi-gigabit uplinks
+    /// fit a 32-bit gauge, like ifHighSpeed).
+    pub fn htb_node_rate(node: u32) -> Oid {
+        htb().extend(&[1, node])
+    }
+
+    /// htbNodeCeil.{node} — borrowing ceiling of the tree node,
+    /// kilobits per second (Gauge32).
+    pub fn htb_node_ceil(node: u32) -> Oid {
+        htb().extend(&[2, node])
+    }
+
+    /// htbNodeBacklog.{node} — bytes currently queued in the node's
+    /// subtree (Gauge32).
+    pub fn htb_node_backlog(node: u32) -> Oid {
+        htb().extend(&[3, node])
+    }
+
+    /// htbNodeDrops.{node} — cumulative packets dropped in the node's
+    /// subtree, leaf-FIFO tail drops plus AQM drops of non-ECT traffic
+    /// (Counter32).
+    pub fn htb_node_drops(node: u32) -> Oid {
+        htb().extend(&[4, node])
+    }
+
+    /// htbNodeEcnMarks.{node} — cumulative packets ECN-marked by
+    /// subscriber AQM in the node's subtree and still delivered
+    /// (Counter32).
+    pub fn htb_node_ecn_marks(node: u32) -> Oid {
+        htb().extend(&[5, node])
+    }
+
+    /// htbNodeBorrowedBits.{node} — cumulative bits the node sent on
+    /// tokens borrowed from an ancestor's assured rate (Counter32;
+    /// wraps like any counter).
+    pub fn htb_node_borrowed_bits(node: u32) -> Oid {
+        htb().extend(&[6, node])
+    }
+
+    /// htbNodeCeilUtilPct.{node} — recent throughput of the node as a
+    /// percentage of its ceiling (Gauge32). The variable the
+    /// qosPlanAlert trap carries: sustained values near 100 mean the
+    /// plan itself, not the network, is the bottleneck.
+    pub fn htb_node_util(node: u32) -> Oid {
+        htb().extend(&[7, node])
+    }
+
     /// The compiled-selector cache subtree: 99999.22. Scalars, not a
     /// table: each session agent serves its own endpoint's cache.
     pub fn selector_cache() -> Oid {
@@ -372,6 +427,25 @@ mod tests {
         ] {
             assert!(oid.starts_with(&sub));
             assert_eq!(oid, sub.extend(&[field, 3]));
+            assert!(oid.is_encodable());
+        }
+    }
+
+    #[test]
+    fn htb_rows_sit_under_their_subtree() {
+        let sub = arcs::htb();
+        assert_eq!(sub, arcs::tassl().child(24));
+        for (oid, field) in [
+            (arcs::htb_node_rate(7), 1),
+            (arcs::htb_node_ceil(7), 2),
+            (arcs::htb_node_backlog(7), 3),
+            (arcs::htb_node_drops(7), 4),
+            (arcs::htb_node_ecn_marks(7), 5),
+            (arcs::htb_node_borrowed_bits(7), 6),
+            (arcs::htb_node_util(7), 7),
+        ] {
+            assert!(oid.starts_with(&sub));
+            assert_eq!(oid, sub.extend(&[field, 7]));
             assert!(oid.is_encodable());
         }
     }

@@ -58,6 +58,7 @@
 pub use broker;
 pub use cqos_core as core;
 pub use dtn;
+pub use htb;
 pub use media;
 pub use sempubsub;
 pub use simnet;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use cqos_core::session::{CollaborationSession, SessionConfig};
     pub use cqos_core::transformer::{MediaKind, MediaObject, TransformerRegistry};
     pub use dtn::{Bundle, CustodyStore, StoreConfig, StoreStatsHandle};
+    pub use htb::{RatePlan, ShapingTree, TreeSpec, TreeStatsHandle};
     pub use media::image::{synthetic_scene, Scene};
     pub use media::Image;
     pub use sempubsub::{AttrValue, Profile, Selector, TransformCap};

@@ -404,6 +404,121 @@ fn snmp_qos_store_alert_trap_matches_rfc_encoding() {
     assert_eq!(msg.pdu.varbinds[2].name, arcs::store_bytes(0));
 }
 
+/// `GetResponse` carrying the shaping tree's full per-node MIB row
+/// for subscriber node 3 — htbNodeRate/Ceil (Gauge32, kbit/s),
+/// htbNodeBacklog (Gauge32, bytes), htbNodeDrops / htbNodeEcnMarks /
+/// htbNodeBorrowedBits (Counter32) — exactly as a station polling the
+/// HTB subtree (99999.24) of a session agent sees it on the wire.
+/// At 140 bytes this is also the first vector to exercise the
+/// long-form (0x81) outer length.
+#[test]
+fn snmp_htb_row_response_matches_rfc_encoding() {
+    let msg = Message::new(
+        "public",
+        Pdu {
+            kind: PduKind::Response,
+            request_id: 15,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bulk: None,
+            varbinds: vec![
+                VarBind::bound(arcs::htb_node_rate(3), SnmpValue::Gauge32(1_000)),
+                VarBind::bound(arcs::htb_node_ceil(3), SnmpValue::Gauge32(2_000)),
+                VarBind::bound(arcs::htb_node_backlog(3), SnmpValue::Gauge32(4_500)),
+                VarBind::bound(arcs::htb_node_drops(3), SnmpValue::Counter32(2)),
+                VarBind::bound(arcs::htb_node_ecn_marks(3), SnmpValue::Counter32(9)),
+                VarBind::bound(
+                    arcs::htb_node_borrowed_bits(3),
+                    SnmpValue::Counter32(600_000),
+                ),
+            ],
+        },
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x81, 0x89, // SEQUENCE, 137 bytes (long-form length)
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA2, 0x7C, // Response PDU, 124 bytes
+        0x02, 0x01, 0x0F, // request-id = 15
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x71, // varbind list
+        0x30, 0x11, // varbind: htbNodeRate.3 = Gauge32 1000 (kbit/s)
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x18, 0x01, 0x03, //
+        0x42, 0x02, 0x03, 0xE8, //
+        0x30, 0x11, // varbind: htbNodeCeil.3 = Gauge32 2000 (kbit/s)
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x18, 0x02, 0x03, //
+        0x42, 0x02, 0x07, 0xD0, //
+        0x30, 0x11, // varbind: htbNodeBacklog.3 = Gauge32 4500
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x18, 0x03, 0x03, //
+        0x42, 0x02, 0x11, 0x94, //
+        0x30, 0x10, // varbind: htbNodeDrops.3 = Counter32 2
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x18, 0x04, 0x03, //
+        0x41, 0x01, 0x02, //
+        0x30, 0x10, // varbind: htbNodeEcnMarks.3 = Counter32 9
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x18, 0x05, 0x03, //
+        0x41, 0x01, 0x09, //
+        0x30, 0x12, // varbind: htbNodeBorrowedBits.3 = Counter32 600000
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x18, 0x06, 0x03, //
+        0x41, 0x03, 0x09, 0x27, 0xC0, //
+    ];
+    assert_eq!(msg.encode(), expected);
+    assert_eq!(Message::decode(&expected).unwrap(), msg);
+}
+
+/// An SNMPv2-Trap carrying the qosPlanAlert notification (tassl.13)
+/// with the htbNodeCeilUtilPct gauge for subscriber node 3 — emitted
+/// by a session agent whose PlanWatcher saw sustained ceiling
+/// saturation, telling the station the subscriber's *plan*, not the
+/// network, is the bottleneck.
+#[test]
+fn snmp_qos_plan_alert_trap_matches_rfc_encoding() {
+    // The trapwatch helper and the raw arc must agree on the OID.
+    assert_eq!(
+        collabqos::core::trapwatch::qos_plan_alert_trap_oid(),
+        arcs::tassl().child(13)
+    );
+    let mut agent = SnmpAgent::new("isp-core", "public", None);
+    let raw = agent.build_trap(
+        1234,
+        arcs::tassl().child(13), // qosPlanAlert notification OID
+        vec![VarBind::bound(
+            arcs::htb_node_util(3),
+            SnmpValue::Gauge32(98),
+        )],
+    );
+    let expected: Vec<u8> = vec![
+        0x30, 0x53, // SEQUENCE, 83 bytes
+        0x02, 0x01, 0x01, // INTEGER version = 1 (v2c)
+        0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c', // community
+        0xA7, 0x46, // SNMPv2-Trap PDU, 70 bytes
+        0x02, 0x01, 0x00, // request-id = 0
+        0x02, 0x01, 0x00, // error-status = 0
+        0x02, 0x01, 0x00, // error-index = 0
+        0x30, 0x3B, // varbind list
+        0x30, 0x0E, // varbind: sysUpTime.0 = TimeTicks 1234
+        0x06, 0x08, 0x2B, 0x06, 0x01, 0x02, 0x01, 0x01, 0x03, 0x00, //
+        0x43, 0x02, 0x04, 0xD2, //
+        0x30, 0x17, // varbind: snmpTrapOID.0 = qosPlanAlert
+        0x06, 0x0A, 0x2B, 0x06, 0x01, 0x06, 0x03, 0x01, 0x01, 0x04, 0x01, 0x00, //
+        0x06, 0x09, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x0D, //
+        0x30, 0x10, // varbind: htbNodeCeilUtilPct.3 = Gauge32 98
+        0x06, 0x0B, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x86, 0x8D, 0x1F, 0x18, 0x07, 0x03, //
+        0x42, 0x01, 0x62, //
+    ];
+    assert_eq!(raw, expected);
+    // The golden bytes decode to a well-formed trap the watcher
+    // pipeline can interpret.
+    let msg = Message::decode(&expected).unwrap();
+    assert_eq!(msg.pdu.kind, PduKind::TrapV2);
+    assert_eq!(msg.pdu.varbinds.len(), 3);
+    assert_eq!(
+        msg.pdu.varbinds[1].value,
+        SnmpValue::Oid(arcs::tassl().child(13))
+    );
+    assert_eq!(msg.pdu.varbinds[2].name, arcs::htb_node_util(3));
+}
+
 /// The 1.3.6.1 prefix must pack to the classic 0x2B first byte.
 #[test]
 fn snmp_oid_prefix_byte() {
