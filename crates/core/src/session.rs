@@ -19,7 +19,9 @@ use crate::netstate::NetworkStateInterface;
 use crate::policy::{AdaptationPolicy, PolicyDb};
 use crate::probe::{EchoResponder, LatencyProbe};
 use crate::state_repo::{ObjectState, StateRepository};
-use crate::transformer::{MediaKind, MediaObject, TransformerRegistry};
+use crate::transformer::{
+    MediaCache, MediaCacheStatsHandle, MediaKind, MediaObject, TransformerRegistry,
+};
 use media::ezw;
 use media::image::Scene;
 use media::packetize::split_packets;
@@ -239,6 +241,10 @@ pub struct CollaborationSession {
     /// Lock-free per-shard delivery/drop counters, one per pump worker
     /// (sized on first pump). Readable live from any thread.
     shard_counters: Vec<crate::shard::ShardCounters>,
+    /// Encode-once transcode cache: shared image encodes are keyed by
+    /// content hash so re-shares and multi-tier degradations reuse one
+    /// embedded stream.
+    media_cache: MediaCache,
 }
 
 impl CollaborationSession {
@@ -309,6 +315,7 @@ impl CollaborationSession {
             store_watchers,
             plan_watchers: Vec::new(),
             shard_counters: Vec::new(),
+            media_cache: MediaCache::with_capacity(32),
         }
     }
 
@@ -322,6 +329,13 @@ impl CollaborationSession {
     /// Session configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.cfg
+    }
+
+    /// Live encode-once media-cache counters (hits/misses/evictions);
+    /// the clone shares the cells, so it stays current as the session
+    /// shares images.
+    pub fn media_cache_stats(&self) -> MediaCacheStatsHandle {
+        self.media_cache.stats()
     }
 
     /// Connect `node` to the session switch with the configured link,
@@ -845,17 +859,34 @@ impl CollaborationSession {
         let object_id = self.new_object_id();
         let levels = wavelet::max_levels(scene.image.width, scene.image.height).min(5);
         let use_color = self.cfg.color_transform && scene.image.channels == 3;
-        let mut container =
-            ezw::encode_image_opts(&scene.image, levels, self.cfg.wavelet, use_color)
-                .map_err(|e| e.to_string())?;
-        if let Some(bpp) = self.cfg.full_stream_bpp {
-            let budget = (scene.image.pixels() as f64 * bpp / 8.0) as usize;
-            if budget < container.len() {
-                container =
-                    ezw::truncate_container(&container, budget).map_err(|e| e.to_string())?;
+        // Encode-once: re-shares of the same content hit the cache and
+        // reuse the shared stream; per-session rate limits are then a
+        // prefix cut of it, never a re-encode.
+        let full = self
+            .media_cache
+            .encode_image(
+                &scene.image,
+                levels,
+                self.cfg.wavelet,
+                use_color,
+                self.cfg.workers,
+            )
+            .map_err(|e| e.to_string())?;
+        let truncated;
+        let container: &[u8] = match self.cfg.full_stream_bpp {
+            Some(bpp) => {
+                let budget = (scene.image.pixels() as f64 * bpp / 8.0) as usize;
+                if budget < full.len() {
+                    truncated =
+                        ezw::truncate_container(&full, budget).map_err(|e| e.to_string())?;
+                    &truncated
+                } else {
+                    &full
+                }
             }
-        }
-        let packets = split_packets(&container, self.cfg.packets_per_image);
+            None => &full,
+        };
+        let packets = split_packets(container, self.cfg.packets_per_image);
         let content = Self::image_content_attrs(scene);
         let meta = AppEvent::ImageMeta {
             object_id,
@@ -1286,6 +1317,7 @@ impl CollaborationSession {
         let levels = wavelet::max_levels(scene.image.width, scene.image.height).min(5);
         let wavelet_kind = self.cfg.wavelet;
         let packets_per_image = self.cfg.packets_per_image;
+        let workers = self.cfg.workers;
         let bs = self
             .base_station
             .as_mut()
@@ -1298,12 +1330,14 @@ impl CollaborationSession {
         bs.forward_log.push((client_id.to_string(), modality));
 
         let content = Self::image_content_attrs(scene);
-        let encoded =
-            ezw::encode_image(&scene.image, levels, wavelet_kind).map_err(|e| e.to_string())?;
-        let source = MediaObject::Image {
-            encoded,
-            caption: scene.caption.clone(),
-        };
+        let encoded = self
+            .media_cache
+            .encode_image(&scene.image, levels, wavelet_kind, false, workers)
+            .map_err(|e| e.to_string())?;
+        let bs = self
+            .base_station
+            .as_mut()
+            .expect("checked above when assessing");
         match modality {
             Modality::None => { /* nothing usable gets through */ }
             Modality::TextOnly => {
@@ -1319,6 +1353,10 @@ impl CollaborationSession {
                     .map_err(|e| e.to_string())?;
             }
             Modality::TextAndSketch => {
+                let source = MediaObject::Image {
+                    encoded: encoded.to_vec(),
+                    caption: scene.caption.clone(),
+                };
                 let sketch_obj = bs
                     .registry
                     .transform(&source, MediaKind::Sketch)
@@ -1336,10 +1374,7 @@ impl CollaborationSession {
                     .map_err(|e| e.to_string())?;
             }
             Modality::FullImage => {
-                let MediaObject::Image { encoded, .. } = &source else {
-                    unreachable!()
-                };
-                let packets = split_packets(encoded, packets_per_image);
+                let packets = split_packets(&encoded, packets_per_image);
                 let meta = AppEvent::ImageMeta {
                     object_id,
                     caption: scene.caption.clone(),
@@ -1495,6 +1530,32 @@ mod tests {
         assert_eq!(*cid, viewer);
         assert_eq!(viewed.packets_accepted, 16);
         assert_eq!(viewed.image.data, scene.image.data, "lossless at 16/16");
+    }
+
+    #[test]
+    fn repeated_share_hits_media_cache() {
+        let (mut s, publisher, _viewer) = two_client_session();
+        let stats = s.media_cache_stats();
+        let scene = synthetic_scene(64, 64, 1, 3, 5);
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        assert_eq!((stats.hits(), stats.misses()), (0, 1));
+        // Same content again: encode-once, the second share is served
+        // from the shared stream.
+        s.share_image(publisher, &scene, "interested_in contains 'image'")
+            .unwrap();
+        assert_eq!((stats.hits(), stats.misses()), (1, 1));
+        // Different content misses.
+        let other = synthetic_scene(64, 64, 1, 3, 6);
+        s.share_image(publisher, &other, "interested_in contains 'image'")
+            .unwrap();
+        assert_eq!((stats.hits(), stats.misses()), (1, 2));
+        // Both shares of the first scene still delivered identically.
+        let completed = s.pump(Ticks::from_millis(400));
+        assert!(!completed.is_empty());
+        for (_, viewed) in &completed {
+            assert_eq!(viewed.image.width, 64);
+        }
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //! runs image→text→speech).
 
 use media::describe::TextDescription;
-use media::ezw;
+use media::ezw::{self, EzwScratch};
+use media::image::Image;
 use media::speech::{speech_to_text, text_to_speech, SpeechStream};
-use media::Sketch;
+use media::wavelet::{self, WaveletKind, WaveletScratch};
+use media::{MediaError, Sketch};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The modalities content can take.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,6 +96,198 @@ impl std::fmt::Display for TransformError {
 }
 
 impl std::error::Error for TransformError {}
+
+/// Live media-cache counters, shareable with instrumentation (same
+/// shape as the selector-cache and qdisc stats handles).
+#[derive(Clone, Default, Debug)]
+pub struct MediaCacheStatsHandle {
+    inner: Arc<MediaCacheCounters>,
+}
+
+#[derive(Default, Debug)]
+struct MediaCacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl MediaCacheStatsHandle {
+    /// Encodes served straight from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the full wavelet + EZW encode.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+}
+
+struct MediaEntry {
+    stream: Arc<[u8]>,
+    last_used: u64,
+}
+
+/// Encode-once transcode cache: a bounded LRU of fully-encoded EZW
+/// containers keyed by content hash + coding parameters.
+///
+/// The embedded stream makes per-client degradation nearly free: N
+/// clients at different modality tiers share *one* encode (an
+/// `Arc<[u8]>` clone per consumer) and each degradation is a cheap
+/// prefix cut ([`ezw::truncate_container`]) instead of a
+/// decode→re-encode round trip. Encodes that miss run the image's
+/// channel planes in parallel on [`crate::shard::map_shards`] when
+/// `workers > 1` — planes are independent streams, so the container
+/// bytes are bit-identical at any worker count.
+pub struct MediaCache {
+    entries: HashMap<u64, MediaEntry>,
+    cap: usize,
+    tick: u64,
+    stats: MediaCacheStatsHandle,
+    // Serial-path scratch, reused across misses.
+    wavelet_scratch: WaveletScratch,
+    ezw_scratch: EzwScratch,
+}
+
+impl MediaCache {
+    /// A cache bounded at `cap` encoded containers (`cap >= 1`).
+    pub fn with_capacity(cap: usize) -> MediaCache {
+        assert!(cap >= 1, "media cache needs room for one entry");
+        MediaCache {
+            entries: HashMap::new(),
+            cap,
+            tick: 0,
+            stats: MediaCacheStatsHandle::default(),
+            wavelet_scratch: WaveletScratch::new(),
+            ezw_scratch: EzwScratch::new(),
+        }
+    }
+
+    /// FNV-1a over the coding parameters and pixel data: deterministic
+    /// and cheap relative to an encode.
+    fn content_key(img: &Image, levels: usize, kind: WaveletKind, color_transform: bool) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for v in [
+            img.width as u64,
+            img.height as u64,
+            img.channels as u64,
+            levels as u64,
+            kind as u64,
+            color_transform as u64,
+        ] {
+            for b in v.to_le_bytes() {
+                mix(b);
+            }
+        }
+        for &b in &img.data {
+            mix(b);
+        }
+        h
+    }
+
+    /// Encode `img` (or return the cached container), sharding the
+    /// per-channel plane encodes across `workers` threads on a miss.
+    /// The returned stream is shared, not copied; degrade it per client
+    /// with [`ezw::truncate_container`].
+    pub fn encode_image(
+        &mut self,
+        img: &Image,
+        levels: usize,
+        kind: WaveletKind,
+        color_transform: bool,
+        workers: usize,
+    ) -> Result<Arc<[u8]>, MediaError> {
+        if levels == 0 || levels > wavelet::max_levels(img.width, img.height) {
+            return Err(MediaError::BadDimensions(format!(
+                "{}x{} does not support {} wavelet levels",
+                img.width, img.height, levels
+            )));
+        }
+        self.tick += 1;
+        let key = Self::content_key(img, levels, kind, color_transform);
+        if let Some(e) = self.entries.get_mut(&key) {
+            self.stats.inner.hits.fetch_add(1, Ordering::Relaxed);
+            e.last_used = self.tick;
+            return Ok(Arc::clone(&e.stream));
+        }
+        self.stats.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let mut planes = ezw::prepare_planes(img, color_transform)?;
+        let n = planes.len();
+        let streams: Vec<Vec<u8>> = if n > 1 && workers > 1 {
+            // Channel planes are independent streams: shard them. Each
+            // worker brings its own scratch, and outputs merge back in
+            // channel order, so the container is bit-identical to the
+            // serial path at any worker count.
+            crate::shard::map_shards(&mut planes, vec![(); n], workers, |_, plane, ()| {
+                let mut ws = WaveletScratch::new();
+                let mut es = EzwScratch::new();
+                ezw::encode_prepared_plane(
+                    plane, img.width, img.height, levels, kind, &mut ws, &mut es,
+                )
+            })
+        } else {
+            planes
+                .iter_mut()
+                .map(|plane| {
+                    ezw::encode_prepared_plane(
+                        plane,
+                        img.width,
+                        img.height,
+                        levels,
+                        kind,
+                        &mut self.wavelet_scratch,
+                        &mut self.ezw_scratch,
+                    )
+                })
+                .collect()
+        };
+        let stream: Arc<[u8]> =
+            ezw::assemble_container(img.channels, kind, color_transform, &streams).into();
+        if self.entries.len() >= self.cap {
+            // Deterministic LRU eviction: ticks are unique.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("cap >= 1 and cache full");
+            self.entries.remove(&victim);
+            self.stats.inner.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.entries.insert(
+            key,
+            MediaEntry {
+                stream: Arc::clone(&stream),
+                last_used: self.tick,
+            },
+        );
+        Ok(stream)
+    }
+
+    /// Number of cached containers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Live counters handle.
+    pub fn stats(&self) -> MediaCacheStatsHandle {
+        self.stats.clone()
+    }
+}
 
 type TransformFn = Box<dyn Fn(&MediaObject) -> Result<MediaObject, TransformError> + Send + Sync>;
 
@@ -328,6 +524,94 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.kind(), MediaKind::Speech);
+    }
+
+    #[test]
+    fn media_cache_encodes_once_and_shares() {
+        let mut cache = MediaCache::with_capacity(4);
+        let scene = synthetic_scene(32, 32, 3, 3, 9);
+        let a = cache
+            .encode_image(&scene.image, 3, WaveletKind::Cdf53, true, 1)
+            .unwrap();
+        let b = cache
+            .encode_image(&scene.image, 3, WaveletKind::Cdf53, true, 1)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the shared stream");
+        assert_eq!((cache.stats().hits(), cache.stats().misses()), (1, 1));
+        // Different parameters are a different entry.
+        cache
+            .encode_image(&scene.image, 3, WaveletKind::Cdf53, false, 1)
+            .unwrap();
+        assert_eq!(cache.stats().misses(), 2);
+        assert_eq!(cache.len(), 2);
+        // And the bytes match the plain encoder exactly.
+        let expected = ezw::encode_image_opts(&scene.image, 3, WaveletKind::Cdf53, true).unwrap();
+        assert_eq!(a.as_ref(), expected.as_slice());
+    }
+
+    #[test]
+    fn media_cache_parallel_encode_is_bit_identical() {
+        let scene = synthetic_scene(64, 64, 3, 4, 12);
+        let expected = ezw::encode_image_opts(&scene.image, 4, WaveletKind::Cdf53, true).unwrap();
+        for workers in [1usize, 2, 3, 4, 8] {
+            let mut cache = MediaCache::with_capacity(2);
+            let got = cache
+                .encode_image(&scene.image, 4, WaveletKind::Cdf53, true, workers)
+                .unwrap();
+            assert_eq!(got.as_ref(), expected.as_slice(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn media_cache_evicts_lru_deterministically() {
+        let mut cache = MediaCache::with_capacity(2);
+        let scenes: Vec<_> = (0..3).map(|s| synthetic_scene(16, 16, 1, 2, s)).collect();
+        for scene in &scenes {
+            cache
+                .encode_image(&scene.image, 2, WaveletKind::Haar, false, 1)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions(), 1);
+        // Scene 0 was least recently used: re-encoding it misses again.
+        cache
+            .encode_image(&scenes[0].image, 2, WaveletKind::Haar, false, 1)
+            .unwrap();
+        assert_eq!(cache.stats().misses(), 4);
+        // Scene 2 stayed resident.
+        cache
+            .encode_image(&scenes[2].image, 2, WaveletKind::Haar, false, 1)
+            .unwrap();
+        assert_eq!(cache.stats().hits(), 1);
+    }
+
+    #[test]
+    fn media_cache_degradation_is_prefix_truncation() {
+        let mut cache = MediaCache::with_capacity(2);
+        let scene = synthetic_scene(64, 64, 1, 4, 3);
+        let full = cache
+            .encode_image(&scene.image, 4, WaveletKind::Cdf53, false, 1)
+            .unwrap();
+        // Per-client tiers share the one encode; each tier is a cut.
+        for budget in [full.len() / 8, full.len() / 4, full.len() / 2] {
+            let cut = ezw::truncate_container(&full, budget).unwrap();
+            assert!(cut.len() <= budget.max(ezw::CONTAINER_HEADER_LEN + 4 + ezw::PLANE_HEADER_LEN));
+            assert!(ezw::decode_image(&cut).is_ok());
+        }
+        assert_eq!(cache.stats().hits() + cache.stats().misses(), 1);
+    }
+
+    #[test]
+    fn media_cache_rejects_bad_levels() {
+        let mut cache = MediaCache::with_capacity(1);
+        let scene = synthetic_scene(16, 16, 1, 1, 0);
+        assert!(cache
+            .encode_image(&scene.image, 0, WaveletKind::Haar, false, 1)
+            .is_err());
+        assert!(cache
+            .encode_image(&scene.image, 9, WaveletKind::Haar, false, 1)
+            .is_err());
+        assert_eq!(cache.stats().misses(), 0, "param errors are not misses");
     }
 
     #[test]

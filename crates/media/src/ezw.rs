@@ -15,26 +15,52 @@
 //! Mallat quadrant layout: each coarsest-LL coefficient parents the
 //! co-located HL/LH/HH coefficients, and every detail coefficient
 //! parents the 2×2 block at the next finer level.
+//!
+//! ## Fast path
+//!
+//! The wire format is pinned bit-identical to the pre-refactor coder
+//! (`crate::reference`, differential suite in `tests/media_codec.rs`),
+//! but the hot path is list-driven in the SPIHT style:
+//!
+//! * the dominant pass walks an explicit **candidate list** of
+//!   still-insignificant coefficients (with magnitude, subtree max,
+//!   sign, and child flags cached per entry) instead of re-scanning
+//!   the full subband order and branch-skipping the already-significant
+//!   majority every bit-plane; coefficients leave the list the moment
+//!   they become significant,
+//! * zerotree descendants are stamped through a reusable work stack —
+//!   no per-root allocation,
+//! * [`BitWriter`]/[`BitReader`] move whole symbols through a 64-bit
+//!   accumulator (`push_bits`) instead of one bounds-checked byte poke
+//!   per bit,
+//! * all per-plane state (lists, stamps, the scan-order geometry)
+//!   lives in a caller-owned [`EzwScratch`], so a session encoding a
+//!   stream of planes allocates nothing after warm-up.
 
 use crate::image::Image;
-use crate::wavelet::{self, WaveletKind};
+use crate::wavelet::{self, WaveletKind, WaveletScratch};
 use crate::MediaError;
 
 /// Per-plane stream magic.
-const PLANE_MAGIC: &[u8; 4] = b"EZP1";
+pub(crate) const PLANE_MAGIC: &[u8; 4] = b"EZP1";
 /// Image container magic.
 const CONTAINER_MAGIC: &[u8; 4] = b"EZC1";
 /// Sentinel for an all-zero plane (no bit data follows).
-const EMPTY_PLANE: u8 = 0xFF;
+pub(crate) const EMPTY_PLANE: u8 = 0xFF;
 /// Plane header size: magic + w + h + levels + top_plane.
 pub const PLANE_HEADER_LEN: usize = 4 + 2 + 2 + 1 + 1;
+/// Container header size: magic + channels + kind byte.
+pub const CONTAINER_HEADER_LEN: usize = 4 + 1 + 1;
 
 // ---------------------------------------------------------------- bits
 
-/// MSB-first bit writer.
+/// MSB-first bit writer batching through a 64-bit accumulator.
 #[derive(Debug, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
+    /// Pending bits, right-aligned; `nacc < 64` between calls.
+    acc: u64,
+    nacc: u32,
     nbits: usize,
 }
 
@@ -45,15 +71,36 @@ impl BitWriter {
     }
 
     /// Append one bit.
+    #[inline]
     pub fn push(&mut self, bit: bool) {
-        let pos = self.nbits % 8;
-        if pos == 0 {
-            self.bytes.push(0);
+        self.push_bits(bit as u32, 1);
+    }
+
+    /// Append the low `n` bits of `pattern` (`n <= 32`), most
+    /// significant first — `push_bits(0b110, 3)` is `push(true);
+    /// push(true); push(false)`.
+    #[inline]
+    pub fn push_bits(&mut self, pattern: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || pattern < (1u32 << n));
+        let free = 64 - self.nacc;
+        if n > free {
+            // Top up the accumulator, flush it whole, keep the rest.
+            let spill = n - free;
+            self.acc = (self.acc << free) | (pattern >> spill) as u64;
+            self.bytes.extend_from_slice(&self.acc.to_be_bytes());
+            self.acc = pattern as u64 & ((1u64 << spill) - 1);
+            self.nacc = spill;
+        } else {
+            self.acc = (self.acc << n) | pattern as u64;
+            self.nacc += n;
+            if self.nacc == 64 {
+                self.bytes.extend_from_slice(&self.acc.to_be_bytes());
+                self.acc = 0;
+                self.nacc = 0;
+            }
         }
-        if bit {
-            *self.bytes.last_mut().unwrap() |= 0x80 >> pos;
-        }
-        self.nbits += 1;
+        self.nbits += n as usize;
     }
 
     /// Total bits written.
@@ -61,32 +108,69 @@ impl BitWriter {
         self.nbits
     }
 
-    /// Finish, returning the packed bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
+    /// Finish, returning the packed bytes (zero-padded to a byte
+    /// boundary, exactly like the pre-refactor writer).
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        let pad = (8 - self.nacc % 8) % 8;
+        self.acc <<= pad;
+        self.nacc += pad;
+        while self.nacc >= 8 {
+            self.nacc -= 8;
+            self.bytes.push((self.acc >> self.nacc) as u8);
+        }
         self.bytes
     }
 }
 
-/// MSB-first bit reader; `None` when exhausted.
+/// MSB-first bit reader; `None` when exhausted. Refills a 64-bit
+/// accumulator eight bytes at a time.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    pos: usize,
+    /// Next byte to load into the accumulator.
+    byte_pos: usize,
+    acc: u64,
+    nacc: u32,
 }
 
 impl<'a> BitReader<'a> {
     /// Read over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0 }
+        BitReader {
+            bytes,
+            byte_pos: 0,
+            acc: 0,
+            nacc: 0,
+        }
     }
 
     /// Next bit, or `None` at end of data.
     #[allow(clippy::should_implement_trait)] // not an Iterator: no fused/size semantics
+    #[inline]
     pub fn next(&mut self) -> Option<bool> {
-        let byte = *self.bytes.get(self.pos / 8)?;
-        let bit = byte & (0x80 >> (self.pos % 8)) != 0;
-        self.pos += 1;
-        Some(bit)
+        if self.nacc == 0 {
+            let rem = self.bytes.len() - self.byte_pos;
+            if rem >= 8 {
+                self.acc = u64::from_be_bytes(
+                    self.bytes[self.byte_pos..self.byte_pos + 8]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                self.nacc = 64;
+                self.byte_pos += 8;
+            } else if rem > 0 {
+                self.acc = 0;
+                for &b in &self.bytes[self.byte_pos..] {
+                    self.acc = (self.acc << 8) | b as u64;
+                }
+                self.nacc = rem as u32 * 8;
+                self.byte_pos = self.bytes.len();
+            } else {
+                return None;
+            }
+        }
+        self.nacc -= 1;
+        Some((self.acc >> self.nacc) & 1 != 0)
     }
 }
 
@@ -99,6 +183,8 @@ struct Geometry {
     levels: usize,
     /// Subband-ordered scan (coarse to fine), as linear indices.
     scan: Vec<u32>,
+    /// Inverse of `scan`: the scan position of each linear index.
+    rank: Vec<u32>,
 }
 
 impl Geometry {
@@ -131,7 +217,17 @@ impl Geometry {
             }
         }
         debug_assert_eq!(scan.len(), w * h);
-        Geometry { w, h, levels, scan }
+        let mut rank = vec![0u32; w * h];
+        for (r, &idx) in scan.iter().enumerate() {
+            rank[idx as usize] = r as u32;
+        }
+        Geometry {
+            w,
+            h,
+            levels,
+            scan,
+            rank,
+        }
     }
 
     /// Children of the coefficient at linear index `idx` (0 to 4).
@@ -160,20 +256,139 @@ impl Geometry {
         self.children(idx, &mut buf) > 0
     }
 
-    /// Mark every descendant of `idx` with `stamp`.
-    fn stamp_descendants(&self, idx: usize, stamp: u32, stamps: &mut [u32]) {
-        let mut stack = [0usize; 4];
-        let n = self.children(idx, &mut stack);
-        let mut work: Vec<usize> = stack[..n].to_vec();
+    /// Mark every descendant of `idx` with `stamp`, using the caller's
+    /// `work` stack (cleared here) instead of a per-root allocation.
+    ///
+    /// The production passes no longer stamp at all — they exploit the
+    /// fact that subtree maxima are monotone down the tree, so "inside
+    /// a zerotree at threshold t" reduces to the static test
+    /// `subtree_max[parent] < t` (encoder) or to spawn-on-first-
+    /// non-ZTR (decoder). This method survives as the executable
+    /// definition of zerotree cover the equivalence tests pin the fast
+    /// rules against.
+    #[cfg(test)]
+    fn stamp_descendants(&self, idx: usize, stamp: u32, stamps: &mut [u32], work: &mut Vec<u32>) {
+        work.clear();
+        let mut kids = [0usize; 4];
+        let n = self.children(idx, &mut kids);
+        work.extend(kids[..n].iter().map(|&k| k as u32));
         while let Some(i) = work.pop() {
+            let i = i as usize;
             if stamps[i] == stamp {
                 continue;
             }
             stamps[i] = stamp;
-            let mut buf = [0usize; 4];
-            let n = self.children(i, &mut buf);
-            work.extend_from_slice(&buf[..n]);
+            let n = self.children(i, &mut kids);
+            work.extend(kids[..n].iter().map(|&k| k as u32));
         }
+    }
+}
+
+// ------------------------------------------------------------- scratch
+
+// Encoder candidates are single `u64`s — the dominant pass only ever
+// *compares* magnitudes against the threshold, so the bit positions of
+// |coeff| and the subtree max suffice:
+//
+// ```text
+// 63..32: scan rank (merge key: plain u64 `<` orders by scan position)
+// 23..16: 32 + msb(|coeff|), or 0 when the coefficient is zero
+// 15..8:  32 + msb(subtree max), or 0 when the subtree is all zero
+// bit 1:  has children
+// bit 0:  sign (negative)
+// ```
+//
+// `|coeff| >= 1 << b` becomes `magbit >= 32 + b`, a masked compare;
+// the +32 bias keeps the zero encoding unambiguous. Halving the entry
+// to 8 bytes halves the per-pass survivor-copy traffic, the encoder's
+// main memory cost.
+const CAND_MAG_MASK: u64 = 0xFF << 16;
+const CAND_SMAX_MASK: u64 = 0xFF << 8;
+const CAND_KIDS: u64 = 1 << 1;
+const CAND_NEG: u64 = 1;
+
+/// `32 + msb(v)` biased bit position (0 for `v == 0`), shifted into
+/// the field at `shift`. Branchless — half the coefficients of a
+/// transformed plane are zero, which would make an `if` here a
+/// steady stream of mispredictions during bucket fill.
+#[inline]
+fn bitpos_field(v: u32, shift: u32) -> u64 {
+    let biased = (63 - v.leading_zeros()) as u64; // 31 for v == 0
+    let nonzero_mask = ((v != 0) as u64).wrapping_neg();
+    (biased & nonzero_mask) << shift
+}
+
+const FLAG_KIDS: u8 = 2;
+/// Decoder-side: this entry has already spawned its children.
+const FLAG_SPAWNED: u8 = 4;
+
+/// One decoder candidate: scan rank, index, and child/spawned flags
+/// (magnitudes are unknown until the bits say so).
+#[derive(Clone, Copy)]
+struct DecCand {
+    rank: u32,
+    idx: u32,
+    flags: u8,
+}
+
+/// Reusable per-plane coder state: candidate lists, activation
+/// buckets, the subordinate list, and a cached [`Geometry`] (rebuilt
+/// only when the plane shape changes). Shared by
+/// [`EzwEncoder::encode_plane_with`] and
+/// [`EzwDecoder::decode_plane_with`]; a default-constructed scratch is
+/// used transparently by the plain entry points.
+#[derive(Default)]
+pub struct EzwScratch {
+    geo: Option<Geometry>,
+    /// Encoder: max `|coeff|` over each subtree.
+    subtree_max: Vec<u32>,
+    /// Encoder: each node's activation pass (the pass its parent's
+    /// subtree max first meets the threshold; 0 for parentless nodes,
+    /// 255 for never-coded all-zero subtrees).
+    act: Vec<u8>,
+    /// Decoder: indices significant in an earlier pass, in order.
+    sub_list: Vec<u32>,
+    /// Encoder: magnitudes of significant coefficients, in
+    /// significance order — the subordinate pass reads it sequentially
+    /// (the refinement bit never needs the index, only the magnitude).
+    sub_mags: Vec<u32>,
+    /// Encoder: `|coeff|` by scan rank, so the dominant pass recovers
+    /// a magnitude from a packed candidate with one ordered read.
+    mag_rank: Vec<u32>,
+    /// Encoder: live packed candidates, rank-sorted (double-buffered,
+    /// `u64::MAX`-sentinel-terminated for the branchless merge).
+    cands: Vec<u64>,
+    cands_next: Vec<u64>,
+    /// Encoder: packed candidates bucketed by activation pass
+    /// (`bucket_off[p]..bucket_off[p + 1]`, rank-sorted within each,
+    /// each bucket followed by a `u64::MAX` sentinel slot).
+    buckets: Vec<u64>,
+    bucket_off: Vec<usize>,
+    bucket_cur: Vec<usize>,
+    /// Decoder: live candidates, sorted by scan rank (double-buffered).
+    lip: Vec<DecCand>,
+    lip_next: Vec<DecCand>,
+    /// Decoder: children activated mid-pass, merged in by scan rank.
+    spawn_heap: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Decoder magnitudes.
+    mags: Vec<u32>,
+    /// Decoder signs.
+    negs: Vec<bool>,
+}
+
+impl EzwScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> EzwScratch {
+        EzwScratch::default()
+    }
+
+    /// The geometry for `w x h x levels`, rebuilding only on change.
+    fn geometry(&mut self, w: usize, h: usize, levels: usize) -> &Geometry {
+        let stale = !matches!(&self.geo, Some(g) if g.w == w && g.h == h && g.levels == levels);
+        if stale {
+            self.geo = Some(Geometry::new(w, h, levels));
+        }
+        self.geo.as_ref().expect("just built")
     }
 }
 
@@ -188,8 +403,20 @@ impl EzwEncoder {
     /// [`PLANE_HEADER_LEN`] of header followed by the embedded
     /// bitstream down to bit-plane 0.
     pub fn encode_plane(coeffs: &[i32], w: usize, h: usize, levels: usize) -> Vec<u8> {
+        Self::encode_plane_with(coeffs, w, h, levels, &mut EzwScratch::new())
+    }
+
+    /// [`EzwEncoder::encode_plane`] with caller-owned scratch — the
+    /// allocation-free hot path (only the output stream is allocated).
+    pub fn encode_plane_with(
+        coeffs: &[i32],
+        w: usize,
+        h: usize,
+        levels: usize,
+        scratch: &mut EzwScratch,
+    ) -> Vec<u8> {
         assert_eq!(coeffs.len(), w * h);
-        let geo = Geometry::new(w, h, levels);
+        let n = coeffs.len();
         let max_mag = coeffs.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
 
         let mut out = Vec::new();
@@ -204,64 +431,250 @@ impl EzwEncoder {
         let top_plane = 31 - max_mag.leading_zeros();
         out.push(top_plane as u8);
 
-        // Static max |coeff| over self + descendants: reverse scan
-        // order visits children before parents.
-        let mut subtree_max = vec![0u32; coeffs.len()];
-        let mut kids = [0usize; 4];
-        for &idx in geo.scan.iter().rev() {
-            let idx = idx as usize;
-            let mut m = coeffs[idx].unsigned_abs();
-            let n = geo.children(idx, &mut kids);
-            for &k in &kids[..n] {
-                m = m.max(subtree_max[k]);
+        // The encoder never touches the explicit tree: the band loops
+        // below regenerate the scan, and the packed candidates carry
+        // everything the passes need. (Only the decoder builds a
+        // `Geometry`.)
+        let (wl, hl) = (w >> levels, h >> levels);
+        // Parent region of the (2x, 2y) child map: the top-left
+        // quadrant, minus the coarsest LL (which parents the three
+        // co-located coarsest bands instead).
+        let (wp, hp) = (w.div_ceil(2), h.div_ceil(2));
+
+        // Static max |coeff| over self + descendants. A descending
+        // sweep over the parent quadrant visits every child block
+        // before its parent row — no per-node child enumeration, no
+        // scan indirection, no divisions.
+        let smax = &mut scratch.subtree_max;
+        smax.clear();
+        smax.extend(coeffs.iter().map(|c| c.unsigned_abs()));
+        for y in (0..hp).rev() {
+            let row = y * w;
+            let crow = 2 * y * w;
+            let x0 = if y < hl { wl } else { 0 };
+            for x in (x0..wp).rev() {
+                let c0 = crow + 2 * x;
+                let m = smax[c0]
+                    .max(smax[c0 + 1])
+                    .max(smax[c0 + w])
+                    .max(smax[c0 + w + 1]);
+                if m > smax[row + x] {
+                    smax[row + x] = m;
+                }
             }
-            subtree_max[idx] = m;
+        }
+        for y in (0..hl).rev() {
+            let row = y * w;
+            let brow = (y + hl) * w;
+            for x in (0..wl).rev() {
+                let m = smax[row + x + wl]
+                    .max(smax[brow + x])
+                    .max(smax[brow + x + wl]);
+                if m > smax[row + x] {
+                    smax[row + x] = m;
+                }
+            }
         }
 
-        let mut bits = BitWriter::new();
-        let mut significant = vec![false; coeffs.len()];
-        let mut skip = vec![u32::MAX; coeffs.len()];
-        let mut sub_list: Vec<usize> = Vec::new();
+        // The zerotree-cover bound: subtree maxima are monotone down
+        // the tree, so "some strict ancestor is a zerotree root at
+        // threshold t" collapses to `subtree_max[parent] < t`. That
+        // makes each coefficient's first coded pass *static* — the
+        // pass where t first drops to its parent's subtree max.
+        // Parentless nodes (coarsest LL) are live from pass 0; an
+        // all-zero parent subtree means never coded (sentinel 255).
+        let top_pass = |sm: u32| top_plane - (31 - sm.leading_zeros()).min(top_plane);
+        let act = &mut scratch.act;
+        act.clear();
+        act.resize(n, 0u8);
+        for y in 0..hp {
+            let row = y * w;
+            let crow = 2 * y * w;
+            let x0 = if y < hl { wl } else { 0 };
+            for x in x0..wp {
+                let sm = smax[row + x];
+                let p = if sm == 0 { 255 } else { top_pass(sm) as u8 };
+                let c0 = crow + 2 * x;
+                act[c0] = p;
+                act[c0 + 1] = p;
+                act[c0 + w] = p;
+                act[c0 + w + 1] = p;
+            }
+        }
+        for y in 0..hl {
+            let row = y * w;
+            let brow = (y + hl) * w;
+            for x in 0..wl {
+                let sm = smax[row + x];
+                let p = if sm == 0 { 255 } else { top_pass(sm) as u8 };
+                act[row + x + wl] = p;
+                act[brow + x] = p;
+                act[brow + x + wl] = p;
+            }
+        }
 
-        for (pass, b) in (0..=top_plane).rev().enumerate() {
-            let t = 1u32 << b;
-            let refine_count = sub_list.len();
-            // Dominant pass.
-            for &idx in &geo.scan {
-                let idx = idx as usize;
-                if significant[idx] || skip[idx] == pass as u32 {
-                    continue;
-                }
-                let mag = coeffs[idx].unsigned_abs();
-                let has_kids = geo.has_children(idx);
-                if mag >= t {
-                    // P / N.
-                    if has_kids {
-                        bits.push(true);
-                        bits.push(true);
-                        bits.push(coeffs[idx] < 0);
-                    } else {
-                        bits.push(true);
-                        bits.push(coeffs[idx] < 0);
-                    }
-                    significant[idx] = true;
-                    sub_list.push(idx);
-                } else if has_kids && subtree_max[idx] < t {
-                    // Zerotree root.
-                    bits.push(false);
-                    geo.stamp_descendants(idx, pass as u32, &mut skip);
-                } else if has_kids {
-                    // Isolated zero.
-                    bits.push(true);
-                    bits.push(false);
-                } else {
-                    bits.push(false);
+        // Bucket every coded coefficient by activation pass: a counting
+        // sort in scan order, so each bucket is rank-sorted. The scan
+        // is regenerated band-by-band here (same order as
+        // `Geometry::new`) to get coordinates — and thus the
+        // has-children test — without divisions. Each bucket keeps a
+        // trailing `u64::MAX` sentinel slot so the dominant pass can
+        // merge without bounds branches.
+        let nb = top_plane as usize + 1;
+        let bucket_off = &mut scratch.bucket_off;
+        bucket_off.clear();
+        bucket_off.resize(nb + 1, 0usize);
+        for &a in act.iter() {
+            if (a as usize) < nb {
+                bucket_off[a as usize] += 1;
+            }
+        }
+        let mut total = 0usize;
+        for (p, off) in bucket_off.iter_mut().enumerate() {
+            let c = *off;
+            // Shift pass p's span by p: one sentinel slot per bucket.
+            *off = total + p;
+            total += c;
+        }
+        let buckets = &mut scratch.buckets;
+        buckets.clear();
+        buckets.resize(total + nb, u64::MAX);
+        let cursor = &mut scratch.bucket_cur;
+        cursor.clear();
+        cursor.extend_from_slice(bucket_off);
+        let mag_rank = &mut scratch.mag_rank;
+        mag_rank.clear();
+        mag_rank.resize(n, 0);
+        let mut r: u32 = 0;
+        let place = |idx: usize,
+                     has_kids: bool,
+                     r: u32,
+                     buckets: &mut [u64],
+                     cursor: &mut [usize],
+                     mag_rank: &mut [u32]| {
+            let c = coeffs[idx];
+            mag_rank[r as usize] = c.unsigned_abs();
+            let a = act[idx] as usize;
+            if a < nb {
+                let packed = ((r as u64) << 32)
+                    | bitpos_field(c.unsigned_abs(), 16)
+                    | bitpos_field(smax[idx], 8)
+                    | ((has_kids as u64) << 1)
+                    | ((c < 0) as u64);
+                buckets[cursor[a]] = packed;
+                cursor[a] += 1;
+            }
+        };
+        for y in 0..hl {
+            for x in 0..wl {
+                place(y * w + x, true, r, buckets, cursor, mag_rank);
+                r += 1;
+            }
+        }
+        for l in (1..=levels).rev() {
+            let (wb, hb) = (w >> l, h >> l);
+            for y in 0..hb {
+                for x in wb..2 * wb {
+                    place(
+                        y * w + x,
+                        2 * x < w && 2 * y < h,
+                        r,
+                        buckets,
+                        cursor,
+                        mag_rank,
+                    );
+                    r += 1;
                 }
             }
+            for y in hb..2 * hb {
+                for x in 0..wb {
+                    place(
+                        y * w + x,
+                        2 * x < w && 2 * y < h,
+                        r,
+                        buckets,
+                        cursor,
+                        mag_rank,
+                    );
+                    r += 1;
+                }
+            }
+            for y in hb..2 * hb {
+                for x in wb..2 * wb {
+                    place(
+                        y * w + x,
+                        2 * x < w && 2 * y < h,
+                        r,
+                        buckets,
+                        cursor,
+                        mag_rank,
+                    );
+                    r += 1;
+                }
+            }
+        }
+        debug_assert_eq!(r as usize, n);
+
+        let sub = &mut scratch.sub_mags;
+        sub.clear();
+        sub.resize(n + 1, 0);
+        let mut nsub = 0usize;
+        let cands = &mut scratch.cands;
+        cands.clear();
+        cands.resize(n + 1, 0);
+        let next = &mut scratch.cands_next;
+        next.clear();
+        next.resize(n + 1, 0);
+        let mut nlive = 0usize;
+
+        let mut bits = BitWriter::new();
+        for b in (0..=top_plane).rev() {
+            let tb_mag = ((32 + b) as u64) << 16;
+            let tb_smax = ((32 + b) as u64) << 8;
+            let refine_count = nsub;
+            // Dominant pass: merge the live list with this plane's
+            // newly-activated bucket (both rank-sorted), emitting in
+            // scan order and keeping only still-insignificant entries.
+            // Exactly the coefficients the stamp-based coder would
+            // visit are visited — everything under a zerotree root
+            // stays untouched. The body is branchless: sentinel-
+            // terminated merge, and the four symbols collapse to
+            // `pattern = (1 << len) - 2 + sign` (0; 10; 10|s; 110|s),
+            // because significance is ~50/50 in the busy passes and a
+            // data-dependent branch would stall on every other entry.
+            let p = (top_plane - b) as usize;
+            let fresh = &buckets[bucket_off[p]..bucket_off[p + 1]];
+            let nfresh = fresh.len() - 1;
+            cands[nlive] = u64::MAX;
+            let (mut ai, mut fi, mut wi) = (0usize, 0usize, 0usize);
+            for _ in 0..nlive + nfresh {
+                // Rank sits in the high bits, so a plain u64 compare
+                // merges by scan position (cmov, not a branch).
+                let a = cands[ai];
+                let f = fresh[fi];
+                let from_live = a < f;
+                let cand = if from_live { a } else { f };
+                ai += from_live as usize;
+                fi += !from_live as usize;
+
+                let sig = cand & CAND_MAG_MASK >= tb_mag;
+                let kids = cand & CAND_KIDS != 0;
+                let iz_or_sig = sig | (kids & (cand & CAND_SMAX_MASK >= tb_smax));
+                let len = 1 + iz_or_sig as u32 + (sig & kids) as u32;
+                let neg = (cand & CAND_NEG) as u32 & sig as u32;
+                bits.push_bits((1u32 << len) - 2 + neg, len);
+
+                next[wi] = cand;
+                wi += !sig as usize;
+                sub[nsub] = mag_rank[(cand >> 32) as usize];
+                nsub += sig as usize;
+            }
+            std::mem::swap(cands, next);
+            nlive = wi;
             // Subordinate pass: one refinement bit for coefficients
-            // significant before this plane.
-            for &idx in &sub_list[..refine_count] {
-                bits.push(coeffs[idx].unsigned_abs() & t != 0);
+            // significant before this plane, magnitudes read inline.
+            for &mag in &sub[..refine_count] {
+                bits.push_bits((mag >> b) & 1, 1);
             }
         }
         out.extend_from_slice(&bits.into_bytes());
@@ -289,6 +702,14 @@ pub struct DecodedPlane {
 impl EzwDecoder {
     /// Decode as much of `bytes` as is present.
     pub fn decode_plane(bytes: &[u8]) -> Result<DecodedPlane, MediaError> {
+        Self::decode_plane_with(bytes, &mut EzwScratch::new())
+    }
+
+    /// [`EzwDecoder::decode_plane`] with caller-owned scratch.
+    pub fn decode_plane_with(
+        bytes: &[u8],
+        scratch: &mut EzwScratch,
+    ) -> Result<DecodedPlane, MediaError> {
         if bytes.len() < PLANE_HEADER_LEN || &bytes[..4] != PLANE_MAGIC {
             return Err(MediaError::Malformed("bad plane header"));
         }
@@ -299,7 +720,8 @@ impl EzwDecoder {
         if w == 0 || h == 0 || levels == 0 || levels > wavelet::max_levels(w, h) {
             return Err(MediaError::Malformed("bad plane geometry"));
         }
-        let mut coeffs = vec![0i32; w * h];
+        let n = w * h;
+        let mut coeffs = vec![0i32; n];
         if top == EMPTY_PLANE {
             return Ok(DecodedPlane {
                 w,
@@ -312,42 +734,110 @@ impl EzwDecoder {
         if top_plane > 31 {
             return Err(MediaError::Malformed("bad top plane"));
         }
-        let geo = Geometry::new(w, h, levels);
+        scratch.geometry(w, h, levels);
+        let geo = scratch.geo.as_ref().expect("geometry cached");
         let mut bits = BitReader::new(&bytes[PLANE_HEADER_LEN..]);
 
-        let mut mags = vec![0u32; w * h];
-        let mut negs = vec![false; w * h];
-        let mut skip = vec![u32::MAX; w * h];
-        let mut sub_list: Vec<usize> = Vec::new();
+        let mags = &mut scratch.mags;
+        mags.clear();
+        mags.resize(n, 0);
+        let negs = &mut scratch.negs;
+        negs.clear();
+        negs.resize(n, false);
+        let sub_list = &mut scratch.sub_list;
+        sub_list.clear();
+
+        // The live list starts at the parentless coarsest-LL nodes and
+        // grows by *spawning*: the first time a parent codes a non-ZTR
+        // symbol its children join the list. Spawned children are held
+        // in a min-heap of (scan rank, index) and merged into the same
+        // pass — a parent always precedes its children in scan order,
+        // which is exactly when the encoder's activation buckets admit
+        // them. Everything under a zerotree root stays untouched, so no
+        // skip stamps are needed.
+        let (wl, hl) = (w >> levels, h >> levels);
+        let lip = &mut scratch.lip;
+        lip.clear();
+        for (r, &idx) in geo.scan[..wl * hl].iter().enumerate() {
+            let mut flags = 0u8;
+            if geo.has_children(idx as usize) {
+                flags |= FLAG_KIDS;
+            }
+            lip.push(DecCand {
+                rank: r as u32,
+                idx,
+                flags,
+            });
+        }
+        let next = &mut scratch.lip_next;
+        let heap = &mut scratch.spawn_heap;
+        heap.clear();
+        let mut kids = [0usize; 4];
+
         // Offset plane used to centre the uncertainty interval if the
         // stream is truncated at plane `b`: [mag, mag + 2^b).
         let mut current_plane = top_plane;
         let mut finished = true;
 
-        'outer: for (pass, b) in (0..=top_plane).rev().enumerate() {
+        'outer: for b in (0..=top_plane).rev() {
             current_plane = b;
             let t = 1u32 << b;
             let refine_count = sub_list.len();
-            for &idx in &geo.scan {
-                let idx = idx as usize;
-                if mags[idx] != 0 || skip[idx] == pass as u32 {
-                    continue;
-                }
-                let has_kids = geo.has_children(idx);
+            next.clear();
+            let mut ai = 0usize;
+            loop {
+                // Take whichever of the live list and the spawn heap
+                // holds the lowest scan rank next.
+                let heap_rank = heap.peek().map(|r| (r.0 >> 32) as u32);
+                let take_heap = match (ai < lip.len(), heap_rank) {
+                    (true, Some(hr)) => hr < lip[ai].rank,
+                    (true, None) => false,
+                    (false, Some(_)) => true,
+                    (false, None) => break,
+                };
+                let mut cand = if take_heap {
+                    let packed = heap.pop().expect("peeked").0;
+                    let idx = packed as u32;
+                    // A fresh child has not spawned its *own* children
+                    // yet — FLAG_SPAWNED is only set once it does.
+                    let mut flags = 0u8;
+                    if geo.has_children(idx as usize) {
+                        flags |= FLAG_KIDS;
+                    }
+                    DecCand {
+                        rank: (packed >> 32) as u32,
+                        idx,
+                        flags,
+                    }
+                } else {
+                    ai += 1;
+                    lip[ai - 1]
+                };
+                let idx = cand.idx as usize;
                 let Some(first) = bits.next() else {
                     finished = false;
                     break 'outer;
                 };
-                if has_kids {
+                if cand.flags & FLAG_KIDS != 0 {
                     if !first {
-                        geo.stamp_descendants(idx, pass as u32, &mut skip);
+                        // Zerotree root: children stay dormant.
+                        next.push(cand);
                         continue;
+                    }
+                    // Non-ZTR parent: its children activate this pass.
+                    if cand.flags & FLAG_SPAWNED == 0 {
+                        cand.flags |= FLAG_SPAWNED;
+                        let nk = geo.children(idx, &mut kids);
+                        for &k in &kids[..nk] {
+                            heap.push(std::cmp::Reverse((geo.rank[k] as u64) << 32 | k as u64));
+                        }
                     }
                     let Some(second) = bits.next() else {
                         finished = false;
                         break 'outer;
                     };
                     if !second {
+                        next.push(cand);
                         continue; // isolated zero
                     }
                     let Some(sign) = bits.next() else {
@@ -356,9 +846,10 @@ impl EzwDecoder {
                     };
                     mags[idx] = t;
                     negs[idx] = sign;
-                    sub_list.push(idx);
+                    sub_list.push(cand.idx);
                 } else {
                     if !first {
+                        next.push(cand);
                         continue;
                     }
                     let Some(sign) = bits.next() else {
@@ -367,16 +858,17 @@ impl EzwDecoder {
                     };
                     mags[idx] = t;
                     negs[idx] = sign;
-                    sub_list.push(idx);
+                    sub_list.push(cand.idx);
                 }
             }
+            std::mem::swap(lip, next);
             for &idx in &sub_list[..refine_count] {
                 let Some(bit) = bits.next() else {
                     finished = false;
                     break 'outer;
                 };
                 if bit {
-                    mags[idx] |= t;
+                    mags[idx as usize] |= t;
                 }
             }
         }
@@ -423,6 +915,82 @@ fn kind_from_byte(b: u8) -> Result<(WaveletKind, bool), MediaError> {
     }
 }
 
+/// Extract the coder-input planes of `img`: level-shifted to signed
+/// and, when `color_transform` is set (3-channel images only),
+/// YCoCg-R-decorrelated with the luma plane shifted. These are the
+/// per-channel inputs [`encode_prepared_plane`] expects — split out so
+/// callers (e.g. the session's media cache) can transform and encode
+/// the planes in parallel.
+pub fn prepare_planes(img: &Image, color_transform: bool) -> Result<Vec<Vec<i32>>, MediaError> {
+    if color_transform && img.channels != 3 {
+        return Err(MediaError::BadDimensions(
+            "color transform requires 3 channels".to_string(),
+        ));
+    }
+    let mut planes: Vec<Vec<i32>> = (0..img.channels).map(|c| img.plane(c)).collect();
+    if color_transform {
+        let (r, rest) = planes.split_at_mut(1);
+        let (g, b) = rest.split_at_mut(1);
+        crate::color::forward_planes(&mut r[0], &mut g[0], &mut b[0]);
+        // Level-shift luma only; chroma is already near-zero-centred.
+        for v in planes[0].iter_mut() {
+            *v -= 128;
+        }
+    } else {
+        for plane in planes.iter_mut() {
+            // Level-shift to signed, as standard for wavelet coding.
+            for v in plane.iter_mut() {
+                *v -= 128;
+            }
+        }
+    }
+    Ok(planes)
+}
+
+/// Wavelet-transform one prepared plane in place and EZW-encode it,
+/// reusing both scratch spaces. One plane of the container body; wrap
+/// with [`assemble_container`].
+pub fn encode_prepared_plane(
+    plane: &mut [i32],
+    width: usize,
+    height: usize,
+    levels: usize,
+    kind: WaveletKind,
+    wavelet_scratch: &mut WaveletScratch,
+    ezw_scratch: &mut EzwScratch,
+) -> Vec<u8> {
+    wavelet::forward_2d_with(plane, width, height, levels, kind, wavelet_scratch);
+    EzwEncoder::encode_plane_with(plane, width, height, levels, ezw_scratch)
+}
+
+/// Pack per-channel plane streams into a container:
+/// `EZC1 | channels u8 | kind u8 | (len u32 | plane-stream)*`.
+pub fn assemble_container(
+    channels: usize,
+    kind: WaveletKind,
+    color_transform: bool,
+    streams: &[Vec<u8>],
+) -> Vec<u8> {
+    assert_eq!(streams.len(), channels, "one stream per channel");
+    let body: usize = streams.iter().map(|s| s.len() + 4).sum();
+    let mut out = Vec::with_capacity(CONTAINER_HEADER_LEN + body);
+    out.extend_from_slice(CONTAINER_MAGIC);
+    out.push(channels as u8);
+    out.push(
+        kind_to_byte(kind)
+            | if color_transform {
+                COLOR_TRANSFORM_FLAG
+            } else {
+                0
+            },
+    );
+    for stream in streams {
+        out.extend_from_slice(&(stream.len() as u32).to_be_bytes());
+        out.extend_from_slice(stream);
+    }
+    out
+}
+
 /// Encode a whole image: wavelet transform + EZW per channel, packed as
 /// `EZC1 | channels u8 | kind u8 | (len u32 | plane-stream)*`.
 pub fn encode_image(img: &Image, levels: usize, kind: WaveletKind) -> Result<Vec<u8>, MediaError> {
@@ -445,53 +1013,38 @@ pub fn encode_image_opts(
             img.width, img.height, levels
         )));
     }
-    if color_transform && img.channels != 3 {
-        return Err(MediaError::BadDimensions(
-            "color transform requires 3 channels".to_string(),
-        ));
-    }
-    let mut out = Vec::new();
-    out.extend_from_slice(CONTAINER_MAGIC);
-    out.push(img.channels as u8);
-    out.push(
-        kind_to_byte(kind)
-            | if color_transform {
-                COLOR_TRANSFORM_FLAG
-            } else {
-                0
-            },
-    );
-    let mut planes: Vec<Vec<i32>> = (0..img.channels).map(|c| img.plane(c)).collect();
-    if color_transform {
-        let (r, rest) = planes.split_at_mut(1);
-        let (g, b) = rest.split_at_mut(1);
-        crate::color::forward_planes(&mut r[0], &mut g[0], &mut b[0]);
-        // Level-shift luma only; chroma is already near-zero-centred.
-        for v in planes[0].iter_mut() {
-            *v -= 128;
-        }
-    } else {
-        for plane in planes.iter_mut() {
-            // Level-shift to signed, as standard for wavelet coding.
-            for v in plane.iter_mut() {
-                *v -= 128;
-            }
-        }
-    }
-    for plane in planes.iter_mut() {
-        wavelet::forward_2d(plane, img.width, img.height, levels, kind);
-        let stream = EzwEncoder::encode_plane(plane, img.width, img.height, levels);
-        out.extend_from_slice(&(stream.len() as u32).to_be_bytes());
-        out.extend_from_slice(&stream);
-    }
-    Ok(out)
+    let mut planes = prepare_planes(img, color_transform)?;
+    let mut ws = WaveletScratch::new();
+    let mut es = EzwScratch::new();
+    let streams: Vec<Vec<u8>> = planes
+        .iter_mut()
+        .map(|plane| {
+            encode_prepared_plane(plane, img.width, img.height, levels, kind, &mut ws, &mut es)
+        })
+        .collect();
+    Ok(assemble_container(
+        img.channels,
+        kind,
+        color_transform,
+        &streams,
+    ))
 }
 
 /// Decode a container (channel streams may be internally truncated by
 /// [`truncate_container`]; the container structure itself must be
 /// intact).
 pub fn decode_image(bytes: &[u8]) -> Result<Image, MediaError> {
-    if bytes.len() < 6 || &bytes[..4] != CONTAINER_MAGIC {
+    decode_image_reduced(bytes, 0)
+}
+
+/// Decode a container at reduced resolution: `drop_levels` finest
+/// wavelet levels are discarded, yielding a `(w >> drop, h >> drop)`
+/// image — the hierarchical representation of §5.4 where "each of the
+/// users may access the same visual information but at different
+/// resolutions". The skipped detail subbands also never need to be
+/// reconstructed, so thin clients save decode work too.
+pub fn decode_image_reduced(bytes: &[u8], drop_levels: usize) -> Result<Image, MediaError> {
+    if bytes.len() < CONTAINER_HEADER_LEN || &bytes[..4] != CONTAINER_MAGIC {
         return Err(MediaError::Malformed("bad container header"));
     }
     let channels = bytes[4] as usize;
@@ -502,7 +1055,9 @@ pub fn decode_image(bytes: &[u8]) -> Result<Image, MediaError> {
     if color && channels != 3 {
         return Err(MediaError::Malformed("color transform on non-RGB"));
     }
-    let mut pos = 6;
+    let mut ws = WaveletScratch::new();
+    let mut es = EzwScratch::new();
+    let mut pos = CONTAINER_HEADER_LEN;
     let mut planes = Vec::with_capacity(channels);
     for i in 0..channels {
         if bytes.len() < pos + 4 {
@@ -513,66 +1068,7 @@ pub fn decode_image(bytes: &[u8]) -> Result<Image, MediaError> {
         if bytes.len() < pos + len {
             return Err(MediaError::Malformed("truncated channel stream"));
         }
-        let mut decoded = EzwDecoder::decode_plane(&bytes[pos..pos + len])?;
-        pos += len;
-        wavelet::inverse_2d(
-            &mut decoded.coeffs,
-            decoded.w,
-            decoded.h,
-            decoded.levels,
-            kind,
-        );
-        let shift = if color { i == 0 } else { true };
-        if shift {
-            for v in decoded.coeffs.iter_mut() {
-                *v += 128;
-            }
-        }
-        planes.push(decoded);
-    }
-    let (w, h) = (planes[0].w, planes[0].h);
-    if planes.iter().any(|p| p.w != w || p.h != h) {
-        return Err(MediaError::Malformed("channel geometry mismatch"));
-    }
-    if color {
-        let (y, rest) = planes.split_at_mut(1);
-        let (co, cg) = rest.split_at_mut(1);
-        crate::color::inverse_planes(&mut y[0].coeffs, &mut co[0].coeffs, &mut cg[0].coeffs);
-    }
-    let mut img = Image::new(w, h, channels);
-    for (c, plane) in planes.iter().enumerate() {
-        img.set_plane(c, &plane.coeffs);
-    }
-    Ok(img)
-}
-
-/// Decode a container at reduced resolution: `drop_levels` finest
-/// wavelet levels are discarded, yielding a `(w >> drop, h >> drop)`
-/// image — the hierarchical representation of §5.4 where "each of the
-/// users may access the same visual information but at different
-/// resolutions". The skipped detail subbands also never need to be
-/// reconstructed, so thin clients save decode work too.
-pub fn decode_image_reduced(bytes: &[u8], drop_levels: usize) -> Result<Image, MediaError> {
-    if bytes.len() < 6 || &bytes[..4] != CONTAINER_MAGIC {
-        return Err(MediaError::Malformed("bad container header"));
-    }
-    let channels = bytes[4] as usize;
-    if channels != 1 && channels != 3 {
-        return Err(MediaError::Malformed("bad channel count"));
-    }
-    let (kind, color) = kind_from_byte(bytes[5])?;
-    let mut pos = 6;
-    let mut planes = Vec::with_capacity(channels);
-    for i in 0..channels {
-        if bytes.len() < pos + 4 {
-            return Err(MediaError::Malformed("truncated container"));
-        }
-        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        pos += 4;
-        if bytes.len() < pos + len {
-            return Err(MediaError::Malformed("truncated channel stream"));
-        }
-        let mut decoded = EzwDecoder::decode_plane(&bytes[pos..pos + len])?;
+        let mut decoded = EzwDecoder::decode_plane_with(&bytes[pos..pos + len], &mut es)?;
         pos += len;
         if drop_levels > decoded.levels {
             return Err(MediaError::BadDimensions(format!(
@@ -580,13 +1076,14 @@ pub fn decode_image_reduced(bytes: &[u8], drop_levels: usize) -> Result<Image, M
                 decoded.levels
             )));
         }
-        wavelet::inverse_2d_partial(
+        wavelet::inverse_2d_partial_with(
             &mut decoded.coeffs,
             decoded.w,
             decoded.h,
             decoded.levels,
             drop_levels,
             kind,
+            &mut ws,
         );
         let shift = if color { i == 0 } else { true };
         if shift {
@@ -604,6 +1101,13 @@ pub fn decode_image_reduced(bytes: &[u8], drop_levels: usize) -> Result<Image, M
         let (y, rest) = planes.split_at_mut(1);
         let (co, cg) = rest.split_at_mut(1);
         crate::color::inverse_planes(&mut y[0].coeffs, &mut co[0].coeffs, &mut cg[0].coeffs);
+    }
+    if drop_levels == 0 {
+        let mut img = Image::new(w, h, channels);
+        for (c, plane) in planes.iter().enumerate() {
+            img.set_plane(c, &plane.coeffs);
+        }
+        return Ok(img);
     }
     let (rw, rh) = (w >> drop_levels, h >> drop_levels);
     let mut img = Image::new(rw, rh, channels);
@@ -624,12 +1128,12 @@ pub fn decode_image_reduced(bytes: &[u8], drop_levels: usize) -> Result<Image, M
 /// quality degrades gracefully across all channels instead of dropping
 /// whole channels.
 pub fn truncate_container(bytes: &[u8], budget: usize) -> Result<Vec<u8>, MediaError> {
-    if bytes.len() < 6 || &bytes[..4] != CONTAINER_MAGIC {
+    if bytes.len() < CONTAINER_HEADER_LEN || &bytes[..4] != CONTAINER_MAGIC {
         return Err(MediaError::Malformed("bad container header"));
     }
     let channels = bytes[4] as usize;
     // Parse channel extents.
-    let mut pos = 6;
+    let mut pos = CONTAINER_HEADER_LEN;
     let mut streams: Vec<&[u8]> = Vec::with_capacity(channels);
     for _ in 0..channels {
         if bytes.len() < pos + 4 {
@@ -644,10 +1148,10 @@ pub fn truncate_container(bytes: &[u8], budget: usize) -> Result<Vec<u8>, MediaE
         pos += len;
     }
     let total: usize = streams.iter().map(|s| s.len()).sum();
-    let overhead = 6 + 4 * channels;
+    let overhead = CONTAINER_HEADER_LEN + 4 * channels;
     let payload_budget = budget.saturating_sub(overhead);
     let mut out = Vec::with_capacity(budget.min(bytes.len()));
-    out.extend_from_slice(&bytes[..6]);
+    out.extend_from_slice(&bytes[..CONTAINER_HEADER_LEN]);
     for s in &streams {
         let share = (payload_budget * s.len()).checked_div(total).unwrap_or(0);
         let keep = share.clamp(PLANE_HEADER_LEN.min(s.len()), s.len());
@@ -685,6 +1189,37 @@ mod tests {
     }
 
     #[test]
+    fn bit_writer_matches_per_bit_packing_across_word_boundaries() {
+        // Long pseudo-random sequences pushed as mixed-width symbols
+        // must pack exactly like single-bit pushes (which in turn match
+        // the pre-refactor byte-at-a-time writer).
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut bits_expected = Vec::new();
+        let mut batch = BitWriter::new();
+        let mut single = BitWriter::new();
+        for _ in 0..999 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let n = (state % 3) as u32 + 1; // 1..=3 bit symbols
+            let pattern = (state >> 32) as u32 & ((1 << n) - 1);
+            batch.push_bits(pattern, n);
+            for i in (0..n).rev() {
+                let bit = pattern & (1 << i) != 0;
+                single.push(bit);
+                bits_expected.push(bit);
+            }
+        }
+        assert_eq!(batch.len_bits(), single.len_bits());
+        let (batch, single) = (batch.into_bytes(), single.into_bytes());
+        assert_eq!(batch, single);
+        let mut r = BitReader::new(&batch);
+        for (i, &b) in bits_expected.iter().enumerate() {
+            assert_eq!(r.next(), Some(b), "bit {i}");
+        }
+    }
+
+    #[test]
     fn geometry_scan_covers_everything_once() {
         let geo = Geometry::new(16, 16, 3);
         let mut seen = vec![false; 256];
@@ -712,6 +1247,33 @@ mod tests {
     }
 
     #[test]
+    fn stamp_descendants_matches_recursive_definition() {
+        // The scratch-stack stamp must mark exactly the transitive
+        // children of the root — the same set the recursive definition
+        // (and the pre-refactor per-root `Vec` version) produces.
+        fn collect(geo: &Geometry, idx: usize, out: &mut Vec<usize>) {
+            let mut kids = [0usize; 4];
+            let n = geo.children(idx, &mut kids);
+            for &k in &kids[..n] {
+                out.push(k);
+                collect(geo, k, out);
+            }
+        }
+        let geo = Geometry::new(32, 16, 2);
+        let mut work = Vec::new();
+        for root in 0..32 * 16 {
+            let mut stamps = vec![u32::MAX; 32 * 16];
+            geo.stamp_descendants(root, 7, &mut stamps, &mut work);
+            let mut expected = Vec::new();
+            collect(&geo, root, &mut expected);
+            expected.sort_unstable();
+            let mut got: Vec<usize> = (0..stamps.len()).filter(|&i| stamps[i] == 7).collect();
+            got.sort_unstable();
+            assert_eq!(got, expected, "root {root}");
+        }
+    }
+
+    #[test]
     fn full_stream_decodes_losslessly() {
         let scene = synthetic_scene(32, 32, 1, 3, 11);
         let mut plane = scene.image.plane(0);
@@ -722,6 +1284,34 @@ mod tests {
         let stream = EzwEncoder::encode_plane(&plane, 32, 32, 3);
         let decoded = EzwDecoder::decode_plane(&stream).unwrap();
         assert_eq!(decoded.coeffs, plane, "full embedded stream is lossless");
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_scratch() {
+        // Encoding planes of different shapes and contents through one
+        // scratch must give the same bytes as fresh scratch per call
+        // (stale stamps, lists, or geometry must never leak through).
+        let mut scratch = EzwScratch::new();
+        for (w, h, levels, seed) in [
+            (32, 32, 3, 1u64),
+            (16, 16, 2, 2),
+            (32, 32, 3, 3),
+            (64, 32, 2, 4),
+        ] {
+            let scene = synthetic_scene(w, h, 1, 3, seed);
+            let mut plane = scene.image.plane(0);
+            for v in plane.iter_mut() {
+                *v -= 128;
+            }
+            wavelet::forward_2d(&mut plane, w, h, levels, WaveletKind::Cdf53);
+            let warm = EzwEncoder::encode_plane_with(&plane, w, h, levels, &mut scratch);
+            let cold = EzwEncoder::encode_plane(&plane, w, h, levels);
+            assert_eq!(warm, cold, "{w}x{h} L{levels} seed {seed}");
+            let dwarm = EzwDecoder::decode_plane_with(&warm, &mut scratch).unwrap();
+            let dcold = EzwDecoder::decode_plane(&cold).unwrap();
+            assert_eq!(dwarm, dcold);
+            assert_eq!(dwarm.coeffs, plane);
+        }
     }
 
     #[test]
@@ -812,6 +1402,7 @@ mod tests {
     fn color_transform_rejected_on_grayscale() {
         let scene = synthetic_scene(32, 32, 1, 1, 0);
         assert!(encode_image_opts(&scene.image, 2, WaveletKind::Haar, true).is_err());
+        assert!(prepare_planes(&scene.image, true).is_err());
     }
 
     #[test]
@@ -831,6 +1422,26 @@ mod tests {
             container.len(),
             scene.image.byte_len()
         );
+    }
+
+    #[test]
+    fn split_encode_steps_match_encode_image_opts() {
+        // prepare_planes + encode_prepared_plane + assemble_container
+        // is the parallel-friendly spelling of encode_image_opts; the
+        // bytes must be identical for any channel/transform combo.
+        for (channels, color) in [(1, false), (3, false), (3, true)] {
+            let scene = synthetic_scene(32, 32, channels, 3, 17);
+            let whole = encode_image_opts(&scene.image, 3, WaveletKind::Cdf53, color).unwrap();
+            let mut planes = prepare_planes(&scene.image, color).unwrap();
+            let mut ws = WaveletScratch::new();
+            let mut es = EzwScratch::new();
+            let streams: Vec<Vec<u8>> = planes
+                .iter_mut()
+                .map(|p| encode_prepared_plane(p, 32, 32, 3, WaveletKind::Cdf53, &mut ws, &mut es))
+                .collect();
+            let split = assemble_container(channels, WaveletKind::Cdf53, color, &streams);
+            assert_eq!(split, whole, "channels={channels} color={color}");
+        }
     }
 
     #[test]

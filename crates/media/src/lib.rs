@@ -30,14 +30,15 @@ pub mod ezw;
 pub mod image;
 pub mod metrics;
 pub mod packetize;
+pub mod reference;
 pub mod sketch;
 pub mod speech;
 pub mod wavelet;
 
 pub use describe::TextDescription;
-pub use ezw::{EzwDecoder, EzwEncoder};
+pub use ezw::{EzwDecoder, EzwEncoder, EzwScratch};
 pub use image::Image;
-pub use metrics::{bits_per_pixel, compression_ratio, psnr};
+pub use metrics::{bits_per_pixel, compression_ratio, psnr, psnr_color};
 pub use packetize::{split_packets, MediaPacket};
 pub use sketch::Sketch;
 

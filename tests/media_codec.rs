@@ -1,0 +1,195 @@
+//! Differential suite pinning the optimized media codec to the frozen
+//! pre-refactor implementation (`media::reference`).
+//!
+//! The fast path (reusable wavelet scratch, blocked column pass,
+//! list-driven EZW passes, word-batched bit I/O) is only allowed to be
+//! *faster* — the wire format must stay bit-identical. Every property
+//! here compares the live coder against the verbatim copy of the old
+//! one on arbitrary planes, including truncated prefixes, and a golden
+//! fixture pins one full encoded color image so a regression in both
+//! paths at once cannot hide behind the differential.
+//!
+//! Regenerate the fixture (only after an *intentional* format change)
+//! with: `REGEN_MEDIA_FIXTURES=1 cargo test --test media_codec`.
+
+use collabqos::media::ezw::{self, EzwDecoder, EzwEncoder, EzwScratch};
+use collabqos::media::image::{synthetic_scene, Image};
+use collabqos::media::reference;
+use collabqos::media::wavelet::{self, WaveletKind, WaveletScratch};
+use proptest::prelude::*;
+
+const FIXTURE_PATH: &str = "tests/fixtures/ezw_color_64x64.bin";
+
+/// Plane geometry the codec accepts: power-of-two-friendly dims with a
+/// valid level count.
+fn arb_geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    (0usize..6, 0usize..6).prop_flat_map(|(wi, hi)| {
+        let dims = [8usize, 16, 24, 32, 48, 64];
+        let (w, h) = (dims[wi], dims[hi]);
+        (Just(w), Just(h), 1usize..=wavelet::max_levels(w, h))
+    })
+}
+
+/// A raw pixel plane (pre-transform), as `share_image` would see it.
+fn arb_pixels() -> impl Strategy<Value = (usize, usize, usize, Vec<i32>)> {
+    arb_geometry().prop_flat_map(|(w, h, levels)| {
+        (
+            Just(w),
+            Just(h),
+            Just(levels),
+            proptest::collection::vec(-128i32..=127, w * h..w * h + 1),
+        )
+    })
+}
+
+/// Arbitrary wavelet-domain coefficients, wider-range than any real
+/// transform output to also exercise high bit-planes.
+fn arb_coeffs() -> impl Strategy<Value = (usize, usize, usize, Vec<i32>)> {
+    arb_geometry().prop_flat_map(|(w, h, levels)| {
+        (
+            Just(w),
+            Just(h),
+            Just(levels),
+            proptest::collection::vec(-5000i32..=5000, w * h..w * h + 1),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The optimized wavelet pass produces the same coefficients as
+    /// the pre-refactor strided implementation, and inverts losslessly
+    /// through either inverse.
+    #[test]
+    fn wavelet_forward_matches_reference((w, h, levels, pixels) in arb_pixels()) {
+        let mut fast = pixels.clone();
+        let mut slow = pixels.clone();
+        for kind in [WaveletKind::Haar, WaveletKind::Cdf53] {
+            fast.copy_from_slice(&pixels);
+            slow.copy_from_slice(&pixels);
+            wavelet::forward_2d(&mut fast, w, h, levels, kind);
+            reference::forward_2d(&mut slow, w, h, levels, kind);
+            prop_assert_eq!(&fast, &slow, "forward {:?} {}x{} L{}", kind, w, h, levels);
+            wavelet::inverse_2d(&mut fast, w, h, levels, kind);
+            reference::inverse_2d(&mut slow, w, h, levels, kind);
+            prop_assert_eq!(&fast, &pixels);
+            prop_assert_eq!(&slow, &pixels);
+        }
+    }
+
+    /// Encoded bytes are identical on arbitrary coefficient planes —
+    /// the list-driven dominant pass and batched bit writer change
+    /// nothing on the wire.
+    #[test]
+    fn encode_plane_is_byte_identical((w, h, levels, coeffs) in arb_coeffs()) {
+        let fast = EzwEncoder::encode_plane(&coeffs, w, h, levels);
+        let slow = reference::encode_plane(&coeffs, w, h, levels);
+        prop_assert_eq!(&fast, &slow, "{}x{} L{}", w, h, levels);
+        // And the full stream decodes losslessly through both decoders.
+        let dfast = EzwDecoder::decode_plane(&fast).unwrap();
+        let dslow = reference::decode_plane(&slow).unwrap();
+        prop_assert_eq!(&dfast.coeffs, &coeffs);
+        prop_assert_eq!(&dslow.coeffs, &coeffs);
+    }
+
+    /// Any prefix decodes to the same coefficients through the
+    /// list-driven decoder and the reference decoder — truncation
+    /// behavior (mid-symbol cuts, uncertainty-interval offset) is
+    /// pinned too.
+    #[test]
+    fn truncated_decode_matches_reference(
+        (w, h, levels, coeffs) in arb_coeffs(),
+        cut_ppm in 0u32..=1_000_000,
+    ) {
+        let stream = EzwEncoder::encode_plane(&coeffs, w, h, levels);
+        let body = stream.len() - ezw::PLANE_HEADER_LEN;
+        let keep = ezw::PLANE_HEADER_LEN + (body as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        let prefix = &stream[..keep];
+        let fast = EzwDecoder::decode_plane(prefix).unwrap();
+        let slow = reference::decode_plane(prefix).unwrap();
+        prop_assert_eq!(fast.coeffs, slow.coeffs, "{}x{} L{} keep {}", w, h, levels, keep);
+    }
+
+    /// Scratch reuse across a stream of differently-shaped planes never
+    /// changes the bytes relative to the frozen coder.
+    #[test]
+    fn warm_scratch_stream_matches_reference(
+        planes in proptest::collection::vec(arb_coeffs(), 1..5),
+    ) {
+        let mut es = EzwScratch::new();
+        for (w, h, levels, coeffs) in &planes {
+            let warm = EzwEncoder::encode_plane_with(coeffs, *w, *h, *levels, &mut es);
+            let slow = reference::encode_plane(coeffs, *w, *h, *levels);
+            prop_assert_eq!(&warm, &slow);
+            let dwarm = EzwDecoder::decode_plane_with(&warm, &mut es).unwrap();
+            prop_assert_eq!(&dwarm.coeffs, coeffs);
+        }
+    }
+}
+
+/// End-to-end differential on real image content: transform + encode
+/// through the public pipeline equals reference transform + encode per
+/// plane, for both wavelets.
+#[test]
+fn image_pipeline_matches_reference_per_plane() {
+    for (w, h, levels, kind, seed) in [
+        (64, 64, 4, WaveletKind::Cdf53, 42u64),
+        (64, 32, 3, WaveletKind::Haar, 43),
+        (48, 48, 2, WaveletKind::Cdf53, 44),
+    ] {
+        let scene = synthetic_scene(w, h, 1, 3, seed);
+        let mut plane = scene.image.plane(0);
+        for v in plane.iter_mut() {
+            *v -= 128;
+        }
+        let mut slow = plane.clone();
+        reference::forward_2d(&mut slow, w, h, levels, kind);
+        let expected = reference::encode_plane(&slow, w, h, levels);
+
+        let mut ws = WaveletScratch::new();
+        let mut es = EzwScratch::new();
+        let got = ezw::encode_prepared_plane(&mut plane, w, h, levels, kind, &mut ws, &mut es);
+        assert_eq!(got, expected, "{kind:?} {w}x{h} L{levels} seed {seed}");
+    }
+}
+
+/// Golden fixture: one full encoded color image (YCoCg-R + CDF 5/3,
+/// 64x64x3, 4 levels) pinned byte-for-byte. Catches a simultaneous
+/// drift of the live coder and the reference copy.
+#[test]
+fn golden_color_container_fixture() {
+    let scene = synthetic_scene(64, 64, 3, 4, 7);
+    let encoded = ezw::encode_image_opts(&scene.image, 4, WaveletKind::Cdf53, true).unwrap();
+    if std::env::var_os("REGEN_MEDIA_FIXTURES").is_some() {
+        std::fs::create_dir_all("tests/fixtures").unwrap();
+        std::fs::write(FIXTURE_PATH, &encoded).unwrap();
+        panic!("fixture regenerated — rerun without REGEN_MEDIA_FIXTURES");
+    }
+    let golden = std::fs::read(FIXTURE_PATH)
+        .expect("fixture missing — run with REGEN_MEDIA_FIXTURES=1 to create");
+    assert_eq!(
+        encoded, golden,
+        "encoded color container drifted from the golden fixture"
+    );
+    // The fixture decodes losslessly and still honors the embedded
+    // property after truncation.
+    let decoded = ezw::decode_image(&golden).unwrap();
+    assert_eq!(decoded.data, scene.image.data);
+    let cut = ezw::truncate_container(&golden, golden.len() / 4).unwrap();
+    let coarse = ezw::decode_image(&cut).unwrap();
+    assert!(collabqos::media::psnr_color(&scene.image, &coarse) > 15.0);
+}
+
+/// `Image` geometry sanity for the fixture scene (guards against the
+/// synthetic generator changing under the fixture's feet — if this
+/// fails, the fixture mismatch above is the generator, not the codec).
+#[test]
+fn fixture_scene_is_stable() {
+    let a = synthetic_scene(64, 64, 3, 4, 7);
+    let b = synthetic_scene(64, 64, 3, 4, 7);
+    assert_eq!(a.image, b.image);
+    assert_eq!(a.image.channels, 3);
+    let img: &Image = &a.image;
+    assert_eq!((img.width, img.height), (64, 64));
+}
